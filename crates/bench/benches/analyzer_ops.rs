@@ -1,0 +1,79 @@
+//! Analyzer compute-cost benchmarks: the *real* work the analyzer does
+//! (pointer decode via the directory, search-radius reduction, host-store
+//! queries, diagnosis logic) as opposed to the modelled RPC latencies.
+//! These bound how fast a production analyzer written on this library
+//! could go if the RPC fabric were free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::prelude::*;
+use switchpointer::testbed::{Testbed, TestbedConfig};
+use telemetry::EpochRange;
+
+/// A populated contention deployment: m UDP culprits + TCP victim, run.
+fn contention_testbed(m: usize) -> (Testbed, FlowId, NodeId) {
+    let topo = Topology::dumbbell(m + 1, m + 1, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    let a = tb.node("L0");
+    let b = tb.node("R0");
+    let tcp = tb.sim.add_tcp_flow(TcpFlowSpec::running_until(
+        a,
+        b,
+        Priority::LOW,
+        SimTime::from_ms(40),
+    ));
+    for u in 0..m {
+        let src = tb.node(&format!("L{}", u + 1));
+        let dst = tb.node(&format!("R{}", u + 1));
+        tb.sim.add_udp_flow(UdpFlowSpec::burst(
+            src,
+            dst,
+            Priority::HIGH,
+            SimTime::from_ms(20),
+            SimTime::from_ms(1),
+            GBPS,
+        ));
+    }
+    tb.sim.run_until(SimTime::from_ms(40));
+    (tb, tcp, b)
+}
+
+fn bench_diagnosis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_diagnose_contention");
+    group.sample_size(30);
+    for m in [4usize, 16] {
+        let (tb, victim, dst) = contention_testbed(m);
+        let analyzer = tb.analyzer();
+        let window = tb.cfg.trigger.window;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(analyzer.diagnose_contention(victim, dst, window))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hosts_for(c: &mut Criterion) {
+    let (tb, _, _) = contention_testbed(16);
+    let analyzer = tb.analyzer();
+    let sl = tb.node("SL");
+    let mut group = c.benchmark_group("analyzer_pointer_decode");
+    group.bench_function("hosts_for_20_epochs", |b| {
+        b.iter(|| std::hint::black_box(analyzer.hosts_for(sl, EpochRange { lo: 0, hi: 19 })));
+    });
+    group.finish();
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let (tb, _, _) = contention_testbed(16);
+    let analyzer = tb.analyzer();
+    let sl = tb.node("SL");
+    let mut group = c.benchmark_group("analyzer_top_k");
+    group.bench_function("top_100_contention_fixture", |b| {
+        b.iter(|| std::hint::black_box(analyzer.top_k(sl, 100, EpochRange { lo: 0, hi: 40 })));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagnosis, bench_hosts_for, bench_top_k);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 9 — per-packet cost of the forwarding pipeline: vanilla-OVS
+//! baseline vs SwitchPointer k = 1 / k = 3 / k = 5.
+//!
+//! Criterion reports ns/packet; `spexp fig9` converts such measurements
+//! into the paper's Gbps-vs-packet-size curves. The k-sweep doubles as the
+//! ablation for the paper's "one hash operation independent of k" claim:
+//! cost grows by the k extra bit writes only, not by extra hashing.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mphf::Mphf;
+use switchpointer::pipeline::{unique_dst_workload, workload_addrs, ForwardingPipeline};
+use switchpointer::pointer::PointerConfig;
+
+const N_DSTS: usize = 100_000;
+const BATCH: usize = 4_096;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let addrs = workload_addrs(N_DSTS);
+    let mphf = Arc::new(Mphf::build(&addrs).expect("mphf"));
+    let wl = unique_dst_workload(BATCH, N_DSTS, 256);
+
+    let mut group = c.benchmark_group("fig9_pipeline");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("ovs_baseline", |b| {
+        let mut pipe = ForwardingPipeline::baseline();
+        b.iter(|| {
+            for pkt in &wl {
+                std::hint::black_box(pipe.process(pkt));
+            }
+        });
+    });
+
+    for k in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("switchpointer", k), &k, |b, &k| {
+            let mut pipe = ForwardingPipeline::with_pointers(
+                PointerConfig {
+                    n_hosts: N_DSTS,
+                    alpha: 10,
+                    k,
+                },
+                mphf.clone(),
+            );
+            b.iter(|| {
+                for pkt in &wl {
+                    std::hint::black_box(pipe.process(pkt));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

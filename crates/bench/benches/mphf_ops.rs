@@ -1,0 +1,51 @@
+//! MPHF microbenchmarks: construction time (the analyzer's coarse-timescale
+//! job, §4.1.2) and lookup cost (the switch's per-packet hash).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mphf::Mphf;
+
+fn keys(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 0x0a00_0000 + i).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mphf_build");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let ks = keys(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ks, |b, ks| {
+            b.iter(|| Mphf::build(std::hint::black_box(ks)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let ks = keys(100_000);
+    let m = Mphf::build(&ks).unwrap();
+    let mut group = c.benchmark_group("mphf_lookup");
+    group.throughput(Throughput::Elements(ks.len() as u64));
+    group.bench_function("index_unchecked_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &ks {
+                acc ^= m.index_unchecked(std::hint::black_box(k));
+            }
+            acc
+        });
+    });
+    group.bench_function("index_checked_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &ks {
+                acc ^= m.index(std::hint::black_box(k)).unwrap();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookup);
+criterion_main!(benches);

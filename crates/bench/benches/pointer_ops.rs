@@ -1,0 +1,85 @@
+//! Pointer-hierarchy benchmarks: the line-rate update across k (ablation
+//! for §4.1.2's one-hash design), epoch rotation cost, and analyzer-side
+//! pointer-union pulls (the Fig. 8 "most recent 1 sec" query).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mphf::Mphf;
+use switchpointer::pointer::{PointerConfig, PointerHierarchy};
+
+const N: usize = 100_000;
+
+fn setup(k: usize, alpha: u32) -> (PointerHierarchy, Vec<u64>) {
+    let addrs: Vec<u64> = (0..N as u64).map(|i| 0x0a00_0000 + i).collect();
+    let mphf = Arc::new(Mphf::build(&addrs).unwrap());
+    (
+        PointerHierarchy::new(
+            PointerConfig {
+                n_hosts: N,
+                alpha,
+                k,
+            },
+            mphf,
+        ),
+        addrs,
+    )
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointer_update");
+    group.throughput(Throughput::Elements(4_096));
+    for k in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("same_epoch_k", k), &k, |b, &k| {
+            let (mut h, addrs) = setup(k, 10);
+            let mut i = 0usize;
+            b.iter(|| {
+                for _ in 0..4_096 {
+                    h.update_unchecked(addrs[i % addrs.len()], 7);
+                    i = i.wrapping_add(1);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    // Worst case: every update lands in a new epoch, forcing slot refresh
+    // (and periodic clears) each time.
+    let mut group = c.benchmark_group("pointer_rotation");
+    group.throughput(Throughput::Elements(1_024));
+    group.bench_function("new_epoch_every_update_k3", |b| {
+        let (mut h, addrs) = setup(3, 10);
+        let mut e = 0u64;
+        b.iter(|| {
+            for i in 0..1_024 {
+                h.update_unchecked(addrs[i % addrs.len()], e);
+                e += 1;
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    // Analyzer pull: union over a 1000-epoch window on a populated
+    // hierarchy (mix of live slots and archives).
+    let (mut h, addrs) = setup(3, 10);
+    for e in 0..1_000u64 {
+        for i in 0..32usize {
+            h.update_unchecked(addrs[(e as usize * 37 + i * 101) % addrs.len()], e);
+        }
+    }
+    let mut group = c.benchmark_group("pointer_union");
+    group.bench_function("union_1000_epochs", |b| {
+        b.iter(|| std::hint::black_box(h.pointer_union(0, 999)));
+    });
+    group.bench_function("union_10_epochs", |b| {
+        b.iter(|| std::hint::black_box(h.pointer_union(990, 999)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_rotation, bench_union);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Host-store benchmarks: ingest rate and the two analyzer query shapes
+//! (filter by (switch, epoch range), top-k aggregate) on stores of
+//! realistic size — the query-execution term of Fig. 12's breakdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::packet::{FlowId, NodeId, Priority, Protocol};
+use switchpointer::hoststore::FlowStore;
+use telemetry::{DecodedTelemetry, EpochRange, HopTelemetry};
+
+fn telem(seed: u64) -> DecodedTelemetry {
+    let e = seed % 100;
+    DecodedTelemetry {
+        hops: vec![
+            HopTelemetry {
+                switch: NodeId(0),
+                epochs: EpochRange { lo: e, hi: e },
+            },
+            HopTelemetry {
+                switch: NodeId(1),
+                epochs: EpochRange {
+                    lo: e.saturating_sub(1),
+                    hi: e + 1,
+                },
+            },
+        ],
+        tag_idx: 0,
+    }
+}
+
+fn store_with(n_flows: usize, pkts_per_flow: usize) -> FlowStore {
+    let mut s = FlowStore::new();
+    for f in 0..n_flows {
+        for p in 0..pkts_per_flow {
+            s.ingest(
+                FlowId(f as u64),
+                NodeId(100 + (f % 32) as u32),
+                NodeId(200),
+                Protocol::Tcp,
+                Priority::LOW,
+                1_448,
+                &telem((f * 7 + p) as u64),
+                Some((f % 4) as u16),
+            );
+        }
+    }
+    s
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hoststore_ingest");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("ingest_1k_pkts", |b| {
+        b.iter(|| store_with(100, 10));
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hoststore_query");
+    for n_flows in [100usize, 1_000, 10_000] {
+        let s = store_with(n_flows, 5);
+        group.bench_with_input(
+            BenchmarkId::new("flows_matching", n_flows),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        s.flows_matching(NodeId(0), EpochRange { lo: 10, hi: 20 }),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("top_100", n_flows), &s, |b, s| {
+            b.iter(|| std::hint::black_box(s.top_k_through(NodeId(0), 100)));
+        });
+        group.bench_with_input(BenchmarkId::new("sizes_by_link", n_flows), &s, |b, s| {
+            b.iter(|| std::hint::black_box(s.sizes_by_link(NodeId(0))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Benchmark-only crate; see `benches/` for the Criterion targets:
+//!
+//! * `fig9_pipeline` — the paper's Fig. 9 forwarding-cost comparison
+//! * `mphf_ops` — hash construction and lookup
+//! * `pointer_ops` — line-rate update / rotation / analyzer pulls
+//! * `query_ops` — host-store ingest and query shapes
+//! * `simulator` — event-loop throughput with and without instrumentation

@@ -1,0 +1,1022 @@
+//! The SwitchPointer analyzer (§4.3) and the four debugging applications of
+//! §5.
+//!
+//! The analyzer coordinates with switch agents (pulling pointer sets — the
+//! "directory service") and host agents (filter/aggregate queries over flow
+//! records). Its latency is *modelled* by [`CostModel`] (connection
+//! initiation per host, pointer-retrieval rounds, …) while its *answers*
+//! are computed from the real data structures populated during simulation —
+//! exactly the split that makes the reproduced latency shapes honest: who
+//! gets contacted is real, how long a contact takes is calibrated.
+//!
+//! Implemented applications:
+//! * [`Analyzer::diagnose_contention`] — §5.1 too much traffic
+//!   (priority-based and microburst-based);
+//! * [`Analyzer::diagnose_red_lights`] — §5.2 spatial correlation across
+//!   switches;
+//! * [`Analyzer::diagnose_cascade`] — §5.3 spatio-temporal recursion;
+//! * [`Analyzer::diagnose_load_imbalance`] — §5.4 per-egress flow-size
+//!   distributions;
+//! * [`Analyzer::top_k`] — the §6.2 top-k query (benchmarked against
+//!   PathDump in Fig. 12).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use mphf::Mphf;
+use netsim::packet::{FlowId, NodeId, Priority};
+use netsim::routing::RouteTable;
+use netsim::time::SimTime;
+use netsim::topology::Topology;
+use telemetry::{EpochParams, EpochRange};
+
+use crate::bitset::BitSet;
+use crate::cost::{CostModel, LatencyBreakdown, QueryWaveCost};
+use crate::host::{HostHandle, TriggerEvent};
+use crate::switch::SwitchHandle;
+
+/// Maps pointer-bit indices back to hosts (the analyzer built the MPHF, so
+/// it owns the inverse mapping; §4.3 "constructs a minimal perfect hash
+/// function ... distributes it to all the switches").
+#[derive(Debug, Clone)]
+pub struct HostDirectory {
+    mphf: Arc<Mphf>,
+    by_slot: Vec<Option<NodeId>>,
+}
+
+impl HostDirectory {
+    pub fn new(mphf: Arc<Mphf>, hosts: &[NodeId]) -> Self {
+        let mut by_slot = vec![None; mphf.len()];
+        for &h in hosts {
+            let idx = mphf
+                .index(&h.addr())
+                .expect("directory host missing from MPHF");
+            by_slot[idx] = Some(h);
+        }
+        HostDirectory { mphf, by_slot }
+    }
+
+    /// The hash function (shared with all switches).
+    pub fn mphf(&self) -> &Arc<Mphf> {
+        &self.mphf
+    }
+
+    /// Decodes a pointer bit set into host ids (ascending).
+    pub fn hosts_in(&self, bits: &BitSet) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = bits
+            .iter_ones()
+            .filter_map(|i| self.by_slot.get(i).copied().flatten())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// A contending flow identified during diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Culprit {
+    pub flow: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Host whose store produced the record.
+    pub host: NodeId,
+    pub priority: Priority,
+    pub bytes: u64,
+    /// Epochs (at the diagnosed switch) shared with the victim.
+    pub common_epochs: Vec<u64>,
+}
+
+/// Outcome of a contention diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Higher-priority flows starved the victim (§2.1 priority contention).
+    PriorityContention,
+    /// Equal-priority burst overflowed the queue (§2.1 microburst).
+    Microburst,
+    /// No contending flow found in the window.
+    NoCulprit,
+}
+
+/// Result of [`Analyzer::diagnose_contention`].
+#[derive(Debug, Clone)]
+pub struct ContentionDiagnosis {
+    pub victim: FlowId,
+    /// The switch the diagnosis settled on.
+    pub switch: NodeId,
+    /// Epoch window diagnosed.
+    pub epochs: EpochRange,
+    pub culprits: Vec<Culprit>,
+    pub hosts_contacted: usize,
+    pub verdict: Verdict,
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Result of [`Analyzer::diagnose_red_lights`].
+#[derive(Debug, Clone)]
+pub struct RedLightsDiagnosis {
+    pub victim: FlowId,
+    /// Culprits found at each switch of the victim's path.
+    pub per_switch: Vec<(NodeId, Vec<Culprit>)>,
+    /// Switches where contention was confirmed (≥1 culprit with a common
+    /// epoch).
+    pub implicated: Vec<NodeId>,
+    pub hosts_contacted: usize,
+    pub breakdown: LatencyBreakdown,
+}
+
+/// One stage of a cascade diagnosis: `victim` was delayed by `culprit` at
+/// `switch`.
+#[derive(Debug, Clone)]
+pub struct CascadeStage {
+    pub victim: FlowId,
+    pub switch: NodeId,
+    pub culprit: Culprit,
+}
+
+/// Result of [`Analyzer::diagnose_cascade`].
+#[derive(Debug, Clone)]
+pub struct CascadeDiagnosis {
+    /// Delay chain, outermost victim first (C-E ← A-F ← B-D in Fig. 1c).
+    pub stages: Vec<CascadeStage>,
+    pub hosts_contacted: usize,
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Result of [`Analyzer::diagnose_load_imbalance`].
+#[derive(Debug, Clone)]
+pub struct LoadImbalanceDiagnosis {
+    /// Flow sizes grouped by egress link VID.
+    pub per_link: BTreeMap<u16, Vec<u64>>,
+    /// If the distributions separate cleanly, the size threshold between
+    /// the two busiest links.
+    pub separation_bytes: Option<u64>,
+    pub hosts_contacted: usize,
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Result of [`Analyzer::localize_silent_drop`].
+#[derive(Debug, Clone)]
+pub struct DropDiagnosis {
+    pub flow: FlowId,
+    /// Switches on the flow's forwarding path, in order.
+    pub path: Vec<NodeId>,
+    /// Per switch: did its pointer witness the destination in the window?
+    pub per_switch: Vec<(NodeId, bool)>,
+    /// (last switch that forwarded, first that did not) — the failure lies
+    /// between them. `None` if the flow was seen everywhere (no drop on
+    /// this path) or nowhere.
+    pub suspected_segment: Option<(NodeId, NodeId)>,
+    /// Modelled cost of the pointer pulls.
+    pub pointer_retrieval: SimTime,
+}
+
+/// Result of [`Analyzer::top_k`].
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    pub flows: Vec<(FlowId, u64)>,
+    pub hosts_contacted: usize,
+    /// Pointer retrieval latency (zero for the PathDump baseline).
+    pub pointer_retrieval: SimTime,
+    pub wave: QueryWaveCost,
+}
+
+impl TopKResult {
+    pub fn total_latency(&self) -> SimTime {
+        self.pointer_retrieval + self.wave.total()
+    }
+}
+
+/// The analyzer.
+pub struct Analyzer {
+    topo: Topology,
+    routes: RouteTable,
+    params: EpochParams,
+    switches: HashMap<NodeId, SwitchHandle>,
+    hosts: HashMap<NodeId, HostHandle>,
+    directory: HostDirectory,
+    cost: CostModel,
+}
+
+impl Analyzer {
+    pub fn new(
+        topo: Topology,
+        params: EpochParams,
+        switches: HashMap<NodeId, SwitchHandle>,
+        hosts: HashMap<NodeId, HostHandle>,
+        directory: HostDirectory,
+        cost: CostModel,
+    ) -> Self {
+        let routes = RouteTable::build(&topo);
+        Analyzer {
+            topo,
+            routes,
+            params,
+            switches,
+            hosts,
+            directory,
+            cost,
+        }
+    }
+
+    /// The directory (bit → host decoding).
+    pub fn directory(&self) -> &HostDirectory {
+        &self.directory
+    }
+
+    /// Pulls the pointer union for `range` from `switch` and decodes it.
+    pub fn hosts_for(&self, switch: NodeId, range: EpochRange) -> Vec<NodeId> {
+        let handle = self
+            .switches
+            .get(&switch)
+            .unwrap_or_else(|| panic!("no SwitchPointer component on {switch}"));
+        let bits = handle.borrow().pointers.pointer_union(range.lo, range.hi);
+        self.directory.hosts_in(&bits)
+    }
+
+    /// Search-radius reduction (§4.3): keep only hosts whose traffic can
+    /// have shared the victim's egress port at `switch`. The victim's next
+    /// hop determines the port; a pointer host is relevant iff some
+    /// equal-cost route from `switch` to it uses the same port.
+    pub fn reduce_search_radius(
+        &self,
+        switch: NodeId,
+        victim_dst: NodeId,
+        victim_flow: FlowId,
+        hosts: Vec<NodeId>,
+    ) -> Vec<NodeId> {
+        let Some(victim_port) = self.routes.egress(switch, victim_dst, victim_flow) else {
+            return hosts;
+        };
+        hosts
+            .into_iter()
+            .filter(|&h| self.routes.ports(switch, h).contains(&victim_port))
+            .collect()
+    }
+
+    /// The epoch window to diagnose around a trigger, with ±⌈ε/α⌉ slack for
+    /// clock asynchrony. Covers the dropped window and the one before it.
+    pub fn epoch_window(&self, trigger: &TriggerEvent, trigger_window: SimTime) -> EpochRange {
+        let slack = self
+            .params
+            .epsilon
+            .as_ns()
+            .div_ceil(self.params.alpha.as_ns());
+        let hi = self.params.epoch_of(trigger.at) + slack;
+        let lo = self
+            .params
+            .epoch_of(trigger.at.saturating_sub(trigger_window * 2))
+            .saturating_sub(slack);
+        EpochRange { lo, hi }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared query machinery
+    // ------------------------------------------------------------------
+
+    /// Queries `hosts` for flows matching `(switch, range)`, excluding the
+    /// victim flow. Returns culprits plus per-host record counts (for the
+    /// cost model).
+    fn query_hosts(
+        &self,
+        hosts: &[NodeId],
+        switch: NodeId,
+        range: EpochRange,
+        victim: FlowId,
+    ) -> (Vec<Culprit>, Vec<usize>) {
+        let mut culprits = Vec::new();
+        let mut record_counts = Vec::with_capacity(hosts.len());
+        for &h in hosts {
+            let Some(handle) = self.hosts.get(&h) else {
+                record_counts.push(0);
+                continue;
+            };
+            let comp = handle.borrow();
+            record_counts.push(comp.store.len());
+            for rec in comp.store.flows_matching(switch, range) {
+                if rec.flow == victim {
+                    continue;
+                }
+                let common: Vec<u64> = rec.epochs_at[&switch]
+                    .range(range.lo..=range.hi)
+                    .copied()
+                    .collect();
+                culprits.push(Culprit {
+                    flow: rec.flow,
+                    src: rec.src,
+                    dst: rec.dst,
+                    host: h,
+                    priority: rec.priority,
+                    bytes: rec.bytes,
+                    common_epochs: common,
+                });
+            }
+        }
+        culprits.sort_by_key(|c| (std::cmp::Reverse(c.priority), std::cmp::Reverse(c.bytes)));
+        (culprits, record_counts)
+    }
+
+    fn victim_info(&self, victim_dst: NodeId, victim: FlowId) -> (TriggerEvent, Vec<NodeId>) {
+        let host = self.hosts[&victim_dst].borrow();
+        let trigger = *host
+            .first_trigger_for(victim)
+            .expect("victim host raised no trigger for the flow");
+        drop(host);
+        (trigger, self.victim_path(victim_dst, victim))
+    }
+
+    fn victim_path(&self, victim_dst: NodeId, victim: FlowId) -> Vec<NodeId> {
+        self.hosts[&victim_dst]
+            .borrow()
+            .store
+            .record(victim)
+            .expect("victim host has no record for the flow")
+            .path
+            .clone()
+    }
+
+    // ------------------------------------------------------------------
+    // §5.1 Too much traffic
+    // ------------------------------------------------------------------
+
+    /// Diagnoses priority/microburst contention for a victim flow whose
+    /// destination raised a trigger. Follows the §5.1 procedure: alert →
+    /// pointer retrieval (one switch) → host queries → verdict.
+    pub fn diagnose_contention(
+        &self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    ) -> ContentionDiagnosis {
+        let (trigger, _) = self.victim_info(victim_dst, victim);
+        self.diagnose_contention_at(victim, victim_dst, trigger_window, &trigger)
+    }
+
+    /// Like [`Analyzer::diagnose_contention`] but for a specific trigger
+    /// (a flow may raise several over its lifetime; under background load
+    /// the operator picks the one tied to the incident under
+    /// investigation).
+    pub fn diagnose_contention_at(
+        &self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+        trigger: &TriggerEvent,
+    ) -> ContentionDiagnosis {
+        let path = self.victim_path(victim_dst, victim);
+        let range = self.epoch_window(trigger, trigger_window);
+
+        // Pick the contended switch: walk the path and take the first
+        // switch with a non-empty reduced host set beyond the victim's own
+        // endpoints. (The alert's per-switch epoch data narrows this in the
+        // real system; with the simulator's single bottleneck the first hit
+        // is the bottleneck.)
+        let mut chosen: Option<(NodeId, Vec<NodeId>)> = None;
+        for &sw in &path {
+            let mut hosts = self.hosts_for(sw, range);
+            hosts.retain(|&h| h != victim_dst);
+            let reduced = self.reduce_search_radius(sw, victim_dst, victim, hosts);
+            if !reduced.is_empty() {
+                chosen = Some((sw, reduced));
+                break;
+            }
+        }
+        let (switch, hosts) = chosen.unwrap_or_else(|| (path[0], Vec::new()));
+
+        let (culprits, record_counts) = self.query_hosts(&hosts, switch, range, victim);
+        let victim_prio = self.hosts[&victim_dst]
+            .borrow()
+            .store
+            .record(victim)
+            .unwrap()
+            .priority;
+        let verdict = if culprits
+            .iter()
+            .any(|c| c.priority > victim_prio && !c.common_epochs.is_empty())
+        {
+            Verdict::PriorityContention
+        } else if culprits.iter().any(|c| !c.common_epochs.is_empty()) {
+            Verdict::Microburst
+        } else {
+            Verdict::NoCulprit
+        };
+
+        let wave = self.cost.query_wave(hosts.len(), &record_counts);
+        ContentionDiagnosis {
+            victim,
+            switch,
+            epochs: range,
+            culprits,
+            hosts_contacted: hosts.len(),
+            verdict,
+            breakdown: LatencyBreakdown {
+                detection: trigger_window,
+                alert: self.cost.alert_rtt,
+                pointer_retrieval: self.cost.pointer_retrieval(1),
+                diagnosis: wave.total(),
+                diagnosis_detail: wave,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.2 Too many red lights
+    // ------------------------------------------------------------------
+
+    /// Diagnoses accumulated contention across every switch of the victim's
+    /// path (spatial correlation).
+    pub fn diagnose_red_lights(
+        &self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    ) -> RedLightsDiagnosis {
+        let (trigger, path) = self.victim_info(victim_dst, victim);
+        let range = self.epoch_window(&trigger, trigger_window);
+
+        // One retrieval round over all path switches (§5.2: "contacts all
+        // of the switches and retrieves pointers ... in 10 ms").
+        let mut union_hosts: BTreeSet<NodeId> = BTreeSet::new();
+        let mut per_switch_hosts: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for &sw in &path {
+            let mut hosts = self.hosts_for(sw, range);
+            hosts.retain(|&h| h != victim_dst);
+            let reduced = self.reduce_search_radius(sw, victim_dst, victim, hosts);
+            union_hosts.extend(reduced.iter().copied());
+            per_switch_hosts.push((sw, reduced));
+        }
+        let all_hosts: Vec<NodeId> = union_hosts.into_iter().collect();
+
+        // One query wave over the union of hosts; evaluate per switch.
+        let mut per_switch = Vec::new();
+        let mut implicated = Vec::new();
+        let mut record_counts = vec![0usize; all_hosts.len()];
+        for (i, &h) in all_hosts.iter().enumerate() {
+            if let Some(handle) = self.hosts.get(&h) {
+                record_counts[i] = handle.borrow().store.len();
+            }
+        }
+        for (sw, hosts) in &per_switch_hosts {
+            let (culprits, _) = self.query_hosts(hosts, *sw, range, victim);
+            if culprits.iter().any(|c| !c.common_epochs.is_empty()) {
+                implicated.push(*sw);
+            }
+            per_switch.push((*sw, culprits));
+        }
+
+        let wave = self.cost.query_wave(all_hosts.len(), &record_counts);
+        RedLightsDiagnosis {
+            victim,
+            per_switch,
+            implicated,
+            hosts_contacted: all_hosts.len(),
+            breakdown: LatencyBreakdown {
+                detection: trigger_window,
+                alert: self.cost.alert_rtt,
+                pointer_retrieval: self.cost.pointer_retrieval(path.len()),
+                diagnosis: wave.total(),
+                diagnosis_detail: wave,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.3 Traffic cascades
+    // ------------------------------------------------------------------
+
+    /// Recursively chases the delay chain: who delayed the victim, then who
+    /// delayed the delayer, up to `max_depth` stages (temporal + spatial
+    /// correlation).
+    pub fn diagnose_cascade(
+        &self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+        max_depth: usize,
+    ) -> CascadeDiagnosis {
+        let (trigger, _) = self.victim_info(victim_dst, victim);
+        let mut range = self.epoch_window(&trigger, trigger_window);
+
+        let mut stages = Vec::new();
+        let mut hosts_contacted = 0usize;
+        let mut retrieval = SimTime::ZERO;
+        let mut diagnosis = SimTime::ZERO;
+        let mut detail = QueryWaveCost::default();
+
+        let mut cur_victim = victim;
+        let mut cur_dst = victim_dst;
+
+        for _ in 0..max_depth {
+            // The current victim's path, from its destination's record.
+            let path = match self.hosts[&cur_dst].borrow().store.record(cur_victim) {
+                Some(r) => r.path.clone(),
+                None => break,
+            };
+            let cur_prio = self.hosts[&cur_dst]
+                .borrow()
+                .store
+                .record(cur_victim)
+                .unwrap()
+                .priority;
+
+            retrieval += self.cost.pointer_retrieval(path.len());
+
+            // Find the strongest higher-priority culprit across the path.
+            let mut best: Option<(NodeId, Culprit)> = None;
+            let mut wave_hosts = 0usize;
+            for &sw in &path {
+                let mut hosts = self.hosts_for(sw, range);
+                hosts.retain(|&h| h != cur_dst);
+                let reduced = self.reduce_search_radius(sw, cur_dst, cur_victim, hosts);
+                wave_hosts += reduced.len();
+                let counts: Vec<usize> = reduced
+                    .iter()
+                    .map(|h| {
+                        self.hosts
+                            .get(h)
+                            .map(|hh| hh.borrow().store.len())
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                let wave = self.cost.query_wave(reduced.len(), &counts);
+                diagnosis += wave.total();
+                detail.connection_initiation += wave.connection_initiation;
+                detail.request += wave.request;
+                detail.query_execution += wave.query_execution;
+                detail.response += wave.response;
+
+                let (culprits, _) = self.query_hosts(&reduced, sw, range, cur_victim);
+                for c in culprits {
+                    let fresh = c.priority > cur_prio
+                        && !c.common_epochs.is_empty()
+                        && stages
+                            .iter()
+                            .all(|s: &CascadeStage| s.victim != c.flow && s.culprit.flow != c.flow);
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| (c.priority, c.bytes) > (b.priority, b.bytes))
+                        .unwrap_or(true);
+                    if fresh && better {
+                        best = Some((sw, c));
+                    }
+                }
+            }
+            hosts_contacted += wave_hosts;
+
+            match best {
+                Some((sw, culprit)) => {
+                    // Widen the window slightly for the next stage: the
+                    // upstream cause precedes the symptom.
+                    range = EpochRange {
+                        lo: range.lo.saturating_sub(1),
+                        hi: range.hi,
+                    };
+                    let next_victim = culprit.flow;
+                    let next_dst = culprit.dst;
+                    stages.push(CascadeStage {
+                        victim: cur_victim,
+                        switch: sw,
+                        culprit,
+                    });
+                    cur_victim = next_victim;
+                    cur_dst = next_dst;
+                }
+                None => break,
+            }
+        }
+
+        CascadeDiagnosis {
+            stages,
+            hosts_contacted,
+            breakdown: LatencyBreakdown {
+                detection: trigger_window,
+                alert: self.cost.alert_rtt,
+                pointer_retrieval: retrieval,
+                diagnosis,
+                diagnosis_detail: detail,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.4 Load imbalance
+    // ------------------------------------------------------------------
+
+    /// Pulls pointers for `range` at `switch`, asks every pointed host for
+    /// its per-egress flow sizes, and tests for a clean flow-size
+    /// separation between egress links.
+    pub fn diagnose_load_imbalance(
+        &self,
+        switch: NodeId,
+        range: EpochRange,
+    ) -> LoadImbalanceDiagnosis {
+        let hosts = self.hosts_for(switch, range);
+        let mut per_link: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+        let mut record_counts = Vec::with_capacity(hosts.len());
+        for &h in &hosts {
+            let Some(handle) = self.hosts.get(&h) else {
+                record_counts.push(0);
+                continue;
+            };
+            let comp = handle.borrow();
+            record_counts.push(comp.store.len());
+            for (link, bytes) in comp.store.sizes_by_link(switch) {
+                per_link.entry(link).or_default().push(bytes);
+            }
+        }
+        for sizes in per_link.values_mut() {
+            sizes.sort_unstable();
+        }
+
+        // Clean separation between the two busiest links: every flow on one
+        // side smaller than every flow on the other.
+        let mut links: Vec<(&u16, &Vec<u64>)> = per_link.iter().collect();
+        links.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
+        let separation_bytes = if links.len() >= 2 {
+            let (a, b) = (links[0].1, links[1].1);
+            let (max_a, min_a) = (*a.last().unwrap(), a[0]);
+            let (max_b, min_b) = (*b.last().unwrap(), b[0]);
+            if max_a < min_b {
+                Some(min_b)
+            } else if max_b < min_a {
+                Some(min_a)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        let wave = self.cost.query_wave(hosts.len(), &record_counts);
+        LoadImbalanceDiagnosis {
+            per_link,
+            separation_bytes,
+            hosts_contacted: hosts.len(),
+            breakdown: LatencyBreakdown {
+                detection: SimTime::ZERO, // detected from interface counters
+                alert: self.cost.alert_rtt,
+                pointer_retrieval: self.cost.pointer_retrieval(1),
+                diagnosis: wave.total(),
+                diagnosis_detail: wave,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §6.2 Top-k query
+    // ------------------------------------------------------------------
+
+    /// Top-k flows through `switch` over `range`. SwitchPointer contacts
+    /// only hosts named by the pointer; the PathDump baseline (see the
+    /// `pathdump` crate) must contact every server.
+    pub fn top_k(&self, switch: NodeId, k: usize, range: EpochRange) -> TopKResult {
+        let hosts = self.hosts_for(switch, range);
+        let mut merged: Vec<(FlowId, u64)> = Vec::new();
+        let mut record_counts = Vec::with_capacity(hosts.len());
+        for &h in &hosts {
+            let Some(handle) = self.hosts.get(&h) else {
+                record_counts.push(0);
+                continue;
+            };
+            let comp = handle.borrow();
+            record_counts.push(comp.store.len());
+            merged.extend(comp.store.top_k_through(switch, k));
+        }
+        merged.sort_by_key(|&(f, b)| (std::cmp::Reverse(b), f));
+        merged.truncate(k);
+        TopKResult {
+            flows: merged,
+            hosts_contacted: hosts.len(),
+            pointer_retrieval: self.cost.pointer_retrieval(1),
+            wave: self.cost.query_wave(hosts.len(), &record_counts),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §2.4-class application: silent drop localization
+    // ------------------------------------------------------------------
+
+    /// Localizes where a flow's packets stopped flowing, using switch
+    /// pointers as per-hop *presence* witnesses — a member of the "other
+    /// use cases" class (§2.4; PathDump's blackhole localization gains
+    /// per-epoch precision from the pointer directory).
+    ///
+    /// Walks the flow's forwarding path (the analyzer knows topology and
+    /// flow rules, §4.3); a switch whose pointer lacks the destination for
+    /// the post-onset epochs never forwarded the flow then. The failure
+    /// lies on the segment between the last switch that did and the first
+    /// that did not.
+    pub fn localize_silent_drop(
+        &self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        range: EpochRange,
+    ) -> DropDiagnosis {
+        // Reconstruct the forwarding path by walking the route tables with
+        // the flow's ECMP identity.
+        let mut path = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let Some(port) = self.routes.egress(cur, dst, flow) else {
+                break;
+            };
+            let (_, peer) = self.topo.ports(cur)[port as usize];
+            if self.topo.is_switch(peer) {
+                path.push(peer);
+            }
+            cur = peer;
+            if path.len() > 32 {
+                break; // defensive: malformed routing
+            }
+        }
+
+        // Presence must be read at *exact* (level-1) epoch resolution:
+        // coarser levels aggregate pre-onset epochs and would report the
+        // destination everywhere (a by-design false positive that is fine
+        // for search-radius queries but fatal here). This also means the
+        // window should be recent — real-time diagnosis over live level-1
+        // slots, as §4.1.1 prescribes.
+        let mut per_switch = Vec::with_capacity(path.len());
+        for &sw in &path {
+            let present = match self.switches.get(&sw) {
+                Some(handle) => {
+                    let comp = handle.borrow();
+                    range
+                        .iter()
+                        .any(|e| comp.pointers.contains_within(dst.addr(), e, 1) == Some(true))
+                }
+                None => false,
+            };
+            per_switch.push((sw, present));
+        }
+
+        let last_seen = per_switch
+            .iter()
+            .take_while(|&&(_, p)| p)
+            .last()
+            .map(|&(s, _)| s);
+        let first_missing = per_switch
+            .iter()
+            .find(|&&(_, p)| !p)
+            .map(|&(s, _)| s);
+        let suspected_segment = match (last_seen, first_missing) {
+            (Some(a), Some(b)) => Some((a, b)),
+            (None, Some(b)) => Some((src, b)),
+            _ => None,
+        };
+        let retrieval = self.cost.pointer_retrieval(per_switch.len());
+
+        DropDiagnosis {
+            flow,
+            path,
+            per_switch,
+            suspected_segment,
+            pointer_retrieval: retrieval,
+        }
+    }
+
+    /// All hosts known to the analyzer (used by baselines and tests).
+    pub fn all_hosts(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.hosts.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Access to a host handle (tests, baselines).
+    pub fn host(&self, h: NodeId) -> Option<&HostHandle> {
+        self.hosts.get(&h)
+    }
+
+    /// Access to a switch handle (tests).
+    pub fn switch(&self, s: NodeId) -> Option<&SwitchHandle> {
+        self.switches.get(&s)
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        self.cost_ref()
+    }
+
+    fn cost_ref(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The topology the analyzer reasons over.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostComponent, TriggerConfig, TriggerEvent};
+    use crate::pointer::PointerConfig;
+    use crate::switch::SwitchComponent;
+    use netsim::packet::Protocol;
+    use netsim::topology::GBPS;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use telemetry::{DecodedTelemetry, EmbedMode, HopTelemetry, PathCodec, TelemetryDecoder};
+
+    /// Hand-wires an analyzer over the 3-switch chain with no simulation:
+    /// switch pointers and host stores are populated directly.
+    struct Fixture {
+        analyzer: Analyzer,
+        topo: Topology,
+    }
+
+    fn fixture() -> Fixture {
+        let topo = Topology::chain(3, 2, GBPS);
+        let addrs: Vec<u64> = topo.hosts().iter().map(|h| h.addr()).collect();
+        let mphf = Arc::new(Mphf::build(&addrs).unwrap());
+        let params = EpochParams {
+            alpha: netsim::time::SimTime::from_ms(1),
+            epsilon: netsim::time::SimTime::from_ms(1),
+            delta: netsim::time::SimTime::from_ms(2),
+        };
+        let codec = Rc::new(PathCodec::new(topo.clone()));
+        let decoder = Rc::new(TelemetryDecoder::new(
+            PathCodec::new(topo.clone()),
+            params,
+            EmbedMode::Commodity,
+        ));
+        let mut switches = HashMap::new();
+        for &sw in topo.switches() {
+            let comp = SwitchComponent::new(
+                sw,
+                params,
+                EmbedMode::Commodity,
+                PointerConfig {
+                    n_hosts: addrs.len(),
+                    alpha: 10,
+                    k: 3,
+                },
+                mphf.clone(),
+                codec.clone(),
+            );
+            switches.insert(sw, Rc::new(RefCell::new(comp)));
+        }
+        let mut hosts = HashMap::new();
+        for &h in topo.hosts() {
+            hosts.insert(
+                h,
+                Rc::new(RefCell::new(HostComponent::new(
+                    h,
+                    decoder.clone(),
+                    TriggerConfig::default(),
+                ))),
+            );
+        }
+        let directory = HostDirectory::new(mphf, topo.hosts());
+        let analyzer = Analyzer::new(
+            topo.clone(),
+            params,
+            switches,
+            hosts,
+            directory,
+            CostModel::paper_calibrated(),
+        );
+        Fixture { analyzer, topo }
+    }
+
+    fn node(topo: &Topology, name: &str) -> NodeId {
+        topo.node_by_name(name).unwrap()
+    }
+
+    fn telem(hops: &[(NodeId, u64)]) -> DecodedTelemetry {
+        DecodedTelemetry {
+            hops: hops
+                .iter()
+                .map(|&(sw, e)| HopTelemetry {
+                    switch: sw,
+                    epochs: EpochRange::exact(e),
+                })
+                .collect(),
+            tag_idx: 0,
+        }
+    }
+
+    #[test]
+    fn hosts_for_decodes_pointer_bits() {
+        let fx = fixture();
+        let topo = &fx.topo;
+        let (s1, d, f) = (node(topo, "S1"), node(topo, "D"), node(topo, "F"));
+        {
+            let h = fx.analyzer.switch(s1).unwrap();
+            let mut comp = h.borrow_mut();
+            comp.pointers.update(d.addr(), 5);
+            comp.pointers.update(f.addr(), 6);
+        }
+        assert_eq!(
+            fx.analyzer.hosts_for(s1, EpochRange { lo: 5, hi: 5 }),
+            vec![d]
+        );
+        let both = fx.analyzer.hosts_for(s1, EpochRange { lo: 5, hi: 6 });
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn search_radius_reduction_keeps_same_egress_only() {
+        let fx = fixture();
+        let topo = &fx.topo;
+        let (s2, a, b, e, f) = (
+            node(topo, "S2"),
+            node(topo, "A"),
+            node(topo, "B"),
+            node(topo, "E"),
+            node(topo, "F"),
+        );
+        // Victim heads to F (egress S2->S3). E shares that egress; A and B
+        // are behind S2->S1, the opposite direction.
+        let kept = fx.analyzer.reduce_search_radius(
+            s2,
+            f,
+            FlowId(0),
+            vec![a, b, e],
+        );
+        assert_eq!(kept, vec![e]);
+    }
+
+    #[test]
+    fn epoch_window_includes_slack() {
+        let fx = fixture();
+        let trig = TriggerEvent {
+            at: netsim::time::SimTime::from_ms(21),
+            flow: FlowId(0),
+            prev_bytes: 100_000,
+            cur_bytes: 0,
+        };
+        let w = fx
+            .analyzer
+            .epoch_window(&trig, netsim::time::SimTime::from_ms(1));
+        // Trigger at epoch 21, window covers [19-slack .. 21+slack], slack=1.
+        assert!(w.contains(19) && w.contains(21) && w.contains(22));
+        assert!(w.lo <= 18);
+    }
+
+    #[test]
+    fn top_k_merges_across_hosts() {
+        let fx = fixture();
+        let topo = &fx.topo;
+        let (s1, d, f, a, b) = (
+            node(topo, "S1"),
+            node(topo, "D"),
+            node(topo, "F"),
+            node(topo, "A"),
+            node(topo, "B"),
+        );
+        // Pointer names D and F for epoch 3.
+        {
+            let mut comp = fx.analyzer.switch(s1).unwrap().borrow_mut();
+            comp.pointers.update(d.addr(), 3);
+            comp.pointers.update(f.addr(), 3);
+        }
+        // D holds a 9 KB flow record via S1; F a 5 KB one.
+        fx.analyzer.host(d).unwrap().borrow_mut().store.ingest(
+            FlowId(1),
+            a,
+            d,
+            Protocol::Udp,
+            Priority::LOW,
+            9_000,
+            &telem(&[(s1, 3)]),
+            None,
+        );
+        fx.analyzer.host(f).unwrap().borrow_mut().store.ingest(
+            FlowId(2),
+            b,
+            f,
+            Protocol::Udp,
+            Priority::LOW,
+            5_000,
+            &telem(&[(s1, 3)]),
+            None,
+        );
+        let r = fx.analyzer.top_k(s1, 10, EpochRange { lo: 3, hi: 3 });
+        assert_eq!(r.hosts_contacted, 2);
+        assert_eq!(r.flows, vec![(FlowId(1), 9_000), (FlowId(2), 5_000)]);
+        assert!(r.total_latency() > r.wave.total());
+    }
+
+    #[test]
+    fn directory_roundtrip_is_total_over_hosts() {
+        let fx = fixture();
+        let dir = fx.analyzer.directory();
+        let mut bits = crate::bitset::BitSet::new(dir.mphf().len());
+        for &h in fx.topo.hosts() {
+            bits.set(dir.mphf().index(&h.addr()).unwrap());
+        }
+        let decoded = dir.hosts_in(&bits);
+        assert_eq!(decoded.len(), fx.topo.hosts().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no SwitchPointer component")]
+    fn hosts_for_unknown_switch_panics() {
+        let fx = fixture();
+        // A host id is not a switch.
+        let a = node(&fx.topo, "A");
+        fx.analyzer.hosts_for(a, EpochRange::exact(0));
+    }
+}

@@ -1,0 +1,369 @@
+//! The end-host flow-record store (§4.2, §6 "implemented using MongoDB").
+//!
+//! One record per flow terminating at this host, holding what the paper's
+//! OVS module keeps: the flow's 5-tuple identity (our [`FlowId`] + endpoint
+//! metadata), the list of switches visited, the epoch ranges at each
+//! switch, byte/packet counts (total and per epoch), the DSCP priority,
+//! and — beyond the paper's list — the sampled link VID, which is what the
+//! load-imbalance query groups by.
+//!
+//! The store answers the analyzer's two query shapes:
+//! * *filter*: flows that traversed switch S during epoch range E
+//!   (the "(switchID, epochID) pair" filter of §1);
+//! * *aggregate*: top-k flows by bytes, flow-size distributions.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use netsim::packet::{FlowId, NodeId, Priority, Protocol};
+use telemetry::{DecodedTelemetry, EpochRange};
+
+/// A stored flow record.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    pub flow: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub protocol: Protocol,
+    /// DSCP value — the paper stores it to reason about priority contention.
+    pub priority: Priority,
+    pub bytes: u64,
+    pub packets: u64,
+    /// Switches on the flow's path, in traversal order.
+    pub path: Vec<NodeId>,
+    /// Epochs each switch may have processed this flow's packets in (the
+    /// union of per-packet decoded ranges).
+    pub epochs_at: BTreeMap<NodeId, BTreeSet<u64>>,
+    /// Payload bytes per epoch of the *tagging* switch (exact epochs — this
+    /// is the per-epoch byte count series the §5.1 alert carries).
+    pub bytes_per_epoch: BTreeMap<u64, u64>,
+    /// Link VID sampled in the packets' telemetry (identifies e.g. which
+    /// parallel core link the flow used — the Fig. 8 grouping key).
+    pub link_vid: Option<u16>,
+}
+
+impl FlowRecord {
+    /// Did any packet of this flow possibly traverse `switch` during any
+    /// epoch of `range`?
+    pub fn matches(&self, switch: NodeId, range: EpochRange) -> bool {
+        self.epochs_at
+            .get(&switch)
+            .map(|set| set.range(range.lo..=range.hi).next().is_some())
+            .unwrap_or(false)
+    }
+}
+
+/// The per-host store.
+#[derive(Debug, Default)]
+pub struct FlowStore {
+    records: HashMap<FlowId, FlowRecord>,
+    /// Secondary index: switch -> flows that reported it on their path.
+    by_switch: HashMap<NodeId, BTreeSet<FlowId>>,
+}
+
+impl FlowStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one decoded packet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ingest(
+        &mut self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        protocol: Protocol,
+        priority: Priority,
+        payload: u32,
+        telemetry: &DecodedTelemetry,
+        link_vid: Option<u16>,
+    ) {
+        let rec = self.records.entry(flow).or_insert_with(|| FlowRecord {
+            flow,
+            src,
+            dst,
+            protocol,
+            priority,
+            bytes: 0,
+            packets: 0,
+            path: telemetry.path(),
+            epochs_at: BTreeMap::new(),
+            bytes_per_epoch: BTreeMap::new(),
+            link_vid,
+        });
+        rec.bytes += payload as u64;
+        rec.packets += 1;
+        if rec.link_vid.is_none() {
+            rec.link_vid = link_vid;
+        }
+        for hop in &telemetry.hops {
+            let set = rec.epochs_at.entry(hop.switch).or_default();
+            for e in hop.epochs.iter() {
+                set.insert(e);
+            }
+            self.by_switch.entry(hop.switch).or_default().insert(flow);
+        }
+        // Exact per-epoch accounting at the tagging switch.
+        if let Some(tag_hop) = telemetry.hops.get(telemetry.tag_idx) {
+            if tag_hop.epochs.len() == 1 {
+                *rec.bytes_per_epoch.entry(tag_hop.epochs.lo).or_insert(0) += payload as u64;
+            }
+        }
+    }
+
+    /// Number of flow records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// A flow's record, if stored.
+    pub fn record(&self, flow: FlowId) -> Option<&FlowRecord> {
+        self.records.get(&flow)
+    }
+
+    /// All records (deterministic order by flow id).
+    pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
+        let mut v: Vec<&FlowRecord> = self.records.values().collect();
+        v.sort_by_key(|r| r.flow);
+        v.into_iter()
+    }
+
+    /// *Filter query*: flows that traversed `switch` during `range`.
+    pub fn flows_matching(&self, switch: NodeId, range: EpochRange) -> Vec<&FlowRecord> {
+        let Some(candidates) = self.by_switch.get(&switch) else {
+            return Vec::new();
+        };
+        candidates
+            .iter()
+            .filter_map(|f| self.records.get(f))
+            .filter(|r| r.matches(switch, range))
+            .collect()
+    }
+
+    /// *Aggregate query*: top-k flows through `switch` by byte count
+    /// (the Fig. 12 query).
+    pub fn top_k_through(&self, switch: NodeId, k: usize) -> Vec<(FlowId, u64)> {
+        let mut flows: Vec<(FlowId, u64)> = self
+            .by_switch
+            .get(&switch)
+            .map(|set| {
+                set.iter()
+                    .filter_map(|f| self.records.get(f))
+                    .map(|r| (r.flow, r.bytes))
+                    .collect()
+            })
+            .unwrap_or_default();
+        flows.sort_by_key(|&(f, b)| (std::cmp::Reverse(b), f));
+        flows.truncate(k);
+        flows
+    }
+
+    /// Retention: drops flow records whose newest epoch (at any switch) is
+    /// older than `horizon_epoch`. The paper's host store ("initially
+    /// maintained in memory and flushed to a local storage") is similarly
+    /// bounded; we drop instead of spooling since queries target recent
+    /// state. Returns the number of records evicted.
+    pub fn evict_older_than(&mut self, horizon_epoch: u64) -> usize {
+        let stale: Vec<FlowId> = self
+            .records
+            .values()
+            .filter(|r| {
+                r.epochs_at
+                    .values()
+                    .flat_map(|s| s.iter().next_back())
+                    .max()
+                    .map(|&e| e < horizon_epoch)
+                    .unwrap_or(true)
+            })
+            .map(|r| r.flow)
+            .collect();
+        for f in &stale {
+            self.records.remove(f);
+            for set in self.by_switch.values_mut() {
+                set.remove(f);
+            }
+        }
+        stale.len()
+    }
+
+    /// *Aggregate query*: (link VID, flow bytes) pairs for flows through
+    /// `switch` — the Fig. 8 flow-size-distribution-per-egress query.
+    pub fn sizes_by_link(&self, switch: NodeId) -> Vec<(u16, u64)> {
+        let mut out: Vec<(u16, u64)> = self
+            .by_switch
+            .get(&switch)
+            .map(|set| {
+                set.iter()
+                    .filter_map(|f| self.records.get(f))
+                    .filter_map(|r| r.link_vid.map(|l| (l, r.bytes)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::{EpochRange, HopTelemetry};
+
+    fn telem(hops: &[(u32, u64, u64)], tag_idx: usize) -> DecodedTelemetry {
+        DecodedTelemetry {
+            hops: hops
+                .iter()
+                .map(|&(sw, lo, hi)| HopTelemetry {
+                    switch: NodeId(sw),
+                    epochs: EpochRange { lo, hi },
+                })
+                .collect(),
+            tag_idx,
+        }
+    }
+
+    fn ingest_simple(store: &mut FlowStore, flow: u64, bytes: u32, hops: &[(u32, u64, u64)]) {
+        store.ingest(
+            FlowId(flow),
+            NodeId(100),
+            NodeId(101),
+            Protocol::Udp,
+            Priority::LOW,
+            bytes,
+            &telem(hops, 0),
+            Some(7),
+        );
+    }
+
+    #[test]
+    fn ingest_accumulates_per_flow() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 1000, &[(0, 5, 5), (1, 4, 6)]);
+        ingest_simple(&mut s, 1, 500, &[(0, 6, 6), (1, 5, 7)]);
+        assert_eq!(s.len(), 1);
+        let r = s.record(FlowId(1)).unwrap();
+        assert_eq!(r.bytes, 1500);
+        assert_eq!(r.packets, 2);
+        assert_eq!(
+            r.epochs_at[&NodeId(0)].iter().copied().collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert_eq!(r.epochs_at[&NodeId(1)].len(), 4); // {4,5,6,7}
+        // Exact per-epoch bytes at the tagging switch (switch 0).
+        assert_eq!(r.bytes_per_epoch[&5], 1000);
+        assert_eq!(r.bytes_per_epoch[&6], 500);
+    }
+
+    #[test]
+    fn filter_by_switch_and_epoch() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 100, &[(0, 5, 5)]);
+        ingest_simple(&mut s, 2, 100, &[(0, 9, 9)]);
+        ingest_simple(&mut s, 3, 100, &[(1, 5, 5)]);
+        let hits = s.flows_matching(NodeId(0), EpochRange { lo: 4, hi: 6 });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].flow, FlowId(1));
+        assert!(s
+            .flows_matching(NodeId(2), EpochRange { lo: 0, hi: 100 })
+            .is_empty());
+    }
+
+    #[test]
+    fn range_membership_is_inclusive() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 100, &[(0, 5, 7)]);
+        let r = s.record(FlowId(1)).unwrap();
+        assert!(r.matches(NodeId(0), EpochRange { lo: 7, hi: 9 }));
+        assert!(r.matches(NodeId(0), EpochRange { lo: 0, hi: 5 }));
+        assert!(!r.matches(NodeId(0), EpochRange { lo: 8, hi: 9 }));
+    }
+
+    #[test]
+    fn top_k_orders_by_bytes_then_id() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 500, &[(0, 1, 1)]);
+        ingest_simple(&mut s, 2, 900, &[(0, 1, 1)]);
+        ingest_simple(&mut s, 3, 500, &[(0, 1, 1)]);
+        ingest_simple(&mut s, 4, 100, &[(1, 1, 1)]);
+        let top = s.top_k_through(NodeId(0), 2);
+        assert_eq!(top, vec![(FlowId(2), 900), (FlowId(1), 500)]);
+        let all = s.top_k_through(NodeId(0), 10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn sizes_by_link_groups_for_load_imbalance() {
+        let mut s = FlowStore::new();
+        s.ingest(
+            FlowId(1),
+            NodeId(100),
+            NodeId(101),
+            Protocol::Tcp,
+            Priority::LOW,
+            2_000_000,
+            &telem(&[(0, 1, 1)], 0),
+            Some(3),
+        );
+        s.ingest(
+            FlowId(2),
+            NodeId(100),
+            NodeId(101),
+            Protocol::Tcp,
+            Priority::LOW,
+            500,
+            &telem(&[(0, 1, 1)], 0),
+            Some(4),
+        );
+        let by_link = s.sizes_by_link(NodeId(0));
+        assert_eq!(by_link, vec![(3, 2_000_000), (4, 500)]);
+    }
+
+    #[test]
+    fn eviction_drops_stale_records_only() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 100, &[(0, 2, 4)]);
+        ingest_simple(&mut s, 2, 100, &[(0, 8, 9)]);
+        ingest_simple(&mut s, 3, 100, &[(1, 3, 3), (0, 9, 10)]);
+        let evicted = s.evict_older_than(8);
+        assert_eq!(evicted, 1, "only flow 1 is wholly stale");
+        assert!(s.record(FlowId(1)).is_none());
+        assert!(s.record(FlowId(2)).is_some());
+        // Flow 3's newest epoch (10) keeps it alive despite the old hop.
+        assert!(s.record(FlowId(3)).is_some());
+        // Index is consistent: stale flow no longer reachable by switch.
+        assert!(s
+            .flows_matching(NodeId(0), EpochRange { lo: 0, hi: 100 })
+            .iter()
+            .all(|r| r.flow != FlowId(1)));
+    }
+
+    #[test]
+    fn eviction_everything_and_nothing() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 100, &[(0, 5, 5)]);
+        assert_eq!(s.evict_older_than(0), 0);
+        assert_eq!(s.evict_older_than(100), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn uncertain_tag_epoch_skips_per_epoch_accounting() {
+        let mut s = FlowStore::new();
+        // Tagging hop has a multi-epoch range: cannot attribute bytes.
+        s.ingest(
+            FlowId(1),
+            NodeId(100),
+            NodeId(101),
+            Protocol::Udp,
+            Priority::LOW,
+            100,
+            &telem(&[(0, 5, 7)], 0),
+            None,
+        );
+        assert!(s.record(FlowId(1)).unwrap().bytes_per_epoch.is_empty());
+    }
+}

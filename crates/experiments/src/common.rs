@@ -1,0 +1,108 @@
+//! Shared output helpers for the figure harness.
+//!
+//! Every figure command prints a human-readable table (the "rows/series the
+//! paper reports") and can additionally emit machine-readable JSON with
+//! `--json <path>` so EXPERIMENTS.md stays regenerable.
+
+use std::io::Write;
+
+/// A named series of (x, y) points — one plotted line of a figure.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Series {
+    pub name: String,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+}
+
+/// A figure's regenerated data: identification plus its series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FigureData {
+    /// e.g. "fig2a".
+    pub id: String,
+    /// What the paper plots.
+    pub title: String,
+    /// Axis labels, for the record.
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// Free-form notes (observed shape checks).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Prints the figure as aligned columns: x then one column per series.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        if self.series.is_empty() {
+            println!("(no series)");
+        } else {
+            let header: Vec<String> = std::iter::once(self.x_label.clone())
+                .chain(self.series.iter().map(|s| s.name.clone()))
+                .collect();
+            println!("{}", header.join("\t"));
+            let rows = self.series.iter().map(|s| s.x.len()).max().unwrap_or(0);
+            for r in 0..rows {
+                let x = self
+                    .series
+                    .iter()
+                    .find_map(|s| s.x.get(r))
+                    .copied()
+                    .unwrap_or(f64::NAN);
+                let mut line = format!("{x:.3}");
+                for s in &self.series {
+                    match s.y.get(r) {
+                        Some(v) => line.push_str(&format!("\t{v:.4}")),
+                        None => line.push_str("\t-"),
+                    }
+                }
+                println!("{line}");
+            }
+        }
+        for n in &self.notes {
+            println!("# {n}");
+        }
+        println!();
+    }
+}
+
+/// Writes figures to a JSON file.
+pub fn write_json(figs: &[FigureData], path: &str) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(figs).expect("serialize figures");
+    f.write_all(json.as_bytes())
+}

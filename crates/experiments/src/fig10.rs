@@ -1,0 +1,74 @@
+//! Figure 10 — switch overheads of the hierarchical pointer structure:
+//! (a) data-plane memory and (b) data-plane → control-plane bandwidth, as
+//! functions of the number of levels k, for (n, α) ∈ {100K, 1M} × {10, 20}.
+//!
+//! Both panels follow directly from the structure's accounting
+//! (`PointerConfig::memory_bytes`, `PointerConfig::flush_bandwidth_bps`);
+//! the memory panel additionally *measures* the MPHF metadata for n = 100K
+//! by building the real hash function (the paper quotes ~70 KB for 100K and
+//! ~700 KB for 1M).
+
+use mphf::Mphf;
+use switchpointer::pointer::PointerConfig;
+
+use crate::common::{FigureData, Series};
+
+pub const K_RANGE: [usize; 5] = [1, 2, 3, 4, 5];
+pub const CONFIGS: [(usize, u32); 4] = [(1_000_000, 20), (1_000_000, 10), (100_000, 20), (100_000, 10)];
+
+/// Figure 10(a): memory; Figure 10(b): bandwidth.
+pub fn fig10() -> Vec<FigureData> {
+    // Measure the real MPHF footprint once for n = 100K.
+    let addrs: Vec<u64> = (0..100_000u64).map(|i| 0x0a00_0000 + i).collect();
+    let mphf = Mphf::build(&addrs).expect("mphf");
+    let mphf_bytes_100k = mphf.metadata_bytes();
+    // 1M scales linearly in n (same bits/key); avoid the multi-second build.
+    let mphf_bytes_1m = mphf_bytes_100k * 10;
+
+    let mut mem = FigureData::new(
+        "fig10a",
+        "switch memory overhead vs k",
+        "k_levels",
+        "MB",
+    );
+    let mut bw = FigureData::new(
+        "fig10b",
+        "data-plane to control-plane bandwidth vs k",
+        "k_levels",
+        "Mbps",
+    );
+    mem.note(format!(
+        "measured MPHF metadata: {:.1} KB for n=100K (paper ~70 KB), {:.1} KB extrapolated for n=1M",
+        mphf_bytes_100k as f64 / 1e3,
+        mphf_bytes_1m as f64 / 1e3
+    ));
+
+    for (n, alpha) in CONFIGS {
+        let label = format!(
+            "n={}_alpha={}",
+            if n >= 1_000_000 { "1M" } else { "100K" },
+            alpha
+        );
+        let mut ms = Series::new(label.clone());
+        let mut bs = Series::new(label);
+        for &k in &K_RANGE {
+            let cfg = PointerConfig {
+                n_hosts: n,
+                alpha,
+                k,
+            };
+            let mphf_bytes = if n >= 1_000_000 {
+                mphf_bytes_1m
+            } else {
+                mphf_bytes_100k
+            };
+            ms.push(k as f64, (cfg.memory_bytes() + mphf_bytes) as f64 / 1e6);
+            bs.push(k as f64, cfg.flush_bandwidth_bps() / 1e6);
+        }
+        mem.series.push(ms);
+        bw.series.push(bs);
+    }
+    mem.note("paper anchor: n=1M, alpha=10, k=3 consumes ~3.45 MB; n=100K ~345 KB".to_string());
+    bw.note("paper anchor: n=1M, alpha=10: 100 Mbps at k=1 dropping to 10 Mbps at k=2".to_string());
+    vec![mem, bw]
+}

@@ -1,0 +1,88 @@
+//! Figure 11 — pointer recycling period versus epoch duration α (k = 3),
+//! for levels 1 and 2.
+//!
+//! The analytic form is `α(α^h − 1)` ms; this harness reports the formula
+//! *and* empirically measures the recycling period on a live hierarchy by
+//! walking epochs and detecting when a previously-written slot's content
+//! disappears from the level's view.
+
+use std::sync::Arc;
+
+use mphf::Mphf;
+use switchpointer::pointer::{PointerConfig, PointerHierarchy};
+
+use crate::common::{FigureData, Series};
+
+pub const ALPHAS: [u32; 5] = [5, 10, 15, 20, 30];
+
+/// Empirically measures the recycling period (in epochs) of level `h` by
+/// writing a marker at epoch 0 and advancing until the marker is no longer
+/// visible at level-h resolution or finer.
+pub fn measured_recycling_epochs(alpha: u32, k: usize, h: usize) -> u64 {
+    let addrs: Vec<u64> = (0..16u64).map(|i| 0x0a00_0000 + i).collect();
+    let mphf = Arc::new(Mphf::build(&addrs).unwrap());
+    let mut hier = PointerHierarchy::new(
+        PointerConfig {
+            n_hosts: 16,
+            alpha,
+            k,
+        },
+        mphf,
+    );
+    let marker = addrs[3];
+    let other = addrs[7];
+    let span = (alpha as u64).pow(h as u32 - 1);
+    hier.update(marker, 0);
+    let mut e = 1u64;
+    loop {
+        hier.update(other, e);
+        // Visible at resolution <= level h?
+        match hier.contains_within(marker, 0, span) {
+            Some(true) => {}
+            _ => return e,
+        }
+        e += 1;
+        assert!(e < 1_000_000, "marker never recycled");
+    }
+}
+
+/// Figure 11: recycling period (ms) vs α for levels 1 and 2 at k = 3.
+pub fn fig11() -> Vec<FigureData> {
+    let mut fig = FigureData::new(
+        "fig11",
+        "pointer recycling period vs alpha (k=3)",
+        "alpha_ms",
+        "period_ms",
+    );
+    for h in [1usize, 2] {
+        let mut formula = Series::new(format!("level{h}_formula"));
+        let mut measured = Series::new(format!("level{h}_measured"));
+        for &alpha in &ALPHAS {
+            let cfg = PointerConfig {
+                n_hosts: 16,
+                alpha,
+                k: 3,
+            };
+            formula.push(alpha as f64, cfg.recycling_period_ms(h) as f64);
+            // Measured: epochs until a level-h view of epoch 0 is recycled;
+            // the marker stays visible through the whole level (α slots of
+            // span α^(h−1)), i.e. α^h epochs; the *recycling period* counts
+            // from the end of the slot's own window: α^h − α^(h−1) epochs
+            // of visibility after its window closes, scaled to ms via α.
+            let epochs = measured_recycling_epochs(alpha, 3, h);
+            let span = (alpha as u64).pow(h as u32 - 1);
+            let period_ms = (epochs - span) * alpha as u64;
+            measured.push(alpha as f64, period_ms as f64);
+        }
+        fig.series.push(formula);
+        fig.series.push(measured);
+    }
+    fig.note("paper anchors: alpha=10 => 90 ms at level 1, 900 ms at level 2 (text)".to_string());
+    fig.note(
+        "note: the paper's closed form alpha*(alpha^h - 1) gives 990 ms at level 2, while its \
+         prose says 900 ms; our measured series (live-structure recycling) matches the prose, \
+         and we report the closed form alongside"
+            .to_string(),
+    );
+    vec![fig]
+}

@@ -1,0 +1,127 @@
+//! Figure 9 — single-core forwarding throughput vs packet size: vanilla
+//! OVS baseline against SwitchPointer with k = 1 and k = 5.
+//!
+//! Measures the real code path (emulated OVS fast path ± pointer update)
+//! with `std::time::Instant`, then reports two views:
+//!
+//! * **raw**: our measured packets/s converted to Gbps per packet size;
+//! * **paper-scaled**: relative overhead applied to the paper's 7 Mpps
+//!   OVS-DPDK baseline, which reproduces the published curve (line rate at
+//!   ≥256 B; the gap opens below 256 B).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mphf::Mphf;
+use switchpointer::pipeline::{
+    achievable_gbps, paper_scaled_pps, unique_dst_workload, workload_addrs, ForwardingPipeline,
+};
+use switchpointer::pointer::PointerConfig;
+
+use crate::common::{FigureData, Series};
+
+pub const PACKET_SIZES: [u32; 6] = [64, 128, 256, 512, 1024, 1500];
+/// The paper's measured vanilla OVS-DPDK rate on one 3.1 GHz core.
+pub const PAPER_BASELINE_PPS: f64 = 7.0e6;
+/// 10 GbE line rate.
+pub const LINE_RATE_GBPS: f64 = 10.0;
+/// Unique destination IPs in the workload (paper: 100K).
+pub const N_DSTS: usize = 100_000;
+
+/// Measures ns/packet for one pipeline over the workload.
+fn measure_ns_per_pkt(pipe: &mut ForwardingPipeline, n_pkts: usize) -> f64 {
+    let wl = unique_dst_workload(N_DSTS.min(n_pkts), N_DSTS, 256);
+    // Warm up (populate EMC, fault pages).
+    for pkt in &wl {
+        std::hint::black_box(pipe.process(pkt));
+    }
+    let start = Instant::now();
+    let mut rounds = 0usize;
+    let mut processed = 0usize;
+    while processed < n_pkts {
+        pipe.set_epoch(rounds as u64); // epoch advances between replays
+        for pkt in &wl {
+            std::hint::black_box(pipe.process(pkt));
+        }
+        processed += wl.len();
+        rounds += 1;
+    }
+    start.elapsed().as_nanos() as f64 / processed as f64
+}
+
+/// Wire bytes for a given frame size (preamble + IFG).
+fn wire_bytes(frame: u32) -> f64 {
+    frame as f64 + 20.0
+}
+
+/// Figure 9 data. `n_pkts` trades accuracy for runtime (default 2M).
+pub fn fig9_with(n_pkts: usize) -> Vec<FigureData> {
+    let addrs = workload_addrs(N_DSTS);
+    eprintln!("fig9: building {}-key MPHF...", addrs.len());
+    let mphf = Arc::new(Mphf::build(&addrs).expect("mphf"));
+
+    let mut baseline = ForwardingPipeline::baseline();
+    let mut k1 = ForwardingPipeline::with_pointers(
+        PointerConfig {
+            n_hosts: N_DSTS,
+            alpha: 10,
+            k: 1,
+        },
+        mphf.clone(),
+    );
+    let mut k5 = ForwardingPipeline::with_pointers(
+        PointerConfig {
+            n_hosts: N_DSTS,
+            alpha: 10,
+            k: 5,
+        },
+        mphf,
+    );
+
+    eprintln!("fig9: measuring ({n_pkts} packets per variant)...");
+    let ns_base = measure_ns_per_pkt(&mut baseline, n_pkts);
+    let ns_k1 = measure_ns_per_pkt(&mut k1, n_pkts);
+    let ns_k5 = measure_ns_per_pkt(&mut k5, n_pkts);
+
+    let mut fig = FigureData::new(
+        "fig9",
+        "forwarding throughput vs packet size (paper-scaled)",
+        "packet_bytes",
+        "Gbps",
+    );
+    let mut raw = FigureData::new(
+        "fig9-raw",
+        "forwarding throughput vs packet size (raw measurement)",
+        "packet_bytes",
+        "Gbps",
+    );
+    fig.note(format!(
+        "measured ns/pkt: OVS-baseline {ns_base:.1}, k=1 {ns_k1:.1}, k=5 {ns_k5:.1} \
+         (overhead {:.1}% / {:.1}%)",
+        (ns_k1 / ns_base - 1.0) * 100.0,
+        (ns_k5 / ns_base - 1.0) * 100.0
+    ));
+
+    for (name, ns) in [("OVS", ns_base), ("SwitchPointer_k1", ns_k1), ("SwitchPointer_k5", ns_k5)] {
+        let mut scaled = Series::new(name);
+        let mut rawline = Series::new(name);
+        let scaled_pps = paper_scaled_pps(ns_base, ns, PAPER_BASELINE_PPS);
+        let raw_pps = 1e9 / ns;
+        for &p in &PACKET_SIZES {
+            scaled.push(
+                p as f64,
+                achievable_gbps(scaled_pps, wire_bytes(p), LINE_RATE_GBPS),
+            );
+            rawline.push(p as f64, achievable_gbps(raw_pps, wire_bytes(p), LINE_RATE_GBPS));
+        }
+        fig.series.push(scaled);
+        raw.series.push(rawline);
+    }
+    fig.note("paper: all variants hit 10 GbE line rate at >=256 B; below that, \
+              SwitchPointer trails OVS and k=5 ~= k=1 (one hash either way)".to_string());
+    vec![fig, raw]
+}
+
+pub fn fig9() -> Vec<FigureData> {
+    fig9_with(2_000_000)
+}

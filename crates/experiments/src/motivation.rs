@@ -1,0 +1,157 @@
+//! `spexp motivation` — quantifies §2.1's "limitations of existing
+//! techniques" on the Fig. 2 scenarios:
+//!
+//! 1. **Sampled NetFlow misses microbursts**: fraction of the 1 ms burst
+//!    flows that leave any record at sampling rates 1/1, 1/100, 1/1000 —
+//!    versus SwitchPointer's pointer, which records every destination.
+//! 2. **Counters cannot differentiate**: the bottleneck egress byte series
+//!    under priority-based vs microburst-based contention are nearly
+//!    identical (small normalized L1 distance), while SwitchPointer's
+//!    flow records carry the DSCP values that tell the two cases apart.
+
+use baselines::{series_distance, PortCountersApp, SampledNetFlowApp};
+use netsim::prelude::*;
+use netsim::queue::QueueConfig;
+
+use crate::common::{FigureData, Series};
+use crate::fig2;
+
+/// Builds the Fig. 2 contention scenario with a given switch app installed
+/// on the bottleneck switch SL; returns (sim, burst flow ids).
+fn run_with_baseline(
+    queue: QueueConfig,
+    install: impl FnOnce(&mut netsim::engine::Simulator, NodeId),
+) -> (netsim::engine::Simulator, Vec<FlowId>) {
+    let topo = Topology::dumbbell(17, 17, GBPS);
+    let mut sim = netsim::engine::Simulator::new(
+        topo,
+        netsim::engine::SimConfig {
+            seed: 42,
+            switch_queue: queue,
+            ..Default::default()
+        },
+    );
+    let sl = sim.topo().node_by_name("SL").unwrap();
+    install(&mut sim, sl);
+
+    let a = sim.topo().node_by_name("L0").unwrap();
+    let b = sim.topo().node_by_name("R0").unwrap();
+    sim.add_tcp_flow(TcpFlowSpec::running_until(
+        a,
+        b,
+        Priority::LOW,
+        SimTime::from_ms(fig2::RUN_MS),
+    ));
+    let mut bursts = Vec::new();
+    for (bi, &m) in fig2::BATCHES.iter().enumerate() {
+        let start = SimTime::from_ms(fig2::BATCH_START_MS[bi]);
+        for u in 0..m {
+            let src = sim.topo().node_by_name(&format!("L{}", u + 1)).unwrap();
+            let dst = sim.topo().node_by_name(&format!("R{}", u + 1)).unwrap();
+            bursts.push(sim.add_udp_flow(UdpFlowSpec::burst(
+                src,
+                dst,
+                Priority::HIGH,
+                start,
+                SimTime::from_ms(fig2::BURST_MS),
+                GBPS,
+            )));
+        }
+    }
+    sim.run_until(SimTime::from_ms(fig2::RUN_MS + 20));
+    (sim, bursts)
+}
+
+/// Part 1: burst-flow detection rate vs sampling rate.
+fn netflow_panel() -> FigureData {
+    let mut fig = FigureData::new(
+        "motivation-sampling",
+        "fraction of 1 ms burst flows recorded, by monitoring technique",
+        "sample_one_in",
+        "fraction_detected",
+    );
+    let mut s = Series::new("sampled_netflow");
+    for one_in in [1u64, 100, 1_000] {
+        let state_cell = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let sc = state_cell.clone();
+        let (sim, bursts) = run_with_baseline(fig2::priority_queue(), move |sim, sl| {
+            let (app, state) = SampledNetFlowApp::new(one_in, 99);
+            sim.set_switch_app(sl, Box::new(app));
+            *sc.borrow_mut() = Some(state);
+        });
+        let state = state_cell.borrow_mut().take().unwrap();
+        let nf = state.borrow();
+        let detected = bursts
+            .iter()
+            .filter(|&&f| nf.record(f).is_some())
+            .count();
+        let frac = detected as f64 / bursts.len() as f64;
+        s.push(one_in as f64, frac);
+        fig.note(format!(
+            "1/{one_in} sampling: {detected}/{} burst flows left a record",
+            bursts.len()
+        ));
+        let _ = sim;
+    }
+    fig.series.push(s);
+    fig.note(
+        "SwitchPointer records every destination (pointer bit set by any single \
+         packet): detection fraction 1.0 by construction — verified in \
+         tests/end_to_end_contention.rs where all m culprits are found"
+            .to_string(),
+    );
+    fig
+}
+
+/// Part 2: counter indistinguishability between the two contention kinds.
+fn counters_panel() -> FigureData {
+    let poll = SimTime::from_ms(1);
+    let run = |queue: QueueConfig| {
+        let state_cell = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let sc = state_cell.clone();
+        let (sim, _) = run_with_baseline(queue, move |sim, sl| {
+            let state = PortCountersApp::install(sim, sl, poll);
+            *sc.borrow_mut() = Some(state);
+        });
+        let state = state_cell.borrow_mut().take().unwrap();
+        // The bottleneck egress is SL's core port: the last port (17 host
+        // ports then the core link).
+        let series = state.borrow().series(17);
+        let _ = sim;
+        series
+    };
+    let prio = run(fig2::priority_queue());
+    let micro = run(fig2::fifo_queue());
+
+    let mut fig = FigureData::new(
+        "motivation-counters",
+        "bottleneck egress bytes per 1 ms poll: priority vs microburst contention",
+        "time_ms",
+        "bytes",
+    );
+    let mut sp = Series::new("priority_contention");
+    for (i, &v) in prio.iter().enumerate() {
+        sp.push(i as f64, v as f64);
+    }
+    let mut sm = Series::new("microburst_contention");
+    for (i, &v) in micro.iter().enumerate() {
+        sm.push(i as f64, v as f64);
+    }
+    fig.series = vec![sp, sm];
+    let d = series_distance(&prio, &micro);
+    fig.note(format!(
+        "normalized L1 distance between the two scenarios' counter series: {d:.3} \
+         (0 = indistinguishable; the egress is ~saturated either way)"
+    ));
+    fig.note(
+        "SwitchPointer distinguishes them from the host records' DSCP values \
+         (Verdict::PriorityContention vs Verdict::Microburst — see \
+         tests/end_to_end_contention.rs)"
+            .to_string(),
+    );
+    fig
+}
+
+pub fn motivation() -> Vec<FigureData> {
+    vec![netflow_panel(), counters_panel()]
+}

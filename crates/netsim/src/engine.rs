@@ -1,0 +1,1080 @@
+//! The discrete-event simulation engine.
+//!
+//! A single-threaded, deterministic event loop over a binary heap of
+//! timestamped events. Determinism is load-bearing: the experiment harness
+//! (EXPERIMENTS.md) and the property tests both rely on a run being a pure
+//! function of the topology, flow specs and seed. Ties in time are broken
+//! by insertion sequence number.
+//!
+//! Store-and-forward semantics: a packet fully serializes on a port (at the
+//! link's bandwidth), then propagates (link delay), then arrives at the
+//! peer node. Each port owns an egress queue built from the configured
+//! [`QueueConfig`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::apps::{AppCtx, EgressInfo, HostApp, SwitchApp};
+use crate::packet::{FlowId, FlowMeta, NodeId, Packet, Priority, Protocol, TcpHeader};
+use crate::queue::{Enqueue, Queue, QueueConfig, QueueStats};
+use crate::routing::RouteTable;
+use crate::rng::DetRng;
+use crate::tcp::{TcpAction, TcpConfig, TcpConn};
+use crate::time::{serialization_time, SimTime};
+use crate::topology::{NodeKind, Topology};
+use crate::trace::TraceSet;
+use crate::udp::{UdpFlowSpec, UdpSource};
+
+/// Specification of a TCP flow to install.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpFlowSpec {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub priority: Priority,
+    /// Connection start time.
+    pub start: SimTime,
+    /// Total stream bytes (None = unbounded).
+    pub bytes: Option<u64>,
+    /// Stop generating new data at this absolute time.
+    pub stop: Option<SimTime>,
+    pub config: TcpConfig,
+}
+
+impl TcpFlowSpec {
+    /// A long-running flow between `src` and `dst` that stops producing new
+    /// data at `stop` — the Fig. 2 victim-flow shape.
+    pub fn running_until(src: NodeId, dst: NodeId, priority: Priority, stop: SimTime) -> Self {
+        TcpFlowSpec {
+            src,
+            dst,
+            priority,
+            start: SimTime::ZERO,
+            bytes: None,
+            stop: Some(stop),
+            config: TcpConfig::default(),
+        }
+    }
+
+    /// A bounded transfer of `bytes` (the Fig. 4 2 MB shape).
+    pub fn transfer(
+        src: NodeId,
+        dst: NodeId,
+        priority: Priority,
+        start: SimTime,
+        bytes: u64,
+    ) -> Self {
+        TcpFlowSpec {
+            src,
+            dst,
+            priority,
+            start,
+            bytes: Some(bytes),
+            stop: None,
+            config: TcpConfig::default(),
+        }
+    }
+}
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub seed: u64,
+    /// Queue discipline instantiated on every switch port.
+    pub switch_queue: QueueConfig,
+    /// Queue on host NICs (deep FIFO; hosts never drop in the experiments).
+    pub host_queue: QueueConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            switch_queue: QueueConfig::default_priority(),
+            host_queue: QueueConfig::Fifo {
+                capacity_bytes: 16_000_000,
+            },
+        }
+    }
+}
+
+/// Per-port runtime state.
+struct Port {
+    link: crate::topology::LinkId,
+    peer: NodeId,
+    queue: Box<dyn Queue>,
+    busy: bool,
+    tx_pkts: u64,
+    tx_bytes: u64,
+}
+
+/// Decides the egress port for a packet, overriding the route table.
+/// Return `None` to fall back to normal routing.
+pub type RouteOverride = Box<dyn FnMut(&Packet) -> Option<u16>>;
+
+/// Per-node runtime state.
+struct NodeState {
+    kind: NodeKind,
+    ports: Vec<Port>,
+    clock_offset_ns: i64,
+    switch_app: Option<Box<dyn SwitchApp>>,
+    host_app: Option<Box<dyn HostApp>>,
+    route_override: Option<RouteOverride>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Packet arrives at a node (after serialization + propagation).
+    Arrive { node: NodeId, pkt: Packet },
+    /// A port finished serializing its current packet.
+    TxDone { node: NodeId, port: u16 },
+    /// TCP retransmission timer.
+    TcpTimer { flow: FlowId, gen: u64 },
+    /// Next UDP emission instant for a flow.
+    UdpSend { flow: FlowId },
+    /// TCP connection start.
+    FlowStart { flow: FlowId },
+    /// App timer (switch or host app on `node`).
+    AppTimer { node: NodeId, token: u64 },
+    /// Administrative link state change.
+    LinkState { link: crate::topology::LinkId, up: bool },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    topo: Topology,
+    routes: RouteTable,
+    config: SimConfig,
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    nodes: Vec<NodeState>,
+    tcp: HashMap<FlowId, TcpConn>,
+    udp: HashMap<FlowId, UdpSource>,
+    flow_meta: HashMap<FlowId, FlowMeta>,
+    next_flow: u64,
+    next_pkt: u64,
+    pub rng: DetRng,
+    /// Measurement recorders (public so experiments can flip
+    /// `record_switch_tx` before running).
+    pub traces: TraceSet,
+    events_processed: u64,
+    /// Administrative link state (true = down). Packets offered to a port
+    /// whose link is down are dropped at the port — a fail-stop link or
+    /// unplugged cable.
+    link_down: Vec<bool>,
+}
+
+impl Simulator {
+    /// Builds a simulator over `topo` with routes precomputed.
+    pub fn new(topo: Topology, config: SimConfig) -> Self {
+        let routes = RouteTable::build(&topo);
+        let num_links = topo.num_links();
+        let mut nodes = Vec::with_capacity(topo.num_nodes());
+        for raw in 0..topo.num_nodes() {
+            let id = NodeId(raw as u32);
+            let kind = topo.node(id).kind;
+            let qc = match kind {
+                NodeKind::Switch => config.switch_queue,
+                NodeKind::Host => config.host_queue,
+            };
+            let ports = topo
+                .ports(id)
+                .iter()
+                .map(|&(link, peer)| Port {
+                    link,
+                    peer,
+                    queue: qc.build(),
+                    busy: false,
+                    tx_pkts: 0,
+                    tx_bytes: 0,
+                })
+                .collect();
+            nodes.push(NodeState {
+                kind,
+                ports,
+                clock_offset_ns: 0,
+                switch_app: None,
+                host_app: None,
+                route_override: None,
+            });
+        }
+        Simulator {
+            topo,
+            routes,
+            config,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            nodes,
+            tcp: HashMap::new(),
+            udp: HashMap::new(),
+            flow_meta: HashMap::new(),
+            next_flow: 0,
+            next_pkt: 0,
+            rng: DetRng::new(config.seed),
+            traces: TraceSet::default(),
+            events_processed: 0,
+            link_down: vec![false; num_links],
+        }
+    }
+
+    // ---- configuration ----------------------------------------------------
+
+    /// The topology this simulator runs over.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The precomputed route table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events dispatched so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Installs a switch app on `node`.
+    pub fn set_switch_app(&mut self, node: NodeId, app: Box<dyn SwitchApp>) {
+        assert_eq!(self.nodes[node.0 as usize].kind, NodeKind::Switch);
+        self.nodes[node.0 as usize].switch_app = Some(app);
+    }
+
+    /// Installs a host app on `node` and runs its `on_install` hook.
+    pub fn set_host_app(&mut self, node: NodeId, mut app: Box<dyn HostApp>) {
+        assert_eq!(self.nodes[node.0 as usize].kind, NodeKind::Host);
+        let mut ctx = self.ctx_for(node);
+        app.on_install(&mut ctx);
+        self.drain_ctx(node, &mut ctx);
+        self.nodes[node.0 as usize].host_app = Some(app);
+    }
+
+    /// Sets a node's clock offset (bounded asynchrony, §4.2.1). Positive
+    /// values run the local clock ahead of global time.
+    pub fn set_clock_offset(&mut self, node: NodeId, offset_ns: i64) {
+        self.nodes[node.0 as usize].clock_offset_ns = offset_ns;
+    }
+
+    /// Assigns every switch a uniform random clock offset in
+    /// `[-bound_ns, bound_ns]` — the paper's ε bound.
+    pub fn randomize_switch_clocks(&mut self, bound_ns: i64) {
+        for raw in 0..self.nodes.len() {
+            if self.nodes[raw].kind == NodeKind::Switch {
+                self.nodes[raw].clock_offset_ns = self.rng.signed_within(bound_ns);
+            }
+        }
+    }
+
+    /// Reads back a node's clock offset.
+    pub fn clock_offset(&self, node: NodeId) -> i64 {
+        self.nodes[node.0 as usize].clock_offset_ns
+    }
+
+    /// Installs a per-packet egress override on a switch (the Fig. 8
+    /// malfunctioning-ECMP hook).
+    pub fn set_route_override(&mut self, node: NodeId, f: RouteOverride) {
+        assert_eq!(self.nodes[node.0 as usize].kind, NodeKind::Switch);
+        self.nodes[node.0 as usize].route_override = Some(f);
+    }
+
+    // ---- flow registration --------------------------------------------------
+
+    fn alloc_flow(&mut self) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        id
+    }
+
+    /// Registers a TCP flow; returns its id.
+    pub fn add_tcp_flow(&mut self, spec: TcpFlowSpec) -> FlowId {
+        assert!(self.topo.is_host(spec.src) && self.topo.is_host(spec.dst));
+        assert_ne!(spec.src, spec.dst);
+        let id = self.alloc_flow();
+        let meta = FlowMeta {
+            id,
+            src: spec.src,
+            dst: spec.dst,
+            protocol: Protocol::Tcp,
+            priority: spec.priority,
+        };
+        self.flow_meta.insert(id, meta);
+        self.tcp
+            .insert(id, TcpConn::new(meta, spec.config, spec.bytes, spec.stop));
+        self.schedule(spec.start, Ev::FlowStart { flow: id });
+        id
+    }
+
+    /// Registers a UDP flow; returns its id.
+    pub fn add_udp_flow(&mut self, spec: UdpFlowSpec) -> FlowId {
+        assert!(self.topo.is_host(spec.src) && self.topo.is_host(spec.dst));
+        assert_ne!(spec.src, spec.dst);
+        let id = self.alloc_flow();
+        let meta = FlowMeta {
+            id,
+            src: spec.src,
+            dst: spec.dst,
+            protocol: Protocol::Udp,
+            priority: spec.priority,
+        };
+        self.flow_meta.insert(id, meta);
+        let source = UdpSource::new(meta, spec);
+        self.schedule(source.first_send(), Ev::UdpSend { flow: id });
+        self.udp.insert(id, source);
+        id
+    }
+
+    /// Metadata of a registered flow.
+    pub fn flow(&self, id: FlowId) -> &FlowMeta {
+        &self.flow_meta[&id]
+    }
+
+    /// All registered flows.
+    pub fn flows(&self) -> impl Iterator<Item = &FlowMeta> {
+        self.flow_meta.values()
+    }
+
+    /// Read access to a TCP connection's state (stats, completion).
+    pub fn tcp(&self, id: FlowId) -> &TcpConn {
+        &self.tcp[&id]
+    }
+
+    /// Read access to a UDP source's counters.
+    pub fn udp(&self, id: FlowId) -> &UdpSource {
+        &self.udp[&id]
+    }
+
+    /// Queue statistics of a switch port.
+    pub fn port_queue_stats(&self, node: NodeId, port: u16) -> QueueStats {
+        self.nodes[node.0 as usize].ports[port as usize].queue.stats()
+    }
+
+    /// Bytes transmitted on a port so far.
+    pub fn port_tx_bytes(&self, node: NodeId, port: u16) -> u64 {
+        self.nodes[node.0 as usize].ports[port as usize].tx_bytes
+    }
+
+    /// Schedules an app timer from outside the app (experiments).
+    pub fn schedule_app_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
+        self.schedule(at, Ev::AppTimer { node, token });
+    }
+
+    /// Schedules an administrative link failure (`up = false`) or repair at
+    /// absolute time `at`. Routing is static: traffic routed over a downed
+    /// link blackholes at the egress port, which is exactly the failure the
+    /// drop-localization application diagnoses.
+    pub fn schedule_link_state(
+        &mut self,
+        link: crate::topology::LinkId,
+        up: bool,
+        at: SimTime,
+    ) {
+        assert!((link.0 as usize) < self.link_down.len(), "unknown link");
+        self.schedule(at, Ev::LinkState { link, up });
+    }
+
+    /// Current administrative state of a link.
+    pub fn link_is_up(&self, link: crate::topology::LinkId) -> bool {
+        !self.link_down[link.0 as usize]
+    }
+
+    // ---- event loop ---------------------------------------------------------
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Runs until the event queue drains or `horizon` passes; returns the
+    /// final simulated time. Events scheduled beyond the horizon remain
+    /// queued (the clock stops *at* the horizon).
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > horizon {
+                break;
+            }
+            let Reverse(sch) = self.heap.pop().unwrap();
+            debug_assert!(sch.at >= self.now, "time went backwards");
+            self.now = sch.at;
+            self.events_processed += 1;
+            self.dispatch(sch.ev);
+        }
+        self.now = self.now.max(horizon);
+        self.now
+    }
+
+    /// Runs until the event queue is fully drained.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive { node, pkt } => match self.nodes[node.0 as usize].kind {
+                NodeKind::Switch => self.forward_at_switch(node, pkt),
+                NodeKind::Host => self.deliver_at_host(node, pkt),
+            },
+            Ev::TxDone { node, port } => {
+                self.nodes[node.0 as usize].ports[port as usize].busy = false;
+                self.try_start_tx(node, port);
+            }
+            Ev::TcpTimer { flow, gen } => {
+                let now = self.now;
+                let actions = match self.tcp.get_mut(&flow) {
+                    Some(conn) => conn.on_rto(now, gen),
+                    None => Vec::new(),
+                };
+                self.apply_tcp_actions(flow, actions);
+            }
+            Ev::UdpSend { flow } => self.udp_emit(flow),
+            Ev::FlowStart { flow } => {
+                let now = self.now;
+                let actions = match self.tcp.get_mut(&flow) {
+                    Some(conn) => conn.on_start(now),
+                    None => Vec::new(),
+                };
+                self.apply_tcp_actions(flow, actions);
+            }
+            Ev::AppTimer { node, token } => self.fire_app_timer(node, token),
+            Ev::LinkState { link, up } => {
+                self.link_down[link.0 as usize] = !up;
+                if up {
+                    // Restart transmission on both attached ports.
+                    let spec = *self.topo.link(link);
+                    for node in [spec.a, spec.b] {
+                        if let Some(port) = self.topo.port_for_link(node, link) {
+                            self.try_start_tx(node, port as u16);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- switch path --------------------------------------------------------
+
+    fn forward_at_switch(&mut self, node: NodeId, mut pkt: Packet) {
+        // Egress decision: override first, then the route table.
+        let flow = pkt.flow;
+        let dst = pkt.dst;
+        let over = self.nodes[node.0 as usize]
+            .route_override
+            .as_mut()
+            .and_then(|f| f(&pkt));
+        let egress = over.or_else(|| self.routes.egress(node, dst, flow));
+        let Some(port) = egress else {
+            self.traces.record_drop(self.now, node, flow, true);
+            return;
+        };
+
+        // Switch app hook (telemetry tagging + pointer update).
+        if self.nodes[node.0 as usize].switch_app.is_some() {
+            let info = {
+                let p = &self.nodes[node.0 as usize].ports[port as usize];
+                EgressInfo {
+                    port,
+                    link: p.link,
+                    next_hop: p.peer,
+                }
+            };
+            let mut app = self.nodes[node.0 as usize].switch_app.take();
+            let mut ctx = self.ctx_for(node);
+            app.as_mut().unwrap().on_forward(&mut ctx, &mut pkt, info);
+            self.nodes[node.0 as usize].switch_app = app;
+            self.drain_ctx(node, &mut ctx);
+        }
+
+        self.enqueue_and_kick(node, port, pkt);
+    }
+
+    fn enqueue_and_kick(&mut self, node: NodeId, port: u16, pkt: Packet) {
+        let flow = pkt.flow;
+        let res = self.nodes[node.0 as usize].ports[port as usize]
+            .queue
+            .enqueue(pkt);
+        if res == Enqueue::Dropped {
+            self.traces.record_drop(self.now, node, flow, false);
+        }
+        self.try_start_tx(node, port);
+    }
+
+    fn try_start_tx(&mut self, node: NodeId, port: u16) {
+        // A downed link blackholes everything buffered for it.
+        let link = self.nodes[node.0 as usize].ports[port as usize].link;
+        if self.link_down[link.0 as usize] {
+            let now = self.now;
+            while let Some(pkt) = self.nodes[node.0 as usize].ports[port as usize]
+                .queue
+                .dequeue()
+            {
+                self.traces.record_drop(now, node, pkt.flow, true);
+            }
+            return;
+        }
+        let st = &mut self.nodes[node.0 as usize];
+        let p = &mut st.ports[port as usize];
+        if p.busy {
+            return;
+        }
+        let Some(pkt) = p.queue.dequeue() else {
+            return;
+        };
+        p.busy = true;
+        p.tx_pkts += 1;
+        p.tx_bytes += pkt.wire_bytes();
+        let link = self.topo.link(p.link);
+        let ser = serialization_time(pkt.wire_bytes(), link.bandwidth_bps);
+        let delay = link.delay;
+        let peer = p.peer;
+        let is_switch = st.kind == NodeKind::Switch;
+        if is_switch {
+            self.traces
+                .record_switch_tx(node, pkt.flow, self.now, pkt.payload);
+        }
+        let arrive_at = self.now + ser + delay;
+        let done_at = self.now + ser;
+        self.schedule(done_at, Ev::TxDone { node, port });
+        self.schedule(arrive_at, Ev::Arrive { node: peer, pkt });
+    }
+
+    // ---- host path ----------------------------------------------------------
+
+    fn deliver_at_host(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst != node {
+            // Misrouted (only possible with a broken override); drop loudly
+            // in debug, silently count in release.
+            debug_assert!(false, "packet for {} delivered to {}", pkt.dst, node);
+            self.traces.record_drop(self.now, node, pkt.flow, true);
+            return;
+        }
+        self.traces.record_rx(pkt.flow, self.now, pkt.payload);
+
+        // Host app observes every delivered packet (telemetry collection).
+        if self.nodes[node.0 as usize].host_app.is_some() {
+            let mut app = self.nodes[node.0 as usize].host_app.take();
+            let mut ctx = self.ctx_for(node);
+            app.as_mut().unwrap().on_packet(&mut ctx, &pkt);
+            self.nodes[node.0 as usize].host_app = app;
+            self.drain_ctx(node, &mut ctx);
+        }
+
+        // Transport processing.
+        if pkt.protocol == Protocol::Tcp {
+            let flow = pkt.flow;
+            let now = self.now;
+            let hdr = pkt.tcp.expect("TCP packet without header");
+            let actions = match self.tcp.get_mut(&flow) {
+                Some(conn) => {
+                    if hdr.is_ack {
+                        conn.on_ack_ecn(now, hdr.ack, hdr.ce)
+                    } else {
+                        conn.on_data_ecn(now, hdr.seq, pkt.payload, hdr.ce)
+                    }
+                }
+                None => Vec::new(),
+            };
+            self.apply_tcp_actions(flow, actions);
+        }
+    }
+
+    // ---- transport glue -------------------------------------------------------
+
+    fn apply_tcp_actions(&mut self, flow: FlowId, actions: Vec<TcpAction>) {
+        for a in actions {
+            match a {
+                TcpAction::SendData { seq, len } => {
+                    let meta = self.flow_meta[&flow];
+                    let pkt = self.make_packet(
+                        meta,
+                        len,
+                        Some(TcpHeader {
+                            seq,
+                            ack: 0,
+                            is_ack: false,
+                            ce: false,
+                        }),
+                        meta.src,
+                        meta.dst,
+                    );
+                    self.host_send(meta.src, pkt);
+                }
+                TcpAction::SendAck { ack, ece } => {
+                    let meta = self.flow_meta[&flow];
+                    let pkt = self.make_packet(
+                        meta,
+                        0,
+                        Some(TcpHeader {
+                            seq: 0,
+                            ack,
+                            is_ack: true,
+                            ce: ece,
+                        }),
+                        meta.dst,
+                        meta.src,
+                    );
+                    self.host_send(meta.dst, pkt);
+                }
+                TcpAction::ArmRto { at, gen } => {
+                    self.schedule(at, Ev::TcpTimer { flow, gen });
+                }
+            }
+        }
+    }
+
+    fn make_packet(
+        &mut self,
+        meta: FlowMeta,
+        payload: u32,
+        tcp: Option<TcpHeader>,
+        from: NodeId,
+        to: NodeId,
+    ) -> Packet {
+        self.next_pkt += 1;
+        Packet {
+            id: self.next_pkt,
+            flow: meta.id,
+            src: from,
+            dst: to,
+            protocol: meta.protocol,
+            priority: meta.priority,
+            payload,
+            tcp,
+            tags: Vec::new(),
+            sent_at: self.now,
+        }
+    }
+
+    fn host_send(&mut self, from: NodeId, pkt: Packet) {
+        let Some(port) = self.routes.egress(from, pkt.dst, pkt.flow) else {
+            self.traces.record_drop(self.now, from, pkt.flow, true);
+            return;
+        };
+        self.enqueue_and_kick(from, port, pkt);
+    }
+
+    fn udp_emit(&mut self, flow: FlowId) {
+        let (meta, payload, next) = {
+            let src = self.udp.get_mut(&flow).expect("unknown UDP flow");
+            let payload = src.payload_bytes();
+            let next = src.emit(self.now);
+            (src.meta, payload, next)
+        };
+        let pkt = self.make_packet(meta, payload, None, meta.src, meta.dst);
+        self.host_send(meta.src, pkt);
+        if let Some(at) = next {
+            self.schedule(at, Ev::UdpSend { flow });
+        }
+    }
+
+    // ---- app plumbing -----------------------------------------------------------
+
+    fn ctx_for(&self, node: NodeId) -> AppCtx {
+        let offset = self.nodes[node.0 as usize].clock_offset_ns;
+        AppCtx::new(self.now, self.now.offset_by(offset), node)
+    }
+
+    fn drain_ctx(&mut self, node: NodeId, ctx: &mut AppCtx) {
+        for (at, token) in ctx.take_timer_requests() {
+            self.schedule(at, Ev::AppTimer { node, token });
+        }
+    }
+
+    fn fire_app_timer(&mut self, node: NodeId, token: u64) {
+        let kind = self.nodes[node.0 as usize].kind;
+        let mut ctx = self.ctx_for(node);
+        match kind {
+            NodeKind::Switch => {
+                let mut app = self.nodes[node.0 as usize].switch_app.take();
+                if let Some(a) = app.as_mut() {
+                    a.on_timer(&mut ctx, token);
+                }
+                self.nodes[node.0 as usize].switch_app = app;
+            }
+            NodeKind::Host => {
+                let mut app = self.nodes[node.0 as usize].host_app.take();
+                if let Some(a) = app.as_mut() {
+                    a.on_timer(&mut ctx, token);
+                }
+                self.nodes[node.0 as usize].host_app = app;
+            }
+        }
+        self.drain_ctx(node, &mut ctx);
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Topology, GBPS};
+    use crate::trace::ThroughputSeries;
+
+    fn dumbbell_sim(switch_queue: QueueConfig) -> Simulator {
+        let topo = Topology::dumbbell(4, 4, GBPS);
+        Simulator::new(
+            topo,
+            SimConfig {
+                switch_queue,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn solo_tcp_reaches_line_rate() {
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let a = sim.topo().node_by_name("L0").unwrap();
+        let b = sim.topo().node_by_name("R0").unwrap();
+        let f = sim.add_tcp_flow(TcpFlowSpec::running_until(
+            a,
+            b,
+            Priority::LOW,
+            SimTime::from_ms(20),
+        ));
+        sim.run_until(SimTime::from_ms(25));
+        let s = ThroughputSeries::from_events(
+            sim.traces.rx_events(f),
+            SimTime::from_ms(1),
+            SimTime::from_ms(20),
+        );
+        // Windows 5..20 should be near line rate (0.9+ Gbps of payload).
+        let steady = s.mean_over(5, 20);
+        assert!(steady > 0.85, "TCP underperforms: {steady} Gbps");
+        assert_eq!(sim.tcp(f).timeouts, 0, "no timeouts expected solo");
+    }
+
+    #[test]
+    fn bounded_tcp_transfer_completes() {
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let a = sim.topo().node_by_name("L0").unwrap();
+        let b = sim.topo().node_by_name("R0").unwrap();
+        let f = sim.add_tcp_flow(TcpFlowSpec::transfer(
+            a,
+            b,
+            Priority::LOW,
+            SimTime::ZERO,
+            2_000_000,
+        ));
+        sim.run_to_completion();
+        assert!(sim.tcp(f).is_complete());
+        assert_eq!(sim.tcp(f).delivered, 2_000_000);
+        // 2 MB at ~1 Gbps is ~16 ms + slow start.
+        let t = sim.tcp(f).finished_at.unwrap();
+        assert!(t < SimTime::from_ms(40), "too slow: {t}");
+    }
+
+    #[test]
+    fn udp_bytes_all_delivered_when_uncontended() {
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let a = sim.topo().node_by_name("L1").unwrap();
+        let b = sim.topo().node_by_name("R1").unwrap();
+        let f = sim.add_udp_flow(UdpFlowSpec {
+            src: a,
+            dst: b,
+            priority: Priority::HIGH,
+            start: SimTime::from_ms(1),
+            duration: SimTime::from_ms(2),
+            rate_bps: 500_000_000,
+            payload_bytes: 1458,
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.traces.rx_bytes(f), sim.udp(f).sent_bytes);
+        assert_eq!(sim.traces.drops_for(f), 0);
+    }
+
+    #[test]
+    fn two_tcp_flows_share_bottleneck() {
+        let mut sim = dumbbell_sim(QueueConfig::default_fifo());
+        let topo = sim.topo();
+        let (a, b) = (
+            topo.node_by_name("L0").unwrap(),
+            topo.node_by_name("R0").unwrap(),
+        );
+        let (c, d) = (
+            topo.node_by_name("L1").unwrap(),
+            topo.node_by_name("R1").unwrap(),
+        );
+        let stop = SimTime::from_ms(30);
+        let f1 = sim.add_tcp_flow(TcpFlowSpec::running_until(a, b, Priority::LOW, stop));
+        let f2 = sim.add_tcp_flow(TcpFlowSpec::running_until(c, d, Priority::LOW, stop));
+        sim.run_until(SimTime::from_ms(35));
+        let b1 = sim.traces.rx_bytes(f1) as f64;
+        let b2 = sim.traces.rx_bytes(f2) as f64;
+        let total_gbps = (b1 + b2) * 8.0 / SimTime::from_ms(30).as_ns() as f64;
+        assert!(total_gbps > 0.8, "bottleneck underutilized: {total_gbps}");
+        let ratio = b1.max(b2) / b1.min(b2);
+        assert!(ratio < 3.0, "gross unfairness: {ratio}");
+    }
+
+    #[test]
+    fn priority_queue_starves_low_priority_flow() {
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let topo = sim.topo();
+        let (a, b) = (
+            topo.node_by_name("L0").unwrap(),
+            topo.node_by_name("R0").unwrap(),
+        );
+        let (u, v) = (
+            topo.node_by_name("L1").unwrap(),
+            topo.node_by_name("R1").unwrap(),
+        );
+        let f_tcp = sim.add_tcp_flow(TcpFlowSpec::running_until(
+            a,
+            b,
+            Priority::LOW,
+            SimTime::from_ms(30),
+        ));
+        // High-priority UDP saturating the core link from 10 ms to 15 ms.
+        sim.add_udp_flow(UdpFlowSpec::burst(
+            u,
+            v,
+            Priority::HIGH,
+            SimTime::from_ms(10),
+            SimTime::from_ms(5),
+            GBPS,
+        ));
+        sim.run_until(SimTime::from_ms(35));
+        let s = ThroughputSeries::from_events(
+            sim.traces.rx_events(f_tcp),
+            SimTime::from_ms(1),
+            SimTime::from_ms(30),
+        );
+        let before = s.mean_over(5, 10);
+        let during = s.mean_over(11, 15);
+        assert!(
+            during < before * 0.3,
+            "no starvation: before={before} during={during}"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut sim = dumbbell_sim(QueueConfig::default_fifo());
+            let a = sim.topo().node_by_name("L0").unwrap();
+            let b = sim.topo().node_by_name("R0").unwrap();
+            let c = sim.topo().node_by_name("L1").unwrap();
+            let d = sim.topo().node_by_name("R1").unwrap();
+            let f1 = sim.add_tcp_flow(TcpFlowSpec::running_until(
+                a,
+                b,
+                Priority::LOW,
+                SimTime::from_ms(10),
+            ));
+            sim.add_udp_flow(UdpFlowSpec::burst(
+                c,
+                d,
+                Priority::HIGH,
+                SimTime::from_ms(2),
+                SimTime::from_ms(1),
+                GBPS,
+            ));
+            sim.run_until(SimTime::from_ms(12));
+            (
+                sim.traces.rx_bytes(f1),
+                sim.traces.rx_events(f1).len(),
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn horizon_stops_the_clock() {
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let a = sim.topo().node_by_name("L0").unwrap();
+        let b = sim.topo().node_by_name("R0").unwrap();
+        sim.add_tcp_flow(TcpFlowSpec::running_until(
+            a,
+            b,
+            Priority::LOW,
+            SimTime::from_ms(50),
+        ));
+        let t = sim.run_until(SimTime::from_ms(5));
+        assert_eq!(t, SimTime::from_ms(5));
+        assert_eq!(sim.now(), SimTime::from_ms(5));
+    }
+
+    #[test]
+    fn route_override_redirects_packets() {
+        // Dumbbell with 2 core links: force all packets onto port of link 2.
+        let topo = Topology::dumbbell_multi(1, 1, 2, GBPS);
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        let sl = sim.topo().node_by_name("SL").unwrap();
+        let r0 = sim.topo().node_by_name("R0").unwrap();
+        let l0 = sim.topo().node_by_name("L0").unwrap();
+        // Core ports on SL are its 2nd and 3rd ports (after 1 host port).
+        let forced_port: u16 = 2;
+        sim.set_route_override(
+            sl,
+            Box::new(move |pkt| {
+                if pkt.dst == r0 {
+                    Some(forced_port)
+                } else {
+                    None
+                }
+            }),
+        );
+        sim.add_udp_flow(UdpFlowSpec {
+            src: l0,
+            dst: r0,
+            priority: Priority::LOW,
+            start: SimTime::ZERO,
+            duration: SimTime::from_ms(1),
+            rate_bps: 100_000_000,
+            payload_bytes: 1000,
+        });
+        sim.run_to_completion();
+        assert!(sim.port_tx_bytes(sl, forced_port) > 0);
+        assert_eq!(sim.port_tx_bytes(sl, 1), 0, "other core port unused");
+    }
+
+    #[test]
+    fn app_hooks_observe_packets() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct CountingSwitchApp(Rc<RefCell<u64>>);
+        impl SwitchApp for CountingSwitchApp {
+            fn on_forward(&mut self, _ctx: &mut AppCtx, _pkt: &mut Packet, _e: EgressInfo) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        struct CountingHostApp(Rc<RefCell<u64>>);
+        impl HostApp for CountingHostApp {
+            fn on_packet(&mut self, _ctx: &mut AppCtx, _pkt: &Packet) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let sw_count = Rc::new(RefCell::new(0));
+        let host_count = Rc::new(RefCell::new(0));
+        let sl = sim.topo().node_by_name("SL").unwrap();
+        let r0 = sim.topo().node_by_name("R0").unwrap();
+        let l0 = sim.topo().node_by_name("L0").unwrap();
+        sim.set_switch_app(sl, Box::new(CountingSwitchApp(sw_count.clone())));
+        sim.set_host_app(r0, Box::new(CountingHostApp(host_count.clone())));
+        let f = sim.add_udp_flow(UdpFlowSpec {
+            src: l0,
+            dst: r0,
+            priority: Priority::LOW,
+            start: SimTime::ZERO,
+            duration: SimTime::from_ms(1),
+            rate_bps: 500_000_000,
+            payload_bytes: 1458,
+        });
+        sim.run_to_completion();
+        let delivered = sim.traces.rx_events(f).len() as u64;
+        assert!(delivered > 0);
+        assert_eq!(*sw_count.borrow(), delivered);
+        assert_eq!(*host_count.borrow(), delivered);
+    }
+
+    #[test]
+    fn host_app_timers_fire_periodically() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct TickApp {
+            ticks: Rc<RefCell<Vec<SimTime>>>,
+            period: SimTime,
+        }
+        impl HostApp for TickApp {
+            fn on_packet(&mut self, _ctx: &mut AppCtx, _pkt: &Packet) {}
+            fn on_install(&mut self, ctx: &mut AppCtx) {
+                ctx.schedule_timer(self.period, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut AppCtx, _token: u64) {
+                self.ticks.borrow_mut().push(ctx.now);
+                ctx.schedule_timer(ctx.now + self.period, 0);
+            }
+        }
+
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let l0 = sim.topo().node_by_name("L0").unwrap();
+        let ticks = Rc::new(RefCell::new(Vec::new()));
+        sim.set_host_app(
+            l0,
+            Box::new(TickApp {
+                ticks: ticks.clone(),
+                period: SimTime::from_ms(1),
+            }),
+        );
+        sim.run_until(SimTime::from_ms(10));
+        let t = ticks.borrow();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0], SimTime::from_ms(1));
+        assert_eq!(t[9], SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn clock_offsets_shift_local_time() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct ClockProbe(Rc<RefCell<Option<(SimTime, SimTime)>>>);
+        impl SwitchApp for ClockProbe {
+            fn on_forward(&mut self, ctx: &mut AppCtx, _pkt: &mut Packet, _e: EgressInfo) {
+                *self.0.borrow_mut() = Some((ctx.now, ctx.local_time));
+            }
+        }
+
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let sl = sim.topo().node_by_name("SL").unwrap();
+        let l0 = sim.topo().node_by_name("L0").unwrap();
+        let r0 = sim.topo().node_by_name("R0").unwrap();
+        sim.set_clock_offset(sl, 2_000_000); // +2 ms
+        let probe = Rc::new(RefCell::new(None));
+        sim.set_switch_app(sl, Box::new(ClockProbe(probe.clone())));
+        sim.add_udp_flow(UdpFlowSpec {
+            src: l0,
+            dst: r0,
+            priority: Priority::LOW,
+            start: SimTime::from_ms(1),
+            duration: SimTime::from_us(20),
+            rate_bps: GBPS,
+            payload_bytes: 100,
+        });
+        sim.run_to_completion();
+        let (now, local) = probe.borrow().unwrap();
+        assert_eq!(local, now + SimTime::from_ms(2));
+    }
+}

@@ -1,0 +1,481 @@
+//! CherryPick-style path encoding: which switch tags which link, and how a
+//! host reconstructs the full switch path from one sampled link.
+//!
+//! CherryPick's observation (extended by PathDump and reused in §4.1.3) is
+//! that in Clos-like datacenter topologies an end-to-end path is identified
+//! by a small number of *key links*. For the topologies in this workspace a
+//! single link suffices:
+//!
+//! * **leaf-spine**: the spine's egress link toward the destination leaf —
+//!   combined with (src, dst) it pins the whole 3-switch path. Tagging at
+//!   the spine puts switches both up- and downstream of the tagger, which
+//!   exercises the paper's full epoch-extrapolation formula;
+//! * **chain / dumbbell / custom single-path**: any link pins the path; the
+//!   first switch tags its egress link.
+//!
+//! Reconstruction is uniform: for tagged link `t → n` (with `t` the endpoint
+//! nearer the source), the path is
+//! `switches(shortest_path(src, t)) ++ switches(shortest_path(n, dst))`.
+
+use netsim::packet::{NodeId, Packet};
+use netsim::topology::{LinkId, TopoKind, Topology};
+
+/// Telemetry embedding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbedMode {
+    /// Two VLAN tags on commodity switches (link + epoch), CherryPick-style.
+    Commodity,
+    /// Clean-slate INT: every switch appends (switchID, epochID).
+    Int,
+}
+
+/// Per-topology tagging policy and path reconstruction.
+#[derive(Debug, Clone)]
+pub struct PathCodec {
+    topo: Topology,
+    /// Memoized tagging decisions: (switch, src, dst) -> bool. The policy
+    /// is pure topology, so caching is sound; it keeps the per-packet
+    /// `should_tag` O(1) after the first flow packet (the BFS otherwise
+    /// runs per packet on fat-trees).
+    tag_memo: std::cell::RefCell<std::collections::HashMap<(u32, u32, u32), bool>>,
+}
+
+/// Errors surfaced during path reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The packet carried no link tag.
+    MissingTag,
+    /// The link VID does not name a link of this topology.
+    UnknownLink(u16),
+    /// The tagged link is not consistent with any src->dst path.
+    InconsistentLink { link: LinkId },
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::MissingTag => write!(f, "packet carries no telemetry link tag"),
+            PathError::UnknownLink(v) => write!(f, "link VID {v} does not exist"),
+            PathError::InconsistentLink { link } => {
+                write!(f, "tagged link {link} inconsistent with packet endpoints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl PathCodec {
+    /// Builds a codec over a topology. The VLAN encoding caps the number of
+    /// links at 4096.
+    pub fn new(topo: Topology) -> Self {
+        assert!(
+            topo.num_links() <= 4096,
+            "link ids must fit a 12-bit VID ({} links)",
+            topo.num_links()
+        );
+        PathCodec {
+            topo,
+            tag_memo: Default::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// True if `switch` has no host attached (a spine/core switch).
+    fn is_core(&self, switch: NodeId) -> bool {
+        self.topo
+            .ports(switch)
+            .iter()
+            .all(|&(_, peer)| self.topo.is_switch(peer))
+    }
+
+    fn adjacent(&self, switch: NodeId, host: NodeId) -> bool {
+        self.topo.ports(switch).iter().any(|&(_, p)| p == host)
+    }
+
+    /// Whether `switch` is the designated tagging switch for this packet.
+    /// (The switch app must additionally check the packet is not already
+    /// tagged — relevant only to defensive coding, the policy designates
+    /// exactly one switch per path.)
+    pub fn should_tag(&self, switch: NodeId, pkt: &Packet) -> bool {
+        let key = (switch.0, pkt.src.0, pkt.dst.0);
+        if let Some(&v) = self.tag_memo.borrow().get(&key) {
+            return v;
+        }
+        let v = self.should_tag_uncached(switch, pkt);
+        self.tag_memo.borrow_mut().insert(key, v);
+        v
+    }
+
+    fn should_tag_uncached(&self, switch: NodeId, pkt: &Packet) -> bool {
+        match self.topo.kind() {
+            TopoKind::LeafSpine => {
+                // Spine tags inter-leaf traffic; the (single) leaf tags
+                // same-leaf traffic.
+                self.is_core(switch)
+                    || (self.adjacent(switch, pkt.src) && self.adjacent(switch, pkt.dst))
+            }
+            TopoKind::FatTree => self.should_tag_fat_tree(switch, pkt),
+            _ => self.adjacent(switch, pkt.src),
+        }
+    }
+
+    /// CherryPick's fat-tree rule (§4.1.3: "in a fat-tree topology the
+    /// technique reconstructs a 5-hop end-to-end path by selecting only one
+    /// aggregate-core link"):
+    /// * inter-pod paths: the *aggregation* switch tags (its egress is the
+    ///   key agg-core link);
+    /// * intra-pod inter-edge paths: the source *edge* switch tags (its
+    ///   egress pins the aggregation switch);
+    /// * same-edge paths: the edge switch tags (egress = the host link).
+    fn should_tag_fat_tree(&self, switch: NodeId, pkt: &Packet) -> bool {
+        use netsim::topology::FatTreeLayer as L;
+        let Some(layer) = self.topo.fat_tree_layer(switch) else {
+            return false;
+        };
+        // Node-path length from this switch to the destination tells the
+        // position: [edge, dst] = 2 (same edge), [edge, agg, edge', dst] = 4
+        // (intra-pod), [agg, core, agg', edge', dst] = 5 (inter-pod upward
+        // aggregation).
+        let Some(d) = self.topo.shortest_path(switch, pkt.dst).map(|p| p.len()) else {
+            return false;
+        };
+        match layer {
+            L::Edge => d == 2 || d == 4,
+            L::Aggregation => d == 5,
+            L::Core => false,
+        }
+    }
+
+    /// Reconstructs the switch path of a packet from its sampled link.
+    /// Returns the switches in traversal order plus the index of the
+    /// tagging switch within that path.
+    pub fn reconstruct(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        link_vid: u16,
+    ) -> Result<(Vec<NodeId>, usize), PathError> {
+        if link_vid as usize >= self.topo.num_links() {
+            return Err(PathError::UnknownLink(link_vid));
+        }
+        let link = LinkId(link_vid as u32);
+        let spec = *self.topo.link(link);
+
+        // Orient the link: `t` is the endpoint nearer the source.
+        let d = |n: NodeId| {
+            self.topo
+                .shortest_path(src, n)
+                .map(|p| p.len())
+                .unwrap_or(usize::MAX)
+        };
+        let (da, db) = (d(spec.a), d(spec.b));
+        if da == usize::MAX && db == usize::MAX {
+            return Err(PathError::InconsistentLink { link });
+        }
+        let (t, n) = if da <= db {
+            (spec.a, spec.b)
+        } else {
+            (spec.b, spec.a)
+        };
+
+        // The tagger must be a switch on a path from src.
+        if !self.topo.is_switch(t) {
+            return Err(PathError::InconsistentLink { link });
+        }
+
+        let up = self
+            .topo
+            .switch_path(src, t)
+            .ok_or(PathError::InconsistentLink { link })?;
+        // `up` ends at `t` because `t` is a switch.
+        let down = if n == dst {
+            Vec::new()
+        } else if self.topo.is_host(n) {
+            // Tagged link points at a host that is not the destination.
+            return Err(PathError::InconsistentLink { link });
+        } else {
+            self.topo
+                .switch_path(n, dst)
+                .ok_or(PathError::InconsistentLink { link })?
+        };
+
+        let tag_idx = up.len().checked_sub(1).ok_or(PathError::InconsistentLink { link })?;
+        let mut path = up;
+        path.extend(down);
+        Ok((path, tag_idx))
+    }
+
+    /// Ground-truth switch path (for tests and the INT mode).
+    pub fn true_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.topo.switch_path(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{FlowId, Priority, Protocol};
+    use netsim::time::SimTime;
+    use netsim::topology::GBPS;
+
+    fn pkt(src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(0),
+            src,
+            dst,
+            protocol: Protocol::Udp,
+            priority: Priority::LOW,
+            payload: 100,
+            tcp: None,
+            tags: Vec::new(),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    fn names(topo: &Topology, path: &[NodeId]) -> Vec<String> {
+        path.iter().map(|&n| topo.node(n).name.clone()).collect()
+    }
+
+    #[test]
+    fn chain_first_switch_tags() {
+        let topo = Topology::chain(3, 2, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let a = topo.node_by_name("A").unwrap();
+        let f = topo.node_by_name("F").unwrap();
+        let s1 = topo.node_by_name("S1").unwrap();
+        let s2 = topo.node_by_name("S2").unwrap();
+        let p = pkt(a, f);
+        assert!(codec.should_tag(s1, &p));
+        assert!(!codec.should_tag(s2, &p));
+    }
+
+    #[test]
+    fn chain_reconstruction_roundtrip() {
+        let topo = Topology::chain(3, 2, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let a = topo.node_by_name("A").unwrap();
+        let f = topo.node_by_name("F").unwrap();
+        let s1 = topo.node_by_name("S1").unwrap();
+        let s2 = topo.node_by_name("S2").unwrap();
+        // S1 tags its egress link toward S2.
+        let link = topo
+            .ports(s1)
+            .iter()
+            .find(|&&(_, peer)| peer == s2)
+            .map(|&(l, _)| l)
+            .unwrap();
+        let (path, tag_idx) = codec.reconstruct(a, f, link.0 as u16).unwrap();
+        assert_eq!(names(&topo, &path), vec!["S1", "S2", "S3"]);
+        assert_eq!(tag_idx, 0);
+    }
+
+    #[test]
+    fn leaf_spine_spine_tags_inter_leaf() {
+        let topo = Topology::leaf_spine(3, 2, 2, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let src = topo.node_by_name("h0_0").unwrap();
+        let dst = topo.node_by_name("h2_1").unwrap();
+        let leaf0 = topo.node_by_name("leaf0").unwrap();
+        let spine0 = topo.node_by_name("spine0").unwrap();
+        let p = pkt(src, dst);
+        assert!(!codec.should_tag(leaf0, &p), "leaf must not tag inter-leaf");
+        assert!(codec.should_tag(spine0, &p), "spine tags");
+    }
+
+    #[test]
+    fn leaf_spine_reconstruction_identifies_spine() {
+        let topo = Topology::leaf_spine(3, 2, 2, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let src = topo.node_by_name("h0_0").unwrap();
+        let dst = topo.node_by_name("h2_1").unwrap();
+        let spine1 = topo.node_by_name("spine1").unwrap();
+        let leaf2 = topo.node_by_name("leaf2").unwrap();
+        // spine1's egress link toward leaf2.
+        let link = topo
+            .ports(spine1)
+            .iter()
+            .find(|&&(_, peer)| peer == leaf2)
+            .map(|&(l, _)| l)
+            .unwrap();
+        let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
+        assert_eq!(names(&topo, &path), vec!["leaf0", "spine1", "leaf2"]);
+        assert_eq!(tag_idx, 1, "spine is mid-path: up- AND downstream hops");
+    }
+
+    #[test]
+    fn leaf_spine_same_leaf_tags_at_leaf() {
+        let topo = Topology::leaf_spine(2, 2, 2, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let src = topo.node_by_name("h0_0").unwrap();
+        let dst = topo.node_by_name("h0_1").unwrap();
+        let leaf0 = topo.node_by_name("leaf0").unwrap();
+        let p = pkt(src, dst);
+        assert!(codec.should_tag(leaf0, &p));
+        // Leaf's egress link = link to dst host.
+        let link = topo
+            .ports(leaf0)
+            .iter()
+            .find(|&&(_, peer)| peer == dst)
+            .map(|&(l, _)| l)
+            .unwrap();
+        let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
+        assert_eq!(names(&topo, &path), vec!["leaf0"]);
+        assert_eq!(tag_idx, 0);
+    }
+
+    #[test]
+    fn dumbbell_multi_link_disambiguates_parallel_core() {
+        let topo = Topology::dumbbell_multi(2, 2, 3, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let src = topo.node_by_name("L0").unwrap();
+        let dst = topo.node_by_name("R1").unwrap();
+        let sl = topo.node_by_name("SL").unwrap();
+        let sr = topo.node_by_name("SR").unwrap();
+        for (l, peer) in topo.ports(sl).iter().copied() {
+            if peer != sr {
+                continue;
+            }
+            let (path, tag_idx) = codec.reconstruct(src, dst, l.0 as u16).unwrap();
+            assert_eq!(names(&topo, &path), vec!["SL", "SR"]);
+            assert_eq!(tag_idx, 0);
+        }
+    }
+
+    #[test]
+    fn reconstruction_errors() {
+        let topo = Topology::chain(2, 1, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let a = topo.node_by_name("A").unwrap();
+        let b = topo.node_by_name("B").unwrap();
+        assert!(matches!(
+            codec.reconstruct(a, b, 4095),
+            Err(PathError::UnknownLink(4095))
+        ));
+        // Link A-S1 has A as nearer endpoint => tagger is a host => error.
+        let s1 = topo.node_by_name("S1").unwrap();
+        let a_link = topo
+            .ports(a)
+            .iter()
+            .find(|&&(_, p)| p == s1)
+            .map(|&(l, _)| l)
+            .unwrap();
+        assert!(codec.reconstruct(a, b, a_link.0 as u16).is_err());
+    }
+
+    #[test]
+    fn fat_tree_agg_tags_inter_pod() {
+        let topo = Topology::fat_tree(4, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let p = pkt(n("h0_0_0"), n("h2_1_0"));
+        assert!(!codec.should_tag(n("edge0_0"), &p), "src edge must not tag");
+        assert!(codec.should_tag(n("agg0_0"), &p), "src-pod agg tags");
+        assert!(codec.should_tag(n("agg0_1"), &p), "either agg may be chosen");
+        assert!(!codec.should_tag(n("core0_0"), &p), "core never tags");
+        assert!(!codec.should_tag(n("agg2_0"), &p), "dst-pod agg must not tag");
+        // (The dst edge would also claim d==2; the has-tag guard in the
+        // switch app makes that moot since the agg already tagged.)
+    }
+
+    #[test]
+    fn fat_tree_inter_pod_reconstruction() {
+        let topo = Topology::fat_tree(4, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let (src, dst) = (n("h0_0_0"), n("h2_1_0"));
+        // Suppose the flow went edge0_0 -> agg0_1 -> core1_0 -> agg2_1 ->
+        // edge2_1. Tagged link: agg0_1 -> core1_0.
+        let link = topo
+            .ports(n("agg0_1"))
+            .iter()
+            .find(|&&(_, p)| p == n("core1_0"))
+            .map(|&(l, _)| l)
+            .unwrap();
+        let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
+        assert_eq!(names(&topo, &path), vec![
+            "edge0_0", "agg0_1", "core1_0", "agg2_1", "edge2_1"
+        ]);
+        assert_eq!(tag_idx, 1, "agg is the tagger: 1 upstream, 3 downstream");
+    }
+
+    #[test]
+    fn fat_tree_intra_pod_reconstruction() {
+        let topo = Topology::fat_tree(4, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let (src, dst) = (n("h0_0_0"), n("h0_1_1"));
+        let p = pkt(src, dst);
+        assert!(codec.should_tag(n("edge0_0"), &p), "src edge tags intra-pod");
+        assert!(!codec.should_tag(n("agg0_0"), &p));
+        // Tagged link: edge0_0 -> agg0_1 (the chosen agg).
+        let link = topo
+            .ports(n("edge0_0"))
+            .iter()
+            .find(|&&(_, peer)| peer == n("agg0_1"))
+            .map(|&(l, _)| l)
+            .unwrap();
+        let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
+        assert_eq!(names(&topo, &path), vec!["edge0_0", "agg0_1", "edge0_1"]);
+        assert_eq!(tag_idx, 0);
+    }
+
+    #[test]
+    fn fat_tree_same_edge_reconstruction() {
+        let topo = Topology::fat_tree(4, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        let n = |s: &str| topo.node_by_name(s).unwrap();
+        let (src, dst) = (n("h1_0_0"), n("h1_0_1"));
+        let p = pkt(src, dst);
+        assert!(codec.should_tag(n("edge1_0"), &p));
+        let link = topo
+            .ports(n("edge1_0"))
+            .iter()
+            .find(|&&(_, peer)| peer == dst)
+            .map(|&(l, _)| l)
+            .unwrap();
+        let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
+        assert_eq!(names(&topo, &path), vec!["edge1_0"]);
+        assert_eq!(tag_idx, 0);
+    }
+
+    #[test]
+    fn every_flow_roundtrips_in_leaf_spine() {
+        // For every host pair and every valid spine choice, tagging that
+        // spine's egress link reconstructs a consistent 3-switch path.
+        let topo = Topology::leaf_spine(3, 3, 2, GBPS);
+        let codec = PathCodec::new(topo.clone());
+        for &src in topo.hosts() {
+            for &dst in topo.hosts() {
+                if src == dst {
+                    continue;
+                }
+                let true_path = codec.true_path(src, dst).unwrap();
+                if true_path.len() == 1 {
+                    continue; // same-leaf covered elsewhere
+                }
+                for spine_i in 0..3 {
+                    let spine = topo.node_by_name(&format!("spine{spine_i}")).unwrap();
+                    let dst_leaf = *true_path.last().unwrap();
+                    let link = topo
+                        .ports(spine)
+                        .iter()
+                        .find(|&&(_, p)| p == dst_leaf)
+                        .map(|&(l, _)| l)
+                        .unwrap();
+                    let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
+                    assert_eq!(path.len(), 3);
+                    assert_eq!(path[0], true_path[0]);
+                    assert_eq!(path[1], spine);
+                    assert_eq!(path[2], dst_leaf);
+                    assert_eq!(tag_idx, 1);
+                }
+            }
+        }
+    }
+}

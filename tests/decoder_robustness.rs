@@ -1,0 +1,129 @@
+//! Hostile-input hardening: the host-side telemetry decoder processes
+//! whatever arrives off the wire. Arbitrary, malformed or adversarial tag
+//! stacks must never panic it — they may only yield `Err` or a
+//! topologically consistent decode.
+
+use netsim::packet::{FlowId, Packet, Priority, Protocol, VlanTag};
+use netsim::time::SimTime;
+use netsim::topology::{Topology, GBPS};
+use proptest::prelude::*;
+use telemetry::{EmbedMode, EpochParams, PathCodec, TelemetryDecoder};
+
+fn decoder(topo: &Topology, mode: EmbedMode) -> TelemetryDecoder {
+    TelemetryDecoder::new(
+        PathCodec::new(topo.clone()),
+        EpochParams::paper_defaults(),
+        mode,
+    )
+}
+
+fn arbitrary_packet(
+    topo: &Topology,
+    src_i: usize,
+    dst_i: usize,
+    tags: Vec<(u16, u16)>,
+) -> Packet {
+    let hosts = topo.hosts();
+    let src = hosts[src_i % hosts.len()];
+    let mut dst = hosts[dst_i % hosts.len()];
+    if dst == src {
+        dst = hosts[(dst_i + 1) % hosts.len()];
+    }
+    Packet {
+        id: 0,
+        flow: FlowId(1),
+        src,
+        dst,
+        protocol: Protocol::Udp,
+        priority: Priority::LOW,
+        payload: 100,
+        tcp: None,
+        tags: tags
+            .into_iter()
+            .map(|(tpid, vid)| VlanTag {
+                tpid,
+                vid: vid & 0xFFF,
+            })
+            .collect(),
+        sent_at: SimTime::ZERO,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary tag stacks on arbitrary host pairs: decode never panics,
+    /// and successful decodes name only switches of the topology.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_tags(
+        src_i in 0usize..16,
+        dst_i in 0usize..16,
+        tags in prop::collection::vec((any::<u16>(), any::<u16>()), 0..8),
+        host_time_ms in 0u64..100_000,
+        leaf_spine in any::<bool>(),
+    ) {
+        let topo = if leaf_spine {
+            Topology::leaf_spine(3, 2, 3, GBPS)
+        } else {
+            Topology::fat_tree(4, GBPS)
+        };
+        let pkt = arbitrary_packet(&topo, src_i, dst_i, tags);
+        for mode in [EmbedMode::Commodity, EmbedMode::Int] {
+            let dec = decoder(&topo, mode);
+            // Rejecting garbage (Err) is a correct outcome; only successful
+            // decodes carry obligations.
+            if let Ok(d) = dec.decode(&pkt, SimTime::from_ms(host_time_ms)) {
+                prop_assert!(!d.hops.is_empty());
+                prop_assert!(d.tag_idx < d.hops.len());
+                // INT mode trusts switch VIDs; only commodity decodes
+                // must map onto real switches of this topology.
+                if mode == EmbedMode::Commodity {
+                    for h in &d.hops {
+                        prop_assert!(
+                            topo.is_switch(h.switch),
+                            "decoded a non-switch node {}",
+                            h.switch
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forged *plausible* link tags (a real link VID, but possibly
+    /// inconsistent with the packet's endpoints) either get rejected or
+    /// produce a path that starts at the source's switch and ends adjacent
+    /// to the destination.
+    #[test]
+    fn forged_link_tags_stay_consistent(
+        src_i in 0usize..12,
+        dst_i in 0usize..12,
+        link_vid in 0u16..48,
+        epoch_vid in 0u16..4096,
+    ) {
+        let topo = Topology::leaf_spine(3, 2, 2, GBPS);
+        let mut pkt = arbitrary_packet(&topo, src_i, dst_i, vec![]);
+        pkt.tags.push(VlanTag { tpid: 0x88A8, vid: link_vid % topo.num_links() as u16 });
+        pkt.tags.push(VlanTag { tpid: 0x8100, vid: epoch_vid });
+        let dec = decoder(&topo, EmbedMode::Commodity);
+        if let Ok(d) = dec.decode(&pkt, SimTime::from_ms(50)) {
+            let path = d.path();
+            // First switch must be adjacent to the claimed source.
+            let first = path[0];
+            prop_assert!(
+                topo.ports(first).iter().any(|&(_, p)| p == pkt.src),
+                "path head {} not adjacent to src {}",
+                first,
+                pkt.src
+            );
+            // Last switch must be adjacent to the destination.
+            let last = *path.last().unwrap();
+            prop_assert!(
+                topo.ports(last).iter().any(|&(_, p)| p == pkt.dst),
+                "path tail {} not adjacent to dst {}",
+                last,
+                pkt.dst
+            );
+        }
+    }
+}

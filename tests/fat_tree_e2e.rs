@@ -1,0 +1,163 @@
+//! End-to-end SwitchPointer on a k=4 fat-tree — the paper's canonical
+//! CherryPick topology ("reconstructs a 5-hop end-to-end path by selecting
+//! only one aggregate-core link") — plus offline diagnosis from archived
+//! top-level pointers.
+
+use netsim::prelude::*;
+use netsim::topology::FatTreeLayer;
+use switchpointer::testbed::{Testbed, TestbedConfig};
+use telemetry::EpochRange;
+
+#[test]
+fn inter_pod_flow_reconstructs_five_hop_path() {
+    let topo = Topology::fat_tree(4, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    let (src, dst) = (tb.node("h0_0_0"), tb.node("h2_1_1"));
+    let flow = tb.sim.add_udp_flow(UdpFlowSpec {
+        src,
+        dst,
+        priority: Priority::LOW,
+        start: SimTime::ZERO,
+        duration: SimTime::from_ms(2),
+        rate_bps: 300_000_000,
+        payload_bytes: 1458,
+    });
+    tb.sim.run_until(SimTime::from_ms(6));
+
+    let host = tb.hosts[&dst].borrow();
+    assert_eq!(host.decode_failures, 0);
+    let rec = host.store.record(flow).expect("record");
+    assert_eq!(rec.path.len(), 5, "edge-agg-core-agg-edge");
+
+    let layers: Vec<FatTreeLayer> = rec
+        .path
+        .iter()
+        .map(|&s| tb.sim.topo().fat_tree_layer(s).unwrap())
+        .collect();
+    assert_eq!(
+        layers,
+        vec![
+            FatTreeLayer::Edge,
+            FatTreeLayer::Aggregation,
+            FatTreeLayer::Core,
+            FatTreeLayer::Aggregation,
+            FatTreeLayer::Edge
+        ]
+    );
+
+    // The reconstructed path matches the switches whose pointers actually
+    // witnessed the flow.
+    for &sw in &rec.path {
+        assert!(
+            tb.switches[&sw].borrow().pointers.contains(dst.addr(), 0),
+            "claimed switch {sw} never saw the flow"
+        );
+    }
+    // Exactly one aggregation switch in the source pod tagged.
+    let taggers: Vec<NodeId> = tb
+        .switches
+        .iter()
+        .filter(|(_, h)| h.borrow().tagged > 0)
+        .map(|(&s, _)| s)
+        .collect();
+    assert_eq!(taggers.len(), 1, "exactly one tagging switch: {taggers:?}");
+    assert_eq!(
+        tb.sim.topo().fat_tree_layer(taggers[0]),
+        Some(FatTreeLayer::Aggregation)
+    );
+}
+
+#[test]
+fn fat_tree_contention_diagnosis_works() {
+    // Two flows share an edge uplink; the low-priority one triggers and
+    // the analyzer finds the high-priority culprit in the fat-tree.
+    let topo = Topology::fat_tree(4, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    // Both flows from hosts on edge0_0, to distinct hosts in pod 2.
+    let (a, b) = (tb.node("h0_0_0"), tb.node("h0_0_1"));
+    let (da, db) = (tb.node("h2_0_0"), tb.node("h2_0_1"));
+    let victim = tb.sim.add_tcp_flow(TcpFlowSpec::running_until(
+        a,
+        da,
+        Priority::LOW,
+        SimTime::from_ms(40),
+    ));
+    tb.sim.add_udp_flow(UdpFlowSpec::burst(
+        b,
+        db,
+        Priority::HIGH,
+        SimTime::from_ms(15),
+        SimTime::from_ms(2),
+        GBPS,
+    ));
+    tb.sim.run_until(SimTime::from_ms(40));
+
+    // ECMP may or may not give the two flows the same spine path; they
+    // *always* share the host->edge0_0 uplink... actually they share only
+    // the edge switch. Contention happens wherever both route out the same
+    // egress. The victim triggers only if starved, which requires a shared
+    // egress; check trigger first.
+    let trig = tb.hosts[&da].borrow().first_trigger_for(victim).copied();
+    if let Some(_t) = trig {
+        let d = tb
+            .analyzer()
+            .diagnose_contention(victim, da, tb.cfg.trigger.window);
+        assert_eq!(d.verdict, switchpointer::analyzer::Verdict::PriorityContention);
+        assert!(d.culprits.iter().any(|c| c.dst == db));
+    } else {
+        // The two flows took disjoint paths beyond the edge; then the
+        // victim must have run at full rate.
+        let bytes = tb.sim.traces.rx_bytes(victim);
+        assert!(bytes > 3_000_000, "no trigger and no throughput? {bytes}");
+    }
+}
+
+#[test]
+fn offline_diagnosis_from_archived_pointers() {
+    // Run long enough that level-1 slots for the event epochs have been
+    // recycled; the analyzer must still find the hosts via the flushed
+    // top-level pointers (the paper's offline-diagnosis path, §4.1.1).
+    let topo = Topology::chain(2, 2, GBPS);
+    let mut cfg = TestbedConfig::default_ms();
+    // Small hierarchy so recycling happens within the run: alpha=4, k=2
+    // => level 1 retains 4 epochs; top spans 4 epochs, flushed every 4 ms.
+    cfg.pointer_alpha = 4;
+    cfg.pointer_k = 2;
+    let mut tb = Testbed::new(topo, cfg);
+    let (a, c) = (tb.node("A"), tb.node("C"));
+    let flow = tb.sim.add_udp_flow(UdpFlowSpec {
+        src: a,
+        dst: c,
+        priority: Priority::LOW,
+        start: SimTime::from_ms(2),
+        duration: SimTime::from_ms(2),
+        rate_bps: 300_000_000,
+        payload_bytes: 1458,
+    });
+    // Background traffic keeps epochs rotating long after the flow ended.
+    let (b, d) = (tb.node("B"), tb.node("D"));
+    tb.sim.add_udp_flow(UdpFlowSpec {
+        src: b,
+        dst: d,
+        priority: Priority::LOW,
+        start: SimTime::ZERO,
+        duration: SimTime::from_ms(60),
+        rate_bps: 50_000_000,
+        payload_bytes: 1458,
+    });
+    tb.sim.run_until(SimTime::from_ms(60));
+
+    let s1 = tb.node("S1");
+    let comp = tb.switches[&s1].borrow();
+    // Level-1 view of epoch 2 is long gone...
+    assert_eq!(comp.pointers.contains_within(c.addr(), 2, 1), None);
+    // ...but flushed archives still answer.
+    assert!(!comp.pointers.archive().is_empty());
+    assert!(comp.pointers.contains(c.addr(), 2));
+    drop(comp);
+
+    // And the analyzer still names host C for the event window.
+    let hosts = tb.analyzer().hosts_for(s1, EpochRange { lo: 2, hi: 3 });
+    assert!(hosts.contains(&c), "offline lookup lost the host: {hosts:?}");
+    let _ = flow;
+}

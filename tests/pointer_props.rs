@@ -1,0 +1,158 @@
+//! Property-based tests of the hierarchical pointer structure against a
+//! reference model: a plain set of (address, epoch) facts.
+//!
+//! Invariants (DESIGN.md §7):
+//! * never a false negative while the epoch is within the top level's span
+//!   or archived;
+//! * exact (level-1) answers agree exactly with the model while live;
+//! * coarse answers may widen (false positives) but only within the
+//!   covering slot's span;
+//! * flush accounting matches the number of archived sets.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use mphf::Mphf;
+use proptest::prelude::*;
+use switchpointer::pointer::{PointerConfig, PointerHierarchy};
+
+const N_HOSTS: usize = 32;
+
+fn addrs() -> Vec<u64> {
+    (0..N_HOSTS as u64).map(|i| 0x0a00_0000 + i).collect()
+}
+
+fn hierarchy(alpha: u32, k: usize) -> PointerHierarchy {
+    let a = addrs();
+    let mphf = Arc::new(Mphf::build(&a).unwrap());
+    PointerHierarchy::new(
+        PointerConfig {
+            n_hosts: N_HOSTS,
+            alpha,
+            k,
+        },
+        mphf,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monotone epoch streams: everything recorded is found again (within
+    /// retention), and exact-level answers are exactly the model.
+    #[test]
+    fn no_false_negatives_and_exact_level1(
+        alpha in 2u32..6,
+        k in 2usize..4,
+        // (host index, epoch advance) steps; advances keep epochs monotone.
+        steps in prop::collection::vec((0usize..N_HOSTS, 0u64..3), 1..200),
+    ) {
+        let a = addrs();
+        let mut h = hierarchy(alpha, k);
+        let mut model: HashSet<(u64, u64)> = HashSet::new();
+        let mut epoch = 0u64;
+        for (host, adv) in steps {
+            epoch += adv;
+            h.update(a[host], epoch);
+            model.insert((a[host], epoch));
+        }
+
+        let top_span = (alpha as u64).pow(k as u32 - 1);
+        for &(addr, e) in &model {
+            // Retention: the top level covers the current period and the
+            // archive everything before it — so every recorded fact is
+            // still answerable.
+            prop_assert!(
+                h.contains(addr, e),
+                "false negative for ({addr:#x}, {e}), alpha={alpha} k={k}"
+            );
+            // Exact-level answers, when available, must match the model.
+            if let Some(ans) = h.contains_within(addr, e, 1) {
+                prop_assert_eq!(ans, model.contains(&(addr, e)));
+            }
+            // Coarse answers only widen within the covering span.
+            let res = h.resolution_for(e).unwrap();
+            prop_assert!(res <= top_span);
+        }
+
+        // Negative checks at exact resolution for facts not in the model.
+        for (host, &addr) in a.iter().enumerate() {
+            for e in 0..=epoch {
+                if let Some(true) = h.contains_within(addr, e, 1) {
+                    prop_assert!(
+                        model.contains(&(addr, e)),
+                        "level-1 false positive ({host}, {e})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The flushed-bits counter equals archive size × n.
+    #[test]
+    fn flush_accounting_consistent(
+        alpha in 2u32..5,
+        epochs in 1u64..200,
+    ) {
+        let a = addrs();
+        let mut h = hierarchy(alpha, 2);
+        for e in 0..epochs {
+            h.update(a[(e as usize) % N_HOSTS], e);
+        }
+        prop_assert_eq!(
+            h.flushed_bits,
+            h.archive().len() as u64 * N_HOSTS as u64
+        );
+        // Archives hold distinct, increasing periods.
+        let periods: Vec<u64> = h.archive().iter().map(|p| p.period).collect();
+        let mut sorted = periods.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&periods, &sorted);
+    }
+
+    /// `pointer_union` over a range equals the union of per-epoch queries.
+    #[test]
+    fn union_equals_pointwise_or(
+        alpha in 2u32..5,
+        epochs in 1u64..60,
+        lo_frac in 0.0f64..1.0,
+    ) {
+        let a = addrs();
+        let mut h = hierarchy(alpha, 3);
+        for e in 0..epochs {
+            h.update(a[(e as usize * 7) % N_HOSTS], e);
+            h.update(a[(e as usize * 13 + 1) % N_HOSTS], e);
+        }
+        let lo = ((epochs - 1) as f64 * lo_frac) as u64;
+        let hi = epochs - 1;
+        let union = h.pointer_union(lo, hi);
+        // Pointwise reference.
+        for (i, &addr) in a.iter().enumerate() {
+            let member = union.test(h.mphf().index(&addr).unwrap());
+            let any = (lo..=hi).any(|e| h.contains(addr, e));
+            prop_assert_eq!(member, any, "host {} range [{},{}]", i, lo, hi);
+        }
+    }
+
+    /// Out-of-order (stale) epochs never clobber newer state.
+    #[test]
+    fn stale_epochs_never_erase_new_state(
+        alpha in 2u32..5,
+        jitter in 1u64..5,
+    ) {
+        let a = addrs();
+        let mut h = hierarchy(alpha, 2);
+        h.update(a[1], 100);
+        // A late packet from an earlier epoch.
+        h.update(a[2], 100 - jitter);
+        prop_assert!(h.contains(a[1], 100), "fresh state lost to stale update");
+    }
+}
+
+#[test]
+fn memory_bytes_includes_mphf() {
+    let h = hierarchy(4, 3);
+    let cfg = h.config();
+    assert!(h.memory_bytes() > cfg.memory_bytes());
+}

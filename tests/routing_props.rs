@@ -1,0 +1,149 @@
+//! Property tests of routing and queue disciplines over randomized
+//! topologies and packet sequences.
+
+use netsim::packet::{FlowId, NodeId, Packet, Priority, Protocol};
+use netsim::queue::{DrrQueue, Enqueue, FifoQueue, Queue, StrictPriorityQueue};
+use netsim::routing::RouteTable;
+use netsim::time::SimTime;
+use netsim::topology::{Topology, GBPS};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Routing: random Clos fabrics are loop-free and fully connected.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn leaf_spine_routing_delivers_all_pairs(
+        leaves in 2usize..5,
+        spines in 1usize..4,
+        hosts in 1usize..4,
+        flow in any::<u64>(),
+    ) {
+        let t = Topology::leaf_spine(leaves, spines, hosts, GBPS);
+        let rt = RouteTable::build(&t);
+        for &src in t.hosts() {
+            for &dst in t.hosts() {
+                if src == dst {
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let port = rt.egress(cur, dst, FlowId(flow));
+                    prop_assert!(port.is_some(), "black hole {cur}->{dst}");
+                    let (_, peer) = t.ports(cur)[port.unwrap() as usize];
+                    cur = peer;
+                    hops += 1;
+                    prop_assert!(hops <= 6, "loop {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_routing_delivers_all_pairs(flow in any::<u64>()) {
+        let t = Topology::fat_tree(4, GBPS);
+        let rt = RouteTable::build(&t);
+        for &src in t.hosts() {
+            for &dst in t.hosts() {
+                if src == dst {
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let port = rt.egress(cur, dst, FlowId(flow)).expect("route");
+                    let (_, peer) = t.ports(cur)[port as usize];
+                    cur = peer;
+                    hops += 1;
+                    prop_assert!(hops <= 6, "fat-tree path too long {src}->{dst}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queues: model-based — any discipline conserves packets and bytes.
+// ---------------------------------------------------------------------
+
+fn mk_pkt(id: u64, prio: u8, payload: u32) -> Packet {
+    Packet {
+        id,
+        flow: FlowId(id % 7),
+        src: NodeId(0),
+        dst: NodeId(1),
+        protocol: Protocol::Udp,
+        priority: Priority(prio),
+        payload,
+        tcp: None,
+        tags: Vec::new(),
+        sent_at: SimTime::ZERO,
+    }
+}
+
+/// Applies a random enqueue/dequeue script and checks conservation.
+fn check_conservation(q: &mut dyn Queue, script: &[(bool, u8, u32)]) {
+    let mut in_q_bytes: i64 = 0;
+    let mut in_q_pkts: i64 = 0;
+    for (i, &(enq, prio, payload)) in script.iter().enumerate() {
+        if enq {
+            let p = mk_pkt(i as u64, prio % 3, 1 + payload % 1_500);
+            let bytes = p.frame_bytes() as i64;
+            if q.enqueue(p) == Enqueue::Queued {
+                in_q_bytes += bytes;
+                in_q_pkts += 1;
+            }
+        } else if let Some(p) = q.dequeue() {
+            in_q_bytes -= p.frame_bytes() as i64;
+            in_q_pkts -= 1;
+        }
+        assert!(in_q_bytes >= 0 && in_q_pkts >= 0);
+        assert_eq!(q.depth_bytes() as i64, in_q_bytes, "byte accounting at {i}");
+        assert_eq!(q.len() as i64, in_q_pkts, "packet accounting at {i}");
+    }
+    // Drain completely.
+    while let Some(p) = q.dequeue() {
+        in_q_bytes -= p.frame_bytes() as i64;
+        in_q_pkts -= 1;
+    }
+    assert_eq!(in_q_bytes, 0);
+    assert_eq!(in_q_pkts, 0);
+    assert_eq!(q.depth_bytes(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_disciplines_conserve_bytes(
+        script in prop::collection::vec((any::<bool>(), any::<u8>(), any::<u32>()), 1..300),
+        cap in 5_000u64..200_000,
+    ) {
+        check_conservation(&mut FifoQueue::new(cap), &script);
+        check_conservation(&mut StrictPriorityQueue::new(cap, 3), &script);
+        check_conservation(&mut DrrQueue::new(cap, 3, 1_600), &script);
+    }
+
+    #[test]
+    fn strict_priority_never_inverts(
+        prios in prop::collection::vec(0u8..3, 2..100),
+    ) {
+        let mut q = StrictPriorityQueue::new(10_000_000, 3);
+        for (i, &p) in prios.iter().enumerate() {
+            q.enqueue(mk_pkt(i as u64, p, 100));
+        }
+        let mut last = u8::MAX;
+        while let Some(p) = q.dequeue() {
+            prop_assert!(
+                p.priority.0 <= last,
+                "priority rose from {last} to {} mid-drain without enqueues",
+                p.priority.0
+            );
+            last = p.priority.0;
+        }
+    }
+}
