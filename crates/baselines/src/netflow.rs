@@ -105,7 +105,10 @@ pub struct SampledNetFlowApp {
 }
 
 impl SampledNetFlowApp {
-    pub fn new(sample_one_in: u64, seed: u64) -> (Self, std::rc::Rc<std::cell::RefCell<SampledNetFlow>>) {
+    pub fn new(
+        sample_one_in: u64,
+        seed: u64,
+    ) -> (Self, std::rc::Rc<std::cell::RefCell<SampledNetFlow>>) {
         let state = std::rc::Rc::new(std::cell::RefCell::new(SampledNetFlow::new(
             sample_one_in,
             seed,

@@ -45,9 +45,7 @@ fn bench_diagnosis(c: &mut Criterion) {
         let analyzer = tb.analyzer();
         let window = tb.cfg.trigger.window;
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(analyzer.diagnose_contention(victim, dst, window))
-            });
+            b.iter(|| std::hint::black_box(analyzer.diagnose_contention(victim, dst, window)));
         });
     }
     group.finish();

@@ -59,17 +59,11 @@ fn bench_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("hoststore_query");
     for n_flows in [100usize, 1_000, 10_000] {
         let s = store_with(n_flows, 5);
-        group.bench_with_input(
-            BenchmarkId::new("flows_matching", n_flows),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        s.flows_matching(NodeId(0), EpochRange { lo: 10, hi: 20 }),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("flows_matching", n_flows), &s, |b, s| {
+            b.iter(|| {
+                std::hint::black_box(s.flows_matching(NodeId(0), EpochRange { lo: 10, hi: 20 }))
+            });
+        });
         group.bench_with_input(BenchmarkId::new("top_100", n_flows), &s, |b, s| {
             b.iter(|| std::hint::black_box(s.top_k_through(NodeId(0), 100)));
         });

@@ -1,0 +1,220 @@
+//! Query-plane benchmarks: wall-clock queries/sec versus worker count,
+//! plus the modelled accounting (cache hit-rate, batched speedup).
+//!
+//! Besides the Criterion timings, this bench writes a machine-readable
+//! summary to `target/queryplane_ops.json` (queries/sec at concurrency
+//! 1/4/16, cache hit-rate, modelled speedup) so future PRs have a perf
+//! trajectory to compare against.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::prelude::*;
+use queryplane::{QueryPlane, QueryPlaneConfig};
+use switchpointer::query::QueryRequest;
+use switchpointer::testbed::{Testbed, TestbedConfig};
+use telemetry::EpochRange;
+
+/// The workload: a fat-tree under mixed traffic and a repeat-heavy query
+/// storm (the cacheable regime the plane is built for).
+fn workload() -> (Testbed, Vec<QueryRequest>) {
+    let topo = Topology::fat_tree(4, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    let (a, da) = (tb.node("h0_0_0"), tb.node("h2_0_0"));
+    tb.sim.add_tcp_flow(TcpFlowSpec::running_until(
+        a,
+        da,
+        Priority::LOW,
+        SimTime::from_ms(30),
+    ));
+    for (s, d) in [
+        ("h1_0_0", "h3_1_1"),
+        ("h1_1_0", "h2_1_1"),
+        ("h3_0_0", "h0_1_0"),
+    ] {
+        let (s, d) = (tb.node(s), tb.node(d));
+        tb.sim.add_udp_flow(UdpFlowSpec {
+            src: s,
+            dst: d,
+            priority: Priority::LOW,
+            start: SimTime::ZERO,
+            duration: SimTime::from_ms(25),
+            rate_bps: 100_000_000,
+            payload_bytes: 1458,
+        });
+    }
+    tb.sim.run_until(SimTime::from_ms(30));
+
+    let window = EpochRange { lo: 5, hi: 20 };
+    let switches = [
+        "edge0_0", "agg0_0", "agg0_1", "core0_0", "edge2_0", "agg2_0",
+    ];
+    let mut reqs = Vec::new();
+    for round in 0..8 {
+        for name in switches {
+            reqs.push(QueryRequest::TopK {
+                switch: tb.node(name),
+                k: 10,
+                range: window,
+            });
+            if round % 2 == 0 {
+                reqs.push(QueryRequest::LoadImbalance {
+                    switch: tb.node(name),
+                    range: window,
+                });
+            }
+        }
+    }
+    (tb, reqs)
+}
+
+/// Modelled accounting of one batch (worker-independent: the accounting
+/// pass is a sequential replay in submission order).
+struct BatchAccounting {
+    cache_hit_rate: f64,
+    modelled_speedup: f64,
+}
+
+/// Wall-clock throughput at one concurrency level, cold and cache-warm.
+struct ThroughputPoint {
+    workers: usize,
+    cold_qps: f64,
+    warm_qps: f64,
+}
+
+fn batch_delta(
+    plane: &mut QueryPlane,
+    reqs: &[QueryRequest],
+) -> (std::time::Duration, BatchAccounting) {
+    let before = *plane.stats();
+    let t0 = Instant::now();
+    let outcomes = plane.execute_batch(reqs);
+    let dt = t0.elapsed();
+    assert_eq!(outcomes.len(), reqs.len());
+    let after = *plane.stats();
+    let hits = after.pointer_hits - before.pointer_hits;
+    let misses = after.pointer_misses - before.pointer_misses;
+    let sequential = (after.sequential_total - before.sequential_total).as_ns() as f64;
+    let batched = (after.batched_total - before.batched_total).as_ns() as f64;
+    (
+        dt,
+        BatchAccounting {
+            cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+            modelled_speedup: sequential / batched.max(1.0),
+        },
+    )
+}
+
+/// Timed cold + warm batches at `workers` on a fresh plane. The modelled
+/// accounting deltas are per batch (cold = empty cache, warm = the same
+/// batch repeated against a populated cache).
+fn measure(
+    tb: &Testbed,
+    reqs: &[QueryRequest],
+    workers: usize,
+) -> (ThroughputPoint, BatchAccounting, BatchAccounting) {
+    let analyzer = tb.analyzer();
+    let mut plane = QueryPlane::from_analyzer(
+        &analyzer,
+        QueryPlaneConfig {
+            workers,
+            shards: 8,
+            cache_capacity: 4096,
+        },
+    );
+    let (cold_dt, cold) = batch_delta(&mut plane, reqs);
+    let (warm_dt, warm) = batch_delta(&mut plane, reqs);
+    (
+        ThroughputPoint {
+            workers,
+            cold_qps: reqs.len() as f64 / cold_dt.as_secs_f64().max(1e-9),
+            warm_qps: reqs.len() as f64 / warm_dt.as_secs_f64().max(1e-9),
+        },
+        cold,
+        warm,
+    )
+}
+
+fn write_summary(points: &[ThroughputPoint], cold: &BatchAccounting, warm: &BatchAccounting) {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workers\": {}, \"cold_queries_per_sec\": {:.0}, \"warm_queries_per_sec\": {:.0}}}",
+                p.workers, p.cold_qps, p.warm_qps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        cold.cache_hit_rate,
+        cold.modelled_speedup,
+        warm.cache_hit_rate,
+        warm.modelled_speedup,
+        rows.join(",\n")
+    );
+    // Benches run with the package dir as cwd; aim at the workspace target.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/queryplane_ops.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!("{json}");
+}
+
+fn bench_queryplane(c: &mut Criterion) {
+    let (tb, reqs) = workload();
+
+    // JSON trajectory: one throughput point per concurrency level; the
+    // modelled accounting is worker-independent, so it is reported once
+    // per batch kind (taken from the concurrency-16 run).
+    let mut points = Vec::new();
+    let mut accounting = None;
+    for w in [1usize, 4, 16] {
+        let (p, cold, warm) = measure(&tb, &reqs, w);
+        points.push(p);
+        accounting = Some((cold, warm));
+    }
+    let (cold, warm) = accounting.expect("at least one concurrency level");
+    // The acceptance bar gates on the *cold* batch (empty cache): batching
+    // + first-touch caching must still give ≥ 2× modelled reduction at
+    // concurrency 16. The warm repeat is reported separately.
+    assert!(
+        cold.modelled_speedup >= 2.0,
+        "cold-batch modelled speedup regressed below 2x: {:.2}",
+        cold.modelled_speedup
+    );
+    write_summary(&points, &cold, &warm);
+
+    let mut group = c.benchmark_group("queryplane_ops");
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    for workers in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("execute_batch", workers),
+            &workers,
+            |b, &w| {
+                let analyzer = tb.analyzer();
+                let mut plane = QueryPlane::from_analyzer(
+                    &analyzer,
+                    QueryPlaneConfig {
+                        workers: w,
+                        shards: 8,
+                        cache_capacity: 4096,
+                    },
+                );
+                b.iter(|| plane.execute_batch(&reqs));
+            },
+        );
+    }
+    group.bench_function("snapshot_capture", |b| {
+        let analyzer = tb.analyzer();
+        b.iter(|| queryplane::Snapshot::capture(&analyzer, 8));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queryplane);
+criterion_main!(benches);

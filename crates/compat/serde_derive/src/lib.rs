@@ -1,0 +1,123 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in. Supports what the workspace derives on: non-generic structs
+//! with named fields. Anything else is a compile error by construction
+//! (the generated impl will not type-check), which is the behaviour we
+//! want from a deliberately minimal stub.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(struct_name, [field_names])` from a derive input stream.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut fields_group = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                // The first brace group after the name is the field list.
+                for t in &tokens[i + 1..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.expect("serde stub derive: no struct found (enums unsupported)");
+    let body: Vec<TokenTree> = fields_group
+        .expect("serde stub derive: tuple/unit structs unsupported")
+        .into_iter()
+        .collect();
+
+    // Split the field list on top-level commas; within each chunk skip
+    // attributes (`#[...]`) and visibility, then take the ident preceding
+    // the first ':' as the field name.
+    let mut fields = Vec::new();
+    let mut chunk: Vec<&TokenTree> = Vec::new();
+    for t in body
+        .iter()
+        .chain(std::iter::once(&TokenTree::Punct(proc_macro::Punct::new(
+            ',',
+            proc_macro::Spacing::Alone,
+        ))))
+    {
+        if let TokenTree::Punct(p) = t {
+            if p.as_char() == ',' {
+                if let Some(f) = field_name(&chunk) {
+                    fields.push(f);
+                }
+                chunk.clear();
+                continue;
+            }
+        }
+        chunk.push(t);
+    }
+    (name, fields)
+}
+
+fn field_name(chunk: &[&TokenTree]) -> Option<String> {
+    let mut last_ident: Option<String> = None;
+    for t in chunk {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let pairs: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::msg(\"missing field `{f}`\"))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

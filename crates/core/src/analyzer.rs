@@ -20,7 +20,7 @@
 //! * [`Analyzer::top_k`] — the §6.2 top-k query (benchmarked against
 //!   PathDump in Fig. 12).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use mphf::Mphf;
@@ -33,6 +33,8 @@ use telemetry::{EpochParams, EpochRange};
 use crate::bitset::BitSet;
 use crate::cost::{CostModel, LatencyBreakdown, QueryWaveCost};
 use crate::host::{HostHandle, TriggerEvent};
+use crate::hoststore::FlowRecord;
+use crate::query::{QueryCtx, QueryExecutor, QueryRequest, QueryResponse, StateView};
 use crate::switch::SwitchHandle;
 
 /// Maps pointer-bit indices back to hosts (the analyzer built the MPHF, so
@@ -223,14 +225,41 @@ impl Analyzer {
         &self.directory
     }
 
+    /// The executor context: everything the analyzer knows about the
+    /// deployment besides the mutable component state.
+    fn ctx(&self) -> QueryCtx<'_> {
+        QueryCtx {
+            topo: &self.topo,
+            routes: &self.routes,
+            params: self.params,
+            directory: &self.directory,
+            cost: &self.cost,
+        }
+    }
+
+    /// A [`StateView`] over the live simulator component handles.
+    pub fn live_view(&self) -> LiveView<'_> {
+        LiveView {
+            switches: &self.switches,
+            hosts: &self.hosts,
+        }
+    }
+
+    fn with_executor<R>(&self, f: impl FnOnce(&mut QueryExecutor<'_, LiveView<'_>>) -> R) -> R {
+        let view = self.live_view();
+        let mut exec = QueryExecutor::new(self.ctx(), &view);
+        f(&mut exec)
+    }
+
+    /// Runs any [`QueryRequest`] against the live deployment state.
+    pub fn execute(&self, req: &QueryRequest) -> QueryResponse {
+        let view = self.live_view();
+        QueryExecutor::new(self.ctx(), &view).execute(req)
+    }
+
     /// Pulls the pointer union for `range` from `switch` and decodes it.
     pub fn hosts_for(&self, switch: NodeId, range: EpochRange) -> Vec<NodeId> {
-        let handle = self
-            .switches
-            .get(&switch)
-            .unwrap_or_else(|| panic!("no SwitchPointer component on {switch}"));
-        let bits = handle.borrow().pointers.pointer_union(range.lo, range.hi);
-        self.directory.hosts_in(&bits)
+        self.with_executor(|e| e.hosts_for(switch, range))
     }
 
     /// Search-radius reduction (§4.3): keep only hosts whose traffic can
@@ -244,111 +273,25 @@ impl Analyzer {
         victim_flow: FlowId,
         hosts: Vec<NodeId>,
     ) -> Vec<NodeId> {
-        let Some(victim_port) = self.routes.egress(switch, victim_dst, victim_flow) else {
-            return hosts;
-        };
-        hosts
-            .into_iter()
-            .filter(|&h| self.routes.ports(switch, h).contains(&victim_port))
-            .collect()
+        self.with_executor(|e| e.reduce_search_radius(switch, victim_dst, victim_flow, hosts))
     }
 
     /// The epoch window to diagnose around a trigger, with ±⌈ε/α⌉ slack for
     /// clock asynchrony. Covers the dropped window and the one before it.
     pub fn epoch_window(&self, trigger: &TriggerEvent, trigger_window: SimTime) -> EpochRange {
-        let slack = self
-            .params
-            .epsilon
-            .as_ns()
-            .div_ceil(self.params.alpha.as_ns());
-        let hi = self.params.epoch_of(trigger.at) + slack;
-        let lo = self
-            .params
-            .epoch_of(trigger.at.saturating_sub(trigger_window * 2))
-            .saturating_sub(slack);
-        EpochRange { lo, hi }
+        self.with_executor(|e| e.epoch_window(trigger, trigger_window))
     }
-
-    // ------------------------------------------------------------------
-    // Shared query machinery
-    // ------------------------------------------------------------------
-
-    /// Queries `hosts` for flows matching `(switch, range)`, excluding the
-    /// victim flow. Returns culprits plus per-host record counts (for the
-    /// cost model).
-    fn query_hosts(
-        &self,
-        hosts: &[NodeId],
-        switch: NodeId,
-        range: EpochRange,
-        victim: FlowId,
-    ) -> (Vec<Culprit>, Vec<usize>) {
-        let mut culprits = Vec::new();
-        let mut record_counts = Vec::with_capacity(hosts.len());
-        for &h in hosts {
-            let Some(handle) = self.hosts.get(&h) else {
-                record_counts.push(0);
-                continue;
-            };
-            let comp = handle.borrow();
-            record_counts.push(comp.store.len());
-            for rec in comp.store.flows_matching(switch, range) {
-                if rec.flow == victim {
-                    continue;
-                }
-                let common: Vec<u64> = rec.epochs_at[&switch]
-                    .range(range.lo..=range.hi)
-                    .copied()
-                    .collect();
-                culprits.push(Culprit {
-                    flow: rec.flow,
-                    src: rec.src,
-                    dst: rec.dst,
-                    host: h,
-                    priority: rec.priority,
-                    bytes: rec.bytes,
-                    common_epochs: common,
-                });
-            }
-        }
-        culprits.sort_by_key(|c| (std::cmp::Reverse(c.priority), std::cmp::Reverse(c.bytes)));
-        (culprits, record_counts)
-    }
-
-    fn victim_info(&self, victim_dst: NodeId, victim: FlowId) -> (TriggerEvent, Vec<NodeId>) {
-        let host = self.hosts[&victim_dst].borrow();
-        let trigger = *host
-            .first_trigger_for(victim)
-            .expect("victim host raised no trigger for the flow");
-        drop(host);
-        (trigger, self.victim_path(victim_dst, victim))
-    }
-
-    fn victim_path(&self, victim_dst: NodeId, victim: FlowId) -> Vec<NodeId> {
-        self.hosts[&victim_dst]
-            .borrow()
-            .store
-            .record(victim)
-            .expect("victim host has no record for the flow")
-            .path
-            .clone()
-    }
-
-    // ------------------------------------------------------------------
-    // §5.1 Too much traffic
-    // ------------------------------------------------------------------
 
     /// Diagnoses priority/microburst contention for a victim flow whose
-    /// destination raised a trigger. Follows the §5.1 procedure: alert →
-    /// pointer retrieval (one switch) → host queries → verdict.
+    /// destination raised a trigger (§5.1): alert → pointer retrieval →
+    /// host queries → verdict.
     pub fn diagnose_contention(
         &self,
         victim: FlowId,
         victim_dst: NodeId,
         trigger_window: SimTime,
     ) -> ContentionDiagnosis {
-        let (trigger, _) = self.victim_info(victim_dst, victim);
-        self.diagnose_contention_at(victim, victim_dst, trigger_window, &trigger)
+        self.with_executor(|e| e.diagnose_contention(victim, victim_dst, trigger_window))
     }
 
     /// Like [`Analyzer::diagnose_contention`] but for a specific trigger
@@ -362,130 +305,24 @@ impl Analyzer {
         trigger_window: SimTime,
         trigger: &TriggerEvent,
     ) -> ContentionDiagnosis {
-        let path = self.victim_path(victim_dst, victim);
-        let range = self.epoch_window(trigger, trigger_window);
-
-        // Pick the contended switch: walk the path and take the first
-        // switch with a non-empty reduced host set beyond the victim's own
-        // endpoints. (The alert's per-switch epoch data narrows this in the
-        // real system; with the simulator's single bottleneck the first hit
-        // is the bottleneck.)
-        let mut chosen: Option<(NodeId, Vec<NodeId>)> = None;
-        for &sw in &path {
-            let mut hosts = self.hosts_for(sw, range);
-            hosts.retain(|&h| h != victim_dst);
-            let reduced = self.reduce_search_radius(sw, victim_dst, victim, hosts);
-            if !reduced.is_empty() {
-                chosen = Some((sw, reduced));
-                break;
-            }
-        }
-        let (switch, hosts) = chosen.unwrap_or_else(|| (path[0], Vec::new()));
-
-        let (culprits, record_counts) = self.query_hosts(&hosts, switch, range, victim);
-        let victim_prio = self.hosts[&victim_dst]
-            .borrow()
-            .store
-            .record(victim)
-            .unwrap()
-            .priority;
-        let verdict = if culprits
-            .iter()
-            .any(|c| c.priority > victim_prio && !c.common_epochs.is_empty())
-        {
-            Verdict::PriorityContention
-        } else if culprits.iter().any(|c| !c.common_epochs.is_empty()) {
-            Verdict::Microburst
-        } else {
-            Verdict::NoCulprit
-        };
-
-        let wave = self.cost.query_wave(hosts.len(), &record_counts);
-        ContentionDiagnosis {
-            victim,
-            switch,
-            epochs: range,
-            culprits,
-            hosts_contacted: hosts.len(),
-            verdict,
-            breakdown: LatencyBreakdown {
-                detection: trigger_window,
-                alert: self.cost.alert_rtt,
-                pointer_retrieval: self.cost.pointer_retrieval(1),
-                diagnosis: wave.total(),
-                diagnosis_detail: wave,
-            },
-        }
+        self.with_executor(|e| {
+            e.diagnose_contention_at(victim, victim_dst, trigger_window, trigger)
+        })
     }
 
-    // ------------------------------------------------------------------
-    // §5.2 Too many red lights
-    // ------------------------------------------------------------------
-
     /// Diagnoses accumulated contention across every switch of the victim's
-    /// path (spatial correlation).
+    /// path (§5.2, spatial correlation).
     pub fn diagnose_red_lights(
         &self,
         victim: FlowId,
         victim_dst: NodeId,
         trigger_window: SimTime,
     ) -> RedLightsDiagnosis {
-        let (trigger, path) = self.victim_info(victim_dst, victim);
-        let range = self.epoch_window(&trigger, trigger_window);
-
-        // One retrieval round over all path switches (§5.2: "contacts all
-        // of the switches and retrieves pointers ... in 10 ms").
-        let mut union_hosts: BTreeSet<NodeId> = BTreeSet::new();
-        let mut per_switch_hosts: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
-        for &sw in &path {
-            let mut hosts = self.hosts_for(sw, range);
-            hosts.retain(|&h| h != victim_dst);
-            let reduced = self.reduce_search_radius(sw, victim_dst, victim, hosts);
-            union_hosts.extend(reduced.iter().copied());
-            per_switch_hosts.push((sw, reduced));
-        }
-        let all_hosts: Vec<NodeId> = union_hosts.into_iter().collect();
-
-        // One query wave over the union of hosts; evaluate per switch.
-        let mut per_switch = Vec::new();
-        let mut implicated = Vec::new();
-        let mut record_counts = vec![0usize; all_hosts.len()];
-        for (i, &h) in all_hosts.iter().enumerate() {
-            if let Some(handle) = self.hosts.get(&h) {
-                record_counts[i] = handle.borrow().store.len();
-            }
-        }
-        for (sw, hosts) in &per_switch_hosts {
-            let (culprits, _) = self.query_hosts(hosts, *sw, range, victim);
-            if culprits.iter().any(|c| !c.common_epochs.is_empty()) {
-                implicated.push(*sw);
-            }
-            per_switch.push((*sw, culprits));
-        }
-
-        let wave = self.cost.query_wave(all_hosts.len(), &record_counts);
-        RedLightsDiagnosis {
-            victim,
-            per_switch,
-            implicated,
-            hosts_contacted: all_hosts.len(),
-            breakdown: LatencyBreakdown {
-                detection: trigger_window,
-                alert: self.cost.alert_rtt,
-                pointer_retrieval: self.cost.pointer_retrieval(path.len()),
-                diagnosis: wave.total(),
-                diagnosis_detail: wave,
-            },
-        }
+        self.with_executor(|e| e.diagnose_red_lights(victim, victim_dst, trigger_window))
     }
 
-    // ------------------------------------------------------------------
-    // §5.3 Traffic cascades
-    // ------------------------------------------------------------------
-
-    /// Recursively chases the delay chain: who delayed the victim, then who
-    /// delayed the delayer, up to `max_depth` stages (temporal + spatial
-    /// correlation).
+    /// Recursively chases the delay chain (§5.3): who delayed the victim,
+    /// then who delayed the delayer, up to `max_depth` stages.
     pub fn diagnose_cascade(
         &self,
         victim: FlowId,
@@ -493,218 +330,29 @@ impl Analyzer {
         trigger_window: SimTime,
         max_depth: usize,
     ) -> CascadeDiagnosis {
-        let (trigger, _) = self.victim_info(victim_dst, victim);
-        let mut range = self.epoch_window(&trigger, trigger_window);
-
-        let mut stages = Vec::new();
-        let mut hosts_contacted = 0usize;
-        let mut retrieval = SimTime::ZERO;
-        let mut diagnosis = SimTime::ZERO;
-        let mut detail = QueryWaveCost::default();
-
-        let mut cur_victim = victim;
-        let mut cur_dst = victim_dst;
-
-        for _ in 0..max_depth {
-            // The current victim's path, from its destination's record.
-            let path = match self.hosts[&cur_dst].borrow().store.record(cur_victim) {
-                Some(r) => r.path.clone(),
-                None => break,
-            };
-            let cur_prio = self.hosts[&cur_dst]
-                .borrow()
-                .store
-                .record(cur_victim)
-                .unwrap()
-                .priority;
-
-            retrieval += self.cost.pointer_retrieval(path.len());
-
-            // Find the strongest higher-priority culprit across the path.
-            let mut best: Option<(NodeId, Culprit)> = None;
-            let mut wave_hosts = 0usize;
-            for &sw in &path {
-                let mut hosts = self.hosts_for(sw, range);
-                hosts.retain(|&h| h != cur_dst);
-                let reduced = self.reduce_search_radius(sw, cur_dst, cur_victim, hosts);
-                wave_hosts += reduced.len();
-                let counts: Vec<usize> = reduced
-                    .iter()
-                    .map(|h| {
-                        self.hosts
-                            .get(h)
-                            .map(|hh| hh.borrow().store.len())
-                            .unwrap_or(0)
-                    })
-                    .collect();
-                let wave = self.cost.query_wave(reduced.len(), &counts);
-                diagnosis += wave.total();
-                detail.connection_initiation += wave.connection_initiation;
-                detail.request += wave.request;
-                detail.query_execution += wave.query_execution;
-                detail.response += wave.response;
-
-                let (culprits, _) = self.query_hosts(&reduced, sw, range, cur_victim);
-                for c in culprits {
-                    let fresh = c.priority > cur_prio
-                        && !c.common_epochs.is_empty()
-                        && stages
-                            .iter()
-                            .all(|s: &CascadeStage| s.victim != c.flow && s.culprit.flow != c.flow);
-                    let better = best
-                        .as_ref()
-                        .map(|(_, b)| (c.priority, c.bytes) > (b.priority, b.bytes))
-                        .unwrap_or(true);
-                    if fresh && better {
-                        best = Some((sw, c));
-                    }
-                }
-            }
-            hosts_contacted += wave_hosts;
-
-            match best {
-                Some((sw, culprit)) => {
-                    // Widen the window slightly for the next stage: the
-                    // upstream cause precedes the symptom.
-                    range = EpochRange {
-                        lo: range.lo.saturating_sub(1),
-                        hi: range.hi,
-                    };
-                    let next_victim = culprit.flow;
-                    let next_dst = culprit.dst;
-                    stages.push(CascadeStage {
-                        victim: cur_victim,
-                        switch: sw,
-                        culprit,
-                    });
-                    cur_victim = next_victim;
-                    cur_dst = next_dst;
-                }
-                None => break,
-            }
-        }
-
-        CascadeDiagnosis {
-            stages,
-            hosts_contacted,
-            breakdown: LatencyBreakdown {
-                detection: trigger_window,
-                alert: self.cost.alert_rtt,
-                pointer_retrieval: retrieval,
-                diagnosis,
-                diagnosis_detail: detail,
-            },
-        }
+        self.with_executor(|e| e.diagnose_cascade(victim, victim_dst, trigger_window, max_depth))
     }
-
-    // ------------------------------------------------------------------
-    // §5.4 Load imbalance
-    // ------------------------------------------------------------------
 
     /// Pulls pointers for `range` at `switch`, asks every pointed host for
     /// its per-egress flow sizes, and tests for a clean flow-size
-    /// separation between egress links.
+    /// separation between egress links (§5.4).
     pub fn diagnose_load_imbalance(
         &self,
         switch: NodeId,
         range: EpochRange,
     ) -> LoadImbalanceDiagnosis {
-        let hosts = self.hosts_for(switch, range);
-        let mut per_link: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
-        let mut record_counts = Vec::with_capacity(hosts.len());
-        for &h in &hosts {
-            let Some(handle) = self.hosts.get(&h) else {
-                record_counts.push(0);
-                continue;
-            };
-            let comp = handle.borrow();
-            record_counts.push(comp.store.len());
-            for (link, bytes) in comp.store.sizes_by_link(switch) {
-                per_link.entry(link).or_default().push(bytes);
-            }
-        }
-        for sizes in per_link.values_mut() {
-            sizes.sort_unstable();
-        }
-
-        // Clean separation between the two busiest links: every flow on one
-        // side smaller than every flow on the other.
-        let mut links: Vec<(&u16, &Vec<u64>)> = per_link.iter().collect();
-        links.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
-        let separation_bytes = if links.len() >= 2 {
-            let (a, b) = (links[0].1, links[1].1);
-            let (max_a, min_a) = (*a.last().unwrap(), a[0]);
-            let (max_b, min_b) = (*b.last().unwrap(), b[0]);
-            if max_a < min_b {
-                Some(min_b)
-            } else if max_b < min_a {
-                Some(min_a)
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-
-        let wave = self.cost.query_wave(hosts.len(), &record_counts);
-        LoadImbalanceDiagnosis {
-            per_link,
-            separation_bytes,
-            hosts_contacted: hosts.len(),
-            breakdown: LatencyBreakdown {
-                detection: SimTime::ZERO, // detected from interface counters
-                alert: self.cost.alert_rtt,
-                pointer_retrieval: self.cost.pointer_retrieval(1),
-                diagnosis: wave.total(),
-                diagnosis_detail: wave,
-            },
-        }
+        self.with_executor(|e| e.diagnose_load_imbalance(switch, range))
     }
 
-    // ------------------------------------------------------------------
-    // §6.2 Top-k query
-    // ------------------------------------------------------------------
-
-    /// Top-k flows through `switch` over `range`. SwitchPointer contacts
-    /// only hosts named by the pointer; the PathDump baseline (see the
-    /// `pathdump` crate) must contact every server.
+    /// Top-k flows through `switch` over `range` (§6.2). SwitchPointer
+    /// contacts only hosts named by the pointer; the PathDump baseline must
+    /// contact every server.
     pub fn top_k(&self, switch: NodeId, k: usize, range: EpochRange) -> TopKResult {
-        let hosts = self.hosts_for(switch, range);
-        let mut merged: Vec<(FlowId, u64)> = Vec::new();
-        let mut record_counts = Vec::with_capacity(hosts.len());
-        for &h in &hosts {
-            let Some(handle) = self.hosts.get(&h) else {
-                record_counts.push(0);
-                continue;
-            };
-            let comp = handle.borrow();
-            record_counts.push(comp.store.len());
-            merged.extend(comp.store.top_k_through(switch, k));
-        }
-        merged.sort_by_key(|&(f, b)| (std::cmp::Reverse(b), f));
-        merged.truncate(k);
-        TopKResult {
-            flows: merged,
-            hosts_contacted: hosts.len(),
-            pointer_retrieval: self.cost.pointer_retrieval(1),
-            wave: self.cost.query_wave(hosts.len(), &record_counts),
-        }
+        self.with_executor(|e| e.top_k(switch, k, range))
     }
-
-    // ------------------------------------------------------------------
-    // §2.4-class application: silent drop localization
-    // ------------------------------------------------------------------
 
     /// Localizes where a flow's packets stopped flowing, using switch
-    /// pointers as per-hop *presence* witnesses — a member of the "other
-    /// use cases" class (§2.4; PathDump's blackhole localization gains
-    /// per-epoch precision from the pointer directory).
-    ///
-    /// Walks the flow's forwarding path (the analyzer knows topology and
-    /// flow rules, §4.3); a switch whose pointer lacks the destination for
-    /// the post-onset epochs never forwarded the flow then. The failure
-    /// lies on the segment between the last switch that did and the first
-    /// that did not.
+    /// pointers as per-hop *presence* witnesses (§2.4-class application).
     pub fn localize_silent_drop(
         &self,
         flow: FlowId,
@@ -712,72 +360,19 @@ impl Analyzer {
         dst: NodeId,
         range: EpochRange,
     ) -> DropDiagnosis {
-        // Reconstruct the forwarding path by walking the route tables with
-        // the flow's ECMP identity.
-        let mut path = Vec::new();
-        let mut cur = src;
-        while cur != dst {
-            let Some(port) = self.routes.egress(cur, dst, flow) else {
-                break;
-            };
-            let (_, peer) = self.topo.ports(cur)[port as usize];
-            if self.topo.is_switch(peer) {
-                path.push(peer);
-            }
-            cur = peer;
-            if path.len() > 32 {
-                break; // defensive: malformed routing
-            }
-        }
-
-        // Presence must be read at *exact* (level-1) epoch resolution:
-        // coarser levels aggregate pre-onset epochs and would report the
-        // destination everywhere (a by-design false positive that is fine
-        // for search-radius queries but fatal here). This also means the
-        // window should be recent — real-time diagnosis over live level-1
-        // slots, as §4.1.1 prescribes.
-        let mut per_switch = Vec::with_capacity(path.len());
-        for &sw in &path {
-            let present = match self.switches.get(&sw) {
-                Some(handle) => {
-                    let comp = handle.borrow();
-                    range
-                        .iter()
-                        .any(|e| comp.pointers.contains_within(dst.addr(), e, 1) == Some(true))
-                }
-                None => false,
-            };
-            per_switch.push((sw, present));
-        }
-
-        let last_seen = per_switch
-            .iter()
-            .take_while(|&&(_, p)| p)
-            .last()
-            .map(|&(s, _)| s);
-        let first_missing = per_switch
-            .iter()
-            .find(|&&(_, p)| !p)
-            .map(|&(s, _)| s);
-        let suspected_segment = match (last_seen, first_missing) {
-            (Some(a), Some(b)) => Some((a, b)),
-            (None, Some(b)) => Some((src, b)),
-            _ => None,
-        };
-        let retrieval = self.cost.pointer_retrieval(per_switch.len());
-
-        DropDiagnosis {
-            flow,
-            path,
-            per_switch,
-            suspected_segment,
-            pointer_retrieval: retrieval,
-        }
+        self.with_executor(|e| e.localize_silent_drop(flow, src, dst, range))
     }
 
     /// All hosts known to the analyzer (used by baselines and tests).
     pub fn all_hosts(&self) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self.hosts.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// All switches with a SwitchPointer component (sorted).
+    pub fn all_switches(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.switches.keys().copied().collect();
         v.sort();
         v
     }
@@ -804,6 +399,85 @@ impl Analyzer {
     /// The topology the analyzer reasons over.
     pub fn topo(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Epoch timing parameters in force.
+    pub fn params(&self) -> EpochParams {
+        self.params
+    }
+
+    /// The route tables the analyzer reasons over.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+}
+
+/// [`StateView`] over the live `Rc<RefCell<…>>` component handles the
+/// simulator mutates — what the sequential [`Analyzer`] queries.
+pub struct LiveView<'a> {
+    switches: &'a HashMap<NodeId, SwitchHandle>,
+    hosts: &'a HashMap<NodeId, HostHandle>,
+}
+
+impl StateView for LiveView<'_> {
+    fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        self.switches
+            .get(&switch)
+            .map(|h| h.borrow().pointers.pointer_union(range.lo, range.hi))
+    }
+
+    fn pointer_contains_exact(
+        &self,
+        switch: NodeId,
+        addr: u64,
+        epoch: u64,
+    ) -> Option<Option<bool>> {
+        self.switches
+            .get(&switch)
+            .map(|h| h.borrow().pointers.contains_within(addr, epoch, 1))
+    }
+
+    fn store_len(&self, host: NodeId) -> Option<usize> {
+        self.hosts.get(&host).map(|h| h.borrow().store.len())
+    }
+
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord> {
+        self.hosts.get(&host)?.borrow().store.record(flow).cloned()
+    }
+
+    fn flows_matching(&self, host: NodeId, switch: NodeId, range: EpochRange) -> Vec<FlowRecord> {
+        match self.hosts.get(&host) {
+            Some(h) => h
+                .borrow()
+                .store
+                .flows_matching(switch, range)
+                .into_iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn top_k_through(&self, host: NodeId, switch: NodeId, k: usize) -> Vec<(FlowId, u64)> {
+        match self.hosts.get(&host) {
+            Some(h) => h.borrow().store.top_k_through(switch, k),
+            None => Vec::new(),
+        }
+    }
+
+    fn sizes_by_link(&self, host: NodeId, switch: NodeId) -> Vec<(u16, u64)> {
+        match self.hosts.get(&host) {
+            Some(h) => h.borrow().store.sizes_by_link(switch),
+            None => Vec::new(),
+        }
+    }
+
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
+        self.hosts
+            .get(&host)?
+            .borrow()
+            .first_trigger_for(flow)
+            .copied()
     }
 }
 
@@ -929,12 +603,9 @@ mod tests {
         );
         // Victim heads to F (egress S2->S3). E shares that egress; A and B
         // are behind S2->S1, the opposite direction.
-        let kept = fx.analyzer.reduce_search_radius(
-            s2,
-            f,
-            FlowId(0),
-            vec![a, b, e],
-        );
+        let kept = fx
+            .analyzer
+            .reduce_search_radius(s2, f, FlowId(0), vec![a, b, e]);
         assert_eq!(kept, vec![e]);
     }
 

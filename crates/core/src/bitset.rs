@@ -66,7 +66,10 @@ impl BitSet {
     /// True if every bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.nbits, other.nbits, "bit set size mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates indices of set bits in ascending order.

@@ -35,6 +35,14 @@ pub struct CostModel {
     pub query_exec_per_record: SimTime,
     /// Response transfer per host.
     pub response_per_host: SimTime,
+    /// Cost of answering a pointer-retrieval round from the analyzer's
+    /// epoch-keyed pointer cache instead of contacting the switches (a
+    /// local map lookup — orders of magnitude below a retrieval round).
+    pub pointer_cache_hit: SimTime,
+    /// Per-extra-request marshalling overhead when several queries'
+    /// requests to the same host are coalesced into one batched RPC (the
+    /// expensive per-host connection initiation is paid once per batch).
+    pub batched_request_per_query: SimTime,
 }
 
 impl CostModel {
@@ -56,6 +64,8 @@ impl CostModel {
             query_exec_per_host: SimTime::from_us(450),
             query_exec_per_record: SimTime::from_us(20),
             response_per_host: SimTime::from_us(300),
+            pointer_cache_hit: SimTime::from_us(5),
+            batched_request_per_query: SimTime::from_us(50),
         }
     }
 
@@ -77,14 +87,52 @@ impl CostModel {
         let conn = self.conn_init_per_host * hosts as u64;
         let req = self.request_per_host * hosts as u64;
         let exec_records: u64 = records_per_host.iter().map(|&r| r as u64).sum();
-        let exec = self.query_exec_per_host * hosts as u64
-            + self.query_exec_per_record * exec_records;
+        let exec =
+            self.query_exec_per_host * hosts as u64 + self.query_exec_per_record * exec_records;
         let resp = self.response_per_host * hosts as u64;
         QueryWaveCost {
             connection_initiation: conn,
             request: req,
             query_execution: exec,
             response: resp,
+            base: self.query_base,
+        }
+    }
+}
+
+/// One host's workload inside a *batched* query wave: how many distinct
+/// queries' requests were coalesced into the single RPC to this host, and
+/// how many flow records each of those requests scans.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedHostLoad {
+    /// Coalesced requests carried by the one RPC (≥ 1).
+    pub requests: usize,
+    /// Total records scanned across those requests.
+    pub records: usize,
+}
+
+impl CostModel {
+    /// Breakdown of one *batched* query wave: every entry of `loads` is one
+    /// contacted host carrying one or more coalesced requests. Connection
+    /// initiation (the Fig. 12-dominant serialized term) is paid **once per
+    /// host**, not once per (query, host) pair; the extra requests pay only
+    /// the cheap marshalling increment. Query execution still scales with
+    /// the records actually scanned, so batching never hides real work.
+    pub fn batched_query_wave(&self, loads: &[BatchedHostLoad]) -> QueryWaveCost {
+        if loads.is_empty() {
+            return QueryWaveCost::default();
+        }
+        let hosts = loads.len() as u64;
+        let extra_requests: u64 = loads.iter().map(|l| (l.requests - 1) as u64).sum();
+        let total_requests: u64 = loads.iter().map(|l| l.requests as u64).sum();
+        let total_records: u64 = loads.iter().map(|l| l.records as u64).sum();
+        QueryWaveCost {
+            connection_initiation: self.conn_init_per_host * hosts,
+            request: self.request_per_host * hosts
+                + self.batched_request_per_query * extra_requests,
+            query_execution: self.query_exec_per_host * total_requests
+                + self.query_exec_per_record * total_records,
+            response: self.response_per_host * hosts,
             base: self.query_base,
         }
     }
@@ -177,6 +225,49 @@ mod tests {
     fn empty_wave_is_free() {
         let c = CostModel::paper_calibrated();
         assert_eq!(c.query_wave(0, &[]).total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn batched_wave_with_single_requests_degenerates_to_plain_wave() {
+        let c = CostModel::paper_calibrated();
+        let plain = c.query_wave(3, &[5, 6, 7]);
+        let loads: Vec<BatchedHostLoad> = [5, 6, 7]
+            .iter()
+            .map(|&records| BatchedHostLoad {
+                requests: 1,
+                records,
+            })
+            .collect();
+        assert_eq!(c.batched_query_wave(&loads).total(), plain.total());
+    }
+
+    #[test]
+    fn coalescing_shares_connection_initiation() {
+        // 4 queries over the same 8 hosts: batched pays 8 connection
+        // initiations instead of 32, which dominates the wave.
+        let c = CostModel::paper_calibrated();
+        let mut sequential = SimTime::ZERO;
+        for _ in 0..4 {
+            sequential += c.query_wave(8, &[10; 8]).total();
+        }
+        let loads = vec![
+            BatchedHostLoad {
+                requests: 4,
+                records: 40,
+            };
+            8
+        ];
+        let batched = c.batched_query_wave(&loads).total();
+        assert!(
+            batched * 2 < sequential,
+            "batched {batched} vs 4 sequential waves {sequential}"
+        );
+    }
+
+    #[test]
+    fn cache_hit_is_far_below_a_retrieval_round() {
+        let c = CostModel::paper_calibrated();
+        assert!(c.pointer_cache_hit * 100 < c.pointer_retrieval(1));
     }
 
     #[test]

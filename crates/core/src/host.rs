@@ -153,11 +153,8 @@ impl HostComponent {
                 // Byte counts are exact only at the tagging switch; other
                 // hops inherit the same series (the flow's bytes are the
                 // flow's bytes — what varies is the epoch attribution).
-                let bytes: Vec<(u64, u64)> = rec
-                    .bytes_per_epoch
-                    .iter()
-                    .map(|(&e, &b)| (e, b))
-                    .collect();
+                let bytes: Vec<(u64, u64)> =
+                    rec.bytes_per_epoch.iter().map(|(&e, &b)| (e, b)).collect();
                 SwitchEpochs {
                     switch: sw,
                     epochs,

@@ -52,6 +52,18 @@ impl FlowRecord {
     }
 }
 
+/// Stable shard assignment of a flow: a splitmix64 finalizer over the flow
+/// id, reduced mod `n_shards`. Every layer that partitions flow records
+/// (the query plane's snapshot, shard-aware iteration below) uses this one
+/// function, so a flow lands in the same shard everywhere.
+pub fn shard_of(flow: FlowId, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0);
+    let mut z = flow.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % n_shards as u64) as usize
+}
+
 /// The per-host store.
 #[derive(Debug, Default)]
 pub struct FlowStore {
@@ -130,6 +142,33 @@ impl FlowStore {
         let mut v: Vec<&FlowRecord> = self.records.values().collect();
         v.sort_by_key(|r| r.flow);
         v.into_iter()
+    }
+
+    /// Shard-aware iteration: the records of `shard` (of `n_shards`), in
+    /// deterministic ascending-flow-id order. The union over all shards is
+    /// exactly [`FlowStore::records`]; shards are disjoint.
+    pub fn records_in_shard(
+        &self,
+        shard: usize,
+        n_shards: usize,
+    ) -> impl Iterator<Item = &FlowRecord> {
+        self.records()
+            .filter(move |r| shard_of(r.flow, n_shards) == shard)
+    }
+
+    /// *Filter query* restricted to one shard: flows of `shard` that
+    /// traversed `switch` during `range`.
+    pub fn flows_matching_in_shard(
+        &self,
+        switch: NodeId,
+        range: EpochRange,
+        shard: usize,
+        n_shards: usize,
+    ) -> Vec<&FlowRecord> {
+        self.flows_matching(switch, range)
+            .into_iter()
+            .filter(|r| shard_of(r.flow, n_shards) == shard)
+            .collect()
     }
 
     /// *Filter query*: flows that traversed `switch` during `range`.
@@ -253,7 +292,7 @@ mod tests {
             vec![5, 6]
         );
         assert_eq!(r.epochs_at[&NodeId(1)].len(), 4); // {4,5,6,7}
-        // Exact per-epoch bytes at the tagging switch (switch 0).
+                                                      // Exact per-epoch bytes at the tagging switch (switch 0).
         assert_eq!(r.bytes_per_epoch[&5], 1000);
         assert_eq!(r.bytes_per_epoch[&6], 500);
     }
@@ -339,6 +378,50 @@ mod tests {
             .flows_matching(NodeId(0), EpochRange { lo: 0, hi: 100 })
             .iter()
             .all(|r| r.flow != FlowId(1)));
+    }
+
+    #[test]
+    fn shards_partition_the_store() {
+        let mut s = FlowStore::new();
+        for f in 0..64 {
+            ingest_simple(&mut s, f, 100, &[(0, 5, 5)]);
+        }
+        for n_shards in [1usize, 2, 3, 8] {
+            let mut seen = Vec::new();
+            for shard in 0..n_shards {
+                for r in s.records_in_shard(shard, n_shards) {
+                    assert_eq!(shard_of(r.flow, n_shards), shard);
+                    seen.push(r.flow);
+                }
+            }
+            seen.sort();
+            let all: Vec<FlowId> = s.records().map(|r| r.flow).collect();
+            assert_eq!(seen, all, "shards must partition exactly ({n_shards})");
+        }
+    }
+
+    #[test]
+    fn sharded_filter_query_unions_to_unsharded() {
+        let mut s = FlowStore::new();
+        for f in 0..40 {
+            ingest_simple(&mut s, f, 100, &[(0, (f % 4) + 1, (f % 4) + 1)]);
+        }
+        let range = EpochRange { lo: 2, hi: 3 };
+        let full: Vec<FlowId> = s
+            .flows_matching(NodeId(0), range)
+            .iter()
+            .map(|r| r.flow)
+            .collect();
+        let mut merged: Vec<FlowId> = (0..4)
+            .flat_map(|shard| {
+                s.flows_matching_in_shard(NodeId(0), range, shard, 4)
+                    .into_iter()
+                    .map(|r| r.flow)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        merged.sort();
+        assert_eq!(merged, full);
     }
 
     #[test]

@@ -17,15 +17,17 @@
 //! | [`bitset`] | §4.1.2 | the n-bit pointer sets |
 //! | [`switch`] | §4.1 | the switch component (runs in the simulator's forwarding pipeline) |
 //! | [`host`] | §4.2 | the end-host component: telemetry decoding, flow records, throughput trigger |
-//! | [`hoststore`] | §4.2.2, §6 | the flow-record store and its filter/aggregate queries |
+//! | [`hoststore`] | §4.2.2, §6 | the flow-record store, its filter/aggregate queries, and flow-id sharding |
 //! | [`analyzer`] | §4.3, §5 | the analyzer and the four debugging applications |
-//! | [`cost`] | §5, §6.2 | calibrated RPC latency model (Fig. 7/8/12 shapes) |
+//! | [`query`] | §4.3, §5 | the per-application query executors behind the `QueryRequest`/`QueryResponse` API, shared by the analyzer and the query plane |
+//! | [`cost`] | §5, §6.2 | calibrated RPC latency model (Fig. 7/8/12 shapes), batched-RPC and cache-hit terms |
 //! | [`pipeline`] | §6.1 | the OVS-style forwarding pipeline of the Fig. 9 benchmark |
 //! | [`testbed`] | — | one-call deployment over a simulated topology |
 //!
 //! Substrates live in sibling crates: `netsim` (the simulated datacenter),
 //! `telemetry` (header embedding/decoding), `mphf` (minimal perfect
-//! hashing), `pathdump` (the end-host-only baseline).
+//! hashing), `pathdump` (the end-host-only baseline), and `queryplane`
+//! (the concurrent, sharded query service over this crate's executors).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,28 @@
 //! let s2 = tb.node("S2");
 //! assert!(tb.switches[&s2].borrow().pointers.contains(f.addr(), 0));
 //! ```
+//!
+//! ## Concurrent querying
+//!
+//! For query *streams* — many tenants debugging the same incident window —
+//! wrap the analyzer state in the `queryplane` crate's service front-end.
+//! Responses stay bit-identical to the sequential analyzer's at any worker
+//! count; repeated pointer retrievals hit an epoch-keyed LRU and
+//! same-host fan-outs coalesce into batched RPCs:
+//!
+//! ```ignore
+//! // (runs as a doctest in the `queryplane` crate, which depends on this one)
+//! use queryplane::{QueryPlane, QueryPlaneConfig};
+//! use switchpointer::query::QueryRequest;
+//!
+//! let analyzer = tb.analyzer();
+//! let mut plane = QueryPlane::from_analyzer(&analyzer, QueryPlaneConfig::default());
+//! let outcomes = plane.execute_batch(&[
+//!     QueryRequest::TopK { switch: s2, k: 10, range: window },
+//!     QueryRequest::Contention { victim, victim_dst, trigger_window },
+//! ]);
+//! println!("cache hit rate: {:.0}%", plane.stats().cache_hit_rate() * 100.0);
+//! ```
 
 pub mod analyzer;
 pub mod bitset;
@@ -62,10 +86,11 @@ pub mod host;
 pub mod hoststore;
 pub mod pipeline;
 pub mod pointer;
+pub mod query;
 pub mod switch;
 pub mod testbed;
 
-pub use analyzer::{Analyzer, ContentionDiagnosis, Culprit, HostDirectory, Verdict};
+pub use analyzer::{Analyzer, ContentionDiagnosis, Culprit, HostDirectory, LiveView, Verdict};
 pub use cost::{CostModel, LatencyBreakdown, QueryWaveCost};
 pub use host::{
     AlertPayload, HostComponent, HostHandle, SwitchEpochs, SwitchPointerHostApp, TriggerConfig,
@@ -73,5 +98,8 @@ pub use host::{
 };
 pub use hoststore::{FlowRecord, FlowStore};
 pub use pointer::{PointerConfig, PointerHierarchy};
+pub use query::{
+    ExecutionTrace, PointerRound, QueryCtx, QueryExecutor, QueryRequest, QueryResponse, StateView,
+};
 pub use switch::{SwitchComponent, SwitchHandle, SwitchPointerApp};
 pub use testbed::{Testbed, TestbedConfig};

@@ -271,7 +271,9 @@ impl PointerHierarchy {
         let Some(bit) = self.mphf.index(&dst_addr) else {
             return false;
         };
-        self.pointer_for(epoch).map(|b| b.test(bit)).unwrap_or(false)
+        self.pointer_for(epoch)
+            .map(|b| b.test(bit))
+            .unwrap_or(false)
     }
 
     /// Membership using only pointer sets that aggregate at most `max_span`
@@ -375,7 +377,14 @@ mod tests {
         let addrs: Vec<u64> = (0..n as u64).map(|i| 0x0a00_0000 + i).collect();
         let mphf = Arc::new(Mphf::build(&addrs).unwrap());
         (
-            PointerHierarchy::new(PointerConfig { n_hosts: n, alpha, k }, mphf),
+            PointerHierarchy::new(
+                PointerConfig {
+                    n_hosts: n,
+                    alpha,
+                    k,
+                },
+                mphf,
+            ),
             addrs,
         )
     }

@@ -1,0 +1,798 @@
+//! Reusable per-application query executors behind a uniform
+//! [`QueryRequest`] / [`QueryResponse`] API.
+//!
+//! The §5 debugging applications were originally methods on [`Analyzer`];
+//! this module is the same logic hoisted over an abstract [`StateView`] so
+//! two front-ends can share it bit-for-bit:
+//!
+//! * the sequential [`Analyzer`](crate::Analyzer), reading the live
+//!   `Rc<RefCell<…>>` component handles wired into the simulator; and
+//! * the concurrent `queryplane` crate, reading an immutable, thread-safe
+//!   snapshot sharded by flow id.
+//!
+//! Every executor run also produces an [`ExecutionTrace`] — which pointer
+//! sets were pulled (and what the sequential cost model charged for the
+//! round) and which hosts each query wave contacted. The query plane's
+//! batching and pointer-cache accounting replays these traces; the
+//! *answers* never depend on them, which is what makes "same seed + same
+//! queries ⇒ same verdicts, any worker count" hold by construction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::packet::{FlowId, NodeId};
+use netsim::routing::RouteTable;
+use netsim::time::SimTime;
+use netsim::topology::Topology;
+use telemetry::{EpochParams, EpochRange};
+
+use crate::analyzer::{
+    CascadeDiagnosis, CascadeStage, ContentionDiagnosis, Culprit, DropDiagnosis, HostDirectory,
+    LoadImbalanceDiagnosis, RedLightsDiagnosis, TopKResult, Verdict,
+};
+use crate::bitset::BitSet;
+use crate::cost::{CostModel, LatencyBreakdown, QueryWaveCost};
+use crate::host::TriggerEvent;
+use crate::hoststore::FlowRecord;
+
+/// Read-only access to deployment state (switch pointers + host stores),
+/// returning owned data so implementations may sit over `Rc<RefCell<…>>`
+/// handles or over immutable cross-thread snapshots alike.
+pub trait StateView {
+    /// Pointer-bit union for `range` at `switch`; `None` if the switch has
+    /// no SwitchPointer component.
+    fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet>;
+
+    /// Exact-resolution presence probe (max span 1 epoch) at `switch`;
+    /// outer `None` if the switch has no component.
+    fn pointer_contains_exact(&self, switch: NodeId, addr: u64, epoch: u64)
+        -> Option<Option<bool>>;
+
+    /// Number of flow records held by `host`; `None` for unknown hosts.
+    fn store_len(&self, host: NodeId) -> Option<usize>;
+
+    /// `host`'s record for `flow`, if any.
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord>;
+
+    /// *Filter query* at `host`: records that traversed `switch` during
+    /// `range` (deterministic order: ascending flow id).
+    fn flows_matching(&self, host: NodeId, switch: NodeId, range: EpochRange) -> Vec<FlowRecord>;
+
+    /// *Aggregate query* at `host`: top-k flows through `switch` by bytes.
+    fn top_k_through(&self, host: NodeId, switch: NodeId, k: usize) -> Vec<(FlowId, u64)>;
+
+    /// *Aggregate query* at `host`: (link VID, bytes) pairs through `switch`.
+    fn sizes_by_link(&self, host: NodeId, switch: NodeId) -> Vec<(u16, u64)>;
+
+    /// First trigger `host` raised for `flow`.
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent>;
+}
+
+/// One debugging query, ready to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// §5.1 — who contended with `victim` at its bottleneck switch?
+    Contention {
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    },
+    /// §5.2 — accumulated contention across every switch of the path.
+    RedLights {
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    },
+    /// §5.3 — recursive delay chain, up to `max_depth` stages.
+    Cascade {
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+        max_depth: usize,
+    },
+    /// §5.4 — flow-size distributions per egress link at `switch`.
+    LoadImbalance { switch: NodeId, range: EpochRange },
+    /// §6.2 — top-k flows through `switch` over `range`.
+    TopK {
+        switch: NodeId,
+        k: usize,
+        range: EpochRange,
+    },
+    /// §2.4-class — where did `flow`'s packets stop flowing?
+    SilentDrop {
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        range: EpochRange,
+    },
+}
+
+/// The matching result for each [`QueryRequest`] variant.
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    Contention(ContentionDiagnosis),
+    RedLights(RedLightsDiagnosis),
+    Cascade(CascadeDiagnosis),
+    LoadImbalance(LoadImbalanceDiagnosis),
+    TopK(TopKResult),
+    SilentDrop(DropDiagnosis),
+}
+
+impl QueryResponse {
+    /// The modelled end-to-end latency of this query when executed alone
+    /// (no batching, no pointer cache) — the sequential baseline.
+    pub fn sequential_latency(&self) -> SimTime {
+        match self {
+            QueryResponse::Contention(d) => d.breakdown.total(),
+            QueryResponse::RedLights(d) => d.breakdown.total(),
+            QueryResponse::Cascade(d) => d.breakdown.total(),
+            QueryResponse::LoadImbalance(d) => d.breakdown.total(),
+            QueryResponse::TopK(r) => r.total_latency(),
+            QueryResponse::SilentDrop(d) => d.pointer_retrieval,
+        }
+    }
+
+    /// How many hosts the query contacted.
+    pub fn hosts_contacted(&self) -> usize {
+        match self {
+            QueryResponse::Contention(d) => d.hosts_contacted,
+            QueryResponse::RedLights(d) => d.hosts_contacted,
+            QueryResponse::Cascade(d) => d.hosts_contacted,
+            QueryResponse::LoadImbalance(d) => d.hosts_contacted,
+            QueryResponse::TopK(r) => r.hosts_contacted,
+            QueryResponse::SilentDrop(_) => 0,
+        }
+    }
+}
+
+/// One pointer-retrieval round: the (switch, epoch range) keys consulted
+/// and what the sequential cost model charged for the round.
+#[derive(Debug, Clone)]
+pub struct PointerRound {
+    pub keys: Vec<(NodeId, EpochRange)>,
+    pub modelled: SimTime,
+}
+
+/// What a query touched while executing: replayed by the query plane for
+/// pointer-cache and batched-fan-out accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// Pointer-retrieval rounds, in execution order.
+    pub pointer_rounds: Vec<PointerRound>,
+    /// Host query waves: each wave lists (host, records scanned there).
+    pub waves: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl ExecutionTrace {
+    fn push_round(&mut self, keys: Vec<(NodeId, EpochRange)>, modelled: SimTime) {
+        self.pointer_rounds.push(PointerRound { keys, modelled });
+    }
+
+    fn push_wave(&mut self, wave: Vec<(NodeId, usize)>) {
+        self.waves.push(wave);
+    }
+
+    /// Total sequential charge for all pointer rounds.
+    pub fn pointer_total(&self) -> SimTime {
+        self.pointer_rounds
+            .iter()
+            .fold(SimTime::ZERO, |acc, r| acc + r.modelled)
+    }
+}
+
+/// Shared immutable context of an executor: what the analyzer knows about
+/// the deployment (topology, routes, epoch timing, directory, costs).
+#[derive(Clone, Copy)]
+pub struct QueryCtx<'a> {
+    pub topo: &'a Topology,
+    pub routes: &'a RouteTable,
+    pub params: EpochParams,
+    pub directory: &'a HostDirectory,
+    pub cost: &'a CostModel,
+}
+
+/// The per-application query algorithms of §5, runnable over any
+/// [`StateView`].
+pub struct QueryExecutor<'a, V: StateView> {
+    ctx: QueryCtx<'a>,
+    view: &'a V,
+    trace: ExecutionTrace,
+}
+
+impl<'a, V: StateView> QueryExecutor<'a, V> {
+    pub fn new(ctx: QueryCtx<'a>, view: &'a V) -> Self {
+        QueryExecutor {
+            ctx,
+            view,
+            trace: ExecutionTrace::default(),
+        }
+    }
+
+    /// Runs `req` and returns just the response.
+    pub fn execute(self, req: &QueryRequest) -> QueryResponse {
+        self.execute_traced(req).0
+    }
+
+    /// Runs `req` and additionally returns the execution trace.
+    pub fn execute_traced(mut self, req: &QueryRequest) -> (QueryResponse, ExecutionTrace) {
+        let resp = match *req {
+            QueryRequest::Contention {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => QueryResponse::Contention(self.diagnose_contention(
+                victim,
+                victim_dst,
+                trigger_window,
+            )),
+            QueryRequest::RedLights {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => QueryResponse::RedLights(self.diagnose_red_lights(
+                victim,
+                victim_dst,
+                trigger_window,
+            )),
+            QueryRequest::Cascade {
+                victim,
+                victim_dst,
+                trigger_window,
+                max_depth,
+            } => QueryResponse::Cascade(self.diagnose_cascade(
+                victim,
+                victim_dst,
+                trigger_window,
+                max_depth,
+            )),
+            QueryRequest::LoadImbalance { switch, range } => {
+                QueryResponse::LoadImbalance(self.diagnose_load_imbalance(switch, range))
+            }
+            QueryRequest::TopK { switch, k, range } => {
+                QueryResponse::TopK(self.top_k(switch, k, range))
+            }
+            QueryRequest::SilentDrop {
+                flow,
+                src,
+                dst,
+                range,
+            } => QueryResponse::SilentDrop(self.localize_silent_drop(flow, src, dst, range)),
+        };
+        (resp, self.trace)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared machinery (the pre-refactor Analyzer internals)
+    // ------------------------------------------------------------------
+
+    /// Pulls the pointer union for `range` from `switch` and decodes it.
+    pub fn hosts_for(&self, switch: NodeId, range: EpochRange) -> Vec<NodeId> {
+        let bits = self
+            .view
+            .pointer_union(switch, range)
+            .unwrap_or_else(|| panic!("no SwitchPointer component on {switch}"));
+        self.ctx.directory.hosts_in(&bits)
+    }
+
+    /// Search-radius reduction (§4.3): keep only hosts whose traffic can
+    /// have shared the victim's egress port at `switch`.
+    pub fn reduce_search_radius(
+        &self,
+        switch: NodeId,
+        victim_dst: NodeId,
+        victim_flow: FlowId,
+        hosts: Vec<NodeId>,
+    ) -> Vec<NodeId> {
+        let Some(victim_port) = self.ctx.routes.egress(switch, victim_dst, victim_flow) else {
+            return hosts;
+        };
+        hosts
+            .into_iter()
+            .filter(|&h| self.ctx.routes.ports(switch, h).contains(&victim_port))
+            .collect()
+    }
+
+    /// The epoch window to diagnose around a trigger, with ±⌈ε/α⌉ slack
+    /// for clock asynchrony.
+    pub fn epoch_window(&self, trigger: &TriggerEvent, trigger_window: SimTime) -> EpochRange {
+        let p = self.ctx.params;
+        let slack = p.epsilon.as_ns().div_ceil(p.alpha.as_ns());
+        let hi = p.epoch_of(trigger.at) + slack;
+        let lo = p
+            .epoch_of(trigger.at.saturating_sub(trigger_window * 2))
+            .saturating_sub(slack);
+        EpochRange { lo, hi }
+    }
+
+    /// Queries `hosts` for flows matching `(switch, range)`, excluding the
+    /// victim flow. Returns culprits plus per-host record counts.
+    fn query_hosts(
+        &self,
+        hosts: &[NodeId],
+        switch: NodeId,
+        range: EpochRange,
+        victim: FlowId,
+    ) -> (Vec<Culprit>, Vec<usize>) {
+        let mut culprits = Vec::new();
+        let mut record_counts = Vec::with_capacity(hosts.len());
+        for &h in hosts {
+            let Some(len) = self.view.store_len(h) else {
+                record_counts.push(0);
+                continue;
+            };
+            record_counts.push(len);
+            for rec in self.view.flows_matching(h, switch, range) {
+                if rec.flow == victim {
+                    continue;
+                }
+                let common: Vec<u64> = rec.epochs_at[&switch]
+                    .range(range.lo..=range.hi)
+                    .copied()
+                    .collect();
+                culprits.push(Culprit {
+                    flow: rec.flow,
+                    src: rec.src,
+                    dst: rec.dst,
+                    host: h,
+                    priority: rec.priority,
+                    bytes: rec.bytes,
+                    common_epochs: common,
+                });
+            }
+        }
+        culprits.sort_by_key(|c| (std::cmp::Reverse(c.priority), std::cmp::Reverse(c.bytes)));
+        (culprits, record_counts)
+    }
+
+    fn victim_trigger(&self, victim_dst: NodeId, victim: FlowId) -> TriggerEvent {
+        self.view
+            .first_trigger_for(victim_dst, victim)
+            .expect("victim host raised no trigger for the flow")
+    }
+
+    fn victim_path(&self, victim_dst: NodeId, victim: FlowId) -> Vec<NodeId> {
+        self.view
+            .record(victim_dst, victim)
+            .expect("victim host has no record for the flow")
+            .path
+    }
+
+    // ------------------------------------------------------------------
+    // §5.1 Too much traffic
+    // ------------------------------------------------------------------
+
+    pub fn diagnose_contention(
+        &mut self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    ) -> ContentionDiagnosis {
+        let trigger = self.victim_trigger(victim_dst, victim);
+        self.diagnose_contention_at(victim, victim_dst, trigger_window, &trigger)
+    }
+
+    pub fn diagnose_contention_at(
+        &mut self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+        trigger: &TriggerEvent,
+    ) -> ContentionDiagnosis {
+        // One record fetch serves both the path walk and the later
+        // priority comparison (StateView returns owned clones).
+        let victim_rec = self
+            .view
+            .record(victim_dst, victim)
+            .expect("victim host has no record for the flow");
+        let path = victim_rec.path.clone();
+        let victim_prio = victim_rec.priority;
+        let range = self.epoch_window(trigger, trigger_window);
+
+        // Pick the contended switch: walk the path and take the first
+        // switch with a non-empty reduced host set beyond the victim's own
+        // endpoints.
+        let mut consulted: Vec<(NodeId, EpochRange)> = Vec::new();
+        let mut chosen: Option<(NodeId, Vec<NodeId>)> = None;
+        for &sw in &path {
+            consulted.push((sw, range));
+            let mut hosts = self.hosts_for(sw, range);
+            hosts.retain(|&h| h != victim_dst);
+            let reduced = self.reduce_search_radius(sw, victim_dst, victim, hosts);
+            if !reduced.is_empty() {
+                chosen = Some((sw, reduced));
+                break;
+            }
+        }
+        let (switch, hosts) = chosen.unwrap_or_else(|| (path[0], Vec::new()));
+        self.trace
+            .push_round(consulted, self.ctx.cost.pointer_retrieval(1));
+
+        let (culprits, record_counts) = self.query_hosts(&hosts, switch, range, victim);
+        let verdict = if culprits
+            .iter()
+            .any(|c| c.priority > victim_prio && !c.common_epochs.is_empty())
+        {
+            Verdict::PriorityContention
+        } else if culprits.iter().any(|c| !c.common_epochs.is_empty()) {
+            Verdict::Microburst
+        } else {
+            Verdict::NoCulprit
+        };
+
+        self.trace.push_wave(
+            hosts
+                .iter()
+                .copied()
+                .zip(record_counts.iter().copied())
+                .collect(),
+        );
+        let wave = self.ctx.cost.query_wave(hosts.len(), &record_counts);
+        ContentionDiagnosis {
+            victim,
+            switch,
+            epochs: range,
+            culprits,
+            hosts_contacted: hosts.len(),
+            verdict,
+            breakdown: LatencyBreakdown {
+                detection: trigger_window,
+                alert: self.ctx.cost.alert_rtt,
+                pointer_retrieval: self.ctx.cost.pointer_retrieval(1),
+                diagnosis: wave.total(),
+                diagnosis_detail: wave,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.2 Too many red lights
+    // ------------------------------------------------------------------
+
+    pub fn diagnose_red_lights(
+        &mut self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    ) -> RedLightsDiagnosis {
+        let trigger = self.victim_trigger(victim_dst, victim);
+        let path = self.victim_path(victim_dst, victim);
+        let range = self.epoch_window(&trigger, trigger_window);
+
+        // One retrieval round over all path switches.
+        let mut union_hosts: BTreeSet<NodeId> = BTreeSet::new();
+        let mut per_switch_hosts: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for &sw in &path {
+            let mut hosts = self.hosts_for(sw, range);
+            hosts.retain(|&h| h != victim_dst);
+            let reduced = self.reduce_search_radius(sw, victim_dst, victim, hosts);
+            union_hosts.extend(reduced.iter().copied());
+            per_switch_hosts.push((sw, reduced));
+        }
+        self.trace.push_round(
+            path.iter().map(|&sw| (sw, range)).collect(),
+            self.ctx.cost.pointer_retrieval(path.len()),
+        );
+        let all_hosts: Vec<NodeId> = union_hosts.into_iter().collect();
+
+        // One query wave over the union of hosts; evaluate per switch.
+        let mut per_switch = Vec::new();
+        let mut implicated = Vec::new();
+        let mut record_counts = vec![0usize; all_hosts.len()];
+        for (i, &h) in all_hosts.iter().enumerate() {
+            if let Some(len) = self.view.store_len(h) {
+                record_counts[i] = len;
+            }
+        }
+        for (sw, hosts) in &per_switch_hosts {
+            let (culprits, _) = self.query_hosts(hosts, *sw, range, victim);
+            if culprits.iter().any(|c| !c.common_epochs.is_empty()) {
+                implicated.push(*sw);
+            }
+            per_switch.push((*sw, culprits));
+        }
+
+        self.trace.push_wave(
+            all_hosts
+                .iter()
+                .copied()
+                .zip(record_counts.iter().copied())
+                .collect(),
+        );
+        let wave = self.ctx.cost.query_wave(all_hosts.len(), &record_counts);
+        RedLightsDiagnosis {
+            victim,
+            per_switch,
+            implicated,
+            hosts_contacted: all_hosts.len(),
+            breakdown: LatencyBreakdown {
+                detection: trigger_window,
+                alert: self.ctx.cost.alert_rtt,
+                pointer_retrieval: self.ctx.cost.pointer_retrieval(path.len()),
+                diagnosis: wave.total(),
+                diagnosis_detail: wave,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.3 Traffic cascades
+    // ------------------------------------------------------------------
+
+    pub fn diagnose_cascade(
+        &mut self,
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+        max_depth: usize,
+    ) -> CascadeDiagnosis {
+        let trigger = self.victim_trigger(victim_dst, victim);
+        let mut range = self.epoch_window(&trigger, trigger_window);
+
+        let mut stages = Vec::new();
+        let mut hosts_contacted = 0usize;
+        let mut retrieval = SimTime::ZERO;
+        let mut diagnosis = SimTime::ZERO;
+        let mut detail = QueryWaveCost::default();
+
+        let mut cur_victim = victim;
+        let mut cur_dst = victim_dst;
+
+        for _ in 0..max_depth {
+            let Some(rec) = self.view.record(cur_dst, cur_victim) else {
+                break;
+            };
+            let path = rec.path.clone();
+            let cur_prio = rec.priority;
+
+            retrieval += self.ctx.cost.pointer_retrieval(path.len());
+            self.trace.push_round(
+                path.iter().map(|&sw| (sw, range)).collect(),
+                self.ctx.cost.pointer_retrieval(path.len()),
+            );
+
+            // Find the strongest higher-priority culprit across the path.
+            let mut best: Option<(NodeId, Culprit)> = None;
+            let mut wave_hosts = 0usize;
+            for &sw in &path {
+                let mut hosts = self.hosts_for(sw, range);
+                hosts.retain(|&h| h != cur_dst);
+                let reduced = self.reduce_search_radius(sw, cur_dst, cur_victim, hosts);
+                wave_hosts += reduced.len();
+                let counts: Vec<usize> = reduced
+                    .iter()
+                    .map(|h| self.view.store_len(*h).unwrap_or(0))
+                    .collect();
+                self.trace.push_wave(
+                    reduced
+                        .iter()
+                        .copied()
+                        .zip(counts.iter().copied())
+                        .collect(),
+                );
+                let wave = self.ctx.cost.query_wave(reduced.len(), &counts);
+                diagnosis += wave.total();
+                detail.connection_initiation += wave.connection_initiation;
+                detail.request += wave.request;
+                detail.query_execution += wave.query_execution;
+                detail.response += wave.response;
+
+                let (culprits, _) = self.query_hosts(&reduced, sw, range, cur_victim);
+                for c in culprits {
+                    let fresh = c.priority > cur_prio
+                        && !c.common_epochs.is_empty()
+                        && stages
+                            .iter()
+                            .all(|s: &CascadeStage| s.victim != c.flow && s.culprit.flow != c.flow);
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| (c.priority, c.bytes) > (b.priority, b.bytes))
+                        .unwrap_or(true);
+                    if fresh && better {
+                        best = Some((sw, c));
+                    }
+                }
+            }
+            hosts_contacted += wave_hosts;
+
+            match best {
+                Some((sw, culprit)) => {
+                    // Widen the window slightly for the next stage: the
+                    // upstream cause precedes the symptom.
+                    range = EpochRange {
+                        lo: range.lo.saturating_sub(1),
+                        hi: range.hi,
+                    };
+                    let next_victim = culprit.flow;
+                    let next_dst = culprit.dst;
+                    stages.push(CascadeStage {
+                        victim: cur_victim,
+                        switch: sw,
+                        culprit,
+                    });
+                    cur_victim = next_victim;
+                    cur_dst = next_dst;
+                }
+                None => break,
+            }
+        }
+
+        CascadeDiagnosis {
+            stages,
+            hosts_contacted,
+            breakdown: LatencyBreakdown {
+                detection: trigger_window,
+                alert: self.ctx.cost.alert_rtt,
+                pointer_retrieval: retrieval,
+                diagnosis,
+                diagnosis_detail: detail,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.4 Load imbalance
+    // ------------------------------------------------------------------
+
+    pub fn diagnose_load_imbalance(
+        &mut self,
+        switch: NodeId,
+        range: EpochRange,
+    ) -> LoadImbalanceDiagnosis {
+        let hosts = self.hosts_for(switch, range);
+        self.trace
+            .push_round(vec![(switch, range)], self.ctx.cost.pointer_retrieval(1));
+        let mut per_link: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+        let mut record_counts = Vec::with_capacity(hosts.len());
+        for &h in &hosts {
+            let Some(len) = self.view.store_len(h) else {
+                record_counts.push(0);
+                continue;
+            };
+            record_counts.push(len);
+            for (link, bytes) in self.view.sizes_by_link(h, switch) {
+                per_link.entry(link).or_default().push(bytes);
+            }
+        }
+        for sizes in per_link.values_mut() {
+            sizes.sort_unstable();
+        }
+
+        // Clean separation between the two busiest links: every flow on one
+        // side smaller than every flow on the other.
+        let mut links: Vec<(&u16, &Vec<u64>)> = per_link.iter().collect();
+        links.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
+        let separation_bytes = if links.len() >= 2 {
+            let (a, b) = (links[0].1, links[1].1);
+            let (max_a, min_a) = (*a.last().unwrap(), a[0]);
+            let (max_b, min_b) = (*b.last().unwrap(), b[0]);
+            if max_a < min_b {
+                Some(min_b)
+            } else if max_b < min_a {
+                Some(min_a)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        self.trace.push_wave(
+            hosts
+                .iter()
+                .copied()
+                .zip(record_counts.iter().copied())
+                .collect(),
+        );
+        let wave = self.ctx.cost.query_wave(hosts.len(), &record_counts);
+        LoadImbalanceDiagnosis {
+            per_link,
+            separation_bytes,
+            hosts_contacted: hosts.len(),
+            breakdown: LatencyBreakdown {
+                detection: SimTime::ZERO, // detected from interface counters
+                alert: self.ctx.cost.alert_rtt,
+                pointer_retrieval: self.ctx.cost.pointer_retrieval(1),
+                diagnosis: wave.total(),
+                diagnosis_detail: wave,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §6.2 Top-k query
+    // ------------------------------------------------------------------
+
+    pub fn top_k(&mut self, switch: NodeId, k: usize, range: EpochRange) -> TopKResult {
+        let hosts = self.hosts_for(switch, range);
+        self.trace
+            .push_round(vec![(switch, range)], self.ctx.cost.pointer_retrieval(1));
+        let mut merged: Vec<(FlowId, u64)> = Vec::new();
+        let mut record_counts = Vec::with_capacity(hosts.len());
+        for &h in &hosts {
+            let Some(len) = self.view.store_len(h) else {
+                record_counts.push(0);
+                continue;
+            };
+            record_counts.push(len);
+            merged.extend(self.view.top_k_through(h, switch, k));
+        }
+        merged.sort_by_key(|&(f, b)| (std::cmp::Reverse(b), f));
+        merged.truncate(k);
+        self.trace.push_wave(
+            hosts
+                .iter()
+                .copied()
+                .zip(record_counts.iter().copied())
+                .collect(),
+        );
+        TopKResult {
+            flows: merged,
+            hosts_contacted: hosts.len(),
+            pointer_retrieval: self.ctx.cost.pointer_retrieval(1),
+            wave: self.ctx.cost.query_wave(hosts.len(), &record_counts),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §2.4-class application: silent drop localization
+    // ------------------------------------------------------------------
+
+    pub fn localize_silent_drop(
+        &mut self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        range: EpochRange,
+    ) -> DropDiagnosis {
+        // Reconstruct the forwarding path by walking the route tables with
+        // the flow's ECMP identity.
+        let mut path = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let Some(port) = self.ctx.routes.egress(cur, dst, flow) else {
+                break;
+            };
+            let (_, peer) = self.ctx.topo.ports(cur)[port as usize];
+            if self.ctx.topo.is_switch(peer) {
+                path.push(peer);
+            }
+            cur = peer;
+            if path.len() > 32 {
+                break; // defensive: malformed routing
+            }
+        }
+
+        // Presence must be read at *exact* (level-1) epoch resolution:
+        // coarser levels aggregate pre-onset epochs and would report the
+        // destination everywhere.
+        let mut per_switch = Vec::with_capacity(path.len());
+        for &sw in &path {
+            let present = range
+                .iter()
+                .any(|e| self.view.pointer_contains_exact(sw, dst.addr(), e) == Some(Some(true)));
+            per_switch.push((sw, present));
+        }
+
+        let last_seen = per_switch
+            .iter()
+            .take_while(|&&(_, p)| p)
+            .last()
+            .map(|&(s, _)| s);
+        let first_missing = per_switch.iter().find(|&&(_, p)| !p).map(|&(s, _)| s);
+        let suspected_segment = match (last_seen, first_missing) {
+            (Some(a), Some(b)) => Some((a, b)),
+            (None, Some(b)) => Some((src, b)),
+            _ => None,
+        };
+        let retrieval = self.ctx.cost.pointer_retrieval(per_switch.len());
+        self.trace
+            .push_round(path.iter().map(|&sw| (sw, range)).collect(), retrieval);
+
+        DropDiagnosis {
+            flow,
+            path,
+            per_switch,
+            suspected_segment,
+            pointer_retrieval: retrieval,
+        }
+    }
+}

@@ -130,14 +130,7 @@ pub fn install_on_all_switches(
     let switches: Vec<NodeId> = sim.topo().switches().to_vec();
     let mut handles = std::collections::HashMap::new();
     for sw in switches {
-        let comp = SwitchComponent::new(
-            sw,
-            params,
-            mode,
-            pointer_cfg,
-            mphf.clone(),
-            codec.clone(),
-        );
+        let comp = SwitchComponent::new(sw, params, mode, pointer_cfg, mphf.clone(), codec.clone());
         let (app, handle) = SwitchPointerApp::new(comp);
         sim.set_switch_app(sw, Box::new(app));
         handles.insert(sw, handle);
@@ -154,7 +147,10 @@ mod tests {
     use netsim::topology::{Topology, GBPS};
     use netsim::udp::UdpFlowSpec;
 
-    fn setup(topo: Topology, mode: EmbedMode) -> (Simulator, std::collections::HashMap<NodeId, SwitchHandle>) {
+    fn setup(
+        topo: Topology,
+        mode: EmbedMode,
+    ) -> (Simulator, std::collections::HashMap<NodeId, SwitchHandle>) {
         let mut sim = Simulator::new(topo, SimConfig::default());
         let addrs: Vec<u64> = sim.topo().hosts().iter().map(|h| h.addr()).collect();
         let mphf = Arc::new(Mphf::build(&addrs).unwrap());
@@ -193,7 +189,10 @@ mod tests {
         assert!(s2c.forwarded > 0);
         // Epoch 2 (α = 1 ms, flow ran 2..3 ms) must contain F.
         assert!(s2c.pointers.contains(f.addr(), 2));
-        assert!(!s2c.pointers.contains(a.addr(), 2), "A is not a destination");
+        assert!(
+            !s2c.pointers.contains(a.addr(), 2),
+            "A is not a destination"
+        );
     }
 
     #[test]

@@ -14,7 +14,12 @@ use switchpointer::pointer::PointerConfig;
 use crate::common::{FigureData, Series};
 
 pub const K_RANGE: [usize; 5] = [1, 2, 3, 4, 5];
-pub const CONFIGS: [(usize, u32); 4] = [(1_000_000, 20), (1_000_000, 10), (100_000, 20), (100_000, 10)];
+pub const CONFIGS: [(usize, u32); 4] = [
+    (1_000_000, 20),
+    (1_000_000, 10),
+    (100_000, 20),
+    (100_000, 10),
+];
 
 /// Figure 10(a): memory; Figure 10(b): bandwidth.
 pub fn fig10() -> Vec<FigureData> {
@@ -25,12 +30,7 @@ pub fn fig10() -> Vec<FigureData> {
     // 1M scales linearly in n (same bits/key); avoid the multi-second build.
     let mphf_bytes_1m = mphf_bytes_100k * 10;
 
-    let mut mem = FigureData::new(
-        "fig10a",
-        "switch memory overhead vs k",
-        "k_levels",
-        "MB",
-    );
+    let mut mem = FigureData::new("fig10a", "switch memory overhead vs k", "k_levels", "MB");
     let mut bw = FigureData::new(
         "fig10b",
         "data-plane to control-plane bandwidth vs k",

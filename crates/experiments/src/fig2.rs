@@ -89,12 +89,7 @@ fn panel(id: &str, title: &str, queue: QueueConfig) -> (FigureData, FigureData) 
 
     // Left panel: throughput timeline.
     let thr = ThroughputSeries::from_events(events, SimTime::from_ms(1), SimTime::from_ms(RUN_MS));
-    let mut fig = FigureData::new(
-        id,
-        format!("{title}: TCP throughput"),
-        "time_ms",
-        "Gbps",
-    );
+    let mut fig = FigureData::new(id, format!("{title}: TCP throughput"), "time_ms", "Gbps");
     let mut s = Series::new("tcp_gbps");
     for (i, &g) in thr.gbps.iter().enumerate() {
         s.push(i as f64, g);

@@ -79,11 +79,8 @@ pub fn fig3() -> Vec<FigureData> {
     let horizon = SimTime::from_ms(RUN_MS);
     let mut dips = Vec::new();
     for (name, sw) in [("at_S1", s1), ("at_S2", s2)] {
-        let thr = ThroughputSeries::from_events(
-            sim.traces.switch_tx_events(sw, af),
-            window,
-            horizon,
-        );
+        let thr =
+            ThroughputSeries::from_events(sim.traces.switch_tx_events(sw, af), window, horizon);
         let mut s = Series::new(name);
         for (i, &g) in thr.gbps.iter().enumerate() {
             s.push(i as f64, g);

@@ -101,7 +101,10 @@ fn panel(id: &str, title: &str, cascade: bool) -> FigureData {
     ));
     // A-F tail: last arrival time at F.
     if let Some(last) = sim.traces.rx_events(af).last() {
-        fig.note(format!("A-F last packet arrives {:.2} ms", last.t.as_ms_f64()));
+        fig.note(format!(
+            "A-F last packet arrives {:.2} ms",
+            last.t.as_ms_f64()
+        ));
     }
     fig
 }

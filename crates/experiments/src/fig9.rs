@@ -102,7 +102,11 @@ pub fn fig9_with(n_pkts: usize) -> Vec<FigureData> {
         (ns_k5 / ns_base - 1.0) * 100.0
     ));
 
-    for (name, ns) in [("OVS", ns_base), ("SwitchPointer_k1", ns_k1), ("SwitchPointer_k5", ns_k5)] {
+    for (name, ns) in [
+        ("OVS", ns_base),
+        ("SwitchPointer_k1", ns_k1),
+        ("SwitchPointer_k5", ns_k5),
+    ] {
         let mut scaled = Series::new(name);
         let mut rawline = Series::new(name);
         let scaled_pps = paper_scaled_pps(ns_base, ns, PAPER_BASELINE_PPS);
@@ -112,13 +116,19 @@ pub fn fig9_with(n_pkts: usize) -> Vec<FigureData> {
                 p as f64,
                 achievable_gbps(scaled_pps, wire_bytes(p), LINE_RATE_GBPS),
             );
-            rawline.push(p as f64, achievable_gbps(raw_pps, wire_bytes(p), LINE_RATE_GBPS));
+            rawline.push(
+                p as f64,
+                achievable_gbps(raw_pps, wire_bytes(p), LINE_RATE_GBPS),
+            );
         }
         fig.series.push(scaled);
         raw.series.push(rawline);
     }
-    fig.note("paper: all variants hit 10 GbE line rate at >=256 B; below that, \
-              SwitchPointer trails OVS and k=5 ~= k=1 (one hash either way)".to_string());
+    fig.note(
+        "paper: all variants hit 10 GbE line rate at >=256 B; below that, \
+              SwitchPointer trails OVS and k=5 ~= k=1 (one hash either way)"
+            .to_string(),
+    );
     vec![fig, raw]
 }
 

@@ -56,8 +56,20 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
 }
 
 const ALL: [&str; 14] = [
-    "fig2a", "fig2b", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "ablation-drr", "ablation-hierarchy", "ablation-dctcp", "motivation",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablation-drr",
+    "ablation-hierarchy",
+    "ablation-dctcp",
+    "motivation",
 ];
 
 fn main() {

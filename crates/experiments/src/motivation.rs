@@ -81,10 +81,7 @@ fn netflow_panel() -> FigureData {
         });
         let state = state_cell.borrow_mut().take().unwrap();
         let nf = state.borrow();
-        let detected = bursts
-            .iter()
-            .filter(|&&f| nf.record(f).is_some())
-            .count();
+        let detected = bursts.iter().filter(|&&f| nf.record(f).is_some()).count();
         let frac = detected as f64 / bursts.len() as f64;
         s.push(one_in as f64, frac);
         fig.note(format!(

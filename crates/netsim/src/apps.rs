@@ -97,7 +97,10 @@ mod tests {
         ctx.schedule_timer(SimTime::from_ms(2), 7);
         ctx.schedule_timer(SimTime::from_ms(3), 8);
         let reqs = ctx.take_timer_requests();
-        assert_eq!(reqs, vec![(SimTime::from_ms(2), 7), (SimTime::from_ms(3), 8)]);
+        assert_eq!(
+            reqs,
+            vec![(SimTime::from_ms(2), 7), (SimTime::from_ms(3), 8)]
+        );
         assert!(ctx.take_timer_requests().is_empty());
     }
 }

@@ -17,8 +17,8 @@ use std::collections::{BinaryHeap, HashMap};
 use crate::apps::{AppCtx, EgressInfo, HostApp, SwitchApp};
 use crate::packet::{FlowId, FlowMeta, NodeId, Packet, Priority, Protocol, TcpHeader};
 use crate::queue::{Enqueue, Queue, QueueConfig, QueueStats};
-use crate::routing::RouteTable;
 use crate::rng::DetRng;
+use crate::routing::RouteTable;
 use crate::tcp::{TcpAction, TcpConfig, TcpConn};
 use crate::time::{serialization_time, SimTime};
 use crate::topology::{NodeKind, Topology};
@@ -136,7 +136,10 @@ enum Ev {
     /// App timer (switch or host app on `node`).
     AppTimer { node: NodeId, token: u64 },
     /// Administrative link state change.
-    LinkState { link: crate::topology::LinkId, up: bool },
+    LinkState {
+        link: crate::topology::LinkId,
+        up: bool,
+    },
 }
 
 struct Scheduled {
@@ -374,7 +377,9 @@ impl Simulator {
 
     /// Queue statistics of a switch port.
     pub fn port_queue_stats(&self, node: NodeId, port: u16) -> QueueStats {
-        self.nodes[node.0 as usize].ports[port as usize].queue.stats()
+        self.nodes[node.0 as usize].ports[port as usize]
+            .queue
+            .stats()
     }
 
     /// Bytes transmitted on a port so far.
@@ -391,12 +396,7 @@ impl Simulator {
     /// absolute time `at`. Routing is static: traffic routed over a downed
     /// link blackholes at the egress port, which is exactly the failure the
     /// drop-localization application diagnoses.
-    pub fn schedule_link_state(
-        &mut self,
-        link: crate::topology::LinkId,
-        up: bool,
-        at: SimTime,
-    ) {
+    pub fn schedule_link_state(&mut self, link: crate::topology::LinkId, up: bool, at: SimTime) {
         assert!((link.0 as usize) < self.link_down.len(), "unknown link");
         self.schedule(at, Ev::LinkState { link, up });
     }

@@ -1,7 +1,8 @@
 //! # netsim — a deterministic datacenter network simulator
 //!
 //! This crate is the testbed substitute for the SwitchPointer reproduction
-//! (see `DESIGN.md` at the workspace root). It provides:
+//! (see `DESIGN.md` at the workspace root, §2 for the determinism rules
+//! this engine guarantees). It provides:
 //!
 //! * a single-threaded, deterministic discrete-event engine
 //!   ([`Simulator`]) with store-and-forward links, per-port egress queues
@@ -42,8 +43,8 @@ pub mod apps;
 pub mod engine;
 pub mod packet;
 pub mod queue;
-pub mod routing;
 pub mod rng;
+pub mod routing;
 pub mod tcp;
 pub mod time;
 pub mod topology;

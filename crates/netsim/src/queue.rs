@@ -303,10 +303,7 @@ pub enum QueueConfig {
     /// Single FIFO with the given byte budget.
     Fifo { capacity_bytes: u64 },
     /// Strict priority with the given byte budget and class count.
-    StrictPriority {
-        capacity_bytes: u64,
-        classes: usize,
-    },
+    StrictPriority { capacity_bytes: u64, classes: usize },
     /// Deficit round robin with the given byte budget, class count and
     /// per-round quantum.
     Drr {

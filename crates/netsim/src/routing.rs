@@ -63,10 +63,7 @@ impl RouteTable {
             }
         }
 
-        RouteTable {
-            next,
-            num_nodes: n,
-        }
+        RouteTable { next, num_nodes: n }
     }
 
     /// All equal-cost egress ports of `node` toward `dst`.

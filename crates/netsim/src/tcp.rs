@@ -292,8 +292,8 @@ impl TcpConn {
                         (1.0 - self.cfg.dctcp_g) * self.dctcp_alpha + self.cfg.dctcp_g * f;
                     if self.dctcp_marked > 0 && !self.in_recovery {
                         // DCTCP's gentle reduction, once per window.
-                        self.cwnd = (self.cwnd * (1.0 - self.dctcp_alpha / 2.0))
-                            .max(self.cfg.mss as f64);
+                        self.cwnd =
+                            (self.cwnd * (1.0 - self.dctcp_alpha / 2.0)).max(self.cfg.mss as f64);
                         self.ssthresh = self.cwnd;
                     }
                     self.dctcp_acked = 0;
@@ -333,8 +333,8 @@ impl TcpConn {
                 if self.cwnd < self.ssthresh {
                     self.cwnd += acked as f64; // slow start
                 } else {
-                    self.cwnd +=
-                        (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd; // CA
+                    self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
+                    // CA
                 }
             }
             self.arm_rto(now, &mut out);
@@ -584,7 +584,10 @@ mod tests {
         let inflated = c.cwnd_bytes();
         // Full ACK of everything sent before loss.
         c.on_ack(SimTime::from_us(80), recover);
-        assert!(c.cwnd_bytes() < inflated, "window deflates on recovery exit");
+        assert!(
+            c.cwnd_bytes() < inflated,
+            "window deflates on recovery exit"
+        );
         assert!(!c.in_recovery);
     }
 
@@ -643,18 +646,27 @@ mod tests {
         let t = SimTime::ZERO;
         assert_eq!(
             c.on_data(t, 0, 1000),
-            vec![TcpAction::SendAck { ack: 1000, ece: false }]
+            vec![TcpAction::SendAck {
+                ack: 1000,
+                ece: false
+            }]
         );
         // Gap: segment [2000, 3000) arrives early.
         assert_eq!(
             c.on_data(t, 2000, 1000),
-            vec![TcpAction::SendAck { ack: 1000, ece: false }]
+            vec![TcpAction::SendAck {
+                ack: 1000,
+                ece: false
+            }]
         );
         assert_eq!(c.ooo_bytes(), 1000);
         // Fill the hole: cumulative ACK jumps over the buffered interval.
         assert_eq!(
             c.on_data(t, 1000, 1000),
-            vec![TcpAction::SendAck { ack: 3000, ece: false }]
+            vec![TcpAction::SendAck {
+                ack: 3000,
+                ece: false
+            }]
         );
         assert_eq!(c.ooo_bytes(), 0);
         assert_eq!(c.delivered, 3000);
@@ -701,12 +713,7 @@ mod tests {
             protocol: Protocol::Tcp,
             priority: Priority::LOW,
         };
-        let mut c = TcpConn::new(
-            meta,
-            TcpConfig::default(),
-            None,
-            Some(SimTime::from_ms(1)),
-        );
+        let mut c = TcpConn::new(meta, TcpConfig::default(), None, Some(SimTime::from_ms(1)));
         c.on_start(SimTime::ZERO);
         let sent = c.snd_next();
         // Past the stop time: ACKs open the window but no new data appears.

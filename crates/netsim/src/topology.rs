@@ -160,13 +160,7 @@ impl Topology {
     }
 
     /// Connects two nodes with a full-duplex link; returns its id.
-    pub fn add_link(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        bandwidth_bps: u64,
-        delay: SimTime,
-    ) -> LinkId {
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, bandwidth_bps: u64, delay: SimTime) -> LinkId {
         assert_ne!(a, b, "self-links are not allowed");
         assert!(bandwidth_bps > 0, "zero-bandwidth link");
         let id = LinkId(self.links.len() as u32);
@@ -396,7 +390,10 @@ impl Topology {
     /// Naming: hosts `h<pod>_<edge>_<i>`, switches `edge<pod>_<e>`,
     /// `agg<pod>_<j>`, `core<j>_<c>`.
     pub fn fat_tree(k: usize, bandwidth_bps: u64) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
         let half = k / 2;
         let mut t = Topology::new(TopoKind::FatTree);
 

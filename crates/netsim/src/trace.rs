@@ -46,7 +46,10 @@ pub struct TraceSet {
 
 impl TraceSet {
     pub(crate) fn record_rx(&mut self, flow: FlowId, t: SimTime, payload: u32) {
-        self.rx.entry(flow).or_default().push(PktEvent { t, payload });
+        self.rx
+            .entry(flow)
+            .or_default()
+            .push(PktEvent { t, payload });
     }
 
     pub(crate) fn record_switch_tx(
@@ -180,11 +183,7 @@ pub fn interarrival_gaps(events: &[PktEvent]) -> Vec<(SimTime, SimTime)> {
 }
 
 /// Maximum inter-arrival gap in a window `[from, to)`.
-pub fn max_gap_in(
-    gaps: &[(SimTime, SimTime)],
-    from: SimTime,
-    to: SimTime,
-) -> Option<SimTime> {
+pub fn max_gap_in(gaps: &[(SimTime, SimTime)], from: SimTime, to: SimTime) -> Option<SimTime> {
     gaps.iter()
         .filter(|(t, _)| *t >= from && *t < to)
         .map(|&(_, g)| g)

@@ -243,8 +243,7 @@ mod tests {
 
     #[test]
     fn poisson_arrival_rate_roughly_matches() {
-        let hosts: Vec<crate::packet::NodeId> =
-            (0..8).map(crate::packet::NodeId).collect();
+        let hosts: Vec<crate::packet::NodeId> = (0..8).map(crate::packet::NodeId).collect();
         let spec = WorkloadSpec {
             flows_per_sec: 1_000.0,
             sizes: FlowSizeDist::Fixed { bytes: 100 },
@@ -266,8 +265,7 @@ mod tests {
 
     #[test]
     fn generation_deterministic_per_seed() {
-        let hosts: Vec<crate::packet::NodeId> =
-            (0..4).map(crate::packet::NodeId).collect();
+        let hosts: Vec<crate::packet::NodeId> = (0..4).map(crate::packet::NodeId).collect();
         let spec = WorkloadSpec::background(500.0, SimTime::from_ms(100));
         let a = generate(&spec, &hosts, 11);
         let b = generate(&spec, &hosts, 11);
@@ -289,7 +287,10 @@ mod tests {
         let mut sim = crate::engine::Simulator::new(topo, Default::default());
         let spec = WorkloadSpec {
             flows_per_sec: 2_000.0,
-            sizes: FlowSizeDist::Uniform { lo: 5_000, hi: 50_000 },
+            sizes: FlowSizeDist::Uniform {
+                lo: 5_000,
+                hi: 50_000,
+            },
             start: SimTime::ZERO,
             end: SimTime::from_ms(50),
             priority: crate::packet::Priority::LOW,

@@ -1,0 +1,91 @@
+//! The deterministic worker pool.
+//!
+//! Queries are assigned to workers round-robin by submission index and
+//! results are merged back in submission order. Because each query runs
+//! the shared [`QueryExecutor`](switchpointer::query::QueryExecutor) as a
+//! pure function of the frozen [`Snapshot`](crate::Snapshot), the merged
+//! output is byte-for-byte independent of the worker count and of thread
+//! scheduling — the repo's determinism invariant, preserved under
+//! concurrency by construction rather than by locking discipline.
+
+use switchpointer::query::{ExecutionTrace, QueryCtx, QueryExecutor, QueryRequest, QueryResponse};
+
+use crate::snapshot::Snapshot;
+
+/// Everything a worker needs to run queries: the frozen state plus the
+/// analyzer context pieces (all immutable and `Sync`).
+pub(crate) struct PoolCtx<'a> {
+    pub snapshot: &'a Snapshot,
+    pub ctx: QueryCtx<'a>,
+}
+
+/// Executes `requests` over `workers` OS threads (1 ⇒ inline, no spawn)
+/// and returns responses + traces in submission order.
+pub(crate) fn run(
+    pool: &PoolCtx<'_>,
+    requests: &[QueryRequest],
+    workers: usize,
+) -> Vec<(QueryResponse, ExecutionTrace)> {
+    let workers = workers.max(1).min(requests.len().max(1));
+    if workers == 1 {
+        return requests
+            .iter()
+            .map(|req| QueryExecutor::new(pool.ctx, pool.snapshot).execute_traced(req))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<(QueryResponse, ExecutionTrace)>> =
+        (0..requests.len()).map(|_| None).collect();
+    // Arc-free scoped threads: the snapshot and context are borrowed.
+    std::thread::scope(|scope| {
+        for my_slots in round_robin_slots(&mut slots, workers) {
+            let pool_ref: &PoolCtx<'_> = pool;
+            scope.spawn(move || {
+                for (idx, slot) in my_slots {
+                    let exec = QueryExecutor::new(pool_ref.ctx, pool_ref.snapshot);
+                    *slot = Some(exec.execute_traced(&requests[idx]));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every assigned slot"))
+        .collect()
+}
+
+/// Splits `slots` into per-worker lists of `(submission index, slot)`
+/// pairs, round-robin: worker w gets indices w, w+workers, w+2·workers, …
+#[allow(clippy::type_complexity)]
+fn round_robin_slots<T>(
+    slots: &mut [Option<T>],
+    workers: usize,
+) -> Vec<Vec<(usize, &mut Option<T>)>> {
+    let mut out: Vec<Vec<(usize, &mut Option<T>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (idx, slot) in slots.iter_mut().enumerate() {
+        out[idx % workers].push((idx, slot));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment_is_exhaustive_and_disjoint() {
+        let mut slots: Vec<Option<u32>> = vec![None; 10];
+        let chunks = round_robin_slots(&mut slots, 3);
+        assert_eq!(chunks.len(), 3);
+        let mut seen: Vec<usize> = chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|(i, _)| *i))
+            .collect();
+        seen.sort();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            chunks[0].iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! An immutable, thread-safe snapshot of deployment state, sharded by
+//! flow-id hash.
+//!
+//! The live deployment shares its component state through
+//! `Rc<RefCell<…>>` handles, which cannot cross threads. The query plane
+//! therefore freezes the state it queries: switch pointer hierarchies are
+//! cloned wholesale (they are plain bit sets + an `Arc<Mphf>`), and each
+//! host's flow records are partitioned into [`shard_of`] shards so
+//! concurrent queries touching different flows walk disjoint memory.
+//!
+//! [`Snapshot`] implements [`StateView`] with answers *identical* to the
+//! live view's: same candidate ordering (ascending flow id), same
+//! aggregate tie-breaks. The verdict-equivalence integration test pins
+//! this down.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use netsim::packet::{FlowId, NodeId};
+use switchpointer::bitset::BitSet;
+use switchpointer::host::TriggerEvent;
+use switchpointer::hoststore::{shard_of, FlowRecord, FlowStore};
+use switchpointer::pointer::PointerHierarchy;
+use switchpointer::query::StateView;
+use switchpointer::Analyzer;
+use telemetry::EpochRange;
+
+/// One shard of a host's frozen flow records.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Records sorted by ascending flow id.
+    records: Vec<FlowRecord>,
+    /// Secondary index: switch -> indices into `records` (ascending).
+    by_switch: HashMap<NodeId, Vec<usize>>,
+}
+
+impl Shard {
+    fn push(&mut self, rec: FlowRecord) {
+        let idx = self.records.len();
+        for sw in rec.epochs_at.keys() {
+            self.by_switch.entry(*sw).or_default().push(idx);
+        }
+        self.records.push(rec);
+    }
+}
+
+/// A host's frozen store: records partitioned by flow-id hash.
+#[derive(Debug, Clone)]
+pub struct ShardedHostStore {
+    shards: Vec<Shard>,
+    triggers: Vec<TriggerEvent>,
+    total: usize,
+}
+
+impl ShardedHostStore {
+    fn freeze(store: &FlowStore, triggers: &[TriggerEvent], n_shards: usize) -> Self {
+        // One pass over the sorted record stream, bucketed by `shard_of`:
+        // each shard's vector stays sorted without re-sorting, and the
+        // store is scanned once rather than once per shard.
+        let mut shards = vec![Shard::default(); n_shards];
+        for rec in store.records() {
+            shards[shard_of(rec.flow, n_shards)].push(rec.clone());
+        }
+        ShardedHostStore {
+            shards,
+            triggers: triggers.to_vec(),
+            total: store.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn record(&self, flow: FlowId) -> Option<&FlowRecord> {
+        let shard = &self.shards[shard_of(flow, self.shards.len())];
+        shard
+            .records
+            .binary_search_by_key(&flow, |r| r.flow)
+            .ok()
+            .map(|i| &shard.records[i])
+    }
+
+    /// Matching records across all shards, merged back into ascending
+    /// flow-id order (the unsharded store's candidate order).
+    fn flows_matching(&self, switch: NodeId, range: EpochRange) -> Vec<&FlowRecord> {
+        let mut out: Vec<&FlowRecord> = Vec::new();
+        for shard in &self.shards {
+            if let Some(idxs) = shard.by_switch.get(&switch) {
+                out.extend(
+                    idxs.iter()
+                        .map(|&i| &shard.records[i])
+                        .filter(|r| r.matches(switch, range)),
+                );
+            }
+        }
+        out.sort_by_key(|r| r.flow);
+        out
+    }
+
+    fn top_k_through(&self, switch: NodeId, k: usize) -> Vec<(FlowId, u64)> {
+        let mut flows: Vec<(FlowId, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .by_switch
+                    .get(&switch)
+                    .map(|idxs| {
+                        idxs.iter()
+                            .map(|&i| (shard.records[i].flow, shard.records[i].bytes))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        flows.sort_by_key(|&(f, b)| (std::cmp::Reverse(b), f));
+        flows.truncate(k);
+        flows
+    }
+
+    fn sizes_by_link(&self, switch: NodeId) -> Vec<(u16, u64)> {
+        let mut out: Vec<(u16, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .by_switch
+                    .get(&switch)
+                    .map(|idxs| {
+                        idxs.iter()
+                            .filter_map(|&i| {
+                                let r = &shard.records[i];
+                                r.link_vid.map(|l| (l, r.bytes))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Bound on the computational pointer-union memo: beyond this many
+/// distinct keys, further unions are recomputed rather than cached, so a
+/// long-lived snapshot serving sliding epoch windows cannot grow without
+/// limit. (The *modelled* LRU cache is bounded separately by
+/// `QueryPlaneConfig::cache_capacity`.)
+const UNION_MEMO_CAP: usize = 4096;
+
+/// The frozen deployment state the worker pool queries.
+pub struct Snapshot {
+    switches: HashMap<NodeId, PointerHierarchy>,
+    hosts: HashMap<NodeId, ShardedHostStore>,
+    /// Computational memo of decoded pointer unions: a pure function of
+    /// the frozen hierarchies, so sharing it across workers cannot affect
+    /// results — it only skips repeated bit-set unions.
+    union_memo: Mutex<HashMap<(NodeId, u64, u64), BitSet>>,
+}
+
+impl Snapshot {
+    /// Freezes the deployment state behind `analyzer` into `n_shards`
+    /// shards per host.
+    pub fn capture(analyzer: &Analyzer, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let mut switches = HashMap::new();
+        for sw in analyzer.all_switches() {
+            let comp = analyzer.switch(sw).expect("listed switch").borrow();
+            switches.insert(sw, comp.pointers.clone());
+        }
+        let mut hosts = HashMap::new();
+        for h in analyzer.all_hosts() {
+            let comp = analyzer.host(h).expect("listed host").borrow();
+            hosts.insert(
+                h,
+                ShardedHostStore::freeze(&comp.store, &comp.triggers, n_shards),
+            );
+        }
+        Snapshot {
+            switches,
+            hosts,
+            union_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Total flow records frozen across all hosts.
+    pub fn total_records(&self) -> usize {
+        self.hosts.values().map(|h| h.len()).sum()
+    }
+
+    /// Number of hosts in the snapshot.
+    pub fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+impl StateView for Snapshot {
+    fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        let key = (switch, range.lo, range.hi);
+        if let Some(bits) = self.union_memo.lock().unwrap().get(&key) {
+            return Some(bits.clone());
+        }
+        let bits = self
+            .switches
+            .get(&switch)?
+            .pointer_union(range.lo, range.hi);
+        let mut memo = self.union_memo.lock().unwrap();
+        if memo.len() < UNION_MEMO_CAP {
+            memo.insert(key, bits.clone());
+        }
+        Some(bits)
+    }
+
+    fn pointer_contains_exact(
+        &self,
+        switch: NodeId,
+        addr: u64,
+        epoch: u64,
+    ) -> Option<Option<bool>> {
+        self.switches
+            .get(&switch)
+            .map(|p| p.contains_within(addr, epoch, 1))
+    }
+
+    fn store_len(&self, host: NodeId) -> Option<usize> {
+        self.hosts.get(&host).map(|h| h.len())
+    }
+
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord> {
+        self.hosts.get(&host)?.record(flow).cloned()
+    }
+
+    fn flows_matching(&self, host: NodeId, switch: NodeId, range: EpochRange) -> Vec<FlowRecord> {
+        match self.hosts.get(&host) {
+            Some(h) => h
+                .flows_matching(switch, range)
+                .into_iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn top_k_through(&self, host: NodeId, switch: NodeId, k: usize) -> Vec<(FlowId, u64)> {
+        match self.hosts.get(&host) {
+            Some(h) => h.top_k_through(switch, k),
+            None => Vec::new(),
+        }
+    }
+
+    fn sizes_by_link(&self, host: NodeId, switch: NodeId) -> Vec<(u16, u64)> {
+        match self.hosts.get(&host) {
+            Some(h) => h.sizes_by_link(switch),
+            None => Vec::new(),
+        }
+    }
+
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
+        self.hosts
+            .get(&host)?
+            .triggers
+            .iter()
+            .find(|t| t.flow == flow)
+            .copied()
+    }
+}

@@ -114,8 +114,7 @@ impl TelemetryDecoder {
         pkt: &Packet,
         host_local_time: SimTime,
     ) -> Result<DecodedTelemetry, DecodeError> {
-        let (link_vid, epoch_vid) =
-            wire::read_commodity(pkt).ok_or(DecodeError::NoTelemetry)?;
+        let (link_vid, epoch_vid) = wire::read_commodity(pkt).ok_or(DecodeError::NoTelemetry)?;
         let reference = self.params.epoch_of(host_local_time);
         let e_tag = wire::unwrap_epoch(epoch_vid, reference);
 
@@ -220,11 +219,7 @@ mod tests {
     fn commodity_decode_leaf_spine_has_upstream() {
         let topo = Topology::leaf_spine(2, 2, 2, GBPS);
         let codec = PathCodec::new(topo.clone());
-        let dec = TelemetryDecoder::new(
-            codec,
-            EpochParams::paper_defaults(),
-            EmbedMode::Commodity,
-        );
+        let dec = TelemetryDecoder::new(codec, EpochParams::paper_defaults(), EmbedMode::Commodity);
         let src = topo.node_by_name("h0_0").unwrap();
         let dst = topo.node_by_name("h1_0").unwrap();
         let spine0 = topo.node_by_name("spine0").unwrap();

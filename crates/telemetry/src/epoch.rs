@@ -233,10 +233,7 @@ mod tests {
                         for off_down in [-eps / 2, 0, eps / 2] {
                             let true_e = ((t_down + off_down).max(0) as u64) / alpha as u64;
                             let r = p.extrapolate(e_tag, j, HopDirection::Downstream);
-                            assert!(
-                                r.contains(true_e),
-                                "downstream j={j}: {true_e} not in {r}"
-                            );
+                            assert!(r.contains(true_e), "downstream j={j}: {true_e} not in {r}");
                         }
                     }
                 }

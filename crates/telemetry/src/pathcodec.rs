@@ -204,7 +204,10 @@ impl PathCodec {
                 .ok_or(PathError::InconsistentLink { link })?
         };
 
-        let tag_idx = up.len().checked_sub(1).ok_or(PathError::InconsistentLink { link })?;
+        let tag_idx = up
+            .len()
+            .checked_sub(1)
+            .ok_or(PathError::InconsistentLink { link })?;
         let mut path = up;
         path.extend(down);
         Ok((path, tag_idx))
@@ -376,9 +379,15 @@ mod tests {
         let p = pkt(n("h0_0_0"), n("h2_1_0"));
         assert!(!codec.should_tag(n("edge0_0"), &p), "src edge must not tag");
         assert!(codec.should_tag(n("agg0_0"), &p), "src-pod agg tags");
-        assert!(codec.should_tag(n("agg0_1"), &p), "either agg may be chosen");
+        assert!(
+            codec.should_tag(n("agg0_1"), &p),
+            "either agg may be chosen"
+        );
         assert!(!codec.should_tag(n("core0_0"), &p), "core never tags");
-        assert!(!codec.should_tag(n("agg2_0"), &p), "dst-pod agg must not tag");
+        assert!(
+            !codec.should_tag(n("agg2_0"), &p),
+            "dst-pod agg must not tag"
+        );
         // (The dst edge would also claim d==2; the has-tag guard in the
         // switch app makes that moot since the agg already tagged.)
     }
@@ -398,9 +407,10 @@ mod tests {
             .map(|&(l, _)| l)
             .unwrap();
         let (path, tag_idx) = codec.reconstruct(src, dst, link.0 as u16).unwrap();
-        assert_eq!(names(&topo, &path), vec![
-            "edge0_0", "agg0_1", "core1_0", "agg2_1", "edge2_1"
-        ]);
+        assert_eq!(
+            names(&topo, &path),
+            vec!["edge0_0", "agg0_1", "core1_0", "agg2_1", "edge2_1"]
+        );
         assert_eq!(tag_idx, 1, "agg is the tagger: 1 upstream, 3 downstream");
     }
 
@@ -411,7 +421,10 @@ mod tests {
         let n = |s: &str| topo.node_by_name(s).unwrap();
         let (src, dst) = (n("h0_0_0"), n("h0_1_1"));
         let p = pkt(src, dst);
-        assert!(codec.should_tag(n("edge0_0"), &p), "src edge tags intra-pod");
+        assert!(
+            codec.should_tag(n("edge0_0"), &p),
+            "src edge tags intra-pod"
+        );
         assert!(!codec.should_tag(n("agg0_0"), &p));
         // Tagged link: edge0_0 -> agg0_1 (the chosen agg).
         let link = topo

@@ -37,7 +37,8 @@ fn main() {
         .find(|&&(_, p)| p == s4)
         .map(|&(l, _)| l)
         .unwrap();
-    tb.sim.schedule_link_state(bad_link, false, SimTime::from_ms(7));
+    tb.sim
+        .schedule_link_state(bad_link, false, SimTime::from_ms(7));
     tb.sim.run_until(SimTime::from_ms(20));
 
     // D's trigger engine notices the starvation...
@@ -74,7 +75,11 @@ fn main() {
         println!(
             "  {}: {}",
             name(*sw),
-            if *present { "saw the flow" } else { "did NOT see the flow" }
+            if *present {
+                "saw the flow"
+            } else {
+                "did NOT see the flow"
+            }
         );
     }
     match diag.suspected_segment {

@@ -72,7 +72,11 @@ fn main() {
         diag.breakdown.total()
     );
     for (link, sizes) in &diag.per_link {
-        println!("  link vid {link}: {} flows, sizes {:?}", sizes.len(), sizes);
+        println!(
+            "  link vid {link}: {} flows, sizes {:?}",
+            sizes.len(),
+            sizes
+        );
     }
     match diag.separation_bytes {
         Some(t) => println!("clean separation found at {t} bytes — size-based misrouting"),

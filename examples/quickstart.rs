@@ -49,7 +49,10 @@ fn main() {
         .iter()
         .map(|&n| tb.sim.topo().node(n).name.clone())
         .collect();
-    println!("flow {tcp} delivered {} bytes over path {path_names:?}", rec.bytes);
+    println!(
+        "flow {tcp} delivered {} bytes over path {path_names:?}",
+        rec.bytes
+    );
     for (sw, epochs) in &rec.epochs_at {
         println!(
             "  {}: possible epochs {:?}",

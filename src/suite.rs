@@ -5,5 +5,6 @@ pub use baselines;
 pub use mphf;
 pub use netsim;
 pub use pathdump;
+pub use queryplane;
 pub use switchpointer;
 pub use telemetry;

@@ -113,12 +113,12 @@ fn dctcp_keeps_queue_near_threshold() {
 fn dctcp_alpha_tracks_marking() {
     let (sim, flow, _) = run_long_flow(true);
     let conn = sim.tcp(flow);
-    assert!(conn.ecn_echoed_bytes > 0, "no ECN echoes reached the sender");
-    let alpha = conn.dctcp_alpha();
     assert!(
-        alpha > 0.0 && alpha <= 1.0,
-        "alpha out of range: {alpha}"
+        conn.ecn_echoed_bytes > 0,
+        "no ECN echoes reached the sender"
     );
+    let alpha = conn.dctcp_alpha();
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
 }
 
 #[test]

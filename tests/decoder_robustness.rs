@@ -17,12 +17,7 @@ fn decoder(topo: &Topology, mode: EmbedMode) -> TelemetryDecoder {
     )
 }
 
-fn arbitrary_packet(
-    topo: &Topology,
-    src_i: usize,
-    dst_i: usize,
-    tags: Vec<(u16, u16)>,
-) -> Packet {
+fn arbitrary_packet(topo: &Topology, src_i: usize, dst_i: usize, tags: Vec<(u16, u16)>) -> Packet {
     let hosts = topo.hosts();
     let src = hosts[src_i % hosts.len()];
     let mut dst = hosts[dst_i % hosts.len()];

@@ -47,17 +47,19 @@ fn failed_chain_link_is_localized() {
 
     // Localize using post-onset epochs.
     let e = tb.cfg.params.epoch_of(trig.at);
-    let diag = tb.analyzer().localize_silent_drop(
-        flow,
-        a,
-        f,
-        EpochRange { lo: e, hi: e + 2 },
-    );
+    let diag = tb
+        .analyzer()
+        .localize_silent_drop(flow, a, f, EpochRange { lo: e, hi: e + 2 });
     // Let the flow keep running past the trigger so upstream pointers have
     // entries for the window (duration 20 ms covers it).
     let s2 = tb.node("S2");
     let s3 = tb.node("S3");
-    assert_eq!(diag.suspected_segment, Some((s2, s3)), "{:?}", diag.per_switch);
+    assert_eq!(
+        diag.suspected_segment,
+        Some((s2, s3)),
+        "{:?}",
+        diag.per_switch
+    );
     // S1 and S2 saw the flow post-failure; S3 did not.
     assert_eq!(diag.per_switch.iter().filter(|&&(_, p)| p).count(), 2);
     assert!(diag.pointer_retrieval > SimTime::ZERO);

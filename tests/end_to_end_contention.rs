@@ -45,11 +45,8 @@ fn contention_testbed(
 #[test]
 fn priority_contention_diagnosed_with_all_culprits() {
     for m in [1usize, 4, 8] {
-        let (tb, victim, dst) = contention_testbed(
-            m,
-            QueueConfig::default_priority(),
-            Priority::HIGH,
-        );
+        let (tb, victim, dst) =
+            contention_testbed(m, QueueConfig::default_priority(), Priority::HIGH);
         // The victim's host noticed the starvation on its own.
         let trig = tb.hosts[&dst].borrow().first_trigger_for(victim).copied();
         let trig = trig.unwrap_or_else(|| panic!("m={m}: no trigger"));
@@ -83,8 +80,7 @@ fn microburst_contention_gets_microburst_verdict() {
     // FIFO queue, bursts at the same priority as the victim: drops, not
     // priority starvation. 8 equal-priority line-rate bursts overflow the
     // 1 MB shared buffer.
-    let (tb, victim, dst) =
-        contention_testbed(8, QueueConfig::default_fifo(), Priority::LOW);
+    let (tb, victim, dst) = contention_testbed(8, QueueConfig::default_fifo(), Priority::LOW);
     let d = tb
         .analyzer()
         .diagnose_contention(victim, dst, tb.cfg.trigger.window);
@@ -97,11 +93,8 @@ fn microburst_contention_gets_microburst_verdict() {
 fn diagnosis_latency_grows_with_contending_hosts() {
     let mut last = SimTime::ZERO;
     for m in [1usize, 4, 16] {
-        let (tb, victim, dst) = contention_testbed(
-            m,
-            QueueConfig::default_priority(),
-            Priority::HIGH,
-        );
+        let (tb, victim, dst) =
+            contention_testbed(m, QueueConfig::default_priority(), Priority::HIGH);
         let d = tb
             .analyzer()
             .diagnose_contention(victim, dst, tb.cfg.trigger.window);

@@ -102,7 +102,10 @@ fn fat_tree_contention_diagnosis_works() {
         let d = tb
             .analyzer()
             .diagnose_contention(victim, da, tb.cfg.trigger.window);
-        assert_eq!(d.verdict, switchpointer::analyzer::Verdict::PriorityContention);
+        assert_eq!(
+            d.verdict,
+            switchpointer::analyzer::Verdict::PriorityContention
+        );
         assert!(d.culprits.iter().any(|c| c.dst == db));
     } else {
         // The two flows took disjoint paths beyond the edge; then the
@@ -158,6 +161,9 @@ fn offline_diagnosis_from_archived_pointers() {
 
     // And the analyzer still names host C for the event window.
     let hosts = tb.analyzer().hosts_for(s1, EpochRange { lo: 2, hi: 3 });
-    assert!(hosts.contains(&c), "offline lookup lost the host: {hosts:?}");
+    assert!(
+        hosts.contains(&c),
+        "offline lookup lost the host: {hosts:?}"
+    );
     let _ = flow;
 }

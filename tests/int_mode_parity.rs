@@ -49,8 +49,7 @@ fn int_and_commodity_agree_on_contention() {
 
     let cset: std::collections::BTreeSet<FlowId> =
         commodity.culprits.iter().map(|c| c.flow).collect();
-    let iset: std::collections::BTreeSet<FlowId> =
-        int.culprits.iter().map(|c| c.flow).collect();
+    let iset: std::collections::BTreeSet<FlowId> = int.culprits.iter().map(|c| c.flow).collect();
     assert_eq!(cset, iset, "same culprit flows under either embedding");
     assert_eq!(commodity.hosts_contacted, int.hosts_contacted);
 }
@@ -79,10 +78,7 @@ fn int_epoch_sets_are_tighter() {
             tb.sim.run_until(SimTime::from_ms(10));
             let host = tb.hosts[&f].borrow();
             let rec = host.store.record(flow).unwrap();
-            rec.path
-                .iter()
-                .map(|sw| rec.epochs_at[sw].len())
-                .collect()
+            rec.path.iter().map(|sw| rec.epochs_at[sw].len()).collect()
         };
         epochs_per_switch
     };
@@ -90,7 +86,10 @@ fn int_epoch_sets_are_tighter() {
     let int = run(EmbedMode::Int);
     assert_eq!(commodity.len(), int.len());
     for (c, i) in commodity.iter().zip(&int) {
-        assert!(i <= c, "INT must be at least as tight: int={int:?} commodity={commodity:?}");
+        assert!(
+            i <= c,
+            "INT must be at least as tight: int={int:?} commodity={commodity:?}"
+        );
     }
     // And strictly tighter somewhere (the extrapolation is not free).
     assert!(

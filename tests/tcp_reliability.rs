@@ -9,12 +9,7 @@ use proptest::prelude::*;
 
 /// Runs a bounded transfer against a hostile little buffer plus background
 /// UDP noise; returns (delivered, drops_seen, finished).
-fn hostile_transfer(
-    bytes: u64,
-    buffer: u64,
-    noise_flows: usize,
-    seed: u64,
-) -> (u64, usize, bool) {
+fn hostile_transfer(bytes: u64, buffer: u64, noise_flows: usize, seed: u64) -> (u64, usize, bool) {
     let topo = Topology::dumbbell(noise_flows + 1, noise_flows + 1, GBPS);
     let mut sim = netsim::engine::Simulator::new(
         topo,
@@ -28,7 +23,13 @@ fn hostile_transfer(
     );
     let a = sim.topo().node_by_name("L0").unwrap();
     let b = sim.topo().node_by_name("R0").unwrap();
-    let f = sim.add_tcp_flow(TcpFlowSpec::transfer(a, b, Priority::LOW, SimTime::ZERO, bytes));
+    let f = sim.add_tcp_flow(TcpFlowSpec::transfer(
+        a,
+        b,
+        Priority::LOW,
+        SimTime::ZERO,
+        bytes,
+    ));
     for u in 0..noise_flows {
         let src = sim.topo().node_by_name(&format!("L{}", u + 1)).unwrap();
         let dst = sim.topo().node_by_name(&format!("R{}", u + 1)).unwrap();
@@ -45,11 +46,7 @@ fn hostile_transfer(
     // Generous horizon: RTO backoff can stretch recovery.
     sim.run_until(SimTime::from_secs(20));
     let conn = sim.tcp(f);
-    (
-        conn.delivered,
-        sim.traces.drops_for(f),
-        conn.is_complete(),
-    )
+    (conn.delivered, sim.traces.drops_for(f), conn.is_complete())
 }
 
 proptest! {
@@ -100,8 +97,20 @@ fn two_competing_tcp_flows_both_complete() {
         topo.node_by_name("L1").unwrap(),
         topo.node_by_name("R1").unwrap(),
     );
-    let f1 = sim.add_tcp_flow(TcpFlowSpec::transfer(a, b, Priority::LOW, SimTime::ZERO, 1_000_000));
-    let f2 = sim.add_tcp_flow(TcpFlowSpec::transfer(c, d, Priority::LOW, SimTime::ZERO, 1_000_000));
+    let f1 = sim.add_tcp_flow(TcpFlowSpec::transfer(
+        a,
+        b,
+        Priority::LOW,
+        SimTime::ZERO,
+        1_000_000,
+    ));
+    let f2 = sim.add_tcp_flow(TcpFlowSpec::transfer(
+        c,
+        d,
+        Priority::LOW,
+        SimTime::ZERO,
+        1_000_000,
+    ));
     sim.run_until(SimTime::from_secs(5));
     assert_eq!(sim.tcp(f1).delivered, 1_000_000);
     assert_eq!(sim.tcp(f2).delivered, 1_000_000);
