@@ -1,16 +1,23 @@
-//! Query-plane benchmarks: wall-clock queries/sec versus worker count,
-//! plus the modelled accounting (cache hit-rate, batched speedup).
+//! Query-plane + stream-plane benchmarks: wall-clock queries/sec versus
+//! worker count, the modelled accounting (cache hit-rate, batched
+//! speedup), and the continuous-monitoring trajectory (incremental
+//! delta-refresh vs full recapture, result-cache hit rate, incidents/sec).
 //!
 //! Besides the Criterion timings, this bench writes a machine-readable
-//! summary to `target/queryplane_ops.json` (queries/sec at concurrency
-//! 1/4/16, cache hit-rate, modelled speedup) so future PRs have a perf
-//! trajectory to compare against.
+//! summary to `target/queryplane_ops.json` so future PRs have a perf
+//! trajectory to compare against — covering both planes.
+//!
+//! Since the pool became persistent (spawned once per plane instead of
+//! per batch), more workers must not cost wall-clock throughput; the
+//! bench asserts 16-worker ≥ 1-worker queries/sec on the storm workload
+//! (the exact regression DESIGN.md §9 used to document).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use netsim::prelude::*;
-use queryplane::{QueryPlane, QueryPlaneConfig};
+use queryplane::{QueryPlane, QueryPlaneConfig, Snapshot};
+use streamplane::{StandingQuery, StreamConfig, StreamPlane};
 use switchpointer::query::QueryRequest;
 use switchpointer::testbed::{Testbed, TestbedConfig};
 use telemetry::EpochRange;
@@ -46,11 +53,17 @@ fn workload() -> (Testbed, Vec<QueryRequest>) {
     tb.sim.run_until(SimTime::from_ms(30));
 
     let window = EpochRange { lo: 5, hi: 20 };
+    // Presence sweeps scan the whole pointer retention span (α^k = 1000
+    // epochs) at exact resolution — the §2.4-class "where did this flow
+    // vanish" query. They are the batch's compute-heavy tail, so the
+    // worker pool has real parallel work even though the aggregate
+    // queries answer in microseconds.
+    let retention = EpochRange { lo: 0, hi: 999 };
     let switches = [
         "edge0_0", "agg0_0", "agg0_1", "core0_0", "edge2_0", "agg2_0",
     ];
     let mut reqs = Vec::new();
-    for round in 0..8 {
+    for round in 0..32u64 {
         for name in switches {
             reqs.push(QueryRequest::TopK {
                 switch: tb.node(name),
@@ -63,6 +76,16 @@ fn workload() -> (Testbed, Vec<QueryRequest>) {
                     range: window,
                 });
             }
+        }
+        for probe in 0..2u64 {
+            reqs.push(QueryRequest::SilentDrop {
+                // Flows that never ran: the all-absent sweep is the worst
+                // (and deterministic-length) case.
+                flow: FlowId(1000 + round * 2 + probe),
+                src: tb.node("h0_1_0"),
+                dst: tb.node("h2_1_0"),
+                range: retention,
+            });
         }
     }
     (tb, reqs)
@@ -107,7 +130,9 @@ fn batch_delta(
 
 /// Timed cold + warm batches at `workers` on a fresh plane. The modelled
 /// accounting deltas are per batch (cold = empty cache, warm = the same
-/// batch repeated against a populated cache).
+/// batch repeated against a populated cache). The warm throughput is the
+/// best of five repeats — wall-clock comparisons across worker counts
+/// gate on it, so scheduler noise must not decide them.
 fn measure(
     tb: &Testbed,
     reqs: &[QueryRequest],
@@ -123,7 +148,11 @@ fn measure(
         },
     );
     let (cold_dt, cold) = batch_delta(&mut plane, reqs);
-    let (warm_dt, warm) = batch_delta(&mut plane, reqs);
+    let (mut warm_dt, warm) = batch_delta(&mut plane, reqs);
+    for _ in 0..4 {
+        let (dt, _) = batch_delta(&mut plane, reqs);
+        warm_dt = warm_dt.min(dt);
+    }
     (
         ThroughputPoint {
             workers,
@@ -135,7 +164,122 @@ fn measure(
     )
 }
 
-fn write_summary(points: &[ThroughputPoint], cold: &BatchAccounting, warm: &BatchAccounting) {
+/// One pass of the continuous-monitoring loop for the JSON summary:
+/// returns (delta-refresh wall time, full-recapture wall time, stream
+/// stats snapshot, incidents, evaluation wall time).
+struct StreamSummary {
+    delta_refresh: Duration,
+    full_recapture: Duration,
+    delta_copied: u64,
+    full_copied_equiv: u64,
+    result_hit_rate: f64,
+    incidents: usize,
+    incidents_per_sec: f64,
+}
+
+fn measure_stream() -> StreamSummary {
+    // A fixture of its own: traffic must keep flowing while the windows
+    // advance, so deltas stay non-trivial.
+    let topo = Topology::fat_tree(4, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    for (s, d, ms) in [
+        // Two flows outlive the watch (live deltas every window); two end
+        // mid-run, so the fixed subscriptions over their pods go quiet and
+        // the result cache starts serving them.
+        ("h0_0_0", "h2_0_0", 38),
+        ("h3_0_0", "h0_1_0", 38),
+        ("h1_0_0", "h3_1_1", 18),
+        ("h1_1_0", "h2_1_1", 18),
+    ] {
+        let (s, d) = (tb.node(s), tb.node(d));
+        tb.sim.add_udp_flow(UdpFlowSpec {
+            src: s,
+            dst: d,
+            priority: Priority::LOW,
+            start: SimTime::ZERO,
+            duration: SimTime::from_ms(ms),
+            rate_bps: 100_000_000,
+            payload_bytes: 1458,
+        });
+    }
+    let analyzer = tb.analyzer();
+    let mut sp = StreamPlane::new(
+        &analyzer,
+        StreamConfig {
+            plane: QueryPlaneConfig {
+                workers: 8,
+                shards: 8,
+                cache_capacity: 4096,
+            },
+            result_cache_capacity: 1024,
+        },
+    );
+    for name in [
+        "edge0_0", "agg0_0", "agg0_1", "core0_0", "edge2_0", "agg2_0",
+    ] {
+        sp.subscribe(StandingQuery::TopKSliding {
+            switch: tb.node(name),
+            k: 10,
+            epochs_back: 10,
+        });
+        sp.subscribe(StandingQuery::LoadImbalanceSliding {
+            switch: tb.node(name),
+            epochs_back: 10,
+        });
+    }
+    for name in ["edge3_1", "edge2_1"] {
+        sp.subscribe(StandingQuery::Fixed(QueryRequest::TopK {
+            switch: tb.node(name),
+            k: 10,
+            range: EpochRange { lo: 5, hi: 15 },
+        }));
+    }
+    // A probe plane isolates the refresh cost: its `refresh_delta` is the
+    // same incremental path `run_window` uses, timed without the query
+    // execution that follows.
+    let mut probe = QueryPlane::from_analyzer(
+        &analyzer,
+        QueryPlaneConfig {
+            workers: 1,
+            shards: 8,
+            cache_capacity: 4096,
+        },
+    );
+    let mut delta_refresh = Duration::ZERO;
+    let mut full_recapture = Duration::ZERO;
+    let t0 = Instant::now();
+    for w in 1..=8u64 {
+        tb.sim.run_until(SimTime::from_ms(w * 5));
+        // The counterfactual first: how long a from-scratch freeze takes
+        // at this instant (what `refresh` would have done every window).
+        let tc = Instant::now();
+        let fresh = Snapshot::capture(&analyzer, 8);
+        full_recapture += tc.elapsed();
+        drop(fresh);
+        let td = Instant::now();
+        probe.refresh_delta(&analyzer);
+        delta_refresh += td.elapsed();
+        sp.run_window(&analyzer);
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let stats = *sp.stats();
+    StreamSummary {
+        delta_refresh,
+        full_recapture,
+        delta_copied: stats.delta_copied,
+        full_copied_equiv: stats.full_copied_equiv,
+        result_hit_rate: stats.result_hit_rate(),
+        incidents: sp.incidents().len(),
+        incidents_per_sec: sp.incidents().len() as f64 / wall,
+    }
+}
+
+fn write_summary(
+    points: &[ThroughputPoint],
+    cold: &BatchAccounting,
+    warm: &BatchAccounting,
+    stream: &StreamSummary,
+) {
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
@@ -145,13 +289,24 @@ fn write_summary(points: &[ThroughputPoint], cold: &BatchAccounting, warm: &Batc
             )
         })
         .collect();
+    let stream_json = format!(
+        "  \"streamplane\": {{\n    \"delta_refresh_ms\": {:.3},\n    \"full_recapture_ms\": {:.3},\n    \"delta_copied\": {},\n    \"full_copied_equiv\": {},\n    \"result_cache_hit_rate\": {:.4},\n    \"incidents\": {},\n    \"incidents_per_sec\": {:.0}\n  }}",
+        stream.delta_refresh.as_secs_f64() * 1e3,
+        stream.full_recapture.as_secs_f64() * 1e3,
+        stream.delta_copied,
+        stream.full_copied_equiv,
+        stream.result_hit_rate,
+        stream.incidents,
+        stream.incidents_per_sec,
+    );
     let json = format!(
-        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n{}\n}}\n",
         cold.cache_hit_rate,
         cold.modelled_speedup,
         warm.cache_hit_rate,
         warm.modelled_speedup,
-        rows.join(",\n")
+        rows.join(",\n"),
+        stream_json
     );
     // Benches run with the package dir as cwd; aim at the workspace target.
     let path = concat!(
@@ -187,7 +342,40 @@ fn bench_queryplane(c: &mut Criterion) {
         "cold-batch modelled speedup regressed below 2x: {:.2}",
         cold.modelled_speedup
     );
-    write_summary(&points, &cold, &warm);
+    // The persistent pool fixed DESIGN.md §9's known limitation: scaling
+    // workers must no longer *cost* wall-clock throughput. Gate on the
+    // best-of-five warm batches at each level. On hardware with headroom
+    // (≥ 4 cores) the bar is strict (16-worker ≥ 1-worker); on 2-3 cores
+    // oversubscription leaves little margin over scheduler noise, and a
+    // uniprocessor cannot run threads in parallel at all — those get a
+    // small "no material regression" allowance (time-slicing 16 threads
+    // costs a few percent, where the old spawn-per-batch design cost a
+    // multiple).
+    let qps_at = |w: usize| {
+        points
+            .iter()
+            .find(|p| p.workers == w)
+            .map(|p| p.warm_qps)
+            .expect("measured level")
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let floor = match cores {
+        0 | 1 => 0.85,
+        2 | 3 => 0.9,
+        _ => 1.0,
+    };
+    assert!(
+        qps_at(16) >= floor * qps_at(1),
+        "16-worker wall-clock throughput regressed below 1-worker on the storm workload \
+         ({cores} core(s), floor {floor}): {:.0} qps vs {:.0} qps",
+        qps_at(16),
+        qps_at(1)
+    );
+
+    let stream = measure_stream();
+    write_summary(&points, &cold, &warm, &stream);
 
     let mut group = c.benchmark_group("queryplane_ops");
     group.throughput(Throughput::Elements(reqs.len() as u64));

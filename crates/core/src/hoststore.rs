@@ -18,7 +18,7 @@ use netsim::packet::{FlowId, NodeId, Priority, Protocol};
 use telemetry::{DecodedTelemetry, EpochRange};
 
 /// A stored flow record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowRecord {
     pub flow: FlowId,
     pub src: NodeId,
@@ -64,12 +64,34 @@ pub fn shard_of(flow: FlowId, n_shards: usize) -> usize {
     ((z ^ (z >> 31)) % n_shards as u64) as usize
 }
 
+/// What changed in a [`FlowStore`] since a recorded version baseline —
+/// the input to incremental snapshot refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreDelta {
+    /// No mutation since the baseline.
+    Unchanged,
+    /// Only these flows were touched (ascending flow id); every shard not
+    /// containing one of them is byte-identical to the baseline.
+    Flows(Vec<FlowId>),
+    /// Records were evicted since the baseline: per-flow journaling cannot
+    /// express removals, so the caller must re-freeze the whole store.
+    FullRescan,
+}
+
 /// The per-host store.
 #[derive(Debug, Default)]
 pub struct FlowStore {
     records: HashMap<FlowId, FlowRecord>,
     /// Secondary index: switch -> flows that reported it on their path.
     by_switch: HashMap<NodeId, BTreeSet<FlowId>>,
+    /// Monotone mutation counter (bumps once per ingest / eviction pass).
+    version: u64,
+    /// flow -> version at which it was last mutated (dirty-set journal for
+    /// incremental snapshot refresh; one u64 per live record).
+    modified_at: HashMap<FlowId, u64>,
+    /// Version of the most recent eviction, if any (evictions invalidate
+    /// the per-flow journal for older baselines).
+    last_eviction: u64,
 }
 
 impl FlowStore {
@@ -90,6 +112,8 @@ impl FlowStore {
         telemetry: &DecodedTelemetry,
         link_vid: Option<u16>,
     ) {
+        self.version += 1;
+        self.modified_at.insert(flow, self.version);
         let rec = self.records.entry(flow).or_insert_with(|| FlowRecord {
             flow,
             src,
@@ -220,13 +244,43 @@ impl FlowStore {
             })
             .map(|r| r.flow)
             .collect();
+        if !stale.is_empty() {
+            self.version += 1;
+            self.last_eviction = self.version;
+        }
         for f in &stale {
             self.records.remove(f);
+            self.modified_at.remove(f);
             for set in self.by_switch.values_mut() {
                 set.remove(f);
             }
         }
         stale.len()
+    }
+
+    /// The monotone mutation counter (bumps once per ingest / eviction).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// What changed since the `version` baseline. `Flows` lists touched
+    /// flows ascending; `FullRescan` means an eviction invalidated the
+    /// journal for this baseline.
+    pub fn changed_since(&self, version: u64) -> StoreDelta {
+        if self.version == version {
+            return StoreDelta::Unchanged;
+        }
+        if self.last_eviction > version {
+            return StoreDelta::FullRescan;
+        }
+        let mut flows: Vec<FlowId> = self
+            .modified_at
+            .iter()
+            .filter(|&(_, &v)| v > version)
+            .map(|(&f, _)| f)
+            .collect();
+        flows.sort();
+        StoreDelta::Flows(flows)
     }
 
     /// *Aggregate query*: (link VID, flow bytes) pairs for flows through
@@ -431,6 +485,33 @@ mod tests {
         assert_eq!(s.evict_older_than(0), 0);
         assert_eq!(s.evict_older_than(100), 1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn changed_since_journals_touched_flows_and_evictions() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 100, &[(0, 5, 5)]);
+        ingest_simple(&mut s, 2, 100, &[(0, 6, 6)]);
+        let base = s.version();
+        assert_eq!(s.changed_since(base), StoreDelta::Unchanged);
+
+        ingest_simple(&mut s, 2, 50, &[(0, 7, 7)]);
+        ingest_simple(&mut s, 3, 100, &[(1, 7, 7)]);
+        assert_eq!(
+            s.changed_since(base),
+            StoreDelta::Flows(vec![FlowId(2), FlowId(3)])
+        );
+        // A baseline taken now sees nothing.
+        let base2 = s.version();
+        assert_eq!(s.changed_since(base2), StoreDelta::Unchanged);
+
+        // Evictions invalidate per-flow journaling for older baselines.
+        assert_eq!(s.evict_older_than(6), 1);
+        assert_eq!(s.changed_since(base), StoreDelta::FullRescan);
+        assert_eq!(s.changed_since(base2), StoreDelta::FullRescan);
+        let base3 = s.version();
+        ingest_simple(&mut s, 4, 100, &[(0, 9, 9)]);
+        assert_eq!(s.changed_since(base3), StoreDelta::Flows(vec![FlowId(4)]));
     }
 
     #[test]

@@ -26,8 +26,10 @@
 //!
 //! Substrates live in sibling crates: `netsim` (the simulated datacenter),
 //! `telemetry` (header embedding/decoding), `mphf` (minimal perfect
-//! hashing), `pathdump` (the end-host-only baseline), and `queryplane`
-//! (the concurrent, sharded query service over this crate's executors).
+//! hashing), `pathdump` (the end-host-only baseline), `queryplane` (the
+//! concurrent, sharded query service over this crate's executors, with
+//! incrementally maintainable snapshots), and `streamplane` (continuous
+//! standing-query monitoring with result caching and an incident log).
 //!
 //! ## Quickstart
 //!

@@ -91,20 +91,53 @@ impl PointerConfig {
 }
 
 /// One slot: the period index it currently holds plus the bit array.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Slot {
     /// Which period (epoch / span) this slot's bits belong to; None = never
     /// written.
     period: Option<u64>,
     bits: BitSet,
+    /// Hierarchy version at which this slot was last mutated (bit write,
+    /// clear, or period relabel). Shadow bookkeeping for incremental
+    /// snapshot refresh — not part of the modelled data-plane cost.
+    touched: u64,
 }
 
 /// A flushed top-level pointer set retained by the control plane.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchivedPointer {
     /// Top-level period index (epoch / α^(k−1)).
     pub period: u64,
     pub bits: BitSet,
+}
+
+/// Everything that changed in a [`PointerHierarchy`] since a recorded
+/// baseline `(version, archive length)` — enough to bring a clone taken at
+/// the baseline back to full equality with the live hierarchy via
+/// [`PointerHierarchy::apply_patch`]. Internals are private; consumers see
+/// only the copy-work counters.
+#[derive(Debug, Clone)]
+pub struct PointerPatch {
+    version: u64,
+    /// `(level-1, slot index, slot contents)` for every slot mutated after
+    /// the baseline version.
+    slots: Vec<(usize, usize, Slot)>,
+    /// Archive entries appended after the baseline length (append-only).
+    archive_tail: Vec<ArchivedPointer>,
+    flushed_bits: u64,
+    updates: u64,
+    unknown_dsts: u64,
+    cached_epoch: Option<u64>,
+    cached_slots: Vec<usize>,
+}
+
+impl PointerPatch {
+    /// Slot bit-sets this patch clones (live slots + archived sets) — the
+    /// incremental-refresh copy-work metric. A full hierarchy clone copies
+    /// every live slot plus the whole archive.
+    pub fn copied_slots(&self) -> usize {
+        self.slots.len() + self.archive_tail.len()
+    }
 }
 
 /// A switch's full pointer state.
@@ -125,6 +158,10 @@ pub struct PointerHierarchy {
     cached_epoch: Option<u64>,
     /// Current slot index per level; `usize::MAX` = skip (stale epoch).
     cached_slots: Vec<usize>,
+    /// Monotone mutation counter: bumps once per state-changing call
+    /// (update, unchecked update). Baselines recorded against it let an
+    /// incremental snapshot ask "what changed since?" without scanning.
+    version: u64,
     /// Total bits pushed data-plane → control-plane (bandwidth accounting).
     pub flushed_bits: u64,
     /// Packets processed.
@@ -150,6 +187,7 @@ impl PointerHierarchy {
                     .map(|_| Slot {
                         period: None,
                         bits: BitSet::new(cfg.n_hosts),
+                        touched: 0,
                     })
                     .collect()
             })
@@ -158,6 +196,7 @@ impl PointerHierarchy {
             spans: (1..=cfg.k).map(|h| cfg.span_epochs(h)).collect(),
             cached_epoch: None,
             cached_slots: vec![usize::MAX; cfg.k],
+            version: 0,
             cfg,
             mphf,
             levels,
@@ -196,6 +235,7 @@ impl PointerHierarchy {
         let period = epoch / span;
         let idx = self.slot_index(h, period);
         let is_top = h == self.cfg.k;
+        let version = self.version;
         let slot = &mut self.levels[h - 1][idx];
         if slot.period != Some(period) {
             if let Some(p) = slot.period {
@@ -212,11 +252,13 @@ impl PointerHierarchy {
                 };
                 slot.bits.clear();
                 slot.period = Some(period);
+                slot.touched = version;
                 self.archive.push(archived);
                 return idx;
             }
             slot.bits.clear();
             slot.period = Some(period);
+            slot.touched = version;
         }
         idx
     }
@@ -237,9 +279,12 @@ impl PointerHierarchy {
         if self.cached_epoch != Some(epoch) {
             self.refresh_slots(epoch);
         }
+        let version = self.version;
         for (level, &idx) in self.levels.iter_mut().zip(&self.cached_slots) {
             if idx != usize::MAX {
-                level[idx].bits.set(bit);
+                let slot = &mut level[idx];
+                slot.bits.set(bit);
+                slot.touched = version;
             }
         }
     }
@@ -247,6 +292,7 @@ impl PointerHierarchy {
     /// Records that a packet destined to `dst_addr` was forwarded during
     /// `epoch`. One hash; k bit writes.
     pub fn update(&mut self, dst_addr: u64, epoch: u64) {
+        self.version += 1;
         self.updates += 1;
         let Some(bit) = self.mphf.index(&dst_addr) else {
             self.unknown_dsts += 1;
@@ -259,6 +305,7 @@ impl PointerHierarchy {
     /// the membership fingerprint check, exactly one hash evaluation.
     #[inline]
     pub fn update_unchecked(&mut self, dst_addr: u64, epoch: u64) {
+        self.version += 1;
         self.updates += 1;
         let bit = self.mphf.index_unchecked(&dst_addr);
         self.set_all_levels(bit, epoch);
@@ -366,6 +413,85 @@ impl PointerHierarchy {
     /// Total switch SRAM footprint: pointer sets plus MPHF metadata.
     pub fn memory_bytes(&self) -> usize {
         self.cfg.memory_bytes() + self.mphf.metadata_bytes()
+    }
+
+    // ---- incremental-snapshot support ------------------------------------
+
+    /// The monotone mutation counter (bumps once per update call).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The most recent epoch an update was applied for, if any — the
+    /// hierarchy's view of "now" (snapshot epoch horizons derive from it).
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.cached_epoch
+    }
+
+    /// Live slots plus archived sets — what one full clone copies (the
+    /// denominator of the incremental-refresh savings metric).
+    pub fn total_slots(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum::<usize>() + self.archive.len()
+    }
+
+    /// Everything that changed since the `(version, archive length)`
+    /// baseline, or `None` when nothing did. Applying the returned patch to
+    /// a clone taken at the baseline makes it equal (`==`) to `self`.
+    pub fn delta_since(&self, version: u64, archive_len: usize) -> Option<PointerPatch> {
+        if self.version == version && self.archive.len() == archive_len {
+            return None;
+        }
+        debug_assert!(archive_len <= self.archive.len(), "archive is append-only");
+        let mut slots = Vec::new();
+        for (li, level) in self.levels.iter().enumerate() {
+            for (si, slot) in level.iter().enumerate() {
+                if slot.touched > version {
+                    slots.push((li, si, slot.clone()));
+                }
+            }
+        }
+        Some(PointerPatch {
+            version: self.version,
+            slots,
+            archive_tail: self.archive[archive_len..].to_vec(),
+            flushed_bits: self.flushed_bits,
+            updates: self.updates,
+            unknown_dsts: self.unknown_dsts,
+            cached_epoch: self.cached_epoch,
+            cached_slots: self.cached_slots.clone(),
+        })
+    }
+
+    /// Applies a patch produced by [`PointerHierarchy::delta_since`] on the
+    /// live hierarchy to a clone taken at the same baseline.
+    pub fn apply_patch(&mut self, patch: &PointerPatch) {
+        for &(li, si, ref slot) in &patch.slots {
+            self.levels[li][si] = slot.clone();
+        }
+        self.archive.extend(patch.archive_tail.iter().cloned());
+        self.version = patch.version;
+        self.flushed_bits = patch.flushed_bits;
+        self.updates = patch.updates;
+        self.unknown_dsts = patch.unknown_dsts;
+        self.cached_epoch = patch.cached_epoch;
+        self.cached_slots = patch.cached_slots.clone();
+    }
+}
+
+/// Full-state equality (the "bit-identical snapshot" check). The MPHF is
+/// compared by identity: clones of one deployment share the `Arc`.
+impl PartialEq for PointerHierarchy {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.mphf, &other.mphf)
+            && self.cfg == other.cfg
+            && self.levels == other.levels
+            && self.archive == other.archive
+            && self.cached_epoch == other.cached_epoch
+            && self.cached_slots == other.cached_slots
+            && self.version == other.version
+            && self.flushed_bits == other.flushed_bits
+            && self.updates == other.updates
+            && self.unknown_dsts == other.unknown_dsts
     }
 }
 
@@ -545,6 +671,33 @@ mod tests {
         h.update(addrs[1], 1);
         assert_eq!(h.archive().len(), 1);
         assert!(h.contains(addrs[0], 0), "answered from archive");
+    }
+
+    #[test]
+    fn delta_patch_restores_full_equality() {
+        let (mut h, addrs) = hierarchy(32, 4, 3);
+        h.update(addrs[1], 0);
+        h.update(addrs[2], 1);
+        let clone_at_base = h.clone();
+        let base = (h.version(), h.archive().len());
+        assert!(h.delta_since(base.0, base.1).is_none(), "no change yet");
+
+        // A small advance: only the slots covering epochs 2-3 rotate.
+        for e in 2..4u64 {
+            h.update(addrs[(e % 32) as usize], e);
+            h.update(0xdead_beef, e); // unknown dst: counter-only mutation
+        }
+        let patch = h.delta_since(base.0, base.1).expect("changes happened");
+        // The patch copies strictly less than a full clone would.
+        assert!(patch.copied_slots() < h.total_slots());
+        let mut patched = clone_at_base;
+        patched.apply_patch(&patch);
+        assert!(patched == h, "patched clone must equal the live hierarchy");
+
+        // Layered baselines: a later delta over the patched state is empty.
+        assert!(h
+            .delta_since(patched.version(), patched.archive().len())
+            .is_none());
     }
 
     #[test]

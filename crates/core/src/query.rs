@@ -67,8 +67,9 @@ pub trait StateView {
     fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent>;
 }
 
-/// One debugging query, ready to schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One debugging query, ready to schedule. `Hash`/`Eq` make the request
+/// itself the key of whole-result caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryRequest {
     /// §5.1 — who contended with `victim` at its bottleneck switch?
     Contention {
@@ -152,6 +153,25 @@ pub struct PointerRound {
     pub modelled: SimTime,
 }
 
+/// The exact state a query's answer depended on: every switch whose
+/// pointer sets were read and every host whose store or trigger log was
+/// consulted. A result cached for the query stays valid precisely until a
+/// snapshot delta touches one of these — the stream plane's invalidation
+/// rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceDeps {
+    pub switches: BTreeSet<NodeId>,
+    pub hosts: BTreeSet<NodeId>,
+}
+
+impl TraceDeps {
+    /// Does any of `switches`/`hosts` intersect this dependency set?
+    pub fn intersects(&self, switches: &[NodeId], hosts: &[NodeId]) -> bool {
+        switches.iter().any(|s| self.switches.contains(s))
+            || hosts.iter().any(|h| self.hosts.contains(h))
+    }
+}
+
 /// What a query touched while executing: replayed by the query plane for
 /// pointer-cache and batched-fan-out accounting.
 #[derive(Debug, Clone, Default)]
@@ -160,15 +180,27 @@ pub struct ExecutionTrace {
     pub pointer_rounds: Vec<PointerRound>,
     /// Host query waves: each wave lists (host, records scanned there).
     pub waves: Vec<Vec<(NodeId, usize)>>,
+    /// Every state read the answer depended on (result-cache invalidation).
+    pub deps: TraceDeps,
 }
 
 impl ExecutionTrace {
     fn push_round(&mut self, keys: Vec<(NodeId, EpochRange)>, modelled: SimTime) {
+        for &(sw, _) in &keys {
+            self.deps.switches.insert(sw);
+        }
         self.pointer_rounds.push(PointerRound { keys, modelled });
     }
 
     fn push_wave(&mut self, wave: Vec<(NodeId, usize)>) {
+        for &(h, _) in &wave {
+            self.deps.hosts.insert(h);
+        }
         self.waves.push(wave);
+    }
+
+    fn dep_host(&mut self, host: NodeId) {
+        self.deps.hosts.insert(host);
     }
 
     /// Total sequential charge for all pointer rounds.
@@ -343,13 +375,15 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
         (culprits, record_counts)
     }
 
-    fn victim_trigger(&self, victim_dst: NodeId, victim: FlowId) -> TriggerEvent {
+    fn victim_trigger(&mut self, victim_dst: NodeId, victim: FlowId) -> TriggerEvent {
+        self.trace.dep_host(victim_dst);
         self.view
             .first_trigger_for(victim_dst, victim)
             .expect("victim host raised no trigger for the flow")
     }
 
-    fn victim_path(&self, victim_dst: NodeId, victim: FlowId) -> Vec<NodeId> {
+    fn victim_path(&mut self, victim_dst: NodeId, victim: FlowId) -> Vec<NodeId> {
+        self.trace.dep_host(victim_dst);
         self.view
             .record(victim_dst, victim)
             .expect("victim host has no record for the flow")
@@ -379,6 +413,7 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
     ) -> ContentionDiagnosis {
         // One record fetch serves both the path walk and the later
         // priority comparison (StateView returns owned clones).
+        self.trace.dep_host(victim_dst);
         let victim_rec = self
             .view
             .record(victim_dst, victim)
@@ -537,6 +572,7 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
         let mut cur_dst = victim_dst;
 
         for _ in 0..max_depth {
+            self.trace.dep_host(cur_dst);
             let Some(rec) = self.view.record(cur_dst, cur_victim) else {
                 break;
             };

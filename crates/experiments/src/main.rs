@@ -5,7 +5,7 @@
 //! notes, and can dump machine-readable JSON.
 //!
 //! ```text
-//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|all>
+//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|all>
 //!       [--json <path>] [--quick]
 //! ```
 //!
@@ -23,6 +23,7 @@ mod fig7;
 mod fig8;
 mod fig9;
 mod motivation;
+mod stream;
 
 use common::FigureData;
 
@@ -44,6 +45,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
         "fig10" => fig10::fig10(),
         "fig11" => fig11::fig11(),
         "fig12" => fig12::fig12(),
+        "stream" => stream::stream(),
         "ablation-drr" => ablations::ablation_drr(),
         "ablation-hierarchy" => ablations::ablation_hierarchy(),
         "ablation-dctcp" => ablations::ablation_dctcp(),
@@ -55,7 +57,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
     }
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -66,6 +68,7 @@ const ALL: [&str; 14] = [
     "fig10",
     "fig11",
     "fig12",
+    "stream",
     "ablation-drr",
     "ablation-hierarchy",
     "ablation-dctcp",

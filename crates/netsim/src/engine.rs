@@ -111,6 +111,10 @@ struct Port {
 /// Return `None` to fall back to normal routing.
 pub type RouteOverride = Box<dyn FnMut(&Packet) -> Option<u16>>;
 
+/// Called on every global epoch boundary (see [`Simulator::set_epoch_hook`])
+/// with the tick index (0-based) and the simulated time of the tick.
+pub type EpochHook = Box<dyn FnMut(u64, SimTime)>;
+
 /// Per-node runtime state.
 struct NodeState {
     kind: NodeKind,
@@ -140,6 +144,10 @@ enum Ev {
         link: crate::topology::LinkId,
         up: bool,
     },
+    /// Global epoch boundary (continuous-monitoring hook). `gen` ties the
+    /// tick to the hook installation that scheduled it: re-installing a
+    /// hook starts a new chain and orphans the old one.
+    EpochTick { index: u64, gen: u64 },
 }
 
 struct Scheduled {
@@ -188,6 +196,11 @@ pub struct Simulator {
     /// whose link is down are dropped at the port — a fail-stop link or
     /// unplugged cable.
     link_down: Vec<bool>,
+    /// Epoch-boundary callback: (period, stop-after bound, hook).
+    epoch_hook: Option<(SimTime, SimTime, EpochHook)>,
+    /// Installation generation: bumps per `set_epoch_hook`, so ticks of a
+    /// replaced schedule die instead of driving the new hook off-cadence.
+    epoch_gen: u64,
 }
 
 impl Simulator {
@@ -241,6 +254,8 @@ impl Simulator {
             traces: TraceSet::default(),
             events_processed: 0,
             link_down: vec![false; num_links],
+            epoch_hook: None,
+            epoch_gen: 0,
         }
     }
 
@@ -406,6 +421,38 @@ impl Simulator {
         !self.link_down[link.0 as usize]
     }
 
+    /// Installs a callback fired at every multiple of `every` after the
+    /// current time, up to and including `until` — the epoch boundaries a
+    /// continuous-monitoring driver paces itself by. Ticks are ordinary
+    /// scheduled events (deterministic interleaving with traffic); bounding
+    /// them by `until` keeps `run_to_completion` terminating. Only one hook
+    /// may be installed; installing again replaces it and starts a fresh
+    /// tick chain (index 0, the new cadence and bound) — any still-pending
+    /// ticks of the old schedule are orphaned and die silently.
+    pub fn set_epoch_hook(&mut self, every: SimTime, until: SimTime, hook: EpochHook) {
+        assert!(every > SimTime::ZERO, "epoch period must be positive");
+        self.epoch_hook = Some((every, until, hook));
+        self.epoch_gen += 1;
+        let gen = self.epoch_gen;
+        // Checked: after `run_to_completion` the clock sits at the max
+        // representable instant, where no future tick can exist.
+        let Some(mut first) = self
+            .now
+            .as_ns()
+            .div_ceil(every.as_ns())
+            .checked_mul(every.as_ns())
+            .map(SimTime)
+        else {
+            return;
+        };
+        if first <= self.now {
+            first += every;
+        }
+        if first <= until {
+            self.schedule(first, Ev::EpochTick { index: 0, gen });
+        }
+    }
+
     // ---- event loop ---------------------------------------------------------
 
     fn schedule(&mut self, at: SimTime, ev: Ev) {
@@ -469,6 +516,28 @@ impl Simulator {
                 self.apply_tcp_actions(flow, actions);
             }
             Ev::AppTimer { node, token } => self.fire_app_timer(node, token),
+            Ev::EpochTick { index, gen } => {
+                if gen != self.epoch_gen {
+                    return; // orphaned tick of a replaced schedule
+                }
+                let now = self.now;
+                let next = if let Some((every, until, hook)) = self.epoch_hook.as_mut() {
+                    hook(index, now);
+                    let at = now + *every;
+                    (at <= *until).then_some(at)
+                } else {
+                    None
+                };
+                if let Some(at) = next {
+                    self.schedule(
+                        at,
+                        Ev::EpochTick {
+                            index: index + 1,
+                            gen,
+                        },
+                    );
+                }
+            }
             Ev::LinkState { link, up } => {
                 self.link_down[link.0 as usize] = !up;
                 if up {
@@ -1043,6 +1112,78 @@ mod tests {
         assert_eq!(t.len(), 10);
         assert_eq!(t[0], SimTime::from_ms(1));
         assert_eq!(t[9], SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn epoch_hook_fires_on_boundaries_and_stops_at_bound() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut sim = dumbbell_sim(QueueConfig::default_priority());
+        let ticks: Rc<RefCell<Vec<(u64, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let t = ticks.clone();
+        sim.set_epoch_hook(
+            SimTime::from_ms(1),
+            SimTime::from_ms(5),
+            Box::new(move |i, at| t.borrow_mut().push((i, at))),
+        );
+        sim.run_until(SimTime::from_ms(3));
+        assert_eq!(
+            *ticks.borrow(),
+            vec![
+                (0, SimTime::from_ms(1)),
+                (1, SimTime::from_ms(2)),
+                (2, SimTime::from_ms(3)),
+            ]
+        );
+        // Bounded: the hook stops at `until`.
+        sim.run_until(SimTime::from_ms(6));
+        assert_eq!(ticks.borrow().len(), 5);
+        assert_eq!(ticks.borrow().last().unwrap().1, SimTime::from_ms(5));
+
+        // Re-installing after the chain expired seeds a fresh tick chain
+        // (index restarts at 0).
+        let t2 = ticks.clone();
+        sim.set_epoch_hook(
+            SimTime::from_ms(1),
+            SimTime::from_ms(8),
+            Box::new(move |i, at| t2.borrow_mut().push((i, at))),
+        );
+        sim.run_until(SimTime::from_ms(8));
+        assert_eq!(ticks.borrow().len(), 7);
+        assert_eq!(ticks.borrow()[5], (0, SimTime::from_ms(7)));
+        assert_eq!(ticks.borrow()[6], (1, SimTime::from_ms(8)));
+
+        // Replacing a hook whose ticks are still pending orphans the old
+        // chain: the new hook fires on its own cadence and bound only.
+        let orphaned = Rc::new(RefCell::new(0u64));
+        let o = orphaned.clone();
+        sim.set_epoch_hook(
+            SimTime::from_ms(2),
+            SimTime::from_ms(12),
+            Box::new(move |_i, _at| *o.borrow_mut() += 1),
+        );
+        let replaced = Rc::new(RefCell::new(Vec::new()));
+        let r = replaced.clone();
+        sim.set_epoch_hook(
+            SimTime::from_ms(3),
+            SimTime::from_ms(12),
+            Box::new(move |i, at| r.borrow_mut().push((i, at))),
+        );
+        sim.run_until(SimTime::from_ms(12));
+        assert_eq!(*orphaned.borrow(), 0, "replaced hook must never fire");
+        assert_eq!(
+            *replaced.borrow(),
+            vec![(0, SimTime::from_ms(9)), (1, SimTime::from_ms(12))]
+        );
+
+        // And the bounded chain keeps `run_to_completion` terminating —
+        // after which the clock is past any representable tick.
+        sim.run_to_completion();
+        assert_eq!(
+            *replaced.borrow(),
+            vec![(0, SimTime::from_ms(9)), (1, SimTime::from_ms(12))]
+        );
     }
 
     #[test]

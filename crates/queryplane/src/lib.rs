@@ -13,9 +13,15 @@
 //!    state: switch pointer hierarchies cloned, host flow records
 //!    partitioned into [`shard_of`](switchpointer::hoststore::shard_of)
 //!    shards, so concurrent queries touching different flows and hosts
-//!    never contend on a shared structure.
-//! 2. **Worker pool** — queries are assigned round-robin by submission
-//!    index and each runs the shared
+//!    never contend on a shared structure. Between batches the freeze can
+//!    be brought up to date *incrementally*:
+//!    [`QueryPlane::refresh_delta`] copies only the pointer slots and host
+//!    shards that changed since the last freeze (see
+//!    [`Snapshot::apply_delta`]).
+//! 2. **Persistent [`WorkerPool`]** — spawned once at plane construction
+//!    and shared by every batch (and by the `streamplane` crate's standing
+//!    query windows). Queries are assigned round-robin by submission index
+//!    and each runs the shared
 //!    [`QueryExecutor`](switchpointer::query::QueryExecutor) as a pure
 //!    function of the snapshot; results merge back in submission order.
 //! 3. **Pointer cache** — an epoch-keyed LRU over `(switch, epoch window)`
@@ -66,23 +72,22 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use netsim::packet::NodeId;
 use netsim::routing::RouteTable;
 use netsim::time::SimTime;
-use netsim::topology::Topology;
-use switchpointer::analyzer::HostDirectory;
-use switchpointer::cost::{BatchedHostLoad, CostModel};
-use switchpointer::query::{ExecutionTrace, QueryCtx, QueryRequest, QueryResponse};
+use switchpointer::cost::BatchedHostLoad;
+use switchpointer::query::{ExecutionTrace, QueryRequest, QueryResponse, TraceDeps};
 use switchpointer::Analyzer;
-use telemetry::EpochParams;
 
 mod cache;
 mod pool;
 mod snapshot;
 
 pub use cache::{key_of, PointerCache, PointerKey};
-pub use snapshot::{ShardedHostStore, Snapshot};
+pub use pool::{SharedCtx, WorkerPool};
+pub use snapshot::{ShardedHostStore, Snapshot, SnapshotDelta};
 
 /// Service tuning.
 #[derive(Debug, Clone, Copy)]
@@ -120,11 +125,13 @@ pub struct QueryCost {
 }
 
 /// One scheduled query's result: the (bit-identical) response plus the
-/// plane's cost accounting for it.
+/// plane's cost accounting for it and the exact state the answer depended
+/// on (what the stream plane's result cache keys invalidation by).
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     pub response: QueryResponse,
     pub cost: QueryCost,
+    pub deps: TraceDeps,
 }
 
 /// Cumulative service counters.
@@ -175,42 +182,57 @@ impl QueryPlaneStats {
 
 /// The concurrent query service front-end.
 pub struct QueryPlane {
-    topo: Topology,
-    routes: RouteTable,
-    params: EpochParams,
-    directory: HostDirectory,
-    cost: CostModel,
+    ctx: Arc<SharedCtx>,
     cfg: QueryPlaneConfig,
-    snapshot: Snapshot,
+    snapshot: Arc<Snapshot>,
+    pool: WorkerPool,
     cache: PointerCache,
     stats: QueryPlaneStats,
 }
 
 impl QueryPlane {
     /// Builds a plane over a frozen snapshot of `analyzer`'s deployment
-    /// state. Queries submitted later see the state as of this call;
-    /// re-freeze with [`QueryPlane::refresh`] after running the simulation
-    /// further.
+    /// state and spawns its persistent worker pool. Queries submitted
+    /// later see the state as of this call; re-freeze with
+    /// [`QueryPlane::refresh`] (full recapture) or
+    /// [`QueryPlane::refresh_delta`] (incremental) after running the
+    /// simulation further.
     pub fn from_analyzer(analyzer: &Analyzer, cfg: QueryPlaneConfig) -> Self {
         QueryPlane {
-            topo: analyzer.topo().clone(),
-            routes: RouteTable::build(analyzer.topo()),
-            params: analyzer.params(),
-            directory: analyzer.directory().clone(),
-            cost: *analyzer.cost(),
+            ctx: Arc::new(SharedCtx {
+                topo: analyzer.topo().clone(),
+                routes: RouteTable::build(analyzer.topo()),
+                params: analyzer.params(),
+                directory: analyzer.directory().clone(),
+                cost: *analyzer.cost(),
+            }),
             cfg,
-            snapshot: Snapshot::capture(analyzer, cfg.shards),
+            snapshot: Arc::new(Snapshot::capture(analyzer, cfg.shards)),
+            pool: WorkerPool::new(cfg.workers),
             cache: PointerCache::new(cfg.cache_capacity),
             stats: QueryPlaneStats::default(),
         }
     }
 
-    /// Re-freezes the deployment state (e.g. after more simulated time).
-    /// The pointer cache is cleared — cached windows may have rotated —
-    /// but cumulative stats are kept.
+    /// Re-freezes the deployment state from scratch (e.g. after more
+    /// simulated time). The pointer cache is cleared — cached windows may
+    /// have rotated — but cumulative stats are kept.
     pub fn refresh(&mut self, analyzer: &Analyzer) {
-        self.snapshot = Snapshot::capture(analyzer, self.cfg.shards);
+        self.snapshot = Arc::new(Snapshot::capture(analyzer, self.cfg.shards));
         self.cache = PointerCache::new(self.cfg.cache_capacity);
+    }
+
+    /// Incrementally re-freezes the deployment state, copying only what
+    /// changed since the last freeze (see [`Snapshot::apply_delta`]). The
+    /// modelled pointer cache is invalidated *precisely*: only keys of
+    /// switches the delta touched are dropped. Returns the delta summary
+    /// (dirty sets + copy-work counters).
+    pub fn refresh_delta(&mut self, analyzer: &Analyzer) -> SnapshotDelta {
+        let snapshot = Arc::get_mut(&mut self.snapshot)
+            .expect("no batch in flight: workers hold no snapshot reference between batches");
+        let delta = snapshot.apply_delta(analyzer);
+        self.cache.invalidate_switches(&delta.dirty_switches);
+        delta
     }
 
     /// The frozen state being queried.
@@ -248,19 +270,7 @@ impl QueryPlane {
         if requests.is_empty() {
             return Vec::new();
         }
-        let results = {
-            let pool_ctx = pool::PoolCtx {
-                snapshot: &self.snapshot,
-                ctx: QueryCtx {
-                    topo: &self.topo,
-                    routes: &self.routes,
-                    params: self.params,
-                    directory: &self.directory,
-                    cost: &self.cost,
-                },
-            };
-            pool::run(&pool_ctx, requests, self.cfg.workers)
-        };
+        let results = self.pool.run(&self.ctx, &self.snapshot, requests);
         self.account(results)
     }
 
@@ -302,7 +312,7 @@ impl QueryPlane {
                 if round.keys.is_empty() || round_missed {
                     batched_pointer += round.modelled;
                 } else {
-                    batched_pointer += self.cost.pointer_cache_hit;
+                    batched_pointer += self.ctx.cost.pointer_cache_hit;
                     self.stats.rounds_skipped += 1;
                 }
             }
@@ -314,7 +324,7 @@ impl QueryPlane {
             let mut requests = 0u64;
             for wave in &trace.waves {
                 let counts: Vec<usize> = wave.iter().map(|&(_, records)| records).collect();
-                sequential_waves += self.cost.query_wave(wave.len(), &counts).total();
+                sequential_waves += self.ctx.cost.query_wave(wave.len(), &counts).total();
                 requests += wave.len() as u64;
                 for &(host, records) in wave {
                     let load = per_host.entry(host).or_insert(BatchedHostLoad {
@@ -339,7 +349,7 @@ impl QueryPlane {
 
         // One batched fan-out wave covers the whole batch's host contacts.
         let loads: Vec<BatchedHostLoad> = per_host.values().copied().collect();
-        let batched_wave_total = self.cost.batched_query_wave(&loads).total();
+        let batched_wave_total = self.ctx.cost.batched_query_wave(&loads).total();
         let total_requests: u64 = per_query.iter().map(|q| q.requests).sum();
         self.stats.host_rpcs_issued += loads.len() as u64;
         self.stats.host_requests += total_requests;
@@ -349,7 +359,7 @@ impl QueryPlane {
         results
             .into_iter()
             .zip(per_query)
-            .map(|((response, _), q)| {
+            .map(|((response, trace), q)| {
                 // This query's share of the batched wave, proportional to
                 // its request count (ns math; stats totals above use the
                 // exact batch quantities, not these rounded shares).
@@ -371,6 +381,7 @@ impl QueryPlane {
                         pointer_hits: q.hits,
                         pointer_misses: q.misses,
                     },
+                    deps: trace.deps,
                 }
             })
             .collect()

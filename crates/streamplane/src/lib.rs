@@ -1,0 +1,525 @@
+//! # streamplane — continuous standing-query monitoring
+//!
+//! SwitchPointer's pitch is *continuous* monitoring and debugging, but a
+//! [`QueryPlane`] alone answers one-shot batches over a fully re-frozen
+//! snapshot. This crate turns it into an always-on service: clients
+//! register **standing queries** (the paper's §5 applications as
+//! long-lived subscriptions) that are re-evaluated every **evaluation
+//! window** against an **incrementally maintained snapshot**, with a
+//! whole-result cache and an incident log in front. Four pieces:
+//!
+//! 1. **Incremental snapshot deltas** — each window calls
+//!    [`QueryPlane::refresh_delta`], which copies only the pointer slots
+//!    and host shards that changed since the previous window
+//!    ([`queryplane::Snapshot::apply_delta`]); bit-identical to a full
+//!    recapture at asymptotically less copy work, property-tested in
+//!    `tests/streamplane_props.rs`.
+//! 2. **Arrival-window admission** — one-shot queries submitted between
+//!    windows ride the next window's batch together with the standing
+//!    queries, feeding the plane's epoch-keyed pointer cache and batched
+//!    host fan-out as one coalesced wave.
+//! 3. **Result cache** — whole outcomes keyed by the concrete
+//!    [`QueryRequest`] (and the snapshot epoch horizon they were computed
+//!    at), invalidated *precisely* by the delta's dirty switch/host sets
+//!    against each entry's recorded dependency set
+//!    ([`switchpointer::query::TraceDeps`]). A standing query whose
+//!    dependencies did not change is served its previous bit-identical
+//!    outcome without executing at all.
+//! 4. **Incident log** — per-subscription verdict fingerprints with change
+//!    detection: an [`Incident`] fires only when a verdict *transitions*
+//!    (plus one `Baseline` entry at first sight). Because verdicts are
+//!    bit-identical at any worker count and under any admission batching,
+//!    the incident stream is too.
+//!
+//! Execution itself is delegated to the `queryplane` crate's persistent
+//! deterministic [`WorkerPool`](queryplane::WorkerPool) — the two planes
+//! share the pool implementation and the determinism argument.
+//!
+//! Drive it end-to-end with `examples/continuous_watch.rs` or
+//! `spexp stream`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use netsim::packet::{FlowId, NodeId};
+use netsim::time::SimTime;
+use queryplane::{QueryOutcome, QueryPlane, QueryPlaneConfig, SnapshotDelta};
+use switchpointer::query::{QueryRequest, QueryResponse, StateView};
+use switchpointer::Analyzer;
+use telemetry::EpochRange;
+
+mod incident;
+mod resultcache;
+
+pub use incident::{fingerprint, fnv1a, summarize, Incident, IncidentKind};
+pub use resultcache::{CachedResult, ResultCache};
+
+/// Identifies a standing query for its whole subscription lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub u64);
+
+impl std::fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// Identifies a one-shot submission until its window resolves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TicketId(pub u64);
+
+/// A long-lived subscription: either a concrete request re-evaluated
+/// verbatim, or a template re-resolved against the snapshot each window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandingQuery {
+    /// Re-evaluate this exact request every window (fixed epoch range —
+    /// the result cache serves it for free while its dependencies sleep).
+    Fixed(QueryRequest),
+    /// §6.2 top-k over the trailing `epochs_back` epochs up to the
+    /// snapshot horizon (sliding window).
+    TopKSliding {
+        switch: NodeId,
+        k: usize,
+        epochs_back: u64,
+    },
+    /// §5.4 load-imbalance over the trailing `epochs_back` epochs.
+    LoadImbalanceSliding { switch: NodeId, epochs_back: u64 },
+    /// §5.1 contention watch: pends until the victim's destination raises
+    /// a trigger, then diagnoses every window (transition Pending →
+    /// verdict is the canonical incident).
+    ContentionWatch {
+        victim: FlowId,
+        victim_dst: NodeId,
+        trigger_window: SimTime,
+    },
+}
+
+impl StandingQuery {
+    /// The trailing window `[horizon - (back-1), horizon]`.
+    fn sliding(horizon: u64, back: u64) -> EpochRange {
+        EpochRange {
+            lo: horizon.saturating_sub(back.saturating_sub(1)),
+            hi: horizon,
+        }
+    }
+
+    /// Resolves to this window's concrete request, or `None` while the
+    /// subscription is pending (e.g. no trigger yet).
+    fn resolve(&self, view: &dyn StateView, horizon: u64) -> Option<QueryRequest> {
+        match *self {
+            StandingQuery::Fixed(req) => Some(req),
+            StandingQuery::TopKSliding {
+                switch,
+                k,
+                epochs_back,
+            } => Some(QueryRequest::TopK {
+                switch,
+                k,
+                range: Self::sliding(horizon, epochs_back),
+            }),
+            StandingQuery::LoadImbalanceSliding {
+                switch,
+                epochs_back,
+            } => Some(QueryRequest::LoadImbalance {
+                switch,
+                range: Self::sliding(horizon, epochs_back),
+            }),
+            StandingQuery::ContentionWatch {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => view
+                .first_trigger_for(victim_dst, victim)
+                .map(|_| QueryRequest::Contention {
+                    victim,
+                    victim_dst,
+                    trigger_window,
+                }),
+        }
+    }
+}
+
+/// Service tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Inner query-plane sizing (worker pool, shards, pointer cache).
+    pub plane: QueryPlaneConfig,
+    /// Whole-result cache capacity (entries).
+    pub result_cache_capacity: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            plane: QueryPlaneConfig::default(),
+            result_cache_capacity: 1024,
+        }
+    }
+}
+
+/// Cumulative service counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Evaluation windows run.
+    pub windows: u64,
+    /// Standing-query evaluations (pending subscriptions included).
+    pub evaluations: u64,
+    /// One-shot submissions resolved.
+    pub one_shots: u64,
+    /// Whole results served from / missing the result cache.
+    pub result_hits: u64,
+    pub result_misses: u64,
+    /// Result-cache entries dropped by delta invalidation.
+    pub invalidated: u64,
+    /// Incidents appended to the log (baselines + transitions).
+    pub incidents: u64,
+    /// Flow records + pointer slots copied by incremental refreshes.
+    pub delta_copied: u64,
+    /// What full recaptures would have copied instead.
+    pub full_copied_equiv: u64,
+    /// Σ modelled latency avoided by result-cache hits (each hit skips the
+    /// entry's batched-execution cost).
+    pub modelled_saved: SimTime,
+}
+
+impl StreamStats {
+    /// Fraction of resolvable evaluations served from the result cache.
+    pub fn result_hit_rate(&self) -> f64 {
+        let total = self.result_hits + self.result_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.result_hits as f64 / total as f64
+        }
+    }
+
+    /// Copy-work ratio of full recapture over incremental refresh.
+    pub fn delta_savings(&self) -> f64 {
+        if self.delta_copied == 0 {
+            f64::INFINITY
+        } else {
+            self.full_copied_equiv as f64 / self.delta_copied as f64
+        }
+    }
+}
+
+/// How one standing query fared in one window.
+#[derive(Debug, Clone)]
+pub enum Evaluation {
+    /// Not resolvable yet (e.g. contention watch with no trigger).
+    Pending,
+    /// Served bit-identically from the result cache.
+    Cached(CachedResult),
+    /// Executed on the worker pool this window.
+    Fresh(QueryOutcome),
+}
+
+/// One standing query's verdict in one window.
+#[derive(Debug, Clone)]
+pub enum StandingEval {
+    /// Not resolvable yet (e.g. contention watch with no trigger).
+    Pending,
+    /// The concrete request evaluated and its (bit-identical) response.
+    Verdict {
+        request: QueryRequest,
+        response: QueryResponse,
+        from_cache: bool,
+    },
+}
+
+/// Everything one call to [`StreamPlane::run_window`] did.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Window index (0-based, monotone).
+    pub window: u64,
+    /// Snapshot epoch horizon after the delta refresh.
+    pub horizon: u64,
+    /// The incremental refresh summary (dirty sets, copy work).
+    pub delta: SnapshotDelta,
+    /// Queries executed on the pool this window.
+    pub executed: usize,
+    /// Queries served from the result cache.
+    pub served_from_cache: usize,
+    /// Standing queries still pending.
+    pub pending: usize,
+    /// Result-cache entries the delta invalidated.
+    pub invalidated: usize,
+    /// Incidents fired this window (also appended to the global log).
+    pub incidents: Vec<Incident>,
+    /// Per-subscription verdicts, in registration order.
+    pub standing: Vec<(SubscriptionId, StandingEval)>,
+    /// One-shot outcomes, in submission order.
+    pub one_shot: Vec<(TicketId, QueryOutcome)>,
+}
+
+/// The continuous-monitoring front-end.
+pub struct StreamPlane {
+    plane: QueryPlane,
+    subs: Vec<(SubscriptionId, StandingQuery)>,
+    next_sub: u64,
+    next_ticket: u64,
+    pending: Vec<(TicketId, QueryRequest)>,
+    results: ResultCache,
+    incidents: Vec<Incident>,
+    last_fp: BTreeMap<SubscriptionId, u64>,
+    window: u64,
+    stats: StreamStats,
+}
+
+/// Fingerprint of the pending (no verdict yet) state.
+fn pending_fp() -> u64 {
+    fnv1a(b"<pending>")
+}
+
+impl StreamPlane {
+    /// Freezes the initial snapshot and spawns the worker pool.
+    pub fn new(analyzer: &Analyzer, cfg: StreamConfig) -> Self {
+        StreamPlane {
+            plane: QueryPlane::from_analyzer(analyzer, cfg.plane),
+            subs: Vec::new(),
+            next_sub: 0,
+            next_ticket: 0,
+            pending: Vec::new(),
+            results: ResultCache::new(cfg.result_cache_capacity),
+            incidents: Vec::new(),
+            last_fp: BTreeMap::new(),
+            window: 0,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Registers a standing query; evaluated every window from now on.
+    pub fn subscribe(&mut self, q: StandingQuery) -> SubscriptionId {
+        let id = SubscriptionId(self.next_sub);
+        self.next_sub += 1;
+        self.subs.push((id, q));
+        id
+    }
+
+    /// Cancels a subscription. Returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let before = self.subs.len();
+        self.subs.retain(|&(s, _)| s != id);
+        self.last_fp.remove(&id);
+        self.subs.len() != before
+    }
+
+    /// Queues a one-shot query; it joins the next window's batch (arrival-
+    /// window admission) and its outcome comes back in that window's
+    /// report.
+    pub fn submit(&mut self, req: QueryRequest) -> TicketId {
+        let ticket = TicketId(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push((ticket, req));
+        ticket
+    }
+
+    /// Closes the current arrival window: incrementally refreshes the
+    /// snapshot from `analyzer`, invalidates exactly the cached results
+    /// the delta touched, evaluates every standing query plus the queued
+    /// one-shots as one admitted batch, and runs change detection over the
+    /// standing verdicts.
+    ///
+    /// Call after advancing the simulation to the window's end. Verdicts
+    /// are a pure function of the snapshot state — independent of worker
+    /// count, admission batching and result-cache hits (property-tested).
+    pub fn run_window(&mut self, analyzer: &Analyzer) -> WindowReport {
+        let window = self.window;
+        self.window += 1;
+        self.stats.windows += 1;
+
+        // 1. Incremental refresh + precise invalidation.
+        let delta = self.plane.refresh_delta(analyzer);
+        let invalidated = self
+            .results
+            .invalidate(&delta.dirty_switches, &delta.dirty_hosts);
+        self.stats.invalidated += invalidated as u64;
+        self.stats.delta_copied += delta.cloned_records + delta.cloned_slots;
+        self.stats.full_copied_equiv += delta.full_records + delta.full_slots;
+        let horizon = delta.epoch_horizon;
+
+        // 2. Resolve the admitted set: standing queries in registration
+        // order, then one-shots in submission order.
+        enum Origin {
+            Sub(SubscriptionId),
+            Ticket(TicketId),
+        }
+        let mut admitted: Vec<(Origin, QueryRequest)> = Vec::new();
+        let mut pending_subs: Vec<SubscriptionId> = Vec::new();
+        for &(id, ref q) in &self.subs {
+            match q.resolve(self.plane.snapshot(), horizon) {
+                Some(req) => admitted.push((Origin::Sub(id), req)),
+                None => pending_subs.push(id),
+            }
+        }
+        self.stats.evaluations += self.subs.len() as u64;
+        let one_shots = std::mem::take(&mut self.pending);
+        self.stats.one_shots += one_shots.len() as u64;
+        for &(ticket, req) in &one_shots {
+            admitted.push((Origin::Ticket(ticket), req));
+        }
+
+        // 3. Serve from the result cache where valid; execute the misses
+        // as one batch on the worker pool. Identical requests within the
+        // window collapse to a single execution whose outcome fans out to
+        // every slot that asked for it (the cache is only populated after
+        // the batch, so without this a duplicate would execute twice).
+        let mut evaluations: Vec<(Origin, QueryRequest, Evaluation)> = Vec::new();
+        let mut miss_reqs: Vec<QueryRequest> = Vec::new();
+        let mut miss_slots: Vec<Vec<usize>> = Vec::new();
+        let mut miss_index: HashMap<QueryRequest, usize> = HashMap::new();
+        let mut served_from_cache = 0usize;
+        for (origin, req) in admitted {
+            match self.results.lookup(&req) {
+                Some(cached) => {
+                    self.stats.result_hits += 1;
+                    self.stats.modelled_saved += cached.cost.batched;
+                    served_from_cache += 1;
+                    evaluations.push((origin, req, Evaluation::Cached(cached)));
+                }
+                None => {
+                    self.stats.result_misses += 1;
+                    let i = *miss_index.entry(req).or_insert_with(|| {
+                        miss_reqs.push(req);
+                        miss_slots.push(Vec::new());
+                        miss_reqs.len() - 1
+                    });
+                    miss_slots[i].push(evaluations.len());
+                    evaluations.push((origin, req, Evaluation::Pending)); // placeholder
+                }
+            }
+        }
+        let executed = miss_reqs.len();
+        let outcomes = self.plane.execute_batch(&miss_reqs);
+        for (slots, outcome) in miss_slots.into_iter().zip(outcomes) {
+            let req = evaluations[slots[0]].1;
+            self.results.insert(&req, &outcome, horizon);
+            for slot in slots {
+                evaluations[slot].2 = Evaluation::Fresh(outcome.clone());
+            }
+        }
+
+        // 4. Change detection over standing verdicts (+ pending states).
+        let mut incidents: Vec<Incident> = Vec::new();
+        let mut one_shot_out: Vec<(TicketId, QueryOutcome)> = Vec::new();
+        let mut standing: Vec<(SubscriptionId, StandingEval)> = Vec::new();
+        for (origin, req, eval) in evaluations {
+            match origin {
+                Origin::Sub(id) => {
+                    let (response, from_cache) = match eval {
+                        Evaluation::Cached(c) => (c.response, true),
+                        Evaluation::Fresh(o) => (o.response, false),
+                        Evaluation::Pending => unreachable!("resolved subs never pend"),
+                    };
+                    self.note_verdict(
+                        window,
+                        horizon,
+                        id,
+                        fingerprint(&response),
+                        summarize(&response),
+                        &mut incidents,
+                    );
+                    standing.push((
+                        id,
+                        StandingEval::Verdict {
+                            request: req,
+                            response,
+                            from_cache,
+                        },
+                    ));
+                }
+                Origin::Ticket(t) => match eval {
+                    Evaluation::Fresh(o) => one_shot_out.push((t, o)),
+                    Evaluation::Cached(c) => one_shot_out.push((
+                        t,
+                        QueryOutcome {
+                            response: c.response,
+                            cost: c.cost,
+                            deps: c.deps,
+                        },
+                    )),
+                    Evaluation::Pending => unreachable!("one-shots are always concrete"),
+                },
+            }
+        }
+        for id in &pending_subs {
+            self.note_verdict(
+                window,
+                horizon,
+                *id,
+                pending_fp(),
+                "awaiting trigger".to_string(),
+                &mut incidents,
+            );
+            standing.push((*id, StandingEval::Pending));
+        }
+        // Registration order for subs, submission order for one-shots,
+        // regardless of cache hits and pending interleaving.
+        standing.sort_by_key(|&(id, _)| id);
+        one_shot_out.sort_by_key(|&(t, _)| t);
+
+        let pending = pending_subs.len();
+        let report = WindowReport {
+            window,
+            horizon,
+            delta,
+            executed,
+            served_from_cache,
+            pending,
+            invalidated,
+            incidents: incidents.clone(),
+            standing,
+            one_shot: one_shot_out,
+        };
+        self.stats.incidents += incidents.len() as u64;
+        self.incidents.extend(incidents);
+        report
+    }
+
+    fn note_verdict(
+        &mut self,
+        window: u64,
+        horizon: u64,
+        id: SubscriptionId,
+        fp: u64,
+        summary: String,
+        incidents: &mut Vec<Incident>,
+    ) {
+        let kind = match self.last_fp.get(&id) {
+            None => Some(IncidentKind::Baseline),
+            Some(&prev) if prev != fp => Some(IncidentKind::Transition),
+            Some(_) => None,
+        };
+        self.last_fp.insert(id, fp);
+        if let Some(kind) = kind {
+            incidents.push(Incident {
+                window,
+                horizon,
+                sub: id,
+                kind,
+                summary,
+                fingerprint: fp,
+            });
+        }
+    }
+
+    /// The full incident log since construction.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The inner query plane (its stats cover pool execution, pointer
+    /// cache and batched fan-out).
+    pub fn plane(&self) -> &QueryPlane {
+        &self.plane
+    }
+
+    /// Registered standing queries, in registration order.
+    pub fn subscriptions(&self) -> &[(SubscriptionId, StandingQuery)] {
+        &self.subs
+    }
+}

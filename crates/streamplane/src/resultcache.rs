@@ -1,0 +1,218 @@
+//! The whole-result cache.
+//!
+//! Where the query plane's pointer cache shaves the *modelled* cost of a
+//! retrieval round, this cache skips the *computation* of an entire query:
+//! a standing query whose dependency state did not change between windows
+//! is served its previous (bit-identical) outcome without touching the
+//! worker pool at all.
+//!
+//! **Key.** A cached entry is keyed by the concrete [`QueryRequest`] and
+//! remembers the snapshot epoch horizon it was computed at.
+//!
+//! **Invalidation rule (load-bearing).** An entry computed at horizon `h`
+//! may serve any later horizon `h' ≥ h` *iff no applied snapshot delta in
+//! between touched the entry's dependency set* — the exact switches whose
+//! pointers were read and hosts whose stores/trigger logs were consulted,
+//! as recorded in the executor's
+//! [`TraceDeps`](switchpointer::query::TraceDeps). Deltas report their
+//! dirty switch/host sets; [`ResultCache::invalidate`] drops precisely the
+//! intersecting entries. Soundness: every state read a query's answer
+//! depends on is in its dep set (the executor records them at the view
+//! boundary), and the deployment's static context (topology, routes,
+//! directory, cost model) never changes after capture — so an entry that
+//! survives invalidation re-derives bit-identically.
+
+use std::collections::{BTreeMap, HashMap};
+
+use netsim::packet::NodeId;
+use queryplane::{QueryCost, QueryOutcome};
+use switchpointer::query::{QueryRequest, QueryResponse, TraceDeps};
+
+/// A retained outcome plus the bookkeeping its validity hangs on.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    pub response: QueryResponse,
+    pub cost: QueryCost,
+    pub deps: TraceDeps,
+    /// Snapshot epoch horizon the result was computed at.
+    pub computed_at_horizon: u64,
+}
+
+/// Bounded LRU of whole query results, keyed by the concrete
+/// [`QueryRequest`] itself (a small `Copy + Hash + Eq` enum — no render
+/// step on the hot path). Same dual-index recency scheme as the plane's
+/// pointer cache; stamps are unique so eviction is O(log n).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<QueryRequest, (u64, CachedResult)>,
+    by_stamp: BTreeMap<u64, QueryRequest>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    invalidated: u64,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            ..ResultCache::default()
+        }
+    }
+
+    /// Looks up a still-valid result for `req`, refreshing recency.
+    pub fn lookup(&mut self, req: &QueryRequest) -> Option<CachedResult> {
+        self.clock += 1;
+        match self.entries.get_mut(req) {
+            Some((stamp, cached)) => {
+                self.by_stamp.remove(stamp);
+                *stamp = self.clock;
+                self.by_stamp.insert(self.clock, *req);
+                self.hits += 1;
+                Some(cached.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed outcome for `req` at `horizon`.
+    pub fn insert(&mut self, req: &QueryRequest, outcome: &QueryOutcome, horizon: u64) {
+        self.clock += 1;
+        if let Some((stamp, _)) = self.entries.remove(req) {
+            self.by_stamp.remove(&stamp);
+        } else if self.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.by_stamp.first_key_value() {
+                let victim = self.by_stamp.remove(&oldest).unwrap();
+                self.entries.remove(&victim);
+            }
+        }
+        self.by_stamp.insert(self.clock, *req);
+        self.entries.insert(
+            *req,
+            (
+                self.clock,
+                CachedResult {
+                    response: outcome.response.clone(),
+                    cost: outcome.cost,
+                    deps: outcome.deps.clone(),
+                    computed_at_horizon: horizon,
+                },
+            ),
+        );
+    }
+
+    /// Applies a snapshot delta: drops exactly the entries whose dependency
+    /// set intersects the dirty switches/hosts. Returns how many fell.
+    pub fn invalidate(&mut self, dirty_switches: &[NodeId], dirty_hosts: &[NodeId]) -> usize {
+        if dirty_switches.is_empty() && dirty_hosts.is_empty() {
+            return 0;
+        }
+        let stale: Vec<(QueryRequest, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, (_, c))| c.deps.intersects(dirty_switches, dirty_hosts))
+            .map(|(k, (stamp, _))| (*k, *stamp))
+            .collect();
+        for (key, stamp) in &stale {
+            self.entries.remove(key);
+            self.by_stamp.remove(stamp);
+        }
+        self.invalidated += stale.len() as u64;
+        stale.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+    use std::collections::BTreeSet;
+    use switchpointer::analyzer::TopKResult;
+    use switchpointer::cost::QueryWaveCost;
+    use telemetry::EpochRange;
+
+    fn req(switch: u32) -> QueryRequest {
+        QueryRequest::TopK {
+            switch: NodeId(switch),
+            k: 5,
+            range: EpochRange { lo: 0, hi: 4 },
+        }
+    }
+
+    fn outcome(switch: u32, hosts: &[u32]) -> QueryOutcome {
+        QueryOutcome {
+            response: QueryResponse::TopK(TopKResult {
+                flows: vec![],
+                hosts_contacted: hosts.len(),
+                pointer_retrieval: SimTime::ZERO,
+                wave: QueryWaveCost::default(),
+            }),
+            cost: QueryCost {
+                sequential: SimTime::ZERO,
+                batched: SimTime::ZERO,
+                pointer_hits: 0,
+                pointer_misses: 0,
+            },
+            deps: TraceDeps {
+                switches: BTreeSet::from([NodeId(switch)]),
+                hosts: hosts.iter().map(|&h| NodeId(h)).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_precise_invalidation() {
+        let mut c = ResultCache::new(8);
+        assert!(c.lookup(&req(1)).is_none());
+        c.insert(&req(1), &outcome(1, &[100]), 7);
+        c.insert(&req(2), &outcome(2, &[101]), 7);
+        let hit = c.lookup(&req(1)).expect("cached");
+        assert_eq!(hit.computed_at_horizon, 7);
+
+        // A delta touching switch 9 / host 100 kills only the entry
+        // depending on them.
+        assert_eq!(c.invalidate(&[NodeId(9)], &[NodeId(100)]), 1);
+        assert!(c.lookup(&req(1)).is_none(), "dependent entry dropped");
+        assert!(c.lookup(&req(2)).is_some(), "independent entry survives");
+
+        // An empty delta invalidates nothing.
+        assert_eq!(c.invalidate(&[], &[]), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(&req(1), &outcome(1, &[]), 0);
+        c.insert(&req(2), &outcome(2, &[]), 0);
+        assert!(c.lookup(&req(1)).is_some()); // refresh 1 ⇒ 2 is LRU
+        c.insert(&req(3), &outcome(3, &[]), 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&req(2)).is_none(), "LRU victim");
+        assert!(c.lookup(&req(1)).is_some());
+        assert!(c.lookup(&req(3)).is_some());
+    }
+}

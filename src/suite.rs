@@ -6,5 +6,6 @@ pub use mphf;
 pub use netsim;
 pub use pathdump;
 pub use queryplane;
+pub use streamplane;
 pub use switchpointer;
 pub use telemetry;
