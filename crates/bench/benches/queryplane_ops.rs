@@ -144,6 +144,7 @@ fn measure(
         QueryPlaneConfig {
             workers,
             shards: 8,
+            directory_shards: 1,
             cache_capacity: 4096,
         },
     );
@@ -162,6 +163,73 @@ fn measure(
         cold,
         warm,
     )
+}
+
+/// One directory-shard ablation point: per-shard fan-out and the
+/// modelled decode cost at that shard count.
+struct ShardPoint {
+    shards: usize,
+    decode_bits: Vec<u64>,
+    host_reads: Vec<u64>,
+    cross_shard_merges: u64,
+    modelled_decode_us: f64,
+    decode_speedup: f64,
+}
+
+/// Runs the storm batch's union-decode queries (TopK / LoadImbalance)
+/// through planes with 1/2/4/8 directory shards and records the
+/// per-shard fan-out counters. The SilentDrop presence sweeps are left
+/// out: single-address probes route to exactly one owning shard, so they
+/// are sharding-neutral by construction and would only dilute the
+/// trajectory. Gates the acceptance bar: 4-shard modelled decode cost
+/// must undercut the single coordinator.
+fn measure_shards(tb: &Testbed, reqs: &[QueryRequest]) -> Vec<ShardPoint> {
+    let reqs: Vec<QueryRequest> = reqs
+        .iter()
+        .filter(|r| !matches!(r, QueryRequest::SilentDrop { .. }))
+        .copied()
+        .collect();
+    let reqs = &reqs[..];
+    let analyzer = tb.analyzer();
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut plane = QueryPlane::from_analyzer(
+            &analyzer,
+            QueryPlaneConfig {
+                workers: 8,
+                shards: 8,
+                directory_shards: shards,
+                cache_capacity: 4096,
+            },
+        );
+        let outcomes = plane.execute_batch(reqs);
+        assert_eq!(outcomes.len(), reqs.len());
+        let fanout = plane.fanout().clone();
+        let stats = *plane.stats();
+        points.push(ShardPoint {
+            shards,
+            decode_bits: fanout.decode_bits,
+            host_reads: fanout.host_reads,
+            cross_shard_merges: stats.cross_shard_merges,
+            modelled_decode_us: stats.modelled_decode_total.as_ns() as f64 / 1e3,
+            decode_speedup: stats.decode_speedup(),
+        });
+    }
+    let at = |n: usize| {
+        points
+            .iter()
+            .find(|p| p.shards == n)
+            .map(|p| p.modelled_decode_us)
+            .expect("measured shard level")
+    };
+    assert!(
+        at(4) < at(1),
+        "4-shard modelled decode cost must undercut the single coordinator: \
+         {:.1}us vs {:.1}us",
+        at(4),
+        at(1)
+    );
+    points
 }
 
 /// One pass of the continuous-monitoring loop for the JSON summary:
@@ -209,6 +277,7 @@ fn measure_stream() -> StreamSummary {
             plane: QueryPlaneConfig {
                 workers: 8,
                 shards: 8,
+                directory_shards: 1,
                 cache_capacity: 4096,
             },
             result_cache_capacity: 1024,
@@ -242,6 +311,7 @@ fn measure_stream() -> StreamSummary {
         QueryPlaneConfig {
             workers: 1,
             shards: 8,
+            directory_shards: 1,
             cache_capacity: 4096,
         },
     );
@@ -278,6 +348,7 @@ fn write_summary(
     points: &[ThroughputPoint],
     cold: &BatchAccounting,
     warm: &BatchAccounting,
+    shards: &[ShardPoint],
     stream: &StreamSummary,
 ) {
     let rows: Vec<String> = points
@@ -286,6 +357,22 @@ fn write_summary(
             format!(
                 "    {{\"workers\": {}, \"cold_queries_per_sec\": {:.0}, \"warm_queries_per_sec\": {:.0}}}",
                 p.workers, p.cold_qps, p.warm_qps
+            )
+        })
+        .collect();
+    let shard_rows: Vec<String> = shards
+        .iter()
+        .map(|p| {
+            let bits: Vec<String> = p.decode_bits.iter().map(|b| b.to_string()).collect();
+            let reads: Vec<String> = p.host_reads.iter().map(|r| r.to_string()).collect();
+            format!(
+                "    {{\"directory_shards\": {}, \"decode_bits_per_shard\": [{}], \"host_reads_per_shard\": [{}], \"cross_shard_merges\": {}, \"modelled_decode_us\": {:.1}, \"decode_speedup\": {:.2}}}",
+                p.shards,
+                bits.join(", "),
+                reads.join(", "),
+                p.cross_shard_merges,
+                p.modelled_decode_us,
+                p.decode_speedup
             )
         })
         .collect();
@@ -300,12 +387,13 @@ fn write_summary(
         stream.incidents_per_sec,
     );
     let json = format!(
-        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{}\n}}\n",
         cold.cache_hit_rate,
         cold.modelled_speedup,
         warm.cache_hit_rate,
         warm.modelled_speedup,
         rows.join(",\n"),
+        shard_rows.join(",\n"),
         stream_json
     );
     // Benches run with the package dir as cwd; aim at the workspace target.
@@ -374,8 +462,9 @@ fn bench_queryplane(c: &mut Criterion) {
         qps_at(1)
     );
 
+    let shard_points = measure_shards(&tb, &reqs);
     let stream = measure_stream();
-    write_summary(&points, &cold, &warm, &stream);
+    write_summary(&points, &cold, &warm, &shard_points, &stream);
 
     let mut group = c.benchmark_group("queryplane_ops");
     group.throughput(Throughput::Elements(reqs.len() as u64));
@@ -390,6 +479,7 @@ fn bench_queryplane(c: &mut Criterion) {
                     QueryPlaneConfig {
                         workers: w,
                         shards: 8,
+                        directory_shards: 1,
                         cache_capacity: 4096,
                     },
                 );

@@ -273,10 +273,36 @@ pub mod collection {
     }
 }
 
+/// `option::of(inner)` — `None` half the time, `Some(inner)` otherwise.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 // Re-exported under both names so `prop::collection::vec` and plain
 // `collection::vec` resolve.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// Runner configuration — only the case count is meaningful here.

@@ -227,7 +227,7 @@ impl Analyzer {
 
     /// The executor context: everything the analyzer knows about the
     /// deployment besides the mutable component state.
-    fn ctx(&self) -> QueryCtx<'_> {
+    pub(crate) fn ctx(&self) -> QueryCtx<'_> {
         QueryCtx {
             topo: &self.topo,
             routes: &self.routes,

@@ -43,6 +43,15 @@ pub struct CostModel {
     /// requests to the same host are coalesced into one batched RPC (the
     /// expensive per-host connection initiation is paid once per batch).
     pub batched_request_per_query: SimTime,
+    /// Directory decode cost per pointer bit resolved to a host id
+    /// (MPHF-inverse lookup + sort insertion). With a sharded directory
+    /// the shards decode their slices in parallel, so the modelled wall
+    /// time is the *maximum* per-shard decode work.
+    pub decode_per_pointer_bit: SimTime,
+    /// Cross-shard merge cost per decoded host id when N > 1 directory
+    /// shards reassemble a verdict (the sorted k-way merge the router
+    /// runs). Far cheaper than the decode itself.
+    pub shard_merge_per_host: SimTime,
 }
 
 impl CostModel {
@@ -66,7 +75,28 @@ impl CostModel {
             response_per_host: SimTime::from_us(300),
             pointer_cache_hit: SimTime::from_us(5),
             batched_request_per_query: SimTime::from_us(50),
+            decode_per_pointer_bit: SimTime::from_us(2),
+            shard_merge_per_host: SimTime::from_ns(100),
         }
+    }
+
+    /// Modelled wall time of decoding one query's pointer bits through a
+    /// sharded directory: `per_shard_bits[s]` is the decode work shard `s`
+    /// performed, `merged_bits` the host ids that flowed through
+    /// cross-shard reassembly (zero for single-address probes, which
+    /// route to one owning shard and need no merge). Shards decode
+    /// concurrently (max term); the router then pays the serial merge. A
+    /// single-shard directory degenerates to the plain decode cost.
+    pub fn sharded_decode(&self, per_shard_bits: &[u64], merged_bits: u64) -> SimTime {
+        let max = per_shard_bits.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return SimTime::ZERO;
+        }
+        let decode = self.decode_per_pointer_bit * max;
+        if per_shard_bits.len() <= 1 {
+            return decode;
+        }
+        decode + self.shard_merge_per_host * merged_bits
     }
 
     /// Latency of one pointer-retrieval round over `switches` switches.

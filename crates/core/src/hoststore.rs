@@ -52,16 +52,13 @@ impl FlowRecord {
     }
 }
 
-/// Stable shard assignment of a flow: a splitmix64 finalizer over the flow
-/// id, reduced mod `n_shards`. Every layer that partitions flow records
-/// (the query plane's snapshot, shard-aware iteration below) uses this one
-/// function, so a flow lands in the same shard everywhere.
+/// Stable shard assignment of a flow: [`mphf::stable_shard`] (a splitmix64
+/// finalizer reduced mod `n_shards`) over the flow id. Every layer that
+/// partitions by key — flow records here, directory hosts in
+/// [`crate::shard`] — uses this one function, so a key lands in the same
+/// shard everywhere.
 pub fn shard_of(flow: FlowId, n_shards: usize) -> usize {
-    debug_assert!(n_shards > 0);
-    let mut z = flow.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) % n_shards as u64) as usize
+    mphf::stable_shard(flow.0, n_shards)
 }
 
 /// What changed in a [`FlowStore`] since a recorded version baseline —

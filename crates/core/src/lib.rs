@@ -20,6 +20,7 @@
 //! | [`hoststore`] | §4.2.2, §6 | the flow-record store, its filter/aggregate queries, and flow-id sharding |
 //! | [`analyzer`] | §4.3, §5 | the analyzer and the four debugging applications |
 //! | [`query`] | §4.3, §5 | the per-application query executors behind the `QueryRequest`/`QueryResponse` API, shared by the analyzer and the query plane |
+//! | [`shard`] | §4.3 scale-out | the hash-partitioned directory: `DirectoryShard` slices, the `ShardedView` state router and the `ShardedAnalyzer` front-end |
 //! | [`cost`] | §5, §6.2 | calibrated RPC latency model (Fig. 7/8/12 shapes), batched-RPC and cache-hit terms |
 //! | [`pipeline`] | §6.1 | the OVS-style forwarding pipeline of the Fig. 9 benchmark |
 //! | [`testbed`] | — | one-call deployment over a simulated topology |
@@ -89,6 +90,7 @@ pub mod hoststore;
 pub mod pipeline;
 pub mod pointer;
 pub mod query;
+pub mod shard;
 pub mod switch;
 pub mod testbed;
 
@@ -99,9 +101,12 @@ pub use host::{
     TriggerEvent,
 };
 pub use hoststore::{FlowRecord, FlowStore};
-pub use pointer::{PointerConfig, PointerHierarchy};
+pub use pointer::{PointerConfig, PointerConfigError, PointerHierarchy};
 pub use query::{
     ExecutionTrace, PointerRound, QueryCtx, QueryExecutor, QueryRequest, QueryResponse, StateView,
+};
+pub use shard::{
+    host_shard_of, DirectoryShard, ShardFanout, ShardedAnalyzer, ShardedDirectory, ShardedView,
 };
 pub use switch::{SwitchComponent, SwitchHandle, SwitchPointerApp};
 pub use testbed::{Testbed, TestbedConfig};

@@ -1,0 +1,556 @@
+//! The sharded analyzer directory: partitioning the MPHF/host directory
+//! across N analyzer instances.
+//!
+//! A single [`Analyzer`] owns the whole bit → host directory, so every
+//! pointer decode and every host fan-out funnels through one coordinator.
+//! This module hash-partitions the directory with the same stable
+//! splitmix64 assignment the host stores use for flow records
+//! ([`mphf::stable_shard`]): shard `s` owns exactly the hosts whose
+//! address hashes to `s`, the MPHF slots those hosts occupy, and the
+//! decode work for pointer bits landing in those slots.
+//!
+//! * [`DirectoryShard`] — one instance's slice: owned hosts, the slot mask
+//!   restricting a pointer set to them, a *local* per-shard MPHF (minimal
+//!   over the owned addresses) sizing the shard's own metadata.
+//! * [`ShardedDirectory`] — the full partition plus the slot → owner map.
+//! * [`ShardedView`] — a [`StateView`] router over any underlying view:
+//!   pointer unions are decoded per shard (masked slices) and reassembled
+//!   by a deterministic OR/merge; host reads route to the owning shard.
+//!   Because the shard masks partition the directory's slot range, the
+//!   reassembled state is **bit-identical** to the unsharded view's — the
+//!   property test pins verdict equality at any shard count.
+//! * [`ShardedAnalyzer`] — the thin router front-end over a live
+//!   [`Analyzer`]: fans a [`QueryRequest`]'s state reads out to the owning
+//!   shards, merges deterministically, and reports the per-shard fan-out
+//!   ([`ShardFanout`]) the cost model turns into a modelled decode time
+//!   ([`CostModel::sharded_decode`]): shards decode concurrently, the
+//!   router pays a serial cross-shard merge.
+//!
+//! As everywhere in this repo: *answers are real, latency is modelled*.
+//! Sharding never changes a verdict; it changes who decodes what, which
+//! the fan-out counters record and the cost model prices.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mphf::{stable_shard, Mphf, ShardedMphf};
+use netsim::packet::{FlowId, NodeId};
+use telemetry::EpochRange;
+
+use crate::analyzer::Analyzer;
+use crate::bitset::BitSet;
+use crate::cost::CostModel;
+use crate::host::TriggerEvent;
+use crate::hoststore::FlowRecord;
+use crate::query::{ExecutionTrace, QueryExecutor, QueryRequest, QueryResponse, StateView};
+
+/// The directory shard owning `host`: the same stable splitmix64
+/// assignment flow records use, applied to the host address. Pure
+/// function of the host and the shard count — every layer (directory,
+/// snapshot deltas, result caches) agrees on ownership.
+#[inline]
+pub fn host_shard_of(host: NodeId, n_shards: usize) -> usize {
+    stable_shard(host.addr(), n_shards)
+}
+
+/// One analyzer instance's slice of the directory. Everything here
+/// scales with the *owned* host slice, except the n-bit slot mask — the
+/// partition mechanism itself (one bit per directory slot).
+#[derive(Debug, Clone)]
+pub struct DirectoryShard {
+    shard: usize,
+    /// Hosts this shard owns (ascending).
+    hosts: Vec<NodeId>,
+    /// Global-MPHF slots of the owned hosts: the mask restricting a
+    /// pointer set to this shard's decode responsibility.
+    slot_mask: BitSet,
+    /// (global slot, owned host) pairs, ascending by slot — the shard's
+    /// bit → host decode table, sized by the owned slice.
+    owned_slots: Vec<(usize, NodeId)>,
+    /// Per-shard MPHF over just the owned addresses — the shard's local
+    /// index; its metadata is what this instance must actually hold.
+    local: Option<Mphf>,
+}
+
+impl DirectoryShard {
+    /// This shard's index.
+    pub fn id(&self) -> usize {
+        self.shard
+    }
+
+    /// The hosts this shard owns (ascending).
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Does this shard own `host`?
+    pub fn owns(&self, host: NodeId) -> bool {
+        self.hosts.binary_search(&host).is_ok()
+    }
+
+    /// `bits` restricted to the slots this shard owns — the slice of a
+    /// pointer set this instance decodes.
+    pub fn mask(&self, bits: &BitSet) -> BitSet {
+        bits.intersect(&self.slot_mask)
+    }
+
+    /// How many bits of `bits` this shard decodes — `mask(bits).count()`
+    /// without materializing the slice (the hot-path accounting form).
+    pub fn count_owned(&self, bits: &BitSet) -> usize {
+        bits.count_and(&self.slot_mask)
+    }
+
+    /// Decodes this shard's slice of `bits` into owned host ids
+    /// (ascending) — the per-shard half of a fan-out. Walks the owned
+    /// slot table (O(owned), not O(directory)).
+    pub fn decode(&self, bits: &BitSet) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .owned_slots
+            .iter()
+            .filter(|&&(slot, _)| bits.test(slot))
+            .map(|&(_, h)| h)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Metadata this instance holds: its local MPHF over owned addresses.
+    pub fn metadata_bytes(&self) -> usize {
+        self.local.as_ref().map(|m| m.metadata_bytes()).unwrap_or(0)
+    }
+}
+
+/// The full hash-partitioned directory plus the slot → owner map.
+#[derive(Debug, Clone)]
+pub struct ShardedDirectory {
+    mphf: Arc<Mphf>,
+    shards: Vec<DirectoryShard>,
+    /// Global-MPHF slot → owning shard.
+    owner_by_slot: Vec<usize>,
+}
+
+impl ShardedDirectory {
+    /// Partitions `hosts` (all of which must be in `mphf`'s key set) into
+    /// `n_shards` directory shards by stable address hash.
+    pub fn new(mphf: Arc<Mphf>, hosts: &[NodeId], n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let addrs: Vec<u64> = hosts.iter().map(|h| h.addr()).collect();
+        // Surface builder failures loudly: a directory over zero hosts is
+        // legal (every shard just owns nothing), but any real build error
+        // must not silently zero the per-shard metadata accounting.
+        let local = if addrs.is_empty() {
+            None
+        } else {
+            Some(
+                ShardedMphf::build(&addrs, n_shards)
+                    .expect("per-shard MPHF over the directory host set"),
+            )
+        };
+        let mut shards: Vec<DirectoryShard> = (0..n_shards)
+            .map(|s| DirectoryShard {
+                shard: s,
+                hosts: Vec::new(),
+                slot_mask: BitSet::new(mphf.len()),
+                owned_slots: Vec::new(),
+                local: local.as_ref().and_then(|l| l.shard(s).cloned()),
+            })
+            .collect();
+        let mut owner_by_slot = vec![0usize; mphf.len()];
+        for &h in hosts {
+            let slot = mphf
+                .index(&h.addr())
+                .expect("directory host missing from MPHF");
+            let s = host_shard_of(h, n_shards);
+            shards[s].hosts.push(h);
+            shards[s].slot_mask.set(slot);
+            shards[s].owned_slots.push((slot, h));
+            owner_by_slot[slot] = s;
+        }
+        for shard in &mut shards {
+            shard.hosts.sort();
+            shard.owned_slots.sort();
+        }
+        ShardedDirectory {
+            mphf,
+            shards,
+            owner_by_slot,
+        }
+    }
+
+    /// Number of directory shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard slices.
+    pub fn shards(&self) -> &[DirectoryShard] {
+        &self.shards
+    }
+
+    /// The shared global hash function.
+    pub fn mphf(&self) -> &Arc<Mphf> {
+        &self.mphf
+    }
+
+    /// The shard owning `host`'s store and directory entry.
+    pub fn owner_of(&self, host: NodeId) -> usize {
+        host_shard_of(host, self.shards.len())
+    }
+
+    /// The shard owning the slot `addr` hashes to, if `addr` is in the
+    /// directory's key set.
+    pub fn owner_of_addr(&self, addr: u64) -> Option<usize> {
+        self.mphf.index(&addr).map(|slot| self.owner_by_slot[slot])
+    }
+
+    /// Full decode via per-shard fan-out: each shard decodes its masked
+    /// slice, the router merges the sorted slices. Bit-identical to
+    /// [`crate::analyzer::HostDirectory::hosts_in`] because the shard
+    /// masks partition the slot range.
+    pub fn hosts_in(&self, bits: &BitSet) -> Vec<NodeId> {
+        let mut merged: Vec<NodeId> = self.shards.iter().flat_map(|s| s.decode(bits)).collect();
+        merged.sort();
+        merged
+    }
+
+    /// Total per-shard metadata (local MPHFs) — what the sharded
+    /// deployment holds across instances.
+    pub fn metadata_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.metadata_bytes()).sum()
+    }
+}
+
+/// Per-query shard fan-out accounting: who decoded and answered what.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardFanout {
+    /// Pointer bits decoded per shard (the parallelizable work).
+    pub decode_bits: Vec<u64>,
+    /// Host-store reads routed to each shard.
+    pub host_reads: Vec<u64>,
+    /// Cross-shard merges the router performed (one per reassembled
+    /// pointer union when N > 1).
+    pub merges: u64,
+    /// Host ids flowing through those merges (the serial merge work).
+    pub merged_bits: u64,
+}
+
+impl ShardFanout {
+    /// Zeroed counters for `n_shards` shards.
+    pub fn new(n_shards: usize) -> Self {
+        ShardFanout {
+            decode_bits: vec![0; n_shards],
+            host_reads: vec![0; n_shards],
+            merges: 0,
+            merged_bits: 0,
+        }
+    }
+
+    /// Folds another query's fan-out into this accumulator.
+    pub fn absorb(&mut self, other: &ShardFanout) {
+        if self.decode_bits.len() < other.decode_bits.len() {
+            self.decode_bits.resize(other.decode_bits.len(), 0);
+            self.host_reads.resize(other.host_reads.len(), 0);
+        }
+        for (a, b) in self.decode_bits.iter_mut().zip(&other.decode_bits) {
+            *a += b;
+        }
+        for (a, b) in self.host_reads.iter_mut().zip(&other.host_reads) {
+            *a += b;
+        }
+        self.merges += other.merges;
+        self.merged_bits += other.merged_bits;
+    }
+
+    /// Shards that did any work for this query.
+    pub fn shards_touched(&self) -> usize {
+        self.decode_bits
+            .iter()
+            .zip(&self.host_reads)
+            .filter(|&(&d, &h)| d > 0 || h > 0)
+            .count()
+    }
+
+    /// Modelled decode wall time under `cost`: concurrent per-shard
+    /// decode (max term) plus the serial cross-shard merge over the host
+    /// ids that actually flowed through union reassembly.
+    pub fn modelled_decode(&self, cost: &CostModel) -> netsim::time::SimTime {
+        cost.sharded_decode(&self.decode_bits, self.merged_bits)
+    }
+}
+
+/// A [`StateView`] router over any underlying view: pointer sets are
+/// decoded per owning shard and reassembled deterministically; host reads
+/// route to the owning shard. Counters use atomics so the router stays
+/// `Sync` over `Sync` views (the query plane's worker pool relies on it).
+pub struct ShardedView<'a, V: StateView> {
+    inner: &'a V,
+    dir: &'a ShardedDirectory,
+    decode_bits: Vec<AtomicU64>,
+    host_reads: Vec<AtomicU64>,
+    merges: AtomicU64,
+    merged_bits: AtomicU64,
+}
+
+impl<'a, V: StateView> ShardedView<'a, V> {
+    pub fn new(inner: &'a V, dir: &'a ShardedDirectory) -> Self {
+        let n = dir.n_shards();
+        ShardedView {
+            inner,
+            dir,
+            decode_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            host_reads: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            merges: AtomicU64::new(0),
+            merged_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the fan-out counters.
+    pub fn fanout(&self) -> ShardFanout {
+        ShardFanout {
+            decode_bits: self
+                .decode_bits
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            host_reads: self
+                .host_reads
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            merges: self.merges.load(Ordering::Relaxed),
+            merged_bits: self.merged_bits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_host_read(&self, host: NodeId) {
+        self.host_reads[self.dir.owner_of(host)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<V: StateView> StateView for ShardedView<'_, V> {
+    fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        let full = self.inner.pointer_union(switch, range)?;
+        if self.dir.n_shards() == 1 {
+            self.decode_bits[0].fetch_add(full.count() as u64, Ordering::Relaxed);
+            return Some(full);
+        }
+        // Fan the decode out: every shard takes the slice of `full` under
+        // its slot mask. The masks partition the directory's slot range,
+        // so reassembling (ORing) the slices provably reproduces `full`
+        // byte-for-byte — verdicts cannot depend on N, and the hot path
+        // therefore only *counts* each shard's slice (no per-shard
+        // allocation) and returns `full` as the reassembled union. The
+        // partition-equality itself is pinned by the DirectoryShard
+        // tests (`shards_partition_hosts_and_slots`) and checked cheaply
+        // here: the per-shard counts must sum to the whole union.
+        let mut total = 0u64;
+        for shard in self.dir.shards() {
+            let ones = shard.count_owned(&full) as u64;
+            if ones > 0 {
+                self.decode_bits[shard.id()].fetch_add(ones, Ordering::Relaxed);
+                total += ones;
+            }
+        }
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.merged_bits.fetch_add(total, Ordering::Relaxed);
+        debug_assert_eq!(
+            total,
+            full.count() as u64,
+            "shard slot masks must partition the directory range"
+        );
+        Some(full)
+    }
+
+    fn pointer_contains_exact(
+        &self,
+        switch: NodeId,
+        addr: u64,
+        epoch: u64,
+    ) -> Option<Option<bool>> {
+        // The shard owning the probed address's slot answers the probe.
+        if let Some(s) = self.dir.owner_of_addr(addr) {
+            self.decode_bits[s].fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.pointer_contains_exact(switch, addr, epoch)
+    }
+
+    fn store_len(&self, host: NodeId) -> Option<usize> {
+        self.note_host_read(host);
+        self.inner.store_len(host)
+    }
+
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord> {
+        self.note_host_read(host);
+        self.inner.record(host, flow)
+    }
+
+    fn flows_matching(&self, host: NodeId, switch: NodeId, range: EpochRange) -> Vec<FlowRecord> {
+        self.note_host_read(host);
+        self.inner.flows_matching(host, switch, range)
+    }
+
+    fn top_k_through(&self, host: NodeId, switch: NodeId, k: usize) -> Vec<(FlowId, u64)> {
+        self.note_host_read(host);
+        self.inner.top_k_through(host, switch, k)
+    }
+
+    fn sizes_by_link(&self, host: NodeId, switch: NodeId) -> Vec<(u16, u64)> {
+        self.note_host_read(host);
+        self.inner.sizes_by_link(host, switch)
+    }
+
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
+        self.note_host_read(host);
+        self.inner.first_trigger_for(host, flow)
+    }
+}
+
+/// The thin router front-end over a live [`Analyzer`]: executes any
+/// [`QueryRequest`] through a [`ShardedView`] of the live state, so the
+/// verdict is bit-identical to the unsharded analyzer's at any shard
+/// count, while the per-shard fan-out is recorded and priced.
+pub struct ShardedAnalyzer<'a> {
+    analyzer: &'a Analyzer,
+    dir: ShardedDirectory,
+}
+
+impl<'a> ShardedAnalyzer<'a> {
+    /// Partitions `analyzer`'s directory into `n_shards` instances.
+    pub fn new(analyzer: &'a Analyzer, n_shards: usize) -> Self {
+        let dir = ShardedDirectory::new(
+            analyzer.directory().mphf().clone(),
+            &analyzer.all_hosts(),
+            n_shards,
+        );
+        ShardedAnalyzer { analyzer, dir }
+    }
+
+    /// Number of directory shards.
+    pub fn n_shards(&self) -> usize {
+        self.dir.n_shards()
+    }
+
+    /// The partitioned directory.
+    pub fn directory(&self) -> &ShardedDirectory {
+        &self.dir
+    }
+
+    /// Runs `req` through the shard router. Bit-identical to
+    /// [`Analyzer::execute`].
+    pub fn execute(&self, req: &QueryRequest) -> QueryResponse {
+        self.execute_traced(req).0
+    }
+
+    /// Runs `req` and additionally returns the execution trace and the
+    /// per-shard fan-out accounting.
+    pub fn execute_traced(
+        &self,
+        req: &QueryRequest,
+    ) -> (QueryResponse, ExecutionTrace, ShardFanout) {
+        let live = self.analyzer.live_view();
+        let view = ShardedView::new(&live, &self.dir);
+        let (resp, trace) = QueryExecutor::new(self.analyzer.ctx(), &view).execute_traced(req);
+        let fanout = view.fanout();
+        (resp, trace, fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::HostDirectory;
+
+    fn directory(n_hosts: u32) -> (Arc<Mphf>, Vec<NodeId>) {
+        let hosts: Vec<NodeId> = (0..n_hosts).map(NodeId).collect();
+        let addrs: Vec<u64> = hosts.iter().map(|h| h.addr()).collect();
+        (Arc::new(Mphf::build(&addrs).unwrap()), hosts)
+    }
+
+    #[test]
+    fn shards_partition_hosts_and_slots() {
+        let (mphf, hosts) = directory(64);
+        for n in [1usize, 2, 4, 8] {
+            let dir = ShardedDirectory::new(mphf.clone(), &hosts, n);
+            let mut seen: Vec<NodeId> = Vec::new();
+            let mut mask_union = BitSet::new(mphf.len());
+            for shard in dir.shards() {
+                for &h in shard.hosts() {
+                    assert_eq!(dir.owner_of(h), shard.id());
+                    assert!(shard.owns(h));
+                    seen.push(h);
+                }
+                assert!(
+                    shard.slot_mask.intersect(&mask_union).is_empty(),
+                    "shard slot masks must be disjoint"
+                );
+                mask_union.union_with(&shard.slot_mask);
+            }
+            seen.sort();
+            assert_eq!(seen, hosts, "shards must partition the host set ({n})");
+            assert_eq!(
+                mask_union.count(),
+                mphf.len(),
+                "slot masks must cover the whole directory range"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_decode_equals_unsharded_directory() {
+        let (mphf, hosts) = directory(48);
+        let flat = HostDirectory::new(mphf.clone(), &hosts);
+        let mut bits = BitSet::new(mphf.len());
+        for &h in hosts.iter().step_by(3) {
+            bits.set(mphf.index(&h.addr()).unwrap());
+        }
+        let expected = flat.hosts_in(&bits);
+        for n in [1usize, 2, 4, 8, 5] {
+            let dir = ShardedDirectory::new(mphf.clone(), &hosts, n);
+            assert_eq!(
+                dir.hosts_in(&bits),
+                expected,
+                "per-shard decode + merge diverged at {n} shards"
+            );
+            // Per-shard decodes are disjoint and union to the full set.
+            let total: usize = dir.shards().iter().map(|s| s.decode(&bits).len()).sum();
+            assert_eq!(total, expected.len());
+        }
+    }
+
+    #[test]
+    fn per_shard_metadata_tracks_owned_slice() {
+        let (mphf, hosts) = directory(256);
+        let dir = ShardedDirectory::new(mphf.clone(), &hosts, 4);
+        for shard in dir.shards() {
+            assert!(
+                !shard.hosts().is_empty(),
+                "256 hosts over 4 shards: none should be empty"
+            );
+            assert!(shard.metadata_bytes() > 0);
+            assert!(
+                shard.metadata_bytes() < mphf.metadata_bytes(),
+                "a shard's local MPHF must be smaller than the global one"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_decode_cost_drops_with_parallel_shards() {
+        let cost = CostModel::paper_calibrated();
+        // 64 decoded bits spread 16/16/16/16 vs one shard doing all 64.
+        let four = cost.sharded_decode(&[16, 16, 16, 16], 64);
+        let one = cost.sharded_decode(&[64], 0);
+        assert!(
+            four < one,
+            "balanced 4-shard decode ({four}) must model faster than 1-shard ({one})"
+        );
+        // Degenerate imbalance gets no benefit (all work on one shard,
+        // plus the merge tax).
+        assert!(cost.sharded_decode(&[64, 0, 0, 0], 64) >= one);
+        // Single-address probes route to one shard and never merge:
+        // sharding neither helps nor hurts them.
+        assert_eq!(cost.sharded_decode(&[64, 0, 0, 0], 0), one);
+        assert_eq!(cost.sharded_decode(&[], 0), netsim::time::SimTime::ZERO);
+        assert_eq!(cost.sharded_decode(&[0, 0], 0), netsim::time::SimTime::ZERO);
+    }
+}

@@ -5,7 +5,7 @@
 //! notes, and can dump machine-readable JSON.
 //!
 //! ```text
-//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|all>
+//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|all>
 //!       [--json <path>] [--quick]
 //! ```
 //!
@@ -23,6 +23,7 @@ mod fig7;
 mod fig8;
 mod fig9;
 mod motivation;
+mod shard;
 mod stream;
 
 use common::FigureData;
@@ -46,6 +47,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
         "fig11" => fig11::fig11(),
         "fig12" => fig12::fig12(),
         "stream" => stream::stream(),
+        "shard" => shard::shard(),
         "ablation-drr" => ablations::ablation_drr(),
         "ablation-hierarchy" => ablations::ablation_hierarchy(),
         "ablation-dctcp" => ablations::ablation_dctcp(),
@@ -57,7 +59,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
     }
 }
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -69,6 +71,7 @@ const ALL: [&str; 15] = [
     "fig11",
     "fig12",
     "stream",
+    "shard",
     "ablation-drr",
     "ablation-hierarchy",
     "ablation-dctcp",

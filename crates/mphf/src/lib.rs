@@ -36,9 +36,11 @@
 
 mod builder;
 mod hashing;
+mod shard;
 
 pub use builder::{BuildError, MphfBuilder};
 pub use hashing::{mix64, HashPair};
+pub use shard::{stable_shard, ShardedMphf};
 
 /// A minimal perfect hash function over a static set of `u64` keys.
 ///

@@ -34,6 +34,13 @@
 //!    [`CostModel::batched_query_wave`] pays the serialized per-host
 //!    connection initiation (the Fig. 12-dominant term) once per host per
 //!    batch instead of once per (query, host) pair.
+//! 5. **Sharded directory** — with
+//!    [`QueryPlaneConfig::directory_shards`] > 1 the bit → host directory
+//!    is hash-partitioned across analyzer instances
+//!    ([`switchpointer::shard`], DESIGN.md §11): workers execute through
+//!    the shard router (bit-identical answers at any shard count),
+//!    dispatch is keyed by each request's [`home_shard`], and the stats
+//!    report per-shard fan-out plus the modelled concurrent-decode win.
 //!
 //! The *answers* come straight out of the executors; the cache and
 //! batching only shape the modelled latency accounting — the same
@@ -78,7 +85,8 @@ use netsim::packet::NodeId;
 use netsim::routing::RouteTable;
 use netsim::time::SimTime;
 use switchpointer::cost::BatchedHostLoad;
-use switchpointer::query::{ExecutionTrace, QueryRequest, QueryResponse, TraceDeps};
+use switchpointer::query::{QueryRequest, QueryResponse, TraceDeps};
+use switchpointer::shard::{host_shard_of, ShardFanout, ShardedDirectory};
 use switchpointer::Analyzer;
 
 mod cache;
@@ -86,7 +94,7 @@ mod pool;
 mod snapshot;
 
 pub use cache::{key_of, PointerCache, PointerKey};
-pub use pool::{SharedCtx, WorkerPool};
+pub use pool::{PoolResult, SharedCtx, WorkerPool};
 pub use snapshot::{ShardedHostStore, Snapshot, SnapshotDelta};
 
 /// Service tuning.
@@ -96,6 +104,11 @@ pub struct QueryPlaneConfig {
     pub workers: usize,
     /// Flow-record shards per host in the snapshot.
     pub shards: usize,
+    /// Directory shards: analyzer instances the bit→host directory is
+    /// hash-partitioned across. 1 = the single-coordinator layout.
+    /// Verdicts are identical at any value (property-pinned); only the
+    /// modelled decode cost and the dispatch affinity change.
+    pub directory_shards: usize,
     /// Pointer-cache capacity in `(switch, epoch window)` keys.
     pub cache_capacity: usize,
 }
@@ -105,9 +118,26 @@ impl Default for QueryPlaneConfig {
         QueryPlaneConfig {
             workers: 4,
             shards: 8,
+            directory_shards: 1,
             cache_capacity: 4096,
         }
     }
+}
+
+/// The directory shard a request "belongs" to for dispatch affinity: the
+/// stable shard of its primary target node. A pure function of the
+/// request, so keyed dispatch stays deterministic. The stream plane uses
+/// the same keying to subscribe standing queries per shard.
+pub fn home_shard(req: &QueryRequest, n_shards: usize) -> usize {
+    let node = match *req {
+        QueryRequest::Contention { victim_dst, .. } => victim_dst,
+        QueryRequest::RedLights { victim_dst, .. } => victim_dst,
+        QueryRequest::Cascade { victim_dst, .. } => victim_dst,
+        QueryRequest::LoadImbalance { switch, .. } => switch,
+        QueryRequest::TopK { switch, .. } => switch,
+        QueryRequest::SilentDrop { dst, .. } => dst,
+    };
+    host_shard_of(node, n_shards)
 }
 
 /// Modelled cost of one query, sequential versus under the plane.
@@ -148,6 +178,16 @@ pub struct QueryPlaneStats {
     pub host_rpcs_issued: u64,
     /// (query, host) request pairs before coalescing.
     pub host_requests: u64,
+    /// Cross-shard merges the directory router performed (0 with a
+    /// single-shard directory).
+    pub cross_shard_merges: u64,
+    /// Σ modelled pointer-decode wall time under the configured directory
+    /// sharding (per-shard decode runs concurrently; the merge is serial).
+    pub modelled_decode_total: SimTime,
+    /// Σ modelled decode wall time the same queries would cost through a
+    /// single-shard directory — the counterfactual the shard ablation
+    /// compares against.
+    pub modelled_decode_unsharded: SimTime,
     /// Σ sequential service latency of all queries.
     pub sequential_total: SimTime,
     /// Σ modelled service latency under caching + batching.
@@ -178,6 +218,17 @@ impl QueryPlaneStats {
     pub fn rpcs_saved(&self) -> u64 {
         self.host_requests - self.host_rpcs_issued
     }
+
+    /// Modelled decode speedup of the configured directory sharding over
+    /// the single-coordinator counterfactual.
+    pub fn decode_speedup(&self) -> f64 {
+        if self.modelled_decode_total.as_ns() == 0 {
+            1.0
+        } else {
+            self.modelled_decode_unsharded.as_ns() as f64
+                / self.modelled_decode_total.as_ns() as f64
+        }
+    }
 }
 
 /// The concurrent query service front-end.
@@ -188,6 +239,9 @@ pub struct QueryPlane {
     pool: WorkerPool,
     cache: PointerCache,
     stats: QueryPlaneStats,
+    /// Cumulative per-shard fan-out (decode bits / host reads per
+    /// directory shard) across every executed query.
+    fanout: ShardFanout,
 }
 
 impl QueryPlane {
@@ -198,19 +252,26 @@ impl QueryPlane {
     /// [`QueryPlane::refresh_delta`] (incremental) after running the
     /// simulation further.
     pub fn from_analyzer(analyzer: &Analyzer, cfg: QueryPlaneConfig) -> Self {
+        let dir_shards = cfg.directory_shards.max(1);
         QueryPlane {
             ctx: Arc::new(SharedCtx {
                 topo: analyzer.topo().clone(),
                 routes: RouteTable::build(analyzer.topo()),
                 params: analyzer.params(),
                 directory: analyzer.directory().clone(),
+                dir: ShardedDirectory::new(
+                    analyzer.directory().mphf().clone(),
+                    &analyzer.all_hosts(),
+                    dir_shards,
+                ),
                 cost: *analyzer.cost(),
             }),
             cfg,
-            snapshot: Arc::new(Snapshot::capture(analyzer, cfg.shards)),
+            snapshot: Arc::new(Snapshot::capture_with(analyzer, cfg.shards, dir_shards)),
             pool: WorkerPool::new(cfg.workers),
             cache: PointerCache::new(cfg.cache_capacity),
             stats: QueryPlaneStats::default(),
+            fanout: ShardFanout::new(dir_shards),
         }
     }
 
@@ -218,20 +279,35 @@ impl QueryPlane {
     /// simulated time). The pointer cache is cleared — cached windows may
     /// have rotated — but cumulative stats are kept.
     pub fn refresh(&mut self, analyzer: &Analyzer) {
-        self.snapshot = Arc::new(Snapshot::capture(analyzer, self.cfg.shards));
+        self.snapshot = Arc::new(Snapshot::capture_with(
+            analyzer,
+            self.cfg.shards,
+            self.cfg.directory_shards.max(1),
+        ));
         self.cache = PointerCache::new(self.cfg.cache_capacity);
     }
 
     /// Incrementally re-freezes the deployment state, copying only what
     /// changed since the last freeze (see [`Snapshot::apply_delta`]). The
-    /// modelled pointer cache is invalidated *precisely*: only keys of
-    /// switches the delta touched are dropped. Returns the delta summary
-    /// (dirty sets + copy-work counters).
+    /// modelled pointer cache is invalidated *precisely* for pointer
+    /// state: only keys of switches the delta touched are dropped — with
+    /// one exception. When the delta carries eviction-forced full rescans
+    /// (`SnapshotDelta::rescanned_hosts`), the whole cache is cleared:
+    /// cached `(switch, window)` keys whose decoded fan-out reaches the
+    /// evicting stores would otherwise keep billing retrieval rounds as
+    /// hits against host state that no longer exists, and the per-flow
+    /// journal that would let us invalidate precisely was itself
+    /// invalidated by the eviction. Returns the delta summary (dirty
+    /// sets, rescans, copy-work counters).
     pub fn refresh_delta(&mut self, analyzer: &Analyzer) -> SnapshotDelta {
         let snapshot = Arc::get_mut(&mut self.snapshot)
             .expect("no batch in flight: workers hold no snapshot reference between batches");
         let delta = snapshot.apply_delta(analyzer);
-        self.cache.invalidate_switches(&delta.dirty_switches);
+        if delta.rescanned_hosts.is_empty() {
+            self.cache.invalidate_switches(&delta.dirty_switches);
+        } else {
+            self.cache = PointerCache::new(self.cfg.cache_capacity);
+        }
         delta
     }
 
@@ -248,6 +324,12 @@ impl QueryPlane {
     /// Cumulative counters since construction.
     pub fn stats(&self) -> &QueryPlaneStats {
         &self.stats
+    }
+
+    /// Cumulative per-shard fan-out: decode bits and host reads per
+    /// directory shard, plus the cross-shard merge volume.
+    pub fn fanout(&self) -> &ShardFanout {
+        &self.fanout
     }
 
     /// Convenience: a single query (a batch of one).
@@ -270,13 +352,24 @@ impl QueryPlane {
         if requests.is_empty() {
             return Vec::new();
         }
-        let results = self.pool.run(&self.ctx, &self.snapshot, requests);
+        // With a sharded directory, dispatch is keyed by each request's
+        // home shard (shard-affine scheduling); answers are independent
+        // of the keying either way.
+        let n_dir = self.ctx.dir.n_shards();
+        let results = if n_dir > 1 {
+            let keys: Vec<usize> = requests.iter().map(|r| home_shard(r, n_dir)).collect();
+            self.pool
+                .run_keyed(&self.ctx, &self.snapshot, requests, Some(&keys))
+        } else {
+            self.pool.run(&self.ctx, &self.snapshot, requests)
+        };
         self.account(results)
     }
 
-    /// The sequential accounting pass: pointer-cache replay and batched
-    /// fan-out coalescing over the batch's execution traces.
-    fn account(&mut self, results: Vec<(QueryResponse, ExecutionTrace)>) -> Vec<QueryOutcome> {
+    /// The sequential accounting pass: pointer-cache replay, batched
+    /// fan-out coalescing, and per-shard decode pricing over the batch's
+    /// execution traces.
+    fn account(&mut self, results: Vec<PoolResult>) -> Vec<QueryOutcome> {
         self.stats.batches += 1;
 
         /// Per-query accounting scratch.
@@ -294,7 +387,15 @@ impl QueryPlane {
         let mut per_query: Vec<PerQuery> = Vec::with_capacity(results.len());
         let mut batched_pointer_total = SimTime::ZERO;
 
-        for (_, trace) in &results {
+        for (_, trace, fanout) in &results {
+            // Per-shard decode pricing: shards decode their slices
+            // concurrently (max term), the router pays the serial merge;
+            // the counterfactual bills the same bits through one shard.
+            self.fanout.absorb(fanout);
+            self.stats.cross_shard_merges += fanout.merges;
+            self.stats.modelled_decode_total += fanout.modelled_decode(&self.ctx.cost);
+            let total_bits: u64 = fanout.decode_bits.iter().sum();
+            self.stats.modelled_decode_unsharded += self.ctx.cost.sharded_decode(&[total_bits], 0);
             // Pointer rounds against the LRU cache, in submission order.
             let mut hits = 0u32;
             let mut misses = 0u32;
@@ -359,7 +460,7 @@ impl QueryPlane {
         results
             .into_iter()
             .zip(per_query)
-            .map(|((response, trace), q)| {
+            .map(|((response, trace, _), q)| {
                 // This query's share of the batched wave, proportional to
                 // its request count (ns math; stats totals above use the
                 // exact batch quantities, not these rounded shares).

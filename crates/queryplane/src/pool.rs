@@ -34,18 +34,21 @@ use netsim::topology::Topology;
 use switchpointer::analyzer::HostDirectory;
 use switchpointer::cost::CostModel;
 use switchpointer::query::{ExecutionTrace, QueryCtx, QueryExecutor, QueryRequest, QueryResponse};
+use switchpointer::shard::{ShardFanout, ShardedDirectory, ShardedView};
 use telemetry::EpochParams;
 
 use crate::snapshot::Snapshot;
 
 /// The immutable deployment knowledge every executor needs besides the
-/// snapshot: topology, routes, epoch timing, the bit→host directory and
-/// the calibrated cost model. Shared across worker threads by `Arc`.
+/// snapshot: topology, routes, epoch timing, the bit→host directory (flat
+/// and hash-partitioned) and the calibrated cost model. Shared across
+/// worker threads by `Arc`.
 pub struct SharedCtx {
     pub topo: Topology,
     pub routes: RouteTable,
     pub params: EpochParams,
     pub directory: HostDirectory,
+    pub dir: ShardedDirectory,
     pub cost: CostModel,
 }
 
@@ -73,9 +76,12 @@ struct Job {
     reply: mpsc::Sender<Reply>,
 }
 
+/// One executed query: its response, trace, and per-shard fan-out.
+pub type PoolResult = (QueryResponse, ExecutionTrace, ShardFanout);
+
 /// A slice's results, or a captured worker panic (re-raised on the
 /// caller).
-type Reply = std::thread::Result<Vec<(usize, (QueryResponse, ExecutionTrace))>>;
+type Reply = std::thread::Result<Vec<(usize, PoolResult)>>;
 
 /// A fixed set of long-lived worker threads fed over per-worker channels.
 pub struct WorkerPool {
@@ -107,8 +113,19 @@ impl WorkerPool {
                                 slice
                                     .into_iter()
                                     .map(|(idx, req)| {
-                                        let exec = QueryExecutor::new(ctx.query_ctx(), &*snapshot);
-                                        (idx, exec.execute_traced(&req))
+                                        // Every query reads through the
+                                        // shard router: pointer decodes
+                                        // split per directory shard and
+                                        // merge back deterministically, so
+                                        // answers are bit-identical to the
+                                        // unsharded view at any shard
+                                        // count while the fan-out is
+                                        // recorded per shard.
+                                        let view = ShardedView::new(&*snapshot, &ctx.dir);
+                                        let exec = QueryExecutor::new(ctx.query_ctx(), &view);
+                                        let (resp, trace) = exec.execute_traced(&req);
+                                        let fanout = view.fanout();
+                                        (idx, (resp, trace, fanout))
                                     })
                                     .collect::<Vec<_>>()
                             }));
@@ -138,15 +155,62 @@ impl WorkerPool {
         ctx: &Arc<SharedCtx>,
         snapshot: &Arc<Snapshot>,
         requests: &[QueryRequest],
-    ) -> Vec<(QueryResponse, ExecutionTrace)> {
+    ) -> Vec<PoolResult> {
+        self.run_keyed(ctx, snapshot, requests, None)
+    }
+
+    /// Like [`WorkerPool::run`], but with an optional dispatch key per
+    /// request. The sharded plane keys dispatch by each query's home
+    /// directory shard, giving shard-affine scheduling: queries sharing a
+    /// key round-robin over a fixed *stride* of workers (`key`, `key +
+    /// stride`, `key + 2·stride`, … mod W, stride = number of distinct
+    /// key values), so same-key queries keep landing on the same worker
+    /// subset without ever collapsing the pool onto fewer workers than
+    /// there are keys — with fewer keys than workers, each key fans out
+    /// over its own disjoint worker group. Keys are a pure function of
+    /// the requests and results still merge in submission order, so
+    /// answers remain independent of worker count and key choice.
+    pub fn run_keyed(
+        &self,
+        ctx: &Arc<SharedCtx>,
+        snapshot: &Arc<Snapshot>,
+        requests: &[QueryRequest],
+        keys: Option<&[usize]>,
+    ) -> Vec<PoolResult> {
         if requests.is_empty() {
             return Vec::new();
         }
-        // Round-robin by submission index: query i → worker i mod W.
+        if let Some(keys) = keys {
+            debug_assert_eq!(keys.len(), requests.len());
+        }
         let workers = self.senders.len();
         let mut slices: Vec<Vec<(usize, QueryRequest)>> = vec![Vec::new(); workers];
-        for (idx, req) in requests.iter().enumerate() {
-            slices[idx % workers].push((idx, *req));
+        match keys {
+            None => {
+                // Round-robin by submission index: query i → worker i mod W.
+                for (idx, req) in requests.iter().enumerate() {
+                    slices[idx % workers].push((idx, *req));
+                }
+            }
+            Some(keys) => {
+                // Stride = number of DISTINCT key values in this batch:
+                // with it, a key's queries visit `key, key+stride, …` mod
+                // W, so even a batch where every query shares one hot key
+                // (stride 1) still cycles the whole pool instead of
+                // serializing on `key mod W`.
+                let key_space = keys.iter().copied().max().unwrap_or(0) + 1;
+                let mut present = vec![false; key_space];
+                for &k in keys {
+                    present[k] = true;
+                }
+                let stride = present.iter().filter(|&&p| p).count().max(1);
+                let mut seq: Vec<usize> = vec![0; key_space];
+                for (idx, req) in requests.iter().enumerate() {
+                    let key = keys[idx];
+                    slices[(key + seq[key] * stride) % workers].push((idx, *req));
+                    seq[key] += 1;
+                }
+            }
         }
         let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
         let mut outstanding = 0usize;
@@ -165,8 +229,7 @@ impl WorkerPool {
                 .expect("query-plane worker thread is alive");
         }
         drop(reply_tx);
-        let mut slots: Vec<Option<(QueryResponse, ExecutionTrace)>> =
-            (0..requests.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<PoolResult>> = (0..requests.len()).map(|_| None).collect();
         // Drain EVERY outstanding reply before re-raising a panic: only
         // once all workers have reported (and therefore dropped their
         // snapshot references) is it safe for a caller that catches the
@@ -238,6 +301,11 @@ mod tests {
             routes: RouteTable::build(analyzer.topo()),
             params: analyzer.params(),
             directory: analyzer.directory().clone(),
+            dir: ShardedDirectory::new(
+                analyzer.directory().mphf().clone(),
+                &analyzer.all_hosts(),
+                2,
+            ),
             cost: *analyzer.cost(),
         });
         let snapshot = Arc::new(Snapshot::capture(&analyzer, 4));
@@ -260,7 +328,8 @@ mod tests {
             for _ in 0..2 {
                 let out = pool.run(&ctx, &snapshot, &reqs);
                 assert_eq!(out.len(), reqs.len());
-                for (i, (resp, trace)) in out.iter().enumerate() {
+                for (i, (resp, trace, fanout)) in out.iter().enumerate() {
+                    assert_eq!(fanout.decode_bits.len(), 2, "fan-out sized to dir shards");
                     assert_eq!(
                         trace.pointer_rounds[0].keys,
                         vec![(
@@ -281,6 +350,16 @@ mod tests {
             }
             // An empty batch is a no-op (no job, no deadlock).
             assert!(pool.run(&ctx, &snapshot, &[]).is_empty());
+            // Shard-keyed dispatch changes scheduling, never answers.
+            let keyed: Vec<usize> = (0..reqs.len()).map(|i| i / 3).collect();
+            let out = pool.run_keyed(&ctx, &snapshot, &reqs, Some(&keyed));
+            for (i, (resp, _, _)) in out.iter().enumerate() {
+                assert_eq!(
+                    format!("{resp:?}"),
+                    expected[i],
+                    "keyed dispatch diverged at index {i}, {workers} workers"
+                );
+            }
         }
     }
 }

@@ -35,6 +35,7 @@ use switchpointer::host::TriggerEvent;
 use switchpointer::hoststore::{shard_of, FlowRecord, FlowStore, StoreDelta};
 use switchpointer::pointer::PointerHierarchy;
 use switchpointer::query::StateView;
+use switchpointer::shard::host_shard_of;
 use switchpointer::Analyzer;
 use telemetry::EpochRange;
 
@@ -208,6 +209,17 @@ pub struct SnapshotDelta {
     /// Hosts whose store or trigger log changed since the last freeze
     /// (sorted).
     pub dirty_hosts: Vec<NodeId>,
+    /// The subset of `dirty_hosts` whose per-flow journal was invalidated
+    /// by an eviction (`StoreDelta::FullRescan`): their frozen stores were
+    /// rebuilt from scratch, so any cache keyed on their *contents* —
+    /// fan-out coalescing state, whole results whose host reads touched
+    /// the store — must be purged, not patched (sorted).
+    pub rescanned_hosts: Vec<NodeId>,
+    /// Directory shards owning at least one rescanned host, under the
+    /// snapshot's directory-shard count (sorted). Shard-granular caches
+    /// configured with the same shard count (the stream plane's result
+    /// cache) broadcast eviction invalidation against this set.
+    pub rescanned_shards: Vec<usize>,
     /// Flow records actually cloned by this delta.
     pub cloned_records: u64,
     /// Pointer slots (live + archived) actually cloned by this delta.
@@ -242,6 +254,8 @@ impl SnapshotDelta {
 pub struct Snapshot {
     switches: HashMap<NodeId, PointerHierarchy>,
     hosts: HashMap<NodeId, ShardedHostStore>,
+    /// Directory-shard count the deltas report ownership against.
+    dir_shards: usize,
     /// Per-switch freeze baseline: (pointer version, archive length).
     switch_base: HashMap<NodeId, (u64, usize)>,
     /// Per-host freeze baseline: (store version, trigger-log length).
@@ -258,8 +272,14 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Freezes the deployment state behind `analyzer` into `n_shards`
-    /// shards per host.
+    /// shards per host, with a single-shard directory.
     pub fn capture(analyzer: &Analyzer, n_shards: usize) -> Self {
+        Self::capture_with(analyzer, n_shards, 1)
+    }
+
+    /// Like [`Snapshot::capture`], but deltas report host dirtiness per
+    /// directory shard (`dir_shards`-way stable host-address partition).
+    pub fn capture_with(analyzer: &Analyzer, n_shards: usize, dir_shards: usize) -> Self {
         let n_shards = n_shards.max(1);
         let mut switches = HashMap::new();
         let mut switch_base = HashMap::new();
@@ -283,11 +303,17 @@ impl Snapshot {
         Snapshot {
             switches,
             hosts,
+            dir_shards: dir_shards.max(1),
             switch_base,
             host_base,
             epoch_horizon,
             union_memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Directory-shard count the deltas report ownership against.
+    pub fn dir_shards(&self) -> usize {
+        self.dir_shards
     }
 
     /// Brings the snapshot up to date with the live deployment by copying
@@ -348,12 +374,26 @@ impl Snapshot {
                 StoreDelta::FullRescan => {
                     delta.cloned_records += comp.store.len() as u64;
                     *frozen = ShardedHostStore::freeze(&comp.store, &comp.triggers, n_shards);
+                    // An eviction invalidated the per-flow journal: caches
+                    // keyed on this store's contents must purge, not patch.
+                    delta.rescanned_hosts.push(h);
                 }
             }
             self.host_base
                 .insert(h, (comp.store.version(), comp.triggers.len()));
             delta.dirty_hosts.push(h);
         }
+
+        // Shard-granular rescan dirtiness: the directory shards owning an
+        // eviction-rescanned host, for caches that broadcast invalidation
+        // per shard rather than per host. Empty in the common no-eviction
+        // case, so this costs nothing between retention sweeps.
+        let shard_set: BTreeSet<usize> = delta
+            .rescanned_hosts
+            .iter()
+            .map(|&h| host_shard_of(h, self.dir_shards))
+            .collect();
+        delta.rescanned_shards = shard_set.into_iter().collect();
 
         self.epoch_horizon = horizon.max(self.epoch_horizon);
         delta.epoch_horizon = self.epoch_horizon;
@@ -392,6 +432,7 @@ impl PartialEq for Snapshot {
     fn eq(&self, other: &Self) -> bool {
         self.switches == other.switches
             && self.hosts == other.hosts
+            && self.dir_shards == other.dir_shards
             && self.switch_base == other.switch_base
             && self.host_base == other.host_base
             && self.epoch_horizon == other.epoch_horizon

@@ -42,8 +42,9 @@ use std::collections::{BTreeMap, HashMap};
 
 use netsim::packet::{FlowId, NodeId};
 use netsim::time::SimTime;
-use queryplane::{QueryOutcome, QueryPlane, QueryPlaneConfig, SnapshotDelta};
+use queryplane::{home_shard, QueryOutcome, QueryPlane, QueryPlaneConfig, SnapshotDelta};
 use switchpointer::query::{QueryRequest, QueryResponse, StateView};
+use switchpointer::shard::host_shard_of;
 use switchpointer::Analyzer;
 use telemetry::EpochRange;
 
@@ -94,6 +95,22 @@ pub enum StandingQuery {
 }
 
 impl StandingQuery {
+    /// The directory shard this subscription "belongs" to under an
+    /// `n_shards`-way partition: the stable shard of its primary target
+    /// node — the same keying the query plane dispatches by. Standing
+    /// queries effectively subscribe per shard: a sharded deployment
+    /// evaluates each subscription on its owning instance.
+    pub fn home_shard(&self, n_shards: usize) -> usize {
+        match *self {
+            StandingQuery::Fixed(req) => home_shard(&req, n_shards),
+            StandingQuery::TopKSliding { switch, .. } => host_shard_of(switch, n_shards),
+            StandingQuery::LoadImbalanceSliding { switch, .. } => host_shard_of(switch, n_shards),
+            StandingQuery::ContentionWatch { victim_dst, .. } => {
+                host_shard_of(victim_dst, n_shards)
+            }
+        }
+    }
+
     /// The trailing window `[horizon - (back-1), horizon]`.
     fn sliding(horizon: u64, back: u64) -> EpochRange {
         EpochRange {
@@ -243,6 +260,10 @@ pub struct WindowReport {
     pub pending: usize,
     /// Result-cache entries the delta invalidated.
     pub invalidated: usize,
+    /// Standing-query evaluations per home directory shard this window
+    /// (length = the plane's `directory_shards`; pending subscriptions
+    /// counted at their home shard too).
+    pub per_shard_standing: Vec<usize>,
     /// Incidents fired this window (also appended to the global log).
     pub incidents: Vec<Incident>,
     /// Per-subscription verdicts, in registration order.
@@ -279,7 +300,10 @@ impl StreamPlane {
             next_sub: 0,
             next_ticket: 0,
             pending: Vec::new(),
-            results: ResultCache::new(cfg.result_cache_capacity),
+            results: ResultCache::with_shards(
+                cfg.result_cache_capacity,
+                cfg.plane.directory_shards.max(1),
+            ),
             incidents: Vec::new(),
             last_fp: BTreeMap::new(),
             window: 0,
@@ -327,11 +351,11 @@ impl StreamPlane {
         self.window += 1;
         self.stats.windows += 1;
 
-        // 1. Incremental refresh + precise invalidation.
+        // 1. Incremental refresh + eviction-aware precise invalidation:
+        // dirty switches/hosts match per dependency set; eviction-forced
+        // rescans additionally broadcast per owning directory shard.
         let delta = self.plane.refresh_delta(analyzer);
-        let invalidated = self
-            .results
-            .invalidate(&delta.dirty_switches, &delta.dirty_hosts);
+        let invalidated = self.results.invalidate_delta(&delta);
         self.stats.invalidated += invalidated as u64;
         self.stats.delta_copied += delta.cloned_records + delta.cloned_slots;
         self.stats.full_copied_equiv += delta.full_records + delta.full_slots;
@@ -343,9 +367,12 @@ impl StreamPlane {
             Sub(SubscriptionId),
             Ticket(TicketId),
         }
+        let n_dir = self.plane.config().directory_shards.max(1);
+        let mut per_shard_standing = vec![0usize; n_dir];
         let mut admitted: Vec<(Origin, QueryRequest)> = Vec::new();
         let mut pending_subs: Vec<SubscriptionId> = Vec::new();
         for &(id, ref q) in &self.subs {
+            per_shard_standing[q.home_shard(n_dir)] += 1;
             match q.resolve(self.plane.snapshot(), horizon) {
                 Some(req) => admitted.push((Origin::Sub(id), req)),
                 None => pending_subs.push(id),
@@ -466,6 +493,7 @@ impl StreamPlane {
             served_from_cache,
             pending,
             invalidated,
+            per_shard_standing,
             incidents: incidents.clone(),
             standing,
             one_shot: one_shot_out,
@@ -521,5 +549,17 @@ impl StreamPlane {
     /// Registered standing queries, in registration order.
     pub fn subscriptions(&self) -> &[(SubscriptionId, StandingQuery)] {
         &self.subs
+    }
+
+    /// Subscriptions grouped by home directory shard (registration order
+    /// within each shard) — which analyzer instance owns which standing
+    /// query in a sharded deployment.
+    pub fn subscriptions_by_shard(&self) -> Vec<Vec<SubscriptionId>> {
+        let n_dir = self.plane.config().directory_shards.max(1);
+        let mut by_shard = vec![Vec::new(); n_dir];
+        for &(id, ref q) in &self.subs {
+            by_shard[q.home_shard(n_dir)].push(id);
+        }
+        by_shard
     }
 }

@@ -22,11 +22,12 @@
 //! directory, cost model) never changes after capture — so an entry that
 //! survives invalidation re-derives bit-identically.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use netsim::packet::NodeId;
-use queryplane::{QueryCost, QueryOutcome};
+use queryplane::{QueryCost, QueryOutcome, SnapshotDelta};
 use switchpointer::query::{QueryRequest, QueryResponse, TraceDeps};
+use switchpointer::shard::host_shard_of;
 
 /// A retained outcome plus the bookkeeping its validity hangs on.
 #[derive(Debug, Clone)]
@@ -34,6 +35,11 @@ pub struct CachedResult {
     pub response: QueryResponse,
     pub cost: QueryCost,
     pub deps: TraceDeps,
+    /// The shard dimension of the dependency set: the directory shards
+    /// owning the hosts in `deps` (under the cache's configured shard
+    /// count). A sharded deployment broadcasts eviction invalidations per
+    /// shard, so entries also fall when a whole owning shard is rescanned.
+    pub dep_shards: BTreeSet<usize>,
     /// Snapshot epoch horizon the result was computed at.
     pub computed_at_horizon: u64,
 }
@@ -45,6 +51,10 @@ pub struct CachedResult {
 #[derive(Debug, Default)]
 pub struct ResultCache {
     capacity: usize,
+    /// Directory shards the dep-shard dimension is computed against
+    /// (1 = unsharded: the shard dimension is inert and invalidation is
+    /// purely per-host).
+    dir_shards: usize,
     entries: HashMap<QueryRequest, (u64, CachedResult)>,
     by_stamp: BTreeMap<u64, QueryRequest>,
     clock: u64,
@@ -55,8 +65,15 @@ pub struct ResultCache {
 
 impl ResultCache {
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 1)
+    }
+
+    /// A cache whose entries carry the directory-shard dimension of their
+    /// dependency sets, computed against `dir_shards` shards.
+    pub fn with_shards(capacity: usize, dir_shards: usize) -> Self {
         ResultCache {
             capacity: capacity.max(1),
+            dir_shards: dir_shards.max(1),
             ..ResultCache::default()
         }
     }
@@ -91,6 +108,12 @@ impl ResultCache {
             }
         }
         self.by_stamp.insert(self.clock, *req);
+        let dep_shards: BTreeSet<usize> = outcome
+            .deps
+            .hosts
+            .iter()
+            .map(|&h| host_shard_of(h, self.dir_shards))
+            .collect();
         self.entries.insert(
             *req,
             (
@@ -99,6 +122,7 @@ impl ResultCache {
                     response: outcome.response.clone(),
                     cost: outcome.cost,
                     deps: outcome.deps.clone(),
+                    dep_shards,
                     computed_at_horizon: horizon,
                 },
             ),
@@ -108,13 +132,52 @@ impl ResultCache {
     /// Applies a snapshot delta: drops exactly the entries whose dependency
     /// set intersects the dirty switches/hosts. Returns how many fell.
     pub fn invalidate(&mut self, dirty_switches: &[NodeId], dirty_hosts: &[NodeId]) -> usize {
-        if dirty_switches.is_empty() && dirty_hosts.is_empty() {
+        self.invalidate_matching(dirty_switches, dirty_hosts, &[])
+    }
+
+    /// Full delta invalidation, eviction-aware. Two rules compose:
+    ///
+    /// 1. *Precise (per host/switch).* Entries whose [`TraceDeps`]
+    ///    intersect the delta's dirty switches or hosts fall — this alone
+    ///    already covers eviction-forced rescans, because a rescanned host
+    ///    is in `dirty_hosts` and every host read is journaled in the
+    ///    entry's dep set.
+    /// 2. *Shard-granular (eviction broadcast).* When the directory is
+    ///    sharded (`dir_shards > 1`) and the delta carries
+    ///    eviction-forced full rescans, entries whose dep-shard dimension
+    ///    intersects the delta's `rescanned_shards` also fall: a sharded
+    ///    deployment invalidates per owning shard (the per-flow journal
+    ///    that would allow finer addressing was itself destroyed by the
+    ///    eviction). Conservative — dropped entries simply re-derive
+    ///    bit-identically. Contract: the snapshot producing the delta and
+    ///    this cache are configured with the same directory-shard count
+    ///    (both derive from `QueryPlaneConfig::directory_shards`), so the
+    ///    delta's precomputed shard set addresses this cache's dimension.
+    pub fn invalidate_delta(&mut self, delta: &SnapshotDelta) -> usize {
+        let rescanned_shards: &[usize] = if self.dir_shards > 1 {
+            &delta.rescanned_shards
+        } else {
+            &[]
+        };
+        self.invalidate_matching(&delta.dirty_switches, &delta.dirty_hosts, rescanned_shards)
+    }
+
+    fn invalidate_matching(
+        &mut self,
+        dirty_switches: &[NodeId],
+        dirty_hosts: &[NodeId],
+        rescanned_shards: &[usize],
+    ) -> usize {
+        if dirty_switches.is_empty() && dirty_hosts.is_empty() && rescanned_shards.is_empty() {
             return 0;
         }
         let stale: Vec<(QueryRequest, u64)> = self
             .entries
             .iter()
-            .filter(|(_, (_, c))| c.deps.intersects(dirty_switches, dirty_hosts))
+            .filter(|(_, (_, c))| {
+                c.deps.intersects(dirty_switches, dirty_hosts)
+                    || rescanned_shards.iter().any(|s| c.dep_shards.contains(s))
+            })
             .map(|(k, (stamp, _))| (*k, *stamp))
             .collect();
         for (key, stamp) in &stale {
@@ -201,6 +264,52 @@ mod tests {
 
         // An empty delta invalidates nothing.
         assert_eq!(c.invalidate(&[], &[]), 0);
+    }
+
+    #[test]
+    fn rescans_broadcast_per_shard_when_directory_is_sharded() {
+        use queryplane::SnapshotDelta;
+        // 4-way shard dimension: an eviction-forced rescan of one host
+        // drops every entry depending on the same owning shard; a plain
+        // dirty host still only drops exact dep matches.
+        let n = 4usize;
+        let mut c = ResultCache::with_shards(8, n);
+        // Two hosts in the same shard, one in another.
+        let mut same_shard: Vec<u32> = Vec::new();
+        let mut other: Option<u32> = None;
+        for h in 100u32..200 {
+            let s = host_shard_of(NodeId(h), n);
+            if s == 0 && same_shard.len() < 2 {
+                same_shard.push(h);
+            } else if s != 0 && other.is_none() {
+                other = Some(h);
+            }
+        }
+        let (a, b, o) = (same_shard[0], same_shard[1], other.unwrap());
+        c.insert(&req(1), &outcome(1, &[a]), 0);
+        c.insert(&req(2), &outcome(2, &[b]), 0);
+        c.insert(&req(3), &outcome(3, &[o]), 0);
+
+        // A non-eviction delta dirtying `a` is precise: only entry 1 falls.
+        let precise = SnapshotDelta {
+            dirty_hosts: vec![NodeId(a)],
+            ..SnapshotDelta::default()
+        };
+        assert_eq!(c.invalidate_delta(&precise), 1);
+        assert!(c.lookup(&req(2)).is_some());
+
+        // An eviction rescan of `a` broadcasts to its shard: entry 2
+        // (same shard, different host) falls too; the other shard holds.
+        c.insert(&req(1), &outcome(1, &[a]), 1);
+        let rescan = SnapshotDelta {
+            dirty_hosts: vec![NodeId(a)],
+            rescanned_hosts: vec![NodeId(a)],
+            rescanned_shards: vec![host_shard_of(NodeId(a), n)],
+            ..SnapshotDelta::default()
+        };
+        assert_eq!(c.invalidate_delta(&rescan), 2);
+        assert!(c.lookup(&req(2)).is_none(), "same-shard entry must fall");
+        assert!(c.lookup(&req(3)).is_some(), "other shard survives");
     }
 
     #[test]

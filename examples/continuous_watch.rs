@@ -78,6 +78,7 @@ fn main() {
             plane: QueryPlaneConfig {
                 workers: 8,
                 shards: 8,
+                directory_shards: 1,
                 cache_capacity: 4096,
             },
             result_cache_capacity: 1024,

@@ -93,6 +93,7 @@ fn main() {
         QueryPlaneConfig {
             workers: 8,
             shards: 8,
+            directory_shards: 1,
             cache_capacity: 4096,
         },
     );

@@ -122,6 +122,7 @@ fn verdicts_identical_across_worker_counts() {
             QueryPlaneConfig {
                 workers,
                 shards: 8,
+                directory_shards: 1,
                 cache_capacity: 4096,
             },
         );
@@ -160,6 +161,7 @@ fn sharding_choice_does_not_change_answers() {
             QueryPlaneConfig {
                 workers: 4,
                 shards,
+                directory_shards: 1,
                 cache_capacity: 4096,
             },
         );
@@ -221,6 +223,7 @@ fn pointer_cache_accounting_matches_hand_computed_schedule() {
         QueryPlaneConfig {
             workers: 2,
             shards: 4,
+            directory_shards: 1,
             cache_capacity: 64,
         },
     );
@@ -255,6 +258,7 @@ fn pointer_cache_accounting_matches_hand_computed_schedule() {
         QueryPlaneConfig {
             workers: 2,
             shards: 4,
+            directory_shards: 1,
             cache_capacity: 1,
         },
     );

@@ -89,6 +89,61 @@ proptest! {
         let idle = snap.apply_delta(&analyzer);
         prop_assert!(idle.is_empty());
     }
+
+    /// The eviction interleaving the original props never exercised:
+    /// `evict_older_than` (forcing `FullRescan` deltas) mixed with
+    /// advances and incremental refreshes must still pin
+    /// `Snapshot::apply_delta` == `Snapshot::capture` at every shard
+    /// count — and rescanned hosts must be reported as such.
+    #[test]
+    fn delta_equals_capture_under_eviction_interleavings(
+        steps in prop::collection::vec(
+            (1u64..4, any::<bool>(), prop::option::of(1u64..12)),
+            1..8,
+        ),
+        shards in 1usize..6,
+    ) {
+        let mut tb = chain_testbed();
+        let analyzer = tb.analyzer();
+        let mut snap = Snapshot::capture(&analyzer, shards);
+        let mut t_ms = 0u64;
+        let mut saw_rescan = false;
+        for (advance_ms, refresh_now, evict_back) in steps {
+            t_ms += advance_ms;
+            tb.sim.run_until(SimTime::from_ms(t_ms));
+            if let Some(back) = evict_back {
+                // Retention sweep: every host drops records whose newest
+                // epoch predates the horizon (epochs ≈ ms on this fixture).
+                let horizon = t_ms.saturating_sub(back.min(t_ms));
+                for host in analyzer.all_hosts() {
+                    tb.hosts[&host]
+                        .borrow_mut()
+                        .store
+                        .evict_older_than(horizon);
+                }
+            }
+            if refresh_now {
+                let delta = snap.apply_delta(&analyzer);
+                saw_rescan |= !delta.rescanned_hosts.is_empty();
+                for h in &delta.rescanned_hosts {
+                    prop_assert!(
+                        delta.dirty_hosts.contains(h),
+                        "rescanned hosts must be a subset of dirty hosts"
+                    );
+                }
+            }
+        }
+        snap.apply_delta(&analyzer);
+        let fresh = Snapshot::capture(&analyzer, shards);
+        prop_assert!(
+            snap == fresh,
+            "delta-applied snapshot diverged from fresh capture after evictions \
+             at t={}ms (shards={}, saw_rescan={})",
+            t_ms, shards, saw_rescan
+        );
+        let idle = snap.apply_delta(&analyzer);
+        prop_assert!(idle.is_empty());
+    }
 }
 
 /// The fat-tree storm fixture of the acceptance criterion: many flows
@@ -209,6 +264,7 @@ fn drive(workers: usize, window_ms: u64, windows: u64) -> (Vec<String>, Vec<Vec<
             plane: QueryPlaneConfig {
                 workers,
                 shards: 4,
+                directory_shards: 1,
                 cache_capacity: 1024,
             },
             result_cache_capacity: 256,
@@ -418,4 +474,95 @@ fn cached_and_fresh_verdicts_match_the_live_analyzer() {
     assert!(saw_cache_hit);
     assert!(sp.stats().result_hits > 0);
     assert!(sp.stats().delta_savings() > 1.0);
+}
+
+/// The eviction-invalidation regression (the bug class this PR closes):
+/// a cached verdict whose host reads touched a store that later evicted
+/// records must NOT be served stale — the `FullRescan` delta purges it and
+/// the re-derived verdict is bit-identical to the live analyzer's.
+#[test]
+fn post_eviction_cached_verdict_rederives_bit_identically() {
+    // Run with a sharded directory so the shard-granular eviction
+    // broadcast path is exercised alongside the exact per-host match.
+    for directory_shards in [1usize, 4] {
+        let mut tb = chain_testbed();
+        let analyzer = tb.analyzer();
+        let mut sp = StreamPlane::new(
+            &analyzer,
+            StreamConfig {
+                plane: QueryPlaneConfig {
+                    workers: 2,
+                    shards: 4,
+                    directory_shards,
+                    cache_capacity: 1024,
+                },
+                result_cache_capacity: 256,
+            },
+        );
+        tb.sim.run_until(SimTime::from_ms(14));
+        // S1 sees the A→F flow (dst F) and the D→A transfer (dst A): the
+        // verdict depends on both hosts' stores.
+        let req = QueryRequest::TopK {
+            switch: tb.node("S1"),
+            k: 5,
+            range: EpochRange { lo: 0, hi: 7 },
+        };
+        sp.subscribe(StandingQuery::Fixed(req));
+        let first = sp.run_window(&analyzer);
+        let baseline = match &first.standing[0].1 {
+            StandingEval::Verdict { response, .. } => format!("{response:?}"),
+            other => panic!("expected a verdict, got {other:?}"),
+        };
+        // Idle repeat: served from the result cache.
+        let repeat = sp.run_window(&analyzer);
+        match &repeat.standing[0].1 {
+            StandingEval::Verdict { from_cache, .. } => assert!(from_cache),
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+
+        // Retention sweep: drop every record whose newest epoch predates
+        // 12. The D→A transfer finished early, so A's store evicts —
+        // exactly a store the cached verdict's host reads touched (the
+        // long A→F flow keeps F's store alive, so the verdict changes
+        // rather than emptying).
+        let mut evicted = 0;
+        for host in analyzer.all_hosts() {
+            evicted += tb.hosts[&host].borrow_mut().store.evict_older_than(12);
+        }
+        assert!(evicted > 0, "the sweep must evict at least one record");
+
+        let after = sp.run_window(&analyzer);
+        assert!(
+            !after.delta.rescanned_hosts.is_empty(),
+            "eviction must surface as a FullRescan delta"
+        );
+        assert!(
+            after.invalidated > 0,
+            "the cached verdict must be purged, not served stale"
+        );
+        match &after.standing[0].1 {
+            StandingEval::Verdict {
+                request,
+                response,
+                from_cache,
+            } => {
+                assert!(
+                    !from_cache,
+                    "post-eviction verdict must re-execute ({directory_shards} shards)"
+                );
+                let expected = format!("{:?}", analyzer.execute(request));
+                assert_eq!(
+                    format!("{response:?}"),
+                    expected,
+                    "post-eviction verdict must re-derive bit-identically"
+                );
+                assert_ne!(
+                    format!("{response:?}"),
+                    baseline,
+                    "fixture must actually change the verdict (A's record evicted)"
+                );
+            }
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+    }
 }
