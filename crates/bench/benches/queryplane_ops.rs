@@ -16,10 +16,10 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use netsim::prelude::*;
-use queryplane::{QueryPlane, QueryPlaneConfig, Snapshot};
+use queryplane::{QueryPlane, QueryPlaneConfig, RetentionPolicy, Snapshot};
 use streamplane::{StandingQuery, StreamConfig, StreamPlane};
 use switchpointer::query::QueryRequest;
-use switchpointer::testbed::{Testbed, TestbedConfig};
+use switchpointer::testbed::{churn_storm, Testbed, TestbedConfig};
 use telemetry::EpochRange;
 
 /// The workload: a fat-tree under mixed traffic and a repeat-heavy query
@@ -146,6 +146,7 @@ fn measure(
             shards: 8,
             directory_shards: 1,
             cache_capacity: 4096,
+            retention: None,
         },
     );
     let (cold_dt, cold) = batch_delta(&mut plane, reqs);
@@ -200,6 +201,7 @@ fn measure_shards(tb: &Testbed, reqs: &[QueryRequest]) -> Vec<ShardPoint> {
                 shards: 8,
                 directory_shards: shards,
                 cache_capacity: 4096,
+                retention: None,
             },
         );
         let outcomes = plane.execute_batch(reqs);
@@ -279,6 +281,7 @@ fn measure_stream() -> StreamSummary {
                 shards: 8,
                 directory_shards: 1,
                 cache_capacity: 4096,
+                retention: None,
             },
             result_cache_capacity: 1024,
         },
@@ -313,6 +316,7 @@ fn measure_stream() -> StreamSummary {
             shards: 8,
             directory_shards: 1,
             cache_capacity: 4096,
+            retention: None,
         },
     );
     let mut delta_refresh = Duration::ZERO;
@@ -344,12 +348,110 @@ fn measure_stream() -> StreamSummary {
     }
 }
 
+/// The retention trajectory: records reclaimed per sweep, steady-state
+/// resident records, and the sweep's wall-clock cost — the start of the
+/// memory trajectory `BENCH_*.json` tracks across PRs.
+struct RetentionSummary {
+    dir_shards: usize,
+    budget_per_shard: usize,
+    reclaimed_per_sweep: Vec<u64>,
+    resident_after_sweep: Vec<u64>,
+    sweep_wall_clock_us: Vec<f64>,
+    steady_state_resident: u64,
+}
+
+fn measure_retention() -> RetentionSummary {
+    // The shared churn-storm fixture (`testbed::churn_storm`): the
+    // continuous-watch incident core keeps watch-class state live while a
+    // train of short cross-pod waves leaves one stale record each for the
+    // sweeps to reclaim.
+    let (mut tb, _victim, _da) = churn_storm(&[
+        ("h1_0_1", "h3_0_0", 0, 6),
+        ("h1_1_0", "h3_0_1", 5, 6),
+        ("h1_1_1", "h3_1_0", 10, 6),
+        ("h1_0_1", "h2_1_0", 15, 6),
+        ("h1_1_0", "h2_1_1", 20, 6),
+        ("h1_1_1", "h0_1_1", 25, 6),
+        ("h1_0_1", "h2_0_1", 30, 6),
+        ("h1_1_0", "h3_1_1", 35, 6),
+    ]);
+    let dir_shards = 4usize;
+    let budget = 16usize;
+    let analyzer = tb.analyzer();
+    let mut plane = QueryPlane::from_analyzer(
+        &analyzer,
+        QueryPlaneConfig {
+            workers: 4,
+            shards: 8,
+            directory_shards: dir_shards,
+            cache_capacity: 4096,
+            retention: Some(RetentionPolicy::budgeted(12, budget)),
+        },
+    );
+    let batch: Vec<QueryRequest> = ["edge0_0", "agg0_0", "core0_0", "edge2_0"]
+        .iter()
+        .map(|name| QueryRequest::TopK {
+            switch: tb.node(name),
+            k: 10,
+            range: EpochRange { lo: 0, hi: 999 },
+        })
+        .collect();
+    let mut summary = RetentionSummary {
+        dir_shards,
+        budget_per_shard: budget,
+        reclaimed_per_sweep: Vec::new(),
+        resident_after_sweep: Vec::new(),
+        sweep_wall_clock_us: Vec::new(),
+        steady_state_resident: 0,
+    };
+    let mut reclaiming = 0usize;
+    for w in 1..=9u64 {
+        tb.sim.run_until(SimTime::from_ms(w * 5));
+        let t0 = Instant::now();
+        let report = plane
+            .sweep_retention(&analyzer, &[])
+            .expect("retention configured");
+        let dt = t0.elapsed();
+        plane.refresh_delta(&analyzer);
+        if report.records_evicted > 0 {
+            reclaiming += 1;
+        }
+        summary
+            .reclaimed_per_sweep
+            .push(report.records_evicted as u64);
+        summary
+            .resident_after_sweep
+            .push(plane.snapshot().total_records() as u64);
+        summary.sweep_wall_clock_us.push(dt.as_secs_f64() * 1e6);
+        assert_eq!(
+            plane.snapshot().total_records(),
+            report.resident_total(),
+            "snapshot must track the swept live state"
+        );
+        // Steady state: every shard inside its budget.
+        if w >= 4 {
+            for (s, &r) in plane.snapshot().records_per_shard().iter().enumerate() {
+                assert!(r <= budget, "shard {s} resident {r} > budget {budget}");
+            }
+        }
+        // The plane keeps answering over the truncated snapshot.
+        assert_eq!(plane.execute_batch(&batch).len(), batch.len());
+    }
+    assert!(
+        reclaiming >= 3,
+        "the churn train must drive >= 3 reclaiming sweeps (got {reclaiming})"
+    );
+    summary.steady_state_resident = *summary.resident_after_sweep.last().unwrap();
+    summary
+}
+
 fn write_summary(
     points: &[ThroughputPoint],
     cold: &BatchAccounting,
     warm: &BatchAccounting,
     shards: &[ShardPoint],
     stream: &StreamSummary,
+    retention: &RetentionSummary,
 ) {
     let rows: Vec<String> = points
         .iter()
@@ -386,15 +488,36 @@ fn write_summary(
         stream.incidents,
         stream.incidents_per_sec,
     );
+    let join_u64 = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let sweep_us: Vec<String> = retention
+        .sweep_wall_clock_us
+        .iter()
+        .map(|x| format!("{x:.1}"))
+        .collect();
+    let retention_json = format!(
+        "  \"retention\": {{\n    \"directory_shards\": {},\n    \"shard_record_budget\": {},\n    \"records_reclaimed_per_sweep\": [{}],\n    \"resident_records_after_sweep\": [{}],\n    \"sweep_wall_clock_us\": [{}],\n    \"steady_state_resident_records\": {}\n  }}",
+        retention.dir_shards,
+        retention.budget_per_shard,
+        join_u64(&retention.reclaimed_per_sweep),
+        join_u64(&retention.resident_after_sweep),
+        sweep_us.join(", "),
+        retention.steady_state_resident,
+    );
     let json = format!(
-        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{}\n}}\n",
         cold.cache_hit_rate,
         cold.modelled_speedup,
         warm.cache_hit_rate,
         warm.modelled_speedup,
         rows.join(",\n"),
         shard_rows.join(",\n"),
-        stream_json
+        stream_json,
+        retention_json
     );
     // Benches run with the package dir as cwd; aim at the workspace target.
     let path = concat!(
@@ -464,7 +587,8 @@ fn bench_queryplane(c: &mut Criterion) {
 
     let shard_points = measure_shards(&tb, &reqs);
     let stream = measure_stream();
-    write_summary(&points, &cold, &warm, &shard_points, &stream);
+    let retention = measure_retention();
+    write_summary(&points, &cold, &warm, &shard_points, &stream, &retention);
 
     let mut group = c.benchmark_group("queryplane_ops");
     group.throughput(Throughput::Elements(reqs.len() as u64));
@@ -481,6 +605,7 @@ fn bench_queryplane(c: &mut Criterion) {
                         shards: 8,
                         directory_shards: 1,
                         cache_capacity: 4096,
+                        retention: None,
                     },
                 );
                 b.iter(|| plane.execute_batch(&reqs));

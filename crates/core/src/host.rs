@@ -59,8 +59,16 @@ pub struct HostComponent {
     pub host: NodeId,
     /// Decoded flow records (what the analyzer queries).
     pub store: FlowStore,
-    /// Alerts raised so far, in time order.
-    pub triggers: Vec<TriggerEvent>,
+    /// Alerts raised so far, in time order (oldest may have been trimmed
+    /// by retention sweeps). Private so every mutation goes through a
+    /// path that bumps `trigger_version` — snapshot baselines depend on
+    /// it; read via [`HostComponent::triggers`].
+    triggers: Vec<TriggerEvent>,
+    /// Monotone version of the trigger log: bumps on every raised alert
+    /// *and* on every retention trim. Snapshot baselines compare it
+    /// rather than the log length, so a trim-then-raise coincidence can
+    /// never alias an unchanged log.
+    trigger_version: u64,
     /// Packets whose telemetry failed to decode.
     pub decode_failures: u64,
     /// Ignore pure ACKs when building flow records (they still count for
@@ -80,6 +88,7 @@ impl HostComponent {
             host,
             store: FlowStore::new(),
             triggers: Vec::new(),
+            trigger_version: 0,
             decode_failures: 0,
             skip_pure_acks: true,
             decoder,
@@ -119,6 +128,7 @@ impl HostComponent {
             }
             let cur = self.window_bytes.get(&flow).copied().unwrap_or(0);
             if (cur as f64) < (1.0 - self.trigger_cfg.drop_fraction) * prev as f64 {
+                self.trigger_version += 1;
                 self.triggers.push(TriggerEvent {
                     at: now,
                     flow,
@@ -130,9 +140,35 @@ impl HostComponent {
         self.prev_bytes = std::mem::take(&mut self.window_bytes);
     }
 
-    /// First trigger raised for `flow`, if any.
+    /// First trigger raised for `flow`, if any (post-trim: the first
+    /// still-retained one).
     pub fn first_trigger_for(&self, flow: FlowId) -> Option<&TriggerEvent> {
         self.triggers.iter().find(|t| t.flow == flow)
+    }
+
+    /// The trigger log: alerts raised so far and not yet trimmed, in time
+    /// order.
+    pub fn triggers(&self) -> &[TriggerEvent] {
+        &self.triggers
+    }
+
+    /// The monotone trigger-log version (bumps on raise and on trim).
+    pub fn trigger_version(&self) -> u64 {
+        self.trigger_version
+    }
+
+    /// Retention: drops trigger-log entries raised before `cutoff` (local
+    /// time). The log is appended in time order, so this is a prefix
+    /// drop; a standing watch whose pin floors the sweep at or below its
+    /// trigger's epoch keeps that trigger. Returns how many were trimmed
+    /// (0 ⇒ no state change, no version bump).
+    pub fn trim_triggers_before(&mut self, cutoff: SimTime) -> usize {
+        let n = self.triggers.iter().take_while(|t| t.at < cutoff).count();
+        if n > 0 {
+            self.triggers.drain(..n);
+            self.trigger_version += 1;
+        }
+        n
     }
 
     /// Builds the alert message for a triggered flow — the §5.1 payload:

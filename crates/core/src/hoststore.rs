@@ -50,6 +50,17 @@ impl FlowRecord {
             .map(|set| set.range(range.lo..=range.hi).next().is_some())
             .unwrap_or(false)
     }
+
+    /// The newest epoch any switch recorded for this flow — what retention
+    /// sweeps compare against the eviction floor. A record whose newest
+    /// epoch predates the floor cannot match any retained epoch range.
+    pub fn newest_epoch(&self) -> Option<u64> {
+        self.epochs_at
+            .values()
+            .filter_map(|s| s.iter().next_back())
+            .max()
+            .copied()
+    }
 }
 
 /// Stable shard assignment of a flow: [`mphf::stable_shard`] (a splitmix64
@@ -227,31 +238,35 @@ impl FlowStore {
     /// maintained in memory and flushed to a local storage") is similarly
     /// bounded; we drop instead of spooling since queries target recent
     /// state. Returns the number of records evicted.
+    ///
+    /// An eviction also *compacts the journal*: every pre-eviction
+    /// baseline gets [`StoreDelta::FullRescan`] regardless of per-flow
+    /// stamps, and any baseline taken afterwards is ≥ the eviction
+    /// version — so no surviving `modified_at` entry can ever satisfy a
+    /// `changed_since` again. The whole journal is dropped (live records
+    /// re-enter it on their next mutation) and emptied per-switch index
+    /// sets go with it, so a long-lived store's bookkeeping shrinks with
+    /// its records instead of accreting tombstones.
     pub fn evict_older_than(&mut self, horizon_epoch: u64) -> usize {
         let stale: Vec<FlowId> = self
             .records
             .values()
-            .filter(|r| {
-                r.epochs_at
-                    .values()
-                    .flat_map(|s| s.iter().next_back())
-                    .max()
-                    .map(|&e| e < horizon_epoch)
-                    .unwrap_or(true)
-            })
+            .filter(|r| r.newest_epoch().map(|e| e < horizon_epoch).unwrap_or(true))
             .map(|r| r.flow)
             .collect();
-        if !stale.is_empty() {
-            self.version += 1;
-            self.last_eviction = self.version;
+        if stale.is_empty() {
+            return 0;
         }
+        self.version += 1;
+        self.last_eviction = self.version;
         for f in &stale {
             self.records.remove(f);
-            self.modified_at.remove(f);
             for set in self.by_switch.values_mut() {
                 set.remove(f);
             }
         }
+        self.modified_at.clear();
+        self.by_switch.retain(|_, set| !set.is_empty());
         stale.len()
     }
 
@@ -509,6 +524,40 @@ mod tests {
         let base3 = s.version();
         ingest_simple(&mut s, 4, 100, &[(0, 9, 9)]);
         assert_eq!(s.changed_since(base3), StoreDelta::Flows(vec![FlowId(4)]));
+    }
+
+    #[test]
+    fn eviction_compacts_the_journal_without_losing_deltas() {
+        let mut s = FlowStore::new();
+        for f in 0..8 {
+            ingest_simple(&mut s, f, 100, &[(0, f, f)]);
+        }
+        assert_eq!(s.modified_at.len(), 8);
+        // Evict half: the journal empties (every pre-eviction baseline is
+        // FullRescan; post-eviction baselines only need newer stamps) and
+        // per-switch sets with no survivors disappear.
+        ingest_simple(&mut s, 100, 100, &[(7, 1, 1)]); // switch 7, stale
+        assert_eq!(s.evict_older_than(4), 5);
+        assert!(s.modified_at.is_empty(), "journal must compact on eviction");
+        assert!(
+            !s.by_switch.contains_key(&NodeId(7)),
+            "emptied per-switch index sets must be dropped"
+        );
+        // Post-eviction journaling starts clean and stays precise.
+        let base = s.version();
+        ingest_simple(&mut s, 6, 50, &[(0, 9, 9)]);
+        assert_eq!(s.changed_since(base), StoreDelta::Flows(vec![FlowId(6)]));
+        assert_eq!(s.modified_at.len(), 1);
+        // Records that survived but were not touched since are invisible
+        // to the compacted journal, as they must be.
+        assert!(s.record(FlowId(5)).is_some());
+    }
+
+    #[test]
+    fn newest_epoch_spans_all_switches() {
+        let mut s = FlowStore::new();
+        ingest_simple(&mut s, 1, 100, &[(0, 2, 4), (1, 7, 9)]);
+        assert_eq!(s.record(FlowId(1)).unwrap().newest_epoch(), Some(9));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`analyzer`] | §4.3, §5 | the analyzer and the four debugging applications |
 //! | [`query`] | §4.3, §5 | the per-application query executors behind the `QueryRequest`/`QueryResponse` API, shared by the analyzer and the query plane |
 //! | [`shard`] | §4.3 scale-out | the hash-partitioned directory: `DirectoryShard` slices, the `ShardedView` state router and the `ShardedAnalyzer` front-end |
+//! | [`retention`] | §4.2 "flushed to local storage" | the per-directory-shard GC pass: epoch-horizon + record-budget eviction of flow records, archived-pointer retirement, standing-query pins |
 //! | [`cost`] | §5, §6.2 | calibrated RPC latency model (Fig. 7/8/12 shapes), batched-RPC and cache-hit terms |
 //! | [`pipeline`] | §6.1 | the OVS-style forwarding pipeline of the Fig. 9 benchmark |
 //! | [`testbed`] | — | one-call deployment over a simulated topology |
@@ -90,6 +91,7 @@ pub mod hoststore;
 pub mod pipeline;
 pub mod pointer;
 pub mod query;
+pub mod retention;
 pub mod shard;
 pub mod switch;
 pub mod testbed;
@@ -105,6 +107,7 @@ pub use pointer::{PointerConfig, PointerConfigError, PointerHierarchy};
 pub use query::{
     ExecutionTrace, PointerRound, QueryCtx, QueryExecutor, QueryRequest, QueryResponse, StateView,
 };
+pub use retention::{RetentionPolicy, SweepReport};
 pub use shard::{
     host_shard_of, DirectoryShard, ShardFanout, ShardedAnalyzer, ShardedDirectory, ShardedView,
 };

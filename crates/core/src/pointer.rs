@@ -201,8 +201,13 @@ pub struct PointerPatch {
     /// `(level-1, slot index, slot contents)` for every slot mutated after
     /// the baseline version.
     slots: Vec<(usize, usize, Slot)>,
-    /// Archive entries appended after the baseline length (append-only).
+    /// Archive entries appended after the baseline *logical* length
+    /// (append-only modulo the retired prefix) and still resident.
     archive_tail: Vec<ArchivedPointer>,
+    /// The live hierarchy's retired-prefix count at patch time: applying
+    /// the patch drops the same prefix from the clone's resident archive
+    /// before appending the tail (retention sweeps stay delta-expressible).
+    archive_retired: usize,
     flushed_bits: u64,
     updates: u64,
     unknown_dsts: u64,
@@ -227,7 +232,14 @@ pub struct PointerHierarchy {
     /// `levels[h-1]` = slots of level `h`.
     levels: Vec<Vec<Slot>>,
     /// Top-level sets flushed to the control plane (push model, §4.1.1).
+    /// Sorted ascending by period (rotation refuses to go backward), so a
+    /// retention sweep always removes a prefix.
     archive: Vec<ArchivedPointer>,
+    /// Archived sets retired by retention sweeps — the count of entries
+    /// ever removed from the front of `archive`. The archive is logically
+    /// append-only with a monotone retired prefix; snapshot baselines and
+    /// patches index it logically so incremental refresh survives GC.
+    archive_retired: usize,
     /// Precomputed `span_epochs(h)` per level (hot path).
     spans: Vec<u64>,
     /// Epoch the cached slot indices are valid for. Rotation work runs once
@@ -291,6 +303,7 @@ impl PointerHierarchy {
             mphf,
             levels,
             archive: Vec::new(),
+            archive_retired: 0,
             flushed_bits: 0,
             updates: 0,
             unknown_dsts: 0,
@@ -495,9 +508,53 @@ impl PointerHierarchy {
         acc
     }
 
-    /// Flushed top-level pointer sets (offline diagnosis source).
+    /// Flushed top-level pointer sets (offline diagnosis source) still
+    /// resident after retention sweeps.
     pub fn archive(&self) -> &[ArchivedPointer] {
         &self.archive
+    }
+
+    /// Archived sets retired by retention sweeps so far.
+    pub fn archive_retired(&self) -> usize {
+        self.archive_retired
+    }
+
+    /// Logical archive length: resident entries plus everything retired by
+    /// retention sweeps. Snapshot baselines record this (not the resident
+    /// length) so a sweep between two deltas is never mistaken for fresh
+    /// appends.
+    pub fn archive_logical_len(&self) -> usize {
+        self.archive_retired + self.archive.len()
+    }
+
+    /// Retention: retires flushed top-level pointer sets whose covered
+    /// epochs all predate `floor_epoch`. An archived period `p` spans
+    /// epochs `[p·α^(k−1), (p+1)·α^(k−1))` (the checked
+    /// [`PointerConfig::span_epochs`]); it is retired iff
+    /// `(p+1)·span ≤ floor_epoch`, so epochs at or above the floor stay
+    /// answerable. The archive is sorted by period, hence retirement
+    /// removes a prefix that is folded into the logical indexing the
+    /// incremental-snapshot baselines use. Returns how many sets were
+    /// retired (0 ⇒ no state change, no version bump).
+    pub fn retire_archive_before(&mut self, floor_epoch: u64) -> usize {
+        let span = self.spans[self.cfg.k - 1];
+        let n = self
+            .archive
+            .iter()
+            .take_while(|a| {
+                a.period
+                    .checked_add(1)
+                    .and_then(|p| p.checked_mul(span))
+                    .map(|end| end <= floor_epoch)
+                    .unwrap_or(false)
+            })
+            .count();
+        if n > 0 {
+            self.archive.drain(..n);
+            self.archive_retired += n;
+            self.version += 1;
+        }
+        n
     }
 
     /// Total switch SRAM footprint: pointer sets plus MPHF metadata.
@@ -524,14 +581,20 @@ impl PointerHierarchy {
         self.levels.iter().map(|l| l.len()).sum::<usize>() + self.archive.len()
     }
 
-    /// Everything that changed since the `(version, archive length)`
-    /// baseline, or `None` when nothing did. Applying the returned patch to
-    /// a clone taken at the baseline makes it equal (`==`) to `self`.
+    /// Everything that changed since the `(version, logical archive
+    /// length)` baseline, or `None` when nothing did. Applying the
+    /// returned patch to a clone taken at the baseline makes it equal
+    /// (`==`) to `self` — including across retention sweeps, which the
+    /// patch expresses as a retired-prefix count rather than forcing a
+    /// full re-clone.
     pub fn delta_since(&self, version: u64, archive_len: usize) -> Option<PointerPatch> {
-        if self.version == version && self.archive.len() == archive_len {
+        if self.version == version && self.archive_logical_len() == archive_len {
             return None;
         }
-        debug_assert!(archive_len <= self.archive.len(), "archive is append-only");
+        debug_assert!(
+            archive_len <= self.archive_logical_len(),
+            "logical archive length is monotone (append-only modulo the retired prefix)"
+        );
         let mut slots = Vec::new();
         for (li, level) in self.levels.iter().enumerate() {
             for (si, slot) in level.iter().enumerate() {
@@ -540,10 +603,15 @@ impl PointerHierarchy {
                 }
             }
         }
+        // Resident entries appended after the baseline. Entries appended
+        // after the baseline but already retired again are simply absent —
+        // the applier's prefix drop covers them.
+        let tail_from = archive_len.saturating_sub(self.archive_retired);
         Some(PointerPatch {
             version: self.version,
             slots,
-            archive_tail: self.archive[archive_len..].to_vec(),
+            archive_tail: self.archive[tail_from..].to_vec(),
+            archive_retired: self.archive_retired,
             flushed_bits: self.flushed_bits,
             updates: self.updates,
             unknown_dsts: self.unknown_dsts,
@@ -569,6 +637,15 @@ impl PointerHierarchy {
             }
             self.levels[li][si] = slot.clone();
         }
+        // Retirement first: drop the prefix of the resident archive the
+        // live hierarchy has retired beyond this clone's own retired
+        // count, then append what was flushed after the baseline.
+        let drop = patch
+            .archive_retired
+            .saturating_sub(self.archive_retired)
+            .min(self.archive.len());
+        self.archive.drain(..drop);
+        self.archive_retired = patch.archive_retired;
         self.archive.extend(patch.archive_tail.iter().cloned());
         self.version = patch.version;
         self.flushed_bits = patch.flushed_bits;
@@ -587,6 +664,7 @@ impl PartialEq for PointerHierarchy {
             && self.cfg == other.cfg
             && self.levels == other.levels
             && self.archive == other.archive
+            && self.archive_retired == other.archive_retired
             && self.cached_epoch == other.cached_epoch
             && self.cached_slots == other.cached_slots
             && self.version == other.version
@@ -909,6 +987,91 @@ mod tests {
             patched == h,
             "sentinel slot entries must be skipped without effect"
         );
+    }
+
+    #[test]
+    fn archive_retirement_respects_the_epoch_floor() {
+        // alpha=2, k=2: top span is 2 epochs; walking 10 epochs archives
+        // periods 0..4 (period 4 still live in the top slot).
+        let (mut h, addrs) = hierarchy(16, 2, 2);
+        for e in 0..10u64 {
+            h.update(addrs[(e % 16) as usize], e);
+        }
+        assert_eq!(h.archive().len(), 4);
+        // Floor 5: period 0 spans [0,2), period 1 spans [2,4) — both end
+        // at or before epoch 5. Period 2 spans [4,6): epoch 5 is retained.
+        assert_eq!(h.retire_archive_before(5), 2);
+        assert_eq!(h.archive().len(), 2);
+        assert_eq!(h.archive_retired(), 2);
+        assert_eq!(h.archive_logical_len(), 4);
+        // Epochs at/above the floor still answer; reclaimed ones no longer.
+        assert!(h.contains(addrs[5], 5), "retained epoch must still answer");
+        assert!(h.pointer_for(1).is_none(), "reclaimed epoch is gone");
+        assert!(!h.contains(addrs[1], 1));
+        // Idempotent at the same floor: no state change, no version bump.
+        let v = h.version();
+        assert_eq!(h.retire_archive_before(5), 0);
+        assert_eq!(h.version(), v);
+    }
+
+    #[test]
+    fn retirement_stays_delta_expressible() {
+        let (mut h, addrs) = hierarchy(16, 2, 2);
+        for e in 0..8u64 {
+            h.update(addrs[(e % 16) as usize], e);
+        }
+        let clone_at_base = h.clone();
+        let base = (h.version(), h.archive_logical_len());
+
+        // Retire-only advance: the patch must carry the prefix drop.
+        assert!(h.retire_archive_before(4) > 0);
+        let patch = h.delta_since(base.0, base.1).expect("retire bumps version");
+        assert_eq!(patch.copied_slots(), 0, "pure retirement copies no slots");
+        let mut patched = clone_at_base.clone();
+        patched.apply_patch(&patch);
+        assert!(patched == h, "retire-only patch must restore equality");
+
+        // Mixed advance: more epochs (fresh archives) plus a deeper sweep.
+        let base2 = (h.version(), h.archive_logical_len());
+        let clone_at_base2 = h.clone();
+        for e in 8..14u64 {
+            h.update(addrs[(e % 16) as usize], e);
+        }
+        assert!(h.retire_archive_before(9) > 0);
+        let patch2 = h.delta_since(base2.0, base2.1).expect("changes happened");
+        let mut patched2 = clone_at_base2;
+        patched2.apply_patch(&patch2);
+        assert!(
+            patched2 == h,
+            "append + retire interleaving must stay patchable"
+        );
+        // Layered baselines over the patched state are empty.
+        assert!(h
+            .delta_since(patched2.version(), patched2.archive_logical_len())
+            .is_none());
+    }
+
+    #[test]
+    fn retirement_spanning_the_whole_baseline_tail() {
+        // A sweep can retire entries the baseline clone never saw: the
+        // applier must drop its whole resident archive and take only the
+        // still-resident tail.
+        let (mut h, addrs) = hierarchy(16, 2, 2);
+        for e in 0..6u64 {
+            h.update(addrs[(e % 16) as usize], e);
+        }
+        let clone_at_base = h.clone();
+        let base = (h.version(), h.archive_logical_len());
+        for e in 6..12u64 {
+            h.update(addrs[(e % 16) as usize], e);
+        }
+        // Floor 10 retires every archived period up to [8,10) — including
+        // ones appended after the baseline.
+        assert!(h.retire_archive_before(10) >= clone_at_base.archive().len());
+        let patch = h.delta_since(base.0, base.1).expect("changes happened");
+        let mut patched = clone_at_base;
+        patched.apply_patch(&patch);
+        assert!(patched == h, "deep sweep past the baseline must patch");
     }
 
     #[test]

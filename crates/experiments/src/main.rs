@@ -5,7 +5,7 @@
 //! notes, and can dump machine-readable JSON.
 //!
 //! ```text
-//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|all>
+//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|gc|all>
 //!       [--json <path>] [--quick]
 //! ```
 //!
@@ -22,6 +22,7 @@ mod fig4;
 mod fig7;
 mod fig8;
 mod fig9;
+mod gc;
 mod motivation;
 mod shard;
 mod stream;
@@ -48,6 +49,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
         "fig12" => fig12::fig12(),
         "stream" => stream::stream(),
         "shard" => shard::shard(),
+        "gc" => gc::gc(),
         "ablation-drr" => ablations::ablation_drr(),
         "ablation-hierarchy" => ablations::ablation_hierarchy(),
         "ablation-dctcp" => ablations::ablation_dctcp(),
@@ -59,7 +61,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
     }
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -72,6 +74,7 @@ const ALL: [&str; 16] = [
     "fig12",
     "stream",
     "shard",
+    "gc",
     "ablation-drr",
     "ablation-hierarchy",
     "ablation-dctcp",

@@ -70,6 +70,7 @@ pub fn stream() -> Vec<FigureData> {
                 shards: 8,
                 directory_shards: 1,
                 cache_capacity: 4096,
+                retention: None,
             },
             result_cache_capacity: 1024,
         },

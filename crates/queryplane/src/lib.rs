@@ -86,6 +86,7 @@ use netsim::routing::RouteTable;
 use netsim::time::SimTime;
 use switchpointer::cost::BatchedHostLoad;
 use switchpointer::query::{QueryRequest, QueryResponse, TraceDeps};
+use switchpointer::retention;
 use switchpointer::shard::{host_shard_of, ShardFanout, ShardedDirectory};
 use switchpointer::Analyzer;
 
@@ -96,6 +97,7 @@ mod snapshot;
 pub use cache::{key_of, PointerCache, PointerKey};
 pub use pool::{PoolResult, SharedCtx, WorkerPool};
 pub use snapshot::{ShardedHostStore, Snapshot, SnapshotDelta};
+pub use switchpointer::retention::{RetentionPolicy, SweepReport};
 
 /// Service tuning.
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +113,11 @@ pub struct QueryPlaneConfig {
     pub directory_shards: usize,
     /// Pointer-cache capacity in `(switch, epoch window)` keys.
     pub cache_capacity: usize,
+    /// Retention policy for [`QueryPlane::sweep_retention`]: a trailing
+    /// epoch horizon plus a per-directory-shard flow-record budget. `None`
+    /// disables GC — the snapshot accretes state forever (the pre-PR-4
+    /// behaviour).
+    pub retention: Option<RetentionPolicy>,
 }
 
 impl Default for QueryPlaneConfig {
@@ -120,6 +127,7 @@ impl Default for QueryPlaneConfig {
             shards: 8,
             directory_shards: 1,
             cache_capacity: 4096,
+            retention: None,
         }
     }
 }
@@ -309,6 +317,34 @@ impl QueryPlane {
             self.cache = PointerCache::new(self.cfg.cache_capacity);
         }
         delta
+    }
+
+    /// Runs one retention sweep over the *live* deployment behind
+    /// `analyzer`, per the configured [`RetentionPolicy`] (`None` in the
+    /// config ⇒ no-op returning `None`). `pins[s]` lower-bounds what the
+    /// sweep may collect on directory shard `s` — the stream plane passes
+    /// the oldest epoch its standing queries homed on (or last evaluated
+    /// against) that shard can still reach.
+    ///
+    /// The sweep mutates live component state only; call
+    /// [`QueryPlane::refresh_delta`] afterwards to propagate the
+    /// reclamation into the snapshot. Record eviction surfaces there as
+    /// `FullRescan` re-freezes (`SnapshotDelta::rescanned_hosts` /
+    /// `rescanned_shards`, which the stream plane's result cache
+    /// broadcasts per shard), and archived-pointer retirement rides the
+    /// pointer patches.
+    pub fn sweep_retention(
+        &mut self,
+        analyzer: &Analyzer,
+        pins: &[Option<u64>],
+    ) -> Option<SweepReport> {
+        let policy = self.cfg.retention?;
+        Some(retention::sweep(
+            analyzer,
+            policy,
+            self.cfg.directory_shards.max(1),
+            pins,
+        ))
     }
 
     /// The frozen state being queried.

@@ -15,9 +15,9 @@
 //!
 //! ## Incremental refresh
 //!
-//! Capturing records a per-component baseline (mutation-counter version +
-//! append-only lengths). [`Snapshot::apply_delta`] asks each live
-//! component what changed since its baseline — rotated pointer slots via
+//! Capturing records a per-component baseline (mutation-counter versions
+//! plus the pointer archive's logical length). [`Snapshot::apply_delta`]
+//! asks each live component what changed since its baseline — rotated pointer slots via
 //! [`PointerHierarchy::delta_since`], touched flows via
 //! [`FlowStore::changed_since`](switchpointer::hoststore::FlowStore::changed_since)
 //! — and re-copies *only* the dirty slots and the shards containing dirty
@@ -233,11 +233,18 @@ pub struct SnapshotDelta {
 }
 
 impl SnapshotDelta {
-    /// Copy-work ratio of a full recapture over this delta (∞-safe).
+    /// Copy-work ratio of a full recapture over this delta. Guarded at
+    /// both degenerate ends: an all-GC'd deployment (a retention sweep
+    /// reclaimed everything, so a full recapture would copy nothing
+    /// either) reports `0.0` — there are no savings over an empty copy,
+    /// and the naive division would be 0/0 — while a genuinely empty
+    /// delta over live state reports `∞`.
     pub fn savings(&self) -> f64 {
         let delta = (self.cloned_records + self.cloned_slots) as f64;
         let full = (self.full_records + self.full_slots) as f64;
-        if delta == 0.0 {
+        if full == 0.0 {
+            0.0
+        } else if delta == 0.0 {
             f64::INFINITY
         } else {
             full / delta
@@ -256,10 +263,13 @@ pub struct Snapshot {
     hosts: HashMap<NodeId, ShardedHostStore>,
     /// Directory-shard count the deltas report ownership against.
     dir_shards: usize,
-    /// Per-switch freeze baseline: (pointer version, archive length).
+    /// Per-switch freeze baseline: (pointer version, *logical* archive
+    /// length — append-only modulo the GC-retired prefix).
     switch_base: HashMap<NodeId, (u64, usize)>,
-    /// Per-host freeze baseline: (store version, trigger-log length).
-    host_base: HashMap<NodeId, (u64, usize)>,
+    /// Per-host freeze baseline: (store version, trigger-log version —
+    /// the monotone counter that also moves on retention trims, so a
+    /// trim-then-raise coincidence can never alias an unchanged log).
+    host_base: HashMap<NodeId, (u64, u64)>,
     /// Newest epoch any frozen hierarchy has seen — the horizon result
     /// caches key against.
     epoch_horizon: u64,
@@ -286,7 +296,10 @@ impl Snapshot {
         let mut epoch_horizon = 0u64;
         for sw in analyzer.all_switches() {
             let comp = analyzer.switch(sw).expect("listed switch").borrow();
-            switch_base.insert(sw, (comp.pointers.version(), comp.pointers.archive().len()));
+            switch_base.insert(
+                sw,
+                (comp.pointers.version(), comp.pointers.archive_logical_len()),
+            );
             epoch_horizon = epoch_horizon.max(comp.pointers.last_epoch().unwrap_or(0));
             switches.insert(sw, comp.pointers.clone());
         }
@@ -294,10 +307,10 @@ impl Snapshot {
         let mut host_base = HashMap::new();
         for h in analyzer.all_hosts() {
             let comp = analyzer.host(h).expect("listed host").borrow();
-            host_base.insert(h, (comp.store.version(), comp.triggers.len()));
+            host_base.insert(h, (comp.store.version(), comp.trigger_version()));
             hosts.insert(
                 h,
-                ShardedHostStore::freeze(&comp.store, &comp.triggers, n_shards),
+                ShardedHostStore::freeze(&comp.store, comp.triggers(), n_shards),
             );
         }
         Snapshot {
@@ -342,7 +355,7 @@ impl Snapshot {
                     .expect("snapshot switch set is fixed at capture")
                     .apply_patch(&patch);
                 self.switch_base
-                    .insert(sw, (live.version(), live.archive().len()));
+                    .insert(sw, (live.version(), live.archive_logical_len()));
                 delta.dirty_switches.push(sw);
             }
         }
@@ -355,32 +368,33 @@ impl Snapshot {
                 .get(&h)
                 .expect("host missing from snapshot baseline");
             let store_delta = comp.store.changed_since(base_v);
-            let triggers_grew = comp.triggers.len() != base_t;
+            let triggers_changed = comp.trigger_version() != base_t;
             let frozen = self
                 .hosts
                 .get_mut(&h)
                 .expect("snapshot host set is fixed at capture");
             let n_shards = frozen.n_shards();
             match store_delta {
-                StoreDelta::Unchanged if !triggers_grew => continue,
+                StoreDelta::Unchanged if !triggers_changed => continue,
                 StoreDelta::Unchanged => {
-                    // Only the trigger log grew: extend it in place.
-                    frozen.triggers = comp.triggers.clone();
+                    // Only the trigger log moved (a raise, a retention
+                    // trim, or both): re-clone it in place.
+                    frozen.triggers = comp.triggers().to_vec();
                 }
                 StoreDelta::Flows(dirty) => {
                     delta.cloned_records +=
-                        frozen.patch_shards(&comp.store, &comp.triggers, &dirty) as u64;
+                        frozen.patch_shards(&comp.store, comp.triggers(), &dirty) as u64;
                 }
                 StoreDelta::FullRescan => {
                     delta.cloned_records += comp.store.len() as u64;
-                    *frozen = ShardedHostStore::freeze(&comp.store, &comp.triggers, n_shards);
+                    *frozen = ShardedHostStore::freeze(&comp.store, comp.triggers(), n_shards);
                     // An eviction invalidated the per-flow journal: caches
                     // keyed on this store's contents must purge, not patch.
                     delta.rescanned_hosts.push(h);
                 }
             }
             self.host_base
-                .insert(h, (comp.store.version(), comp.triggers.len()));
+                .insert(h, (comp.store.version(), comp.trigger_version()));
             delta.dirty_hosts.push(h);
         }
 
@@ -412,6 +426,17 @@ impl Snapshot {
     /// Total flow records frozen across all hosts.
     pub fn total_records(&self) -> usize {
         self.hosts.values().map(|h| h.len()).sum()
+    }
+
+    /// Resident flow records per directory shard (hosts grouped by
+    /// [`host_shard_of`] under the snapshot's configured shard count) —
+    /// the accounting view a retention budget is asserted against.
+    pub fn records_per_shard(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.dir_shards];
+        for (&h, store) in &self.hosts {
+            out[host_shard_of(h, self.dir_shards)] += store.len();
+        }
+        out
     }
 
     /// Number of hosts in the snapshot.
@@ -507,5 +532,39 @@ impl StateView for Snapshot {
             .iter()
             .find(|t| t.flow == flow)
             .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite fix: an all-GC'd (empty) delta must report 0.0
+    /// savings — finite and meaningful — never NaN from 0/0 and never a
+    /// spurious ∞.
+    #[test]
+    fn savings_guards_the_all_gcd_empty_delta() {
+        let empty = SnapshotDelta::default();
+        assert_eq!(empty.savings(), 0.0);
+        assert!(!empty.savings().is_nan());
+
+        // A genuinely idle delta over live state is still ∞ (a recapture
+        // would copy plenty, the delta copied nothing).
+        let idle = SnapshotDelta {
+            full_records: 100,
+            full_slots: 10,
+            ..SnapshotDelta::default()
+        };
+        assert_eq!(idle.savings(), f64::INFINITY);
+
+        // And a normal delta reports the plain ratio.
+        let normal = SnapshotDelta {
+            cloned_records: 10,
+            cloned_slots: 0,
+            full_records: 50,
+            full_slots: 0,
+            ..SnapshotDelta::default()
+        };
+        assert_eq!(normal.savings(), 5.0);
     }
 }

@@ -30,6 +30,20 @@
 //!    (plus one `Baseline` entry at first sight). Because verdicts are
 //!    bit-identical at any worker count and under any admission batching,
 //!    the incident stream is too.
+//! 5. **Bounded retention** — with a
+//!    [`RetentionPolicy`](switchpointer::retention::RetentionPolicy) on
+//!    the plane config, every window opens with a GC sweep
+//!    ([`switchpointer::retention::sweep`]) that evicts flow records and
+//!    retires archived pointer sets the standing queries can no longer
+//!    reach, per directory shard. Each subscription *pins* the floor on
+//!    its home shard (and on the shards its last cached evaluation read):
+//!    a sliding window's trailing edge, a fixed range's `lo`, a resolved
+//!    contention watch's trigger window — a *pending* watch pins its
+//!    near-future window and a never-evaluated diagnosis pins every
+//!    shard for its first window — so ContentionWatch incidents never
+//!    dangle, even under pure budget pressure. The reclamation
+//!    propagates through the same delta / invalidation path as any
+//!    eviction.
 //!
 //! Execution itself is delegated to the `queryplane` crate's persistent
 //! deterministic [`WorkerPool`](queryplane::WorkerPool) — the two planes
@@ -44,6 +58,7 @@ use netsim::packet::{FlowId, NodeId};
 use netsim::time::SimTime;
 use queryplane::{home_shard, QueryOutcome, QueryPlane, QueryPlaneConfig, SnapshotDelta};
 use switchpointer::query::{QueryRequest, QueryResponse, StateView};
+use switchpointer::retention::{self, SweepReport};
 use switchpointer::shard::host_shard_of;
 use switchpointer::Analyzer;
 use telemetry::EpochRange;
@@ -116,6 +131,47 @@ impl StandingQuery {
         EpochRange {
             lo: horizon.saturating_sub(back.saturating_sub(1)),
             hi: horizon,
+        }
+    }
+
+    /// The oldest epoch this subscription can still reach — the floor a
+    /// retention sweep must respect on its home shard (and on the shards
+    /// its last evaluation's host reads touched). A *pending* contention
+    /// watch pins too: its trigger may fire this very window, and the
+    /// diagnosis window then reaches back about `2·trigger_window + ε`
+    /// from "now" — the policy's trailing horizon covers that span, but a
+    /// *budget*-raised floor can pass the horizon, so without this pin it
+    /// could evict the victim's live record out from under the future
+    /// diagnosis.
+    pub fn pin_floor(&self, analyzer: &Analyzer, live_horizon: u64) -> Option<u64> {
+        match *self {
+            StandingQuery::Fixed(req) => request_pin(&req, analyzer),
+            StandingQuery::TopKSliding { epochs_back, .. } => {
+                Some(Self::sliding(live_horizon, epochs_back).lo)
+            }
+            StandingQuery::LoadImbalanceSliding { epochs_back, .. } => {
+                Some(Self::sliding(live_horizon, epochs_back).lo)
+            }
+            StandingQuery::ContentionWatch {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => request_pin(
+                &QueryRequest::Contention {
+                    victim,
+                    victim_dst,
+                    trigger_window,
+                },
+                analyzer,
+            )
+            .or_else(|| {
+                // Pending: pin the span a trigger firing "now" would
+                // diagnose (the epoch_window shape of query.rs).
+                let p = analyzer.params();
+                let slack = p.epsilon.as_ns().div_ceil(p.alpha.as_ns());
+                let back = (trigger_window * 2).as_ns().div_ceil(p.alpha.as_ns()) + slack + 1;
+                Some(live_horizon.saturating_sub(back))
+            }),
         }
     }
 
@@ -196,6 +252,14 @@ pub struct StreamStats {
     /// Σ modelled latency avoided by result-cache hits (each hit skips the
     /// entry's batched-execution cost).
     pub modelled_saved: SimTime,
+    /// Retention sweeps run (one per window when a policy is configured).
+    pub sweeps: u64,
+    /// Flow records reclaimed by retention sweeps.
+    pub records_reclaimed: u64,
+    /// Archived pointer sets retired by retention sweeps.
+    pub pointer_sets_retired: u64,
+    /// Trigger-log entries trimmed by retention sweeps.
+    pub triggers_reclaimed: u64,
 }
 
 impl StreamStats {
@@ -209,9 +273,13 @@ impl StreamStats {
         }
     }
 
-    /// Copy-work ratio of full recapture over incremental refresh.
+    /// Copy-work ratio of full recapture over incremental refresh (same
+    /// degenerate-end guards as `SnapshotDelta::savings`: an all-GC'd
+    /// deployment reports 0.0, not NaN/∞).
     pub fn delta_savings(&self) -> f64 {
-        if self.delta_copied == 0 {
+        if self.full_copied_equiv == 0 {
+            0.0
+        } else if self.delta_copied == 0 {
             f64::INFINITY
         } else {
             self.full_copied_equiv as f64 / self.delta_copied as f64
@@ -250,6 +318,9 @@ pub struct WindowReport {
     pub window: u64,
     /// Snapshot epoch horizon after the delta refresh.
     pub horizon: u64,
+    /// The retention sweep this window ran before refreshing, if a policy
+    /// is configured (per-shard floors, evicted/resident counts).
+    pub sweep: Option<SweepReport>,
     /// The incremental refresh summary (dirty sets, copy work).
     pub delta: SnapshotDelta,
     /// Queries executed on the pool this window.
@@ -289,6 +360,62 @@ pub struct StreamPlane {
 /// Fingerprint of the pending (no verdict yet) state.
 fn pending_fp() -> u64 {
     fnv1a(b"<pending>")
+}
+
+/// The oldest epoch a concrete request reads. Range-carrying requests pin
+/// their `range.lo`; trigger-anchored diagnoses pin the low edge of the
+/// epoch window around the victim's (already raised) trigger — a cascade
+/// additionally widens one epoch per recursion stage. `None` when the
+/// trigger has not fired yet.
+fn request_pin(req: &QueryRequest, analyzer: &Analyzer) -> Option<u64> {
+    match *req {
+        QueryRequest::TopK { range, .. }
+        | QueryRequest::LoadImbalance { range, .. }
+        | QueryRequest::SilentDrop { range, .. } => Some(range.lo),
+        QueryRequest::Contention {
+            victim,
+            victim_dst,
+            trigger_window,
+        }
+        | QueryRequest::RedLights {
+            victim,
+            victim_dst,
+            trigger_window,
+        } => analyzer
+            .live_view()
+            .first_trigger_for(victim_dst, victim)
+            .map(|t| analyzer.epoch_window(&t, trigger_window).lo),
+        QueryRequest::Cascade {
+            victim,
+            victim_dst,
+            trigger_window,
+            max_depth,
+        } => analyzer
+            .live_view()
+            .first_trigger_for(victim_dst, victim)
+            .map(|t| {
+                analyzer
+                    .epoch_window(&t, trigger_window)
+                    .lo
+                    .saturating_sub(max_depth as u64)
+            }),
+    }
+}
+
+/// Folds `lo` into the pin slot for shard `s` (pins only ever get lower).
+fn note_pin(pins: &mut [Option<u64>], s: usize, lo: u64) {
+    pins[s] = Some(pins[s].map_or(lo, |p| p.min(lo)));
+}
+
+/// Trigger-anchored diagnoses whose cross-shard fan-out is unknown until
+/// first evaluated — the requests whose windows must never dangle.
+fn diagnosis_class(req: &QueryRequest) -> bool {
+    matches!(
+        req,
+        QueryRequest::Contention { .. }
+            | QueryRequest::RedLights { .. }
+            | QueryRequest::Cascade { .. }
+    )
 }
 
 impl StreamPlane {
@@ -350,6 +477,25 @@ impl StreamPlane {
         let window = self.window;
         self.window += 1;
         self.stats.windows += 1;
+
+        // 0. Retention sweep (when a policy is configured): reclaim live
+        // state no standing query can still reach — the pins computed from
+        // the subscriptions (and queued one-shots) floor what each
+        // directory shard may collect. The delta refresh below propagates
+        // the reclamation into the snapshot and the caches.
+        let sweep = if let Some(policy) = self.plane.config().retention {
+            let n_dir = self.plane.config().directory_shards.max(1);
+            let live_horizon = retention::newest_epoch(analyzer);
+            let pins = self.retention_pins_at(analyzer, live_horizon);
+            let report = retention::sweep_at(analyzer, policy, n_dir, &pins, live_horizon);
+            self.stats.sweeps += 1;
+            self.stats.records_reclaimed += report.records_evicted as u64;
+            self.stats.pointer_sets_retired += report.archived_retired as u64;
+            self.stats.triggers_reclaimed += report.triggers_trimmed as u64;
+            Some(report)
+        } else {
+            None
+        };
 
         // 1. Incremental refresh + eviction-aware precise invalidation:
         // dirty switches/hosts match per dependency set; eviction-forced
@@ -488,6 +634,7 @@ impl StreamPlane {
         let report = WindowReport {
             window,
             horizon,
+            sweep,
             delta,
             executed,
             served_from_cache,
@@ -527,6 +674,83 @@ impl StreamPlane {
                 summary,
                 fingerprint: fp,
             });
+        }
+    }
+
+    /// Per-directory-shard retention pins: for each shard, the oldest
+    /// epoch some standing query (or queued one-shot) can still reach
+    /// there. A subscription pins its *home* shard always, and — when its
+    /// last evaluation is still in the result cache — every shard that
+    /// evaluation's recorded host reads touched, so a diagnosis whose
+    /// fan-out crosses shards stays re-derivable after the sweep. A
+    /// diagnosis-class request that has *never* been evaluated (a watch
+    /// whose trigger just fired, a freshly queued contention one-shot)
+    /// pins every shard for that one window: its fan-out is unknown until
+    /// it runs, and dep-shard precision takes over once the evaluation is
+    /// cached. [`switchpointer::retention::sweep`] never collects at or
+    /// above a pin on the pinned shard.
+    pub fn retention_pins(&self, analyzer: &Analyzer) -> Vec<Option<u64>> {
+        self.retention_pins_at(analyzer, retention::newest_epoch(analyzer))
+    }
+
+    /// [`StreamPlane::retention_pins`] with a caller-provided horizon
+    /// (avoids re-scanning the switches when the caller already has it).
+    fn retention_pins_at(&self, analyzer: &Analyzer, horizon: u64) -> Vec<Option<u64>> {
+        let n_dir = self.plane.config().directory_shards.max(1);
+        let mut pins: Vec<Option<u64>> = vec![None; n_dir];
+        for (_, q) in &self.subs {
+            let Some(lo) = q.pin_floor(analyzer, horizon) else {
+                continue;
+            };
+            note_pin(&mut pins, q.home_shard(n_dir), lo);
+            match q.resolve(&analyzer.live_view(), horizon) {
+                Some(req) => self.pin_request_fanout(&req, lo, n_dir, &mut pins),
+                // A pending watch's near-future window will fan out across
+                // shards the moment its trigger fires: contender records
+                // live anywhere, so the near-past pin is global too.
+                None => {
+                    for s in 0..n_dir {
+                        note_pin(&mut pins, s, lo);
+                    }
+                }
+            }
+        }
+        for (_, req) in &self.pending {
+            if let Some(lo) = request_pin(req, analyzer) {
+                note_pin(&mut pins, home_shard(req, n_dir), lo);
+                self.pin_request_fanout(req, lo, n_dir, &mut pins);
+            }
+        }
+        pins
+    }
+
+    /// The shared fan-out pin rule for one concrete request: a cached
+    /// prior evaluation pins every shard its recorded host reads touched
+    /// (precision — note this only engages for fixed-key requests; a
+    /// sliding subscription's key changes every window, so it always
+    /// misses here and relies on its home-shard trailing-edge pin plus
+    /// §12.5's aggregate carve-out); a *never-evaluated* diagnosis-class
+    /// request pins every shard, since its cross-shard fan-out is unknown
+    /// until it runs.
+    fn pin_request_fanout(
+        &self,
+        req: &QueryRequest,
+        lo: u64,
+        n_dir: usize,
+        pins: &mut [Option<u64>],
+    ) {
+        match self.results.peek(req) {
+            Some(cached) => {
+                for &s in &cached.dep_shards {
+                    note_pin(pins, s, lo);
+                }
+            }
+            None if diagnosis_class(req) => {
+                for s in 0..n_dir {
+                    note_pin(pins, s, lo);
+                }
+            }
+            None => {}
         }
     }
 

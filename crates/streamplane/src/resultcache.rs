@@ -21,6 +21,15 @@
 //! boundary), and the deployment's static context (topology, routes,
 //! directory, cost model) never changes after capture — so an entry that
 //! survives invalidation re-derives bit-identically.
+//!
+//! **GC interaction.** Retention sweeps reach this cache the same way any
+//! eviction does: the sweep's store evictions surface as `FullRescan`
+//! deltas (`rescanned_hosts`/`rescanned_shards`), so rule 2 of
+//! [`ResultCache::invalidate_delta`] broadcasts per owning directory
+//! shard. Entries whose dependencies were *pinned* by the stream plane's
+//! retention floors (see `StreamPlane::retention_pins`) may still fall to
+//! the conservative broadcast — they then re-derive bit-identically,
+//! which `tests/streamplane_props.rs` pins across a straddling sweep.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -76,6 +85,13 @@ impl ResultCache {
             dir_shards: dir_shards.max(1),
             ..ResultCache::default()
         }
+    }
+
+    /// Non-mutating lookup: no recency refresh, no hit/miss accounting.
+    /// The stream plane's retention-pin pass reads an entry's dependency
+    /// shards through this without perturbing the LRU order.
+    pub fn peek(&self, req: &QueryRequest) -> Option<&CachedResult> {
+        self.entries.get(req).map(|(_, c)| c)
     }
 
     /// Looks up a still-valid result for `req`, refreshing recency.

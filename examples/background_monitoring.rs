@@ -59,7 +59,7 @@ fn main() {
     // victim may also have triggered earlier for unrelated reasons).
     let trig = tb.hosts[&b]
         .borrow()
-        .triggers
+        .triggers()
         .iter()
         .find(|t| t.flow == victim && t.at >= SimTime::from_ms(30))
         .copied();

@@ -80,6 +80,7 @@ fn main() {
                 shards: 8,
                 directory_shards: 1,
                 cache_capacity: 4096,
+                retention: None,
             },
             result_cache_capacity: 1024,
         },

@@ -95,6 +95,7 @@ fn main() {
             shards: 8,
             directory_shards: 1,
             cache_capacity: 4096,
+            retention: None,
         },
     );
     let outcomes = plane.execute_batch(&reqs);

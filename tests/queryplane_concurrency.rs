@@ -124,6 +124,7 @@ fn verdicts_identical_across_worker_counts() {
                 shards: 8,
                 directory_shards: 1,
                 cache_capacity: 4096,
+                retention: None,
             },
         );
         let outcomes = plane.execute_batch(&reqs);
@@ -163,6 +164,7 @@ fn sharding_choice_does_not_change_answers() {
                 shards,
                 directory_shards: 1,
                 cache_capacity: 4096,
+                retention: None,
             },
         );
         renders.push(
@@ -225,6 +227,7 @@ fn pointer_cache_accounting_matches_hand_computed_schedule() {
             shards: 4,
             directory_shards: 1,
             cache_capacity: 64,
+            retention: None,
         },
     );
     let outcomes = roomy.execute_batch(&reqs);
@@ -260,6 +263,7 @@ fn pointer_cache_accounting_matches_hand_computed_schedule() {
             shards: 4,
             directory_shards: 1,
             cache_capacity: 1,
+            retention: None,
         },
     );
     let outcomes = tiny.execute_batch(&reqs);

@@ -1,0 +1,313 @@
+//! The retention subsystem's contract:
+//!
+//! (a) **GC stays delta-expressible.** Any interleaving of simulation
+//!     advance, retention sweep (`switchpointer::retention::sweep` — store
+//!     eviction + archived-pointer retirement, per directory shard) and
+//!     `Snapshot::apply_delta` yields a snapshot equal (full frozen-state
+//!     equality) to a fresh `Snapshot::capture` of the truncated live
+//!     state at the same instant — at 1/2/4/8 directory shards.
+//! (b) **The budget is a bound.** With no pins, a budgeted sweep leaves at
+//!     most `shard_record_budget` records resident per directory shard.
+//! (c) **Retained epochs keep their answers.** After a sweep, every
+//!     filter-class read and pointer union over epochs at or above the
+//!     applied floor — and every pointer-presence diagnosis over a
+//!     retained window — is identical to an unswept twin deployment
+//!     driven by the same deterministic schedule.
+//! (d) **Pins floor the sweep.** A pinned shard never collects at or above
+//!     its pin, even when that keeps it over budget (reported, not
+//!     violated).
+//!
+//! Plus the satellite fix: `SnapshotDelta::savings()` over an all-GC'd
+//! (empty) delta is 0.0 — the direct unit test lives with the type in
+//! `queryplane::snapshot`; the integration-level check here drives a real
+//! all-evicted deployment through the plane.
+
+use proptest::prelude::*;
+use suite::netsim::prelude::*;
+use suite::queryplane::Snapshot;
+use suite::switchpointer::query::QueryRequest;
+use suite::switchpointer::retention::{self, RetentionPolicy};
+use suite::switchpointer::testbed::{Testbed, TestbedConfig};
+use suite::telemetry::EpochRange;
+
+/// The chain fixture of the streamplane props, with a shallow 2×2 pointer
+/// hierarchy so top-level sets archive every 2 epochs and retirement has
+/// something to reclaim inside short runs.
+fn chain_testbed() -> (Testbed, FlowId) {
+    let topo = Topology::chain(3, 2, GBPS);
+    let mut cfg = TestbedConfig::default_ms();
+    cfg.pointer_alpha = 2;
+    cfg.pointer_k = 2;
+    let mut tb = Testbed::new(topo, cfg);
+    let (a, b) = (tb.node("A"), tb.node("B"));
+    let (d, f) = (tb.node("D"), tb.node("F"));
+    let long_flow = tb.sim.add_udp_flow(UdpFlowSpec {
+        src: a,
+        dst: f,
+        priority: Priority::LOW,
+        start: SimTime::ZERO,
+        duration: SimTime::from_ms(30),
+        rate_bps: 80_000_000,
+        payload_bytes: 1458,
+    });
+    tb.sim.add_udp_flow(UdpFlowSpec {
+        src: b,
+        dst: d,
+        priority: Priority::LOW,
+        start: SimTime::from_ms(4),
+        duration: SimTime::from_ms(10),
+        rate_bps: 60_000_000,
+        payload_bytes: 1000,
+    });
+    tb.sim.add_tcp_flow(TcpFlowSpec::transfer(
+        d,
+        a,
+        Priority::LOW,
+        SimTime::ZERO,
+        400_000,
+    ));
+    (tb, long_flow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// (a) + (b): arbitrary advance / sweep / delta interleavings, with
+    /// sweeps of varying horizon and budget, leave `apply_delta` equal to
+    /// a from-scratch capture of the truncated state — at every directory
+    /// shard count the partition can take.
+    #[test]
+    fn delta_with_gc_equals_fresh_capture_of_truncated_state(
+        steps in prop::collection::vec(
+            (1u64..4, any::<bool>(), prop::option::of((0u64..12, 0usize..4))),
+            1..8,
+        ),
+        shards in 1usize..6,
+        dir_idx in 0usize..4,
+    ) {
+        let dir_shards = [1usize, 2, 4, 8][dir_idx];
+        let (mut tb, _) = chain_testbed();
+        let analyzer = tb.analyzer();
+        let mut snap = Snapshot::capture_with(&analyzer, shards, dir_shards);
+        let mut t_ms = 0u64;
+        let mut swept = false;
+        for (advance_ms, refresh_now, sweep_cfg) in steps {
+            t_ms += advance_ms;
+            tb.sim.run_until(SimTime::from_ms(t_ms));
+            if let Some((keep_epochs, budget_idx)) = sweep_cfg {
+                let budget = [usize::MAX, 24, 6, 0][budget_idx];
+                let report = retention::sweep(
+                    &analyzer,
+                    RetentionPolicy { keep_epochs, shard_record_budget: budget },
+                    dir_shards,
+                    &[],
+                );
+                swept |= report.reclaimed_anything();
+                // (b) With no pins the budget is a hard per-shard bound.
+                prop_assert!(
+                    report.over_budget_shards.is_empty(),
+                    "unpinned sweeps can always meet the budget"
+                );
+                if budget != usize::MAX {
+                    for (s, &resident) in report.resident_per_shard.iter().enumerate() {
+                        prop_assert!(
+                            resident <= budget,
+                            "shard {s} resident {resident} > budget {budget}"
+                        );
+                    }
+                }
+            }
+            if refresh_now {
+                snap.apply_delta(&analyzer);
+            }
+        }
+        // Wherever the interleaving left off, one final delta must land
+        // the layered snapshot exactly on a freeze of the truncated state.
+        snap.apply_delta(&analyzer);
+        let fresh = Snapshot::capture_with(&analyzer, shards, dir_shards);
+        prop_assert!(
+            snap == fresh,
+            "GC'd delta-applied snapshot diverged from fresh capture at t={}ms \
+             (shards={}, dir_shards={}, swept={})",
+            t_ms, shards, dir_shards, swept
+        );
+        // And a delta over an unchanged (possibly truncated) deployment is
+        // empty.
+        let idle = snap.apply_delta(&analyzer);
+        prop_assert!(idle.is_empty());
+    }
+}
+
+/// (c): a swept deployment answers identically to an unswept twin over
+/// every epoch at or above the applied floor — store filter reads, pointer
+/// unions, and a full pointer-presence diagnosis.
+#[test]
+fn retained_epochs_answer_identically_to_an_unswept_twin() {
+    let (mut swept_tb, flow) = chain_testbed();
+    let (mut twin_tb, _) = chain_testbed();
+    swept_tb.sim.run_until(SimTime::from_ms(20));
+    twin_tb.sim.run_until(SimTime::from_ms(20));
+    let swept = swept_tb.analyzer();
+    let twin = twin_tb.analyzer();
+
+    let report = retention::sweep(&swept, RetentionPolicy::horizon(8), 4, &[]);
+    assert!(
+        report.records_evicted > 0,
+        "the finished D->A transfer must be reclaimable"
+    );
+    assert!(
+        report.archived_retired > 0,
+        "a 2-epoch top span must leave retirable archives behind the floor"
+    );
+    let floor = report.floor_per_shard.iter().copied().min().unwrap();
+    assert_eq!(floor, report.policy_floor, "no pins, no budget pressure");
+    let horizon = report.newest_epoch;
+    assert!(floor > 0 && horizon > floor);
+
+    let retained = EpochRange {
+        lo: floor,
+        hi: horizon,
+    };
+    // Store-level filter reads over the retained window are identical.
+    for host in swept.all_hosts() {
+        for sw in swept.all_switches() {
+            let a: Vec<_> = swept_tb.hosts[&host]
+                .borrow()
+                .store
+                .flows_matching(sw, retained)
+                .into_iter()
+                .cloned()
+                .collect();
+            let b: Vec<_> = twin_tb.hosts[&host]
+                .borrow()
+                .store
+                .flows_matching(sw, retained)
+                .into_iter()
+                .cloned()
+                .collect();
+            assert_eq!(a, b, "filter reads diverged at host {host} switch {sw}");
+        }
+    }
+    // Pointer unions over retained epochs are identical bit sets, while
+    // the swept archive actually shrank.
+    let mut retired_somewhere = false;
+    for sw in swept.all_switches() {
+        let a = swept_tb.switches[&sw].borrow();
+        let b = twin_tb.switches[&sw].borrow();
+        assert_eq!(
+            a.pointers.pointer_union(retained.lo, retained.hi),
+            b.pointers.pointer_union(retained.lo, retained.hi),
+            "pointer union diverged at {sw}"
+        );
+        retired_somewhere |= a.pointers.archive_retired() > 0;
+        assert!(a.pointers.archive_logical_len() == b.pointers.archive().len());
+    }
+    assert!(retired_somewhere);
+    // Trigger logs trim with the records: something below the floor was
+    // reclaimed (the finished transfer's completion trigger), and every
+    // swept log is a suffix of its twin — trimming only ever drops a
+    // time-ordered prefix.
+    assert!(
+        report.triggers_trimmed > 0,
+        "the transfer-completion trigger predates the floor"
+    );
+    for host in swept.all_hosts() {
+        let a = swept_tb.hosts[&host].borrow().triggers().to_vec();
+        let b = twin_tb.hosts[&host].borrow().triggers().to_vec();
+        assert!(
+            b.ends_with(&a),
+            "swept trigger log must be a suffix of the twin's at {host}"
+        );
+    }
+    // A presence diagnosis over the retained window renders identically
+    // end-to-end (pointer probes only touch live/retained state).
+    let probe = QueryRequest::SilentDrop {
+        flow,
+        src: swept_tb.node("A"),
+        dst: swept_tb.node("F"),
+        range: retained,
+    };
+    assert_eq!(
+        format!("{:?}", swept.execute(&probe)),
+        format!("{:?}", twin.execute(&probe)),
+        "retained-window presence diagnosis must not see the sweep"
+    );
+}
+
+/// (d): pins floor the sweep per shard — a pinned shard keeps everything
+/// at or above its pin even under a budget that would otherwise evict, and
+/// the shard is reported over budget rather than violated.
+#[test]
+fn pins_floor_the_sweep_and_win_over_the_budget() {
+    let (mut tb, _) = chain_testbed();
+    tb.sim.run_until(SimTime::from_ms(20));
+    let analyzer = tb.analyzer();
+    let before: usize = analyzer
+        .all_hosts()
+        .iter()
+        .map(|h| tb.hosts[h].borrow().store.len())
+        .sum();
+    assert!(before > 0);
+
+    // One shard, pinned at epoch 0, budget 0: nothing may be collected.
+    let report = retention::sweep(&analyzer, RetentionPolicy::budgeted(2, 0), 1, &[Some(0)]);
+    assert_eq!(report.floor_per_shard, vec![0]);
+    assert_eq!(report.records_evicted, 0, "pin at 0 forbids all eviction");
+    assert_eq!(report.archived_retired, 0);
+    assert_eq!(
+        report.over_budget_shards,
+        vec![0],
+        "best effort is reported"
+    );
+    let after: usize = analyzer
+        .all_hosts()
+        .iter()
+        .map(|h| tb.hosts[h].borrow().store.len())
+        .sum();
+    assert_eq!(before, after);
+
+    // Unpinned, the same policy reclaims down to the budget.
+    let report = retention::sweep(&analyzer, RetentionPolicy::budgeted(2, 0), 1, &[]);
+    assert!(report.records_evicted > 0);
+    assert_eq!(report.resident_per_shard, vec![0]);
+}
+
+/// The satellite fix, driven end-to-end: a sweep that reclaims every flow
+/// record leaves the snapshot's record side at zero without `savings()`
+/// ever going NaN. (The live pointer hierarchies keep their slot arrays,
+/// so a real deployment's `full_slots` never reaches zero — the exact
+/// 0/0 guard is pinned by the direct unit test in `queryplane::snapshot`.)
+#[test]
+fn savings_is_zero_not_nan_after_an_all_reclaiming_sweep() {
+    let (mut tb, _) = chain_testbed();
+    tb.sim.run_until(SimTime::from_ms(6));
+    let analyzer = tb.analyzer();
+    let mut plane = suite::queryplane::QueryPlane::from_analyzer(
+        &analyzer,
+        suite::queryplane::QueryPlaneConfig {
+            retention: Some(RetentionPolicy::budgeted(0, 0)),
+            ..Default::default()
+        },
+    );
+    // Let every flow finish so the budget-0 sweep can reclaim everything.
+    tb.sim.run_until(SimTime::from_ms(36));
+    let report = plane
+        .sweep_retention(&analyzer, &[])
+        .expect("retention configured");
+    assert_eq!(report.resident_total(), 0, "budget 0 reclaims every record");
+    let delta = plane.refresh_delta(&analyzer);
+    assert_eq!(delta.full_records, 0);
+    assert_eq!(plane.snapshot().total_records(), 0);
+    // The idle delta over the emptied deployment never divides 0/0.
+    let idle = plane.refresh_delta(&analyzer);
+    assert!(idle.is_empty());
+    assert!(!idle.savings().is_nan());
+    // A record-only ratio (what an all-GC'd host plane would report) is
+    // the guarded case: zero on both sides ⇒ 0.0, not NaN.
+    let record_side = suite::queryplane::SnapshotDelta {
+        cloned_records: idle.cloned_records,
+        full_records: idle.full_records,
+        ..Default::default()
+    };
+    assert_eq!(record_side.savings(), 0.0);
+}

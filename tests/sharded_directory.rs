@@ -149,6 +149,7 @@ fn query_plane_verdicts_identical_across_directory_shards() {
                 shards: 8,
                 directory_shards,
                 cache_capacity: 4096,
+                retention: None,
             },
         );
         let outcomes = plane.execute_batch(&reqs);
@@ -259,6 +260,7 @@ fn continuous_watch_verdicts_identical_across_directory_shards() {
                     shards: 4,
                     directory_shards,
                     cache_capacity: 1024,
+                    retention: None,
                 },
                 result_cache_capacity: 256,
             },
@@ -321,6 +323,7 @@ fn subscriptions_partition_across_shards() {
                 shards: 4,
                 directory_shards: 4,
                 cache_capacity: 256,
+                retention: None,
             },
             result_cache_capacity: 64,
         },

@@ -17,6 +17,7 @@ use suite::netsim::prelude::*;
 use suite::queryplane::{QueryPlaneConfig, Snapshot};
 use suite::streamplane::{IncidentKind, StandingEval, StandingQuery, StreamConfig, StreamPlane};
 use suite::switchpointer::query::QueryRequest;
+use suite::switchpointer::retention::RetentionPolicy;
 use suite::switchpointer::testbed::{Testbed, TestbedConfig};
 use suite::telemetry::EpochRange;
 
@@ -266,6 +267,7 @@ fn drive(workers: usize, window_ms: u64, windows: u64) -> (Vec<String>, Vec<Vec<
                 shards: 4,
                 directory_shards: 1,
                 cache_capacity: 1024,
+                retention: None,
             },
             result_cache_capacity: 256,
         },
@@ -495,6 +497,7 @@ fn post_eviction_cached_verdict_rederives_bit_identically() {
                     shards: 4,
                     directory_shards,
                     cache_capacity: 1024,
+                    retention: None,
                 },
                 result_cache_capacity: 256,
             },
@@ -565,4 +568,143 @@ fn post_eviction_cached_verdict_rederives_bit_identically() {
             other => panic!("expected a verdict, got {other:?}"),
         }
     }
+}
+
+/// The PR-4 retention regression: a standing contention watch whose
+/// trigger window *straddles* retention sweeps must re-derive its verdict
+/// bit-identically after each sweep — the subscription's pin floors what
+/// GC may collect on the shards its evaluation reaches, so the incident
+/// never dangles even while churned-out flow records are reclaimed around
+/// it.
+#[test]
+fn standing_watch_straddling_gc_sweeps_rederives_bit_identically() {
+    for directory_shards in [1usize, 4] {
+        // The shared churn-storm fixture (`testbed::churn_storm`): the
+        // deterministic victim/burst incident plus two early-ending churn
+        // flows whose records are what the sweeps reclaim.
+        let (mut tb, victim, da) = suite::switchpointer::testbed::churn_storm(&[
+            ("h1_1_0", "h2_1_1", 0, 9),
+            ("h1_0_1", "h3_0_1", 0, 6),
+        ]);
+        let analyzer = tb.analyzer();
+        let mut sp = StreamPlane::new(
+            &analyzer,
+            StreamConfig {
+                plane: QueryPlaneConfig {
+                    workers: 2,
+                    shards: 4,
+                    directory_shards,
+                    cache_capacity: 1024,
+                    retention: Some(RetentionPolicy::horizon(24)),
+                },
+                result_cache_capacity: 256,
+            },
+        );
+        let watch = sp.subscribe(StandingQuery::ContentionWatch {
+            victim,
+            victim_dst: da,
+            trigger_window: tb.cfg.trigger.window,
+        });
+
+        let mut verdicts: Vec<(u64, String, QueryRequest)> = Vec::new();
+        let mut reclaim_windows: Vec<u64> = Vec::new();
+        for w in 1..=8u64 {
+            tb.sim.run_until(SimTime::from_ms(w * 5));
+            let report = sp.run_window(&analyzer);
+            let sweep = report.sweep.as_ref().expect("retention configured");
+            if sweep.records_evicted > 0 {
+                reclaim_windows.push(report.window);
+            }
+            match &report.standing[0].1 {
+                StandingEval::Pending => {}
+                StandingEval::Verdict {
+                    request, response, ..
+                } => verdicts.push((report.window, format!("{response:?}"), *request)),
+            }
+        }
+
+        // The watch resolved mid-run and sweeps reclaimed records both
+        // before and after it — the straddle the regression is about.
+        let first_verdict_w = verdicts.first().expect("the burst must trigger").0;
+        assert!(
+            !reclaim_windows.is_empty(),
+            "churned-out records must be reclaimed ({directory_shards} shards)"
+        );
+        assert!(
+            reclaim_windows.iter().any(|&w| w > first_verdict_w),
+            "at least one sweep must land after the verdict (straddle): \
+             verdict at {first_verdict_w}, reclaims at {reclaim_windows:?}"
+        );
+        assert!(sp.stats().records_reclaimed > 0);
+
+        // Across every sweep, the verdict re-derives bit-identically: the
+        // pinned window's records were never collected.
+        let baseline = &verdicts[0].1;
+        for (w, render, _) in &verdicts {
+            assert_eq!(
+                render, baseline,
+                "verdict diverged at window {w} ({directory_shards} shards)"
+            );
+        }
+        // And the final re-derivation matches the live (swept) analyzer —
+        // plane and analyzer agree over the truncated state.
+        let (_, last_render, last_req) = verdicts.last().unwrap();
+        assert_eq!(
+            *last_render,
+            format!("{:?}", analyzer.execute(last_req)),
+            "post-sweep verdict must match the live analyzer"
+        );
+        // The incident log shows exactly one transition (Pending ->
+        // contention verdict); the sweeps caused none.
+        let transitions = sp
+            .incidents()
+            .iter()
+            .filter(|i| i.sub == watch && i.kind == IncidentKind::Transition)
+            .count();
+        assert_eq!(
+            transitions, 1,
+            "sweeps must not perturb the incident stream ({directory_shards} shards)"
+        );
+    }
+}
+
+/// A *pending* contention watch still pins: its trigger may fire at any
+/// moment, and the diagnosis window then reaches back ~2·trigger_window+ε
+/// from "now" — so budget pressure must not evict the victim's live
+/// record out from under the future diagnosis. Once the trigger fires the
+/// pin snaps to the concrete epoch window.
+#[test]
+fn pending_watch_pins_its_near_future_window() {
+    let (mut tb, victim, da) = suite::switchpointer::testbed::churn_storm(&[]);
+    let w = tb.cfg.trigger.window;
+    let q = StandingQuery::ContentionWatch {
+        victim,
+        victim_dst: da,
+        trigger_window: w,
+    };
+    // Before the burst (15 ms): no trigger, but the pin covers the span a
+    // trigger firing now would diagnose.
+    tb.sim.run_until(SimTime::from_ms(10));
+    let analyzer = tb.analyzer();
+    let horizon = suite::switchpointer::retention::newest_epoch(&analyzer);
+    let pin = q
+        .pin_floor(&analyzer, horizon)
+        .expect("a pending watch must pin its near-future window");
+    assert!(pin < horizon, "the pin reaches back from the horizon");
+    assert!(
+        horizon - pin <= 8,
+        "the pending pin is a bounded near-past span, not an open floor"
+    );
+    // After the trigger fires, the pin is the concrete diagnosis window.
+    tb.sim.run_until(SimTime::from_ms(20));
+    let horizon = suite::switchpointer::retention::newest_epoch(&analyzer);
+    let trigger = *tb.hosts[&da]
+        .borrow()
+        .first_trigger_for(victim)
+        .expect("the burst must trigger");
+    assert_eq!(
+        q.pin_floor(&analyzer, horizon),
+        Some(analyzer.epoch_window(&trigger, w).lo),
+        "a resolved watch pins its trigger's epoch window"
+    );
 }
