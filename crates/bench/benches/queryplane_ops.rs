@@ -21,6 +21,7 @@ use streamplane::{StandingQuery, StreamConfig, StreamPlane};
 use switchpointer::query::QueryRequest;
 use switchpointer::testbed::{churn_storm, Testbed, TestbedConfig};
 use telemetry::EpochRange;
+use wireplane::{WireCluster, WireConfig};
 
 /// The workload: a fat-tree under mixed traffic and a repeat-heavy query
 /// storm (the cacheable regime the plane is built for).
@@ -445,6 +446,43 @@ fn measure_retention() -> RetentionSummary {
     summary
 }
 
+/// The wire trajectory: actual RPC frames and round trips for a sample
+/// of the storm batch served through a 2-shard loopback cluster — the
+/// transport-layer counters future PRs compare against.
+struct WireSummary {
+    shards: usize,
+    queries: usize,
+    rpcs: u64,
+    wave_rpcs: u64,
+    wave_rounds: u64,
+    rounds: u64,
+    wall_us_per_query: f64,
+}
+
+fn measure_wire(tb: &Testbed, reqs: &[QueryRequest]) -> WireSummary {
+    let analyzer = tb.analyzer();
+    let shards = 2usize;
+    let cluster =
+        WireCluster::launch(&analyzer, shards, WireConfig::default()).expect("launch wire cluster");
+    let sample: Vec<QueryRequest> = reqs.iter().take(64).copied().collect();
+    let t0 = Instant::now();
+    for req in &sample {
+        let _ = cluster.front().execute(req);
+    }
+    let wall = t0.elapsed();
+    let c = cluster.front().counters();
+    cluster.shutdown();
+    WireSummary {
+        shards,
+        queries: sample.len(),
+        rpcs: c.rpcs,
+        wave_rpcs: c.wave_rpcs,
+        wave_rounds: c.wave_rounds,
+        rounds: c.rounds,
+        wall_us_per_query: wall.as_micros() as f64 / sample.len().max(1) as f64,
+    }
+}
+
 fn write_summary(
     points: &[ThroughputPoint],
     cold: &BatchAccounting,
@@ -452,6 +490,7 @@ fn write_summary(
     shards: &[ShardPoint],
     stream: &StreamSummary,
     retention: &RetentionSummary,
+    wire: &WireSummary,
 ) {
     let rows: Vec<String> = points
         .iter()
@@ -508,8 +547,18 @@ fn write_summary(
         sweep_us.join(", "),
         retention.steady_state_resident,
     );
+    let wire_json = format!(
+        "  \"wireplane\": {{\n    \"shard_servers\": {},\n    \"queries\": {},\n    \"rpc_frames\": {},\n    \"wave_rpc_frames\": {},\n    \"wave_round_trips\": {},\n    \"round_trips\": {},\n    \"wire_wall_us_per_query\": {:.1}\n  }}",
+        wire.shards,
+        wire.queries,
+        wire.rpcs,
+        wire.wave_rpcs,
+        wire.wave_rounds,
+        wire.rounds,
+        wire.wall_us_per_query,
+    );
     let json = format!(
-        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
         cold.cache_hit_rate,
         cold.modelled_speedup,
         warm.cache_hit_rate,
@@ -517,7 +566,8 @@ fn write_summary(
         rows.join(",\n"),
         shard_rows.join(",\n"),
         stream_json,
-        retention_json
+        retention_json,
+        wire_json
     );
     // Benches run with the package dir as cwd; aim at the workspace target.
     let path = concat!(
@@ -588,7 +638,16 @@ fn bench_queryplane(c: &mut Criterion) {
     let shard_points = measure_shards(&tb, &reqs);
     let stream = measure_stream();
     let retention = measure_retention();
-    write_summary(&points, &cold, &warm, &shard_points, &stream, &retention);
+    let wire = measure_wire(&tb, &reqs);
+    write_summary(
+        &points,
+        &cold,
+        &warm,
+        &shard_points,
+        &stream,
+        &retention,
+        &wire,
+    );
 
     let mut group = c.benchmark_group("queryplane_ops");
     group.throughput(Throughput::Elements(reqs.len() as u64));

@@ -226,8 +226,10 @@ impl Analyzer {
     }
 
     /// The executor context: everything the analyzer knows about the
-    /// deployment besides the mutable component state.
-    pub(crate) fn ctx(&self) -> QueryCtx<'_> {
+    /// deployment besides the mutable component state. Public so
+    /// alternative routers (the backend router, the wire front-end) can
+    /// run the shared executor over their own views.
+    pub fn ctx(&self) -> QueryCtx<'_> {
         QueryCtx {
             topo: &self.topo,
             routes: &self.routes,

@@ -118,6 +118,30 @@ impl BitSet {
     pub fn storage_bytes(&self) -> usize {
         self.nbits.div_ceil(8)
     }
+
+    /// The backing words (64 bits each, low bit = lowest index) — the
+    /// wire codec serializes these directly.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bit set from its capacity and backing words (the wire
+    /// codec's inverse of [`BitSet::words`]). `words` beyond the capacity
+    /// are truncated; missing words are zero-filled, so any (nbits,
+    /// words) pair yields a well-formed set.
+    pub fn from_words(nbits: usize, words: &[u64]) -> Self {
+        let n_words = nbits.div_ceil(64);
+        let mut out = vec![0u64; n_words];
+        for (o, w) in out.iter_mut().zip(words) {
+            *o = *w;
+        }
+        // Mask stray bits above the capacity in the last word so equality
+        // with a natively built set holds.
+        if n_words > 0 && !nbits.is_multiple_of(64) {
+            out[n_words - 1] &= (1u64 << (nbits % 64)) - 1;
+        }
+        BitSet { nbits, words: out }
+    }
 }
 
 #[cfg(test)]

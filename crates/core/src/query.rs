@@ -34,6 +34,15 @@ use crate::cost::{CostModel, LatencyBreakdown, QueryWaveCost};
 use crate::host::TriggerEvent;
 use crate::hoststore::FlowRecord;
 
+/// One host's slice of a batched *filter* wave reply: its store size
+/// (`None` for unknown hosts) and the records matching the wave's
+/// `(switch, range)` key.
+pub type FilterWaveReply = Vec<(Option<usize>, Vec<FlowRecord>)>;
+/// One host's slice of a batched *top-k* wave reply.
+pub type TopKWaveReply = Vec<(Option<usize>, Vec<(FlowId, u64)>)>;
+/// One host's slice of a batched *link-sizes* wave reply.
+pub type SizesWaveReply = Vec<(Option<usize>, Vec<(u16, u64)>)>;
+
 /// Read-only access to deployment state (switch pointers + host stores),
 /// returning owned data so implementations may sit over `Rc<RefCell<…>>`
 /// handles or over immutable cross-thread snapshots alike.
@@ -65,6 +74,56 @@ pub trait StateView {
 
     /// First trigger `host` raised for `flow`.
     fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent>;
+
+    // ------------------------------------------------------------------
+    // Batched wave forms. One call covers a whole query wave, so a view
+    // backed by remote shard servers (`wireplane`) can coalesce the
+    // fan-out into one wire round-trip per shard. The defaults loop the
+    // per-host reads above, so every in-process view answers
+    // bit-identically whether or not it overrides them.
+    // ------------------------------------------------------------------
+
+    /// Store sizes for a set of hosts (`None` per unknown host).
+    fn store_len_wave(&self, hosts: &[NodeId]) -> Vec<Option<usize>> {
+        hosts.iter().map(|&h| self.store_len(h)).collect()
+    }
+
+    /// *Filter* wave: per host, its store size and the records matching
+    /// `(switch, range)`. Unknown hosts report `(None, [])` and their
+    /// stores are never scanned — exactly the sequential per-host loop.
+    fn filter_wave(&self, hosts: &[NodeId], switch: NodeId, range: EpochRange) -> FilterWaveReply {
+        hosts
+            .iter()
+            .map(|&h| match self.store_len(h) {
+                None => (None, Vec::new()),
+                Some(len) => (Some(len), self.flows_matching(h, switch, range)),
+            })
+            .collect()
+    }
+
+    /// *Aggregate* wave: per host, its store size and top-k flows through
+    /// `switch`.
+    fn top_k_wave(&self, hosts: &[NodeId], switch: NodeId, k: usize) -> TopKWaveReply {
+        hosts
+            .iter()
+            .map(|&h| match self.store_len(h) {
+                None => (None, Vec::new()),
+                Some(len) => (Some(len), self.top_k_through(h, switch, k)),
+            })
+            .collect()
+    }
+
+    /// *Aggregate* wave: per host, its store size and (link VID, bytes)
+    /// pairs through `switch`.
+    fn sizes_wave(&self, hosts: &[NodeId], switch: NodeId) -> SizesWaveReply {
+        hosts
+            .iter()
+            .map(|&h| match self.store_len(h) {
+                None => (None, Vec::new()),
+                Some(len) => (Some(len), self.sizes_by_link(h, switch)),
+            })
+            .collect()
+    }
 }
 
 /// One debugging query, ready to schedule. `Hash`/`Eq` make the request
@@ -336,7 +395,9 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
     }
 
     /// Queries `hosts` for flows matching `(switch, range)`, excluding the
-    /// victim flow. Returns culprits plus per-host record counts.
+    /// victim flow. Returns culprits plus per-host record counts. One
+    /// [`StateView::filter_wave`] call covers the whole wave, so a
+    /// remote-backed view pays one round trip per shard, not per host.
     fn query_hosts(
         &self,
         hosts: &[NodeId],
@@ -346,13 +407,16 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
     ) -> (Vec<Culprit>, Vec<usize>) {
         let mut culprits = Vec::new();
         let mut record_counts = Vec::with_capacity(hosts.len());
-        for &h in hosts {
-            let Some(len) = self.view.store_len(h) else {
+        for (&h, (len, matching)) in hosts
+            .iter()
+            .zip(self.view.filter_wave(hosts, switch, range))
+        {
+            let Some(len) = len else {
                 record_counts.push(0);
                 continue;
             };
             record_counts.push(len);
-            for rec in self.view.flows_matching(h, switch, range) {
+            for rec in matching {
                 if rec.flow == victim {
                     continue;
                 }
@@ -512,8 +576,8 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
         let mut per_switch = Vec::new();
         let mut implicated = Vec::new();
         let mut record_counts = vec![0usize; all_hosts.len()];
-        for (i, &h) in all_hosts.iter().enumerate() {
-            if let Some(len) = self.view.store_len(h) {
+        for (i, len) in self.view.store_len_wave(&all_hosts).into_iter().enumerate() {
+            if let Some(len) = len {
                 record_counts[i] = len;
             }
         }
@@ -593,9 +657,11 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
                 hosts.retain(|&h| h != cur_dst);
                 let reduced = self.reduce_search_radius(sw, cur_dst, cur_victim, hosts);
                 wave_hosts += reduced.len();
-                let counts: Vec<usize> = reduced
-                    .iter()
-                    .map(|h| self.view.store_len(*h).unwrap_or(0))
+                let counts: Vec<usize> = self
+                    .view
+                    .store_len_wave(&reduced)
+                    .into_iter()
+                    .map(|len| len.unwrap_or(0))
                     .collect();
                 self.trace.push_wave(
                     reduced
@@ -678,13 +744,13 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
             .push_round(vec![(switch, range)], self.ctx.cost.pointer_retrieval(1));
         let mut per_link: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
         let mut record_counts = Vec::with_capacity(hosts.len());
-        for &h in &hosts {
-            let Some(len) = self.view.store_len(h) else {
+        for (len, sizes) in self.view.sizes_wave(&hosts, switch) {
+            let Some(len) = len else {
                 record_counts.push(0);
                 continue;
             };
             record_counts.push(len);
-            for (link, bytes) in self.view.sizes_by_link(h, switch) {
+            for (link, bytes) in sizes {
                 per_link.entry(link).or_default().push(bytes);
             }
         }
@@ -743,13 +809,13 @@ impl<'a, V: StateView> QueryExecutor<'a, V> {
             .push_round(vec![(switch, range)], self.ctx.cost.pointer_retrieval(1));
         let mut merged: Vec<(FlowId, u64)> = Vec::new();
         let mut record_counts = Vec::with_capacity(hosts.len());
-        for &h in &hosts {
-            let Some(len) = self.view.store_len(h) else {
+        for (len, flows) in self.view.top_k_wave(&hosts, switch, k) {
+            let Some(len) = len else {
                 record_counts.push(0);
                 continue;
             };
             record_counts.push(len);
-            merged.extend(self.view.top_k_through(h, switch, k));
+            merged.extend(flows);
         }
         merged.sort_by_key(|&(f, b)| (std::cmp::Reverse(b), f));
         merged.truncate(k);

@@ -42,7 +42,10 @@ use crate::bitset::BitSet;
 use crate::cost::CostModel;
 use crate::host::TriggerEvent;
 use crate::hoststore::FlowRecord;
-use crate::query::{ExecutionTrace, QueryExecutor, QueryRequest, QueryResponse, StateView};
+use crate::query::{
+    ExecutionTrace, FilterWaveReply, QueryExecutor, QueryRequest, QueryResponse, SizesWaveReply,
+    StateView, TopKWaveReply,
+};
 
 /// The directory shard owning `host`: the same stable splitmix64
 /// assignment flow records use, applied to the host address. Pure
@@ -402,6 +405,409 @@ impl<V: StateView> StateView for ShardedView<'_, V> {
     fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
         self.note_host_read(host);
         self.inner.first_trigger_for(host, flow)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shard backends: one serving surface per directory shard, local or
+// remote.
+// ----------------------------------------------------------------------
+
+/// One directory shard's serving surface. [`ShardedView`] routes over
+/// in-process state it can reach by reference; this trait is the same
+/// contract with the *reach* abstracted away, so a router can run over
+/// shard instances living behind a wire (`wireplane`'s shard servers)
+/// exactly as it runs over local slices — the verdict-equality argument
+/// is shared.
+///
+/// The wave methods mirror [`StateView`]'s batched forms: one call per
+/// query wave per shard, which is what lets a remote backend carry a
+/// whole fan-out in a single round trip.
+pub trait ShardBackend {
+    /// The directory shard this backend serves.
+    fn shard_id(&self) -> usize;
+
+    /// This shard's masked slice of the pointer union for `range` at
+    /// `switch` (`None` if the switch has no component). Slices across
+    /// the shards partition the full union bit-for-bit.
+    fn union_slice(&self, switch: NodeId, range: EpochRange) -> Option<BitSet>;
+
+    /// Exact-resolution presence probe (answered by the shard owning the
+    /// probed address's slot).
+    fn probe_exact(&self, switch: NodeId, addr: u64, epoch: u64) -> Option<Option<bool>>;
+
+    /// Point read: store size of one owned host.
+    fn store_len(&self, host: NodeId) -> Option<usize>;
+
+    /// Point read: one owned host's record for `flow`.
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord>;
+
+    /// Point read: first trigger an owned host raised for `flow`.
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent>;
+
+    /// Batched store sizes for owned hosts.
+    fn store_len_wave(&self, hosts: &[NodeId]) -> Vec<Option<usize>>;
+
+    /// Batched filter wave over owned hosts.
+    fn filter_wave(&self, hosts: &[NodeId], switch: NodeId, range: EpochRange) -> FilterWaveReply;
+
+    /// Batched top-k wave over owned hosts.
+    fn top_k_wave(&self, hosts: &[NodeId], switch: NodeId, k: usize) -> TopKWaveReply;
+
+    /// Batched link-sizes wave over owned hosts.
+    fn sizes_wave(&self, hosts: &[NodeId], switch: NodeId) -> SizesWaveReply;
+}
+
+/// The in-process [`ShardBackend`]: one shard's slice of a shared
+/// [`StateView`]. What a wire shard server computes behind its socket,
+/// computed by reference — the parity fixture for the remote transport.
+pub struct LocalBackend<'a, V: StateView> {
+    shard: &'a DirectoryShard,
+    view: &'a V,
+}
+
+impl<'a, V: StateView> LocalBackend<'a, V> {
+    pub fn new(shard: &'a DirectoryShard, view: &'a V) -> Self {
+        LocalBackend { shard, view }
+    }
+}
+
+impl<V: StateView> ShardBackend for LocalBackend<'_, V> {
+    fn shard_id(&self) -> usize {
+        self.shard.id()
+    }
+
+    fn union_slice(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        self.view
+            .pointer_union(switch, range)
+            .map(|u| self.shard.mask(&u))
+    }
+
+    fn probe_exact(&self, switch: NodeId, addr: u64, epoch: u64) -> Option<Option<bool>> {
+        self.view.pointer_contains_exact(switch, addr, epoch)
+    }
+
+    fn store_len(&self, host: NodeId) -> Option<usize> {
+        self.view.store_len(host)
+    }
+
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord> {
+        self.view.record(host, flow)
+    }
+
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
+        self.view.first_trigger_for(host, flow)
+    }
+
+    fn store_len_wave(&self, hosts: &[NodeId]) -> Vec<Option<usize>> {
+        self.view.store_len_wave(hosts)
+    }
+
+    fn filter_wave(&self, hosts: &[NodeId], switch: NodeId, range: EpochRange) -> FilterWaveReply {
+        self.view.filter_wave(hosts, switch, range)
+    }
+
+    fn top_k_wave(&self, hosts: &[NodeId], switch: NodeId, k: usize) -> TopKWaveReply {
+        self.view.top_k_wave(hosts, switch, k)
+    }
+
+    fn sizes_wave(&self, hosts: &[NodeId], switch: NodeId) -> SizesWaveReply {
+        self.view.sizes_wave(hosts, switch)
+    }
+}
+
+/// Cumulative routing counters a [`BackendRouter`] keeps on top of the
+/// per-shard [`ShardFanout`]: how many backend calls it issued (each a
+/// wire RPC for a remote backend) and how many *rounds* of latency those
+/// cost (a fan-out to several shards counts one round — the requests
+/// overlap).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    pub fanout: ShardFanout,
+    /// Backend calls issued (≡ RPCs for a remote backend).
+    pub rpcs: u64,
+    /// The subset of `rpcs` issued for host-wave fan-outs — the term
+    /// per-shard coalescing shrinks (one per shard per wave, vs one per
+    /// host per wave without coalescing).
+    pub wave_rpcs: u64,
+    /// Wave fan-outs routed. Under a deployment that issues the
+    /// per-shard requests concurrently, each fan-out is one round trip
+    /// of latency; this router issues them sequentially (pipelined on
+    /// the per-shard connections), so as a *latency* statement the
+    /// count is the model's concurrent-fan-out interpretation — the
+    /// same answers-real / latency-modelled split as everywhere else.
+    pub wave_rounds: u64,
+    /// Routed operations: one per union reassembly, wave fan-out or
+    /// point read, however many shards it fanned out to (the round-trip
+    /// count under the concurrent-fan-out interpretation above).
+    pub rounds: u64,
+}
+
+/// A [`StateView`] router over per-shard backends, local or remote.
+/// Pointer unions are reassembled by ORing the shards' disjoint masked
+/// slices (the slot masks partition the directory range, so the union is
+/// bit-identical to the flat view's); host reads route to the owning
+/// shard; wave reads coalesce per shard — one backend call, and for a
+/// remote backend one wire round trip, per shard per wave.
+///
+/// With `coalesce` off, wave reads degrade to one backend call per host:
+/// the naive per-host RPC regime the paper's Fig. 12 measures, kept as a
+/// measurable counterfactual for the batching win.
+pub struct BackendRouter<'a, B: ShardBackend> {
+    backends: &'a [B],
+    dir: &'a ShardedDirectory,
+    coalesce: bool,
+    decode_bits: Vec<AtomicU64>,
+    host_reads: Vec<AtomicU64>,
+    merges: AtomicU64,
+    merged_bits: AtomicU64,
+    rpcs: AtomicU64,
+    wave_rpcs: AtomicU64,
+    wave_rounds: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl<'a, B: ShardBackend> BackendRouter<'a, B> {
+    /// A router over `backends` (one per shard of `dir`, in shard order).
+    pub fn new(backends: &'a [B], dir: &'a ShardedDirectory) -> Self {
+        assert_eq!(
+            backends.len(),
+            dir.n_shards(),
+            "one backend per directory shard"
+        );
+        for (i, b) in backends.iter().enumerate() {
+            assert_eq!(b.shard_id(), i, "backends must be in shard order");
+        }
+        let n = dir.n_shards();
+        BackendRouter {
+            backends,
+            dir,
+            coalesce: true,
+            decode_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            host_reads: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            merges: AtomicU64::new(0),
+            merged_bits: AtomicU64::new(0),
+            rpcs: AtomicU64::new(0),
+            wave_rpcs: AtomicU64::new(0),
+            wave_rounds: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// Disables per-shard wave coalescing: every host in a wave costs its
+    /// own backend call (the naive per-host RPC counterfactual). Answers
+    /// are identical either way — only the call pattern changes.
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalesce = false;
+        self
+    }
+
+    /// Snapshot of the routing counters.
+    pub fn counters(&self) -> RouterCounters {
+        RouterCounters {
+            fanout: ShardFanout {
+                decode_bits: self
+                    .decode_bits
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .collect(),
+                host_reads: self
+                    .host_reads
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .collect(),
+                merges: self.merges.load(Ordering::Relaxed),
+                merged_bits: self.merged_bits.load(Ordering::Relaxed),
+            },
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            wave_rpcs: self.wave_rpcs.load(Ordering::Relaxed),
+            wave_rounds: self.wave_rounds.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    fn owner(&self, host: NodeId) -> usize {
+        self.dir.owner_of(host)
+    }
+
+    fn note_point_read(&self, shard: usize) {
+        self.host_reads[shard].fetch_add(1, Ordering::Relaxed);
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Routes one wave: groups `hosts` by owning shard (input order kept
+    /// within each group), issues one backend call per involved shard
+    /// (or per host without coalescing), and scatters the replies back
+    /// into input order.
+    fn route_wave<T>(
+        &self,
+        hosts: &[NodeId],
+        call: impl Fn(&B, &[NodeId]) -> Vec<T>,
+        empty: impl Fn() -> T,
+    ) -> Vec<T> {
+        if hosts.is_empty() {
+            return Vec::new();
+        }
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.wave_rounds.fetch_add(1, Ordering::Relaxed);
+        let mut by_shard: Vec<(Vec<usize>, Vec<NodeId>)> =
+            vec![(Vec::new(), Vec::new()); self.backends.len()];
+        for (i, &h) in hosts.iter().enumerate() {
+            let s = self.owner(h);
+            by_shard[s].0.push(i);
+            by_shard[s].1.push(h);
+        }
+        let mut out: Vec<Option<T>> = (0..hosts.len()).map(|_| None).collect();
+        for (s, (idxs, shard_hosts)) in by_shard.into_iter().enumerate() {
+            if shard_hosts.is_empty() {
+                continue;
+            }
+            self.host_reads[s].fetch_add(shard_hosts.len() as u64, Ordering::Relaxed);
+            if self.coalesce {
+                self.rpcs.fetch_add(1, Ordering::Relaxed);
+                self.wave_rpcs.fetch_add(1, Ordering::Relaxed);
+                let replies = call(&self.backends[s], &shard_hosts);
+                debug_assert_eq!(replies.len(), shard_hosts.len());
+                for (i, reply) in idxs.into_iter().zip(replies) {
+                    out[i] = Some(reply);
+                }
+            } else {
+                for (i, h) in idxs.into_iter().zip(shard_hosts) {
+                    self.rpcs.fetch_add(1, Ordering::Relaxed);
+                    self.wave_rpcs.fetch_add(1, Ordering::Relaxed);
+                    let mut replies = call(&self.backends[s], std::slice::from_ref(&h));
+                    out[i] = replies.pop();
+                }
+            }
+        }
+        out.into_iter().map(|r| r.unwrap_or_else(&empty)).collect()
+    }
+}
+
+impl<B: ShardBackend> StateView for BackendRouter<'_, B> {
+    fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        // Every shard contributes its masked slice; ORing the disjoint
+        // slices reproduces the flat union byte-for-byte (the slot masks
+        // partition the directory range — pinned by the DirectoryShard
+        // partition tests). Counted as one round: a deployment issues
+        // the slice requests concurrently (here they are pipelined
+        // sequentially — see `RouterCounters::wave_rounds`).
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let mut acc: Option<BitSet> = None;
+        let mut total = 0u64;
+        for b in self.backends {
+            self.rpcs.fetch_add(1, Ordering::Relaxed);
+            let Some(slice) = b.union_slice(switch, range) else {
+                continue;
+            };
+            let ones = slice.count() as u64;
+            if ones > 0 {
+                self.decode_bits[b.shard_id()].fetch_add(ones, Ordering::Relaxed);
+                total += ones;
+            }
+            match &mut acc {
+                None => acc = Some(slice),
+                Some(a) => a.union_with(&slice),
+            }
+        }
+        if self.backends.len() > 1 && acc.is_some() {
+            self.merges.fetch_add(1, Ordering::Relaxed);
+            self.merged_bits.fetch_add(total, Ordering::Relaxed);
+        }
+        acc
+    }
+
+    fn pointer_contains_exact(
+        &self,
+        switch: NodeId,
+        addr: u64,
+        epoch: u64,
+    ) -> Option<Option<bool>> {
+        // The shard owning the probed address's slot answers; addresses
+        // outside the directory fall to shard 0 (any shard can answer —
+        // the probe reads pointer state, not host stores).
+        let s = self.dir.owner_of_addr(addr).unwrap_or(0);
+        self.decode_bits[s].fetch_add(1, Ordering::Relaxed);
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.backends[s].probe_exact(switch, addr, epoch)
+    }
+
+    fn store_len(&self, host: NodeId) -> Option<usize> {
+        let s = self.owner(host);
+        self.note_point_read(s);
+        self.backends[s].store_len(host)
+    }
+
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord> {
+        let s = self.owner(host);
+        self.note_point_read(s);
+        self.backends[s].record(host, flow)
+    }
+
+    fn flows_matching(&self, host: NodeId, switch: NodeId, range: EpochRange) -> Vec<FlowRecord> {
+        let s = self.owner(host);
+        self.note_point_read(s);
+        self.backends[s]
+            .filter_wave(std::slice::from_ref(&host), switch, range)
+            .pop()
+            .map(|(_, recs)| recs)
+            .unwrap_or_default()
+    }
+
+    fn top_k_through(&self, host: NodeId, switch: NodeId, k: usize) -> Vec<(FlowId, u64)> {
+        let s = self.owner(host);
+        self.note_point_read(s);
+        self.backends[s]
+            .top_k_wave(std::slice::from_ref(&host), switch, k)
+            .pop()
+            .map(|(_, flows)| flows)
+            .unwrap_or_default()
+    }
+
+    fn sizes_by_link(&self, host: NodeId, switch: NodeId) -> Vec<(u16, u64)> {
+        let s = self.owner(host);
+        self.note_point_read(s);
+        self.backends[s]
+            .sizes_wave(std::slice::from_ref(&host), switch)
+            .pop()
+            .map(|(_, sizes)| sizes)
+            .unwrap_or_default()
+    }
+
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
+        let s = self.owner(host);
+        self.note_point_read(s);
+        self.backends[s].first_trigger_for(host, flow)
+    }
+
+    fn store_len_wave(&self, hosts: &[NodeId]) -> Vec<Option<usize>> {
+        self.route_wave(hosts, |b, hs| b.store_len_wave(hs), || None)
+    }
+
+    fn filter_wave(&self, hosts: &[NodeId], switch: NodeId, range: EpochRange) -> FilterWaveReply {
+        self.route_wave(
+            hosts,
+            |b, hs| b.filter_wave(hs, switch, range),
+            || (None, Vec::new()),
+        )
+    }
+
+    fn top_k_wave(&self, hosts: &[NodeId], switch: NodeId, k: usize) -> TopKWaveReply {
+        self.route_wave(
+            hosts,
+            |b, hs| b.top_k_wave(hs, switch, k),
+            || (None, Vec::new()),
+        )
+    }
+
+    fn sizes_wave(&self, hosts: &[NodeId], switch: NodeId) -> SizesWaveReply {
+        self.route_wave(
+            hosts,
+            |b, hs| b.sizes_wave(hs, switch),
+            || (None, Vec::new()),
+        )
     }
 }
 

@@ -5,7 +5,7 @@
 //! notes, and can dump machine-readable JSON.
 //!
 //! ```text
-//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|gc|all>
+//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|gc|wire|all>
 //!       [--json <path>] [--quick]
 //! ```
 //!
@@ -26,6 +26,7 @@ mod gc;
 mod motivation;
 mod shard;
 mod stream;
+mod wire;
 
 use common::FigureData;
 
@@ -49,6 +50,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
         "fig12" => fig12::fig12(),
         "stream" => stream::stream(),
         "shard" => shard::shard(),
+        "wire" => wire::wire(),
         "gc" => gc::gc(),
         "ablation-drr" => ablations::ablation_drr(),
         "ablation-hierarchy" => ablations::ablation_hierarchy(),
@@ -61,7 +63,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
     }
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -75,6 +77,7 @@ const ALL: [&str; 17] = [
     "stream",
     "shard",
     "gc",
+    "wire",
     "ablation-drr",
     "ablation-hierarchy",
     "ablation-dctcp",

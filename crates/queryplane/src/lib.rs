@@ -99,6 +99,39 @@ pub use pool::{PoolResult, SharedCtx, WorkerPool};
 pub use snapshot::{ShardedHostStore, Snapshot, SnapshotDelta};
 pub use switchpointer::retention::{RetentionPolicy, SweepReport};
 
+/// A rejected [`QueryPlaneConfig`]: the typed reason construction
+/// refused it, surfaced at the service boundary instead of panicking
+/// deep inside the pool or the LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: a plane with no executors can never answer.
+    ZeroWorkers,
+    /// `shards == 0`: flow records need at least one shard per host.
+    ZeroHostShards,
+    /// `directory_shards == 0`: the directory partition needs at least
+    /// the single-coordinator layout.
+    ZeroDirectoryShards,
+    /// `cache_capacity == 0`: an LRU that can hold nothing would turn
+    /// every retrieval round into a modelled miss forever; an explicit
+    /// zero is a configuration mistake, not a tuning choice.
+    ZeroCacheCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be >= 1"),
+            ConfigError::ZeroHostShards => {
+                write!(f, "shards (per-host record shards) must be >= 1")
+            }
+            ConfigError::ZeroDirectoryShards => write!(f, "directory_shards must be >= 1"),
+            ConfigError::ZeroCacheCapacity => write!(f, "cache_capacity must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Service tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryPlaneConfig {
@@ -129,6 +162,28 @@ impl Default for QueryPlaneConfig {
             cache_capacity: 4096,
             retention: None,
         }
+    }
+}
+
+impl QueryPlaneConfig {
+    /// Rejects degenerate sizings with a typed [`ConfigError`] before any
+    /// thread is spawned or capacity allocated. [`QueryPlane::try_from_analyzer`]
+    /// (and everything layered over it — the stream plane, the wire
+    /// front-end) calls this at the boundary.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroHostShards);
+        }
+        if self.directory_shards == 0 {
+            return Err(ConfigError::ZeroDirectoryShards);
+        }
+        if self.cache_capacity == 0 {
+            return Err(ConfigError::ZeroCacheCapacity);
+        }
+        Ok(())
     }
 }
 
@@ -259,9 +314,26 @@ impl QueryPlane {
     /// [`QueryPlane::refresh`] (full recapture) or
     /// [`QueryPlane::refresh_delta`] (incremental) after running the
     /// simulation further.
+    ///
+    /// Panics on a degenerate config (zero workers / shards / cache
+    /// capacity) with the typed [`ConfigError`] message; use
+    /// [`QueryPlane::try_from_analyzer`] to handle it as a value.
     pub fn from_analyzer(analyzer: &Analyzer, cfg: QueryPlaneConfig) -> Self {
-        let dir_shards = cfg.directory_shards.max(1);
-        QueryPlane {
+        Self::try_from_analyzer(analyzer, cfg)
+            .unwrap_or_else(|e| panic!("invalid QueryPlaneConfig: {e}"))
+    }
+
+    /// [`QueryPlane::from_analyzer`] with the config validated up front:
+    /// a zero worker pool, zero record/directory shards or a
+    /// zero-capacity pointer cache is rejected here, as a typed
+    /// [`ConfigError`], instead of panicking deep in the pool.
+    pub fn try_from_analyzer(
+        analyzer: &Analyzer,
+        cfg: QueryPlaneConfig,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let dir_shards = cfg.directory_shards;
+        Ok(QueryPlane {
             ctx: Arc::new(SharedCtx {
                 topo: analyzer.topo().clone(),
                 routes: RouteTable::build(analyzer.topo()),
@@ -280,7 +352,7 @@ impl QueryPlane {
             cache: PointerCache::new(cfg.cache_capacity),
             stats: QueryPlaneStats::default(),
             fanout: ShardFanout::new(dir_shards),
-        }
+        })
     }
 
     /// Re-freezes the deployment state from scratch (e.g. after more

@@ -53,8 +53,9 @@ pub struct SharedCtx {
 }
 
 impl SharedCtx {
-    /// The borrow view executors take.
-    fn query_ctx(&self) -> QueryCtx<'_> {
+    /// The borrow view executors take. Public because the wire front-end
+    /// builds the same executor context over remote shard backends.
+    pub fn query_ctx(&self) -> QueryCtx<'_> {
         QueryCtx {
             topo: &self.topo,
             routes: &self.routes,

@@ -444,6 +444,37 @@ impl Snapshot {
         self.hosts.len()
     }
 
+    /// One directory shard's slice of this snapshot: the *host stores* —
+    /// the heavy, partitioned state — restricted to `keep`, with the
+    /// switch pointer hierarchies carried whole. This is what a
+    /// `wireplane` shard server holds: pointer metadata is the small
+    /// shared layer every analyzer instance replicates (the paper's
+    /// MPHF-plus-pointer-bits footprint argument), while flow records
+    /// live only on the owning instance. Reads for hosts outside `keep`
+    /// answer `None`/empty, exactly like unknown hosts on a full
+    /// snapshot.
+    pub fn shard_slice(&self, keep: &std::collections::BTreeSet<NodeId>) -> Snapshot {
+        Snapshot {
+            switches: self.switches.clone(),
+            hosts: self
+                .hosts
+                .iter()
+                .filter(|(h, _)| keep.contains(h))
+                .map(|(h, s)| (*h, s.clone()))
+                .collect(),
+            dir_shards: self.dir_shards,
+            switch_base: self.switch_base.clone(),
+            host_base: self
+                .host_base
+                .iter()
+                .filter(|(h, _)| keep.contains(h))
+                .map(|(h, b)| (*h, *b))
+                .collect(),
+            epoch_horizon: self.epoch_horizon,
+            union_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Newest epoch any frozen pointer hierarchy has seen.
     pub fn epoch_horizon(&self) -> u64 {
         self.epoch_horizon

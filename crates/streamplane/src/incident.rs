@@ -40,6 +40,19 @@ pub struct Incident {
     pub fingerprint: u64,
 }
 
+/// The change-detection rule itself, shared by the in-process stream
+/// plane and the wire front-end (their incident streams are pinned
+/// bit-identical, so the rule must live in exactly one place): first
+/// sight is a [`IncidentKind::Baseline`], a changed fingerprint is a
+/// [`IncidentKind::Transition`], an unchanged one is silent.
+pub fn transition_kind(prev: Option<u64>, fp: u64) -> Option<IncidentKind> {
+    match prev {
+        None => Some(IncidentKind::Baseline),
+        Some(p) if p != fp => Some(IncidentKind::Transition),
+        Some(_) => None,
+    }
+}
+
 /// FNV-1a over a byte stream — stable across runs and platforms (unlike
 /// `DefaultHasher`, which is seed-randomized by contract even though the
 /// std implementation is currently fixed).

@@ -66,7 +66,7 @@ use telemetry::EpochRange;
 mod incident;
 mod resultcache;
 
-pub use incident::{fingerprint, fnv1a, summarize, Incident, IncidentKind};
+pub use incident::{fingerprint, fnv1a, summarize, transition_kind, Incident, IncidentKind};
 pub use resultcache::{CachedResult, ResultCache};
 
 /// Identifies a standing query for its whole subscription lifetime.
@@ -176,8 +176,11 @@ impl StandingQuery {
     }
 
     /// Resolves to this window's concrete request, or `None` while the
-    /// subscription is pending (e.g. no trigger yet).
-    fn resolve(&self, view: &dyn StateView, horizon: u64) -> Option<QueryRequest> {
+    /// subscription is pending (e.g. no trigger yet). Public because the
+    /// wire front-end resolves the same subscriptions against its remote
+    /// shard router — sharing the resolution rule is what makes the wire
+    /// incident stream bit-identical to the in-process plane's.
+    pub fn resolve(&self, view: &dyn StateView, horizon: u64) -> Option<QueryRequest> {
         match *self {
             StandingQuery::Fixed(req) => Some(req),
             StandingQuery::TopKSliding {
@@ -357,10 +360,16 @@ pub struct StreamPlane {
     stats: StreamStats,
 }
 
-/// Fingerprint of the pending (no verdict yet) state.
-fn pending_fp() -> u64 {
+/// Fingerprint of the pending (no verdict yet) state. Public (as with
+/// [`StandingQuery::resolve`]) so the wire front-end's change detection
+/// agrees with the in-process plane's byte-for-byte.
+pub fn pending_fp() -> u64 {
     fnv1a(b"<pending>")
 }
+
+/// The summary line a pending subscription logs — shared with the wire
+/// front-end for incident-stream parity.
+pub const PENDING_SUMMARY: &str = "awaiting trigger";
 
 /// The oldest epoch a concrete request reads. Range-carrying requests pin
 /// their `range.lo`; trigger-anchored diagnoses pin the low edge of the
@@ -419,10 +428,23 @@ fn diagnosis_class(req: &QueryRequest) -> bool {
 }
 
 impl StreamPlane {
-    /// Freezes the initial snapshot and spawns the worker pool.
+    /// Freezes the initial snapshot and spawns the worker pool. Panics on
+    /// a degenerate plane config (typed message); see
+    /// [`StreamPlane::try_new`].
     pub fn new(analyzer: &Analyzer, cfg: StreamConfig) -> Self {
-        StreamPlane {
-            plane: QueryPlane::from_analyzer(analyzer, cfg.plane),
+        Self::try_new(analyzer, cfg).unwrap_or_else(|e| panic!("invalid StreamConfig: {e}"))
+    }
+
+    /// [`StreamPlane::new`] with the inner [`QueryPlaneConfig`] validated
+    /// up front: zero workers / shards / cache capacity surface as a
+    /// typed [`queryplane::ConfigError`] instead of a panic deep in the
+    /// pool.
+    pub fn try_new(
+        analyzer: &Analyzer,
+        cfg: StreamConfig,
+    ) -> Result<Self, queryplane::ConfigError> {
+        Ok(StreamPlane {
+            plane: QueryPlane::try_from_analyzer(analyzer, cfg.plane)?,
             subs: Vec::new(),
             next_sub: 0,
             next_ticket: 0,
@@ -435,7 +457,7 @@ impl StreamPlane {
             last_fp: BTreeMap::new(),
             window: 0,
             stats: StreamStats::default(),
-        }
+        })
     }
 
     /// Registers a standing query; evaluated every window from now on.
@@ -620,7 +642,7 @@ impl StreamPlane {
                 horizon,
                 *id,
                 pending_fp(),
-                "awaiting trigger".to_string(),
+                PENDING_SUMMARY.to_string(),
                 &mut incidents,
             );
             standing.push((*id, StandingEval::Pending));
@@ -659,11 +681,7 @@ impl StreamPlane {
         summary: String,
         incidents: &mut Vec<Incident>,
     ) {
-        let kind = match self.last_fp.get(&id) {
-            None => Some(IncidentKind::Baseline),
-            Some(&prev) if prev != fp => Some(IncidentKind::Transition),
-            Some(_) => None,
-        };
+        let kind = transition_kind(self.last_fp.get(&id).copied(), fp);
         self.last_fp.insert(id, fp);
         if let Some(kind) = kind {
             incidents.push(Incident {

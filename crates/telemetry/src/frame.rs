@@ -1,0 +1,376 @@
+//! Byte-level length-prefix framing — the analyzer-side extension of the
+//! [`wire`](crate::wire) format.
+//!
+//! [`wire`](crate::wire) covers the *in-band* half of SwitchPointer's
+//! telemetry: 12-bit VLAN tags pushed onto data packets. This module is
+//! the *out-of-band* half: the control-plane RPC fabric between directory
+//! shards, the analyzer front-end and remote clients (the `wireplane`
+//! crate) speaks length-prefix-framed binary messages over TCP, and this
+//! module owns the framing and the primitive codec both ends share.
+//!
+//! One frame on the wire:
+//!
+//! ```text
+//! +----------------+---------+----------------------+
+//! | len: u32 LE    | tag: u8 | payload (len-1 bytes)|
+//! +----------------+---------+----------------------+
+//! ```
+//!
+//! `len` counts the tag byte plus the payload, so an empty-payload frame
+//! has `len == 1`. Frames larger than the reader's cap are rejected with
+//! [`WireError::Oversize`] *before* any allocation — a corrupt or
+//! adversarial length prefix cannot OOM the peer. All integers are
+//! little-endian and fixed-width; there is no implicit padding, so
+//! encode→decode is exactly the identity (property-tested in
+//! `tests/wireplane_props.rs` for every RPC frame type).
+//!
+//! Decoding never panics: every malformed input — truncation, an
+//! out-of-range enum discriminant, trailing garbage — surfaces as a typed
+//! [`WireError`].
+
+use std::io::{Read, Write};
+
+/// Default cap on a single frame's size (tag + payload), in bytes.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Everything that can go wrong on the wire. Typed — peers exchange these
+/// in error frames, and decode paths return them instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// A frame or enum tag no decoder recognizes.
+    BadTag(u8),
+    /// A declared frame length above the reader's cap (or zero).
+    Oversize(u32),
+    /// A payload longer than its frame (trailing garbage after decode).
+    TrailingBytes(usize),
+    /// A string field that was not valid UTF-8.
+    BadUtf8,
+    /// The underlying transport failed.
+    Io(std::io::ErrorKind),
+    /// The peer reported a protocol-level failure (carried in an error
+    /// frame; e.g. "unknown RPC for this role", "accept pool exhausted").
+    Remote(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} more bytes, had {have}")
+            }
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+            WireError::Oversize(n) => write!(f, "frame length {n} outside accepted range"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decoded value"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Io(kind) => write!(f, "transport error: {kind:?}"),
+            WireError::Remote(msg) => write!(f, "peer error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind())
+    }
+}
+
+/// Append-only encode buffer. All writes are infallible; the frame writer
+/// takes the finished buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` travels as u64 so both ends agree regardless of platform.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Cursor-style decode view over one frame's payload. Every getter
+/// returns a typed [`WireError`] on malformed input; nothing panics.
+#[derive(Debug, Clone, Copy)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode is complete: errors with [`WireError::TrailingBytes`] if
+    /// anything is left (a frame must be exactly one value).
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.get_u64()? as usize)
+    }
+
+    /// A collection length, sanity-bounded by the bytes actually left in
+    /// the frame (each element needs ≥ 1 byte), so a corrupt length can
+    /// never drive a huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let n = self.get_usize()?;
+        if n > self.buf.len() {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.buf.len(),
+            });
+        }
+        Ok(n)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_len()?;
+        self.take(n)
+    }
+
+    pub fn get_string(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+/// Writes one `(tag, payload)` frame. The whole frame goes out in a
+/// single `write_all`, so concurrent writers serialized by a lock never
+/// interleave partial frames.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), WireError> {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .and_then(|n| u32::try_from(n).ok())
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or(WireError::Oversize(u32::MAX))?;
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads one `(tag, payload)` frame, rejecting declared lengths of zero
+/// or above `max` before allocating.
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<(u8, Vec<u8>), WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > max {
+        return Err(WireError::Oversize(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let tag = body[0];
+    body.drain(..1);
+    Ok((tag, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_bool(true);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 3);
+        e.put_usize(12);
+        e.put_bytes(b"abc");
+        e.put_str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.get_usize().unwrap(), 12);
+        assert_eq!(d.get_bytes().unwrap(), b"abc");
+        assert_eq!(d.get_string().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut e = Enc::new();
+        e.put_u64(42);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(matches!(d.get_u64(), Err(WireError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn corrupt_length_cannot_drive_a_huge_allocation() {
+        let mut e = Enc::new();
+        e.put_usize(usize::MAX / 2); // absurd collection length
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.get_len(), Err(WireError::Truncated { .. })));
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.get_bytes(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_trailing_bytes_are_typed() {
+        let mut d = Dec::new(&[2]);
+        assert_eq!(d.get_bool(), Err(WireError::BadTag(2)));
+        let d = Dec::new(&[0, 0]);
+        assert_eq!(d.finish(), Err(WireError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_byte_pipe() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, 0x31, b"payload").unwrap();
+        write_frame(&mut pipe, 0x07, b"").unwrap();
+        let mut r = &pipe[..];
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME).unwrap(),
+            (0x31, b"payload".to_vec())
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), (0x07, Vec::new()));
+        // Clean EOF surfaces as the io error kind, not a panic.
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME),
+            Err(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+        );
+    }
+
+    #[test]
+    fn oversize_and_zero_length_frames_rejected_before_allocation() {
+        let mut pipe = Vec::new();
+        pipe.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &pipe[..], MAX_FRAME),
+            Err(WireError::Oversize(MAX_FRAME + 1))
+        );
+        let zero = 0u32.to_le_bytes();
+        assert_eq!(
+            read_frame(&mut &zero[..], MAX_FRAME),
+            Err(WireError::Oversize(0))
+        );
+    }
+
+    #[test]
+    fn truncated_frame_body_is_an_io_error() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, 0x10, b"0123456789").unwrap();
+        pipe.truncate(pipe.len() - 4);
+        assert_eq!(
+            read_frame(&mut &pipe[..], MAX_FRAME),
+            Err(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+        );
+    }
+}

@@ -58,9 +58,11 @@
 
 pub mod decoder;
 pub mod epoch;
+pub mod frame;
 pub mod pathcodec;
 pub mod wire;
 
 pub use decoder::{DecodeError, DecodedTelemetry, HopTelemetry, TelemetryDecoder};
 pub use epoch::{EpochParams, EpochRange, HopDirection};
+pub use frame::{Dec, Enc, WireError};
 pub use pathcodec::{EmbedMode, PathCodec, PathError};

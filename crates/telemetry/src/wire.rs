@@ -10,6 +10,14 @@
 //!
 //! The clean-slate INT mode (§4.1.3 "solutions such as INT") appends one
 //! (switchID, epochID) tag pair per hop instead.
+//!
+//! These tags are the *in-band* wire format. The out-of-band control-plane
+//! framing (the analyzer RPC fabric the `wireplane` crate speaks) extends
+//! this module in [`frame`]: length-prefixed binary frames with the same
+//! never-panic decoding discipline, re-exported here so both halves of
+//! the wire story live under `telemetry::wire`.
+
+pub use crate::frame;
 
 use netsim::packet::{Packet, VlanTag};
 

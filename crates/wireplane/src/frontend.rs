@@ -1,0 +1,713 @@
+//! The front-end: the shard router served over real connections.
+//!
+//! This is the in-process [`ShardedView`](switchpointer::shard::ShardedView)
+//! architecture with the *reach* made real: the front-end embeds the
+//! [`BackendRouter`] over [`RemoteShard`] backends, each a loopback TCP
+//! connection to one shard server. Pointer unions reassemble from the
+//! shards' masked slices (bit-identical to the flat union — the slot
+//! masks partition the directory range), host reads route to the owning
+//! shard, and every query wave coalesces into **one request frame per
+//! shard** ([`Frame::FilterWaveReq`] and friends), so the batched-RPC
+//! term the [`CostModel`](switchpointer::cost::CostModel) prices is
+//! *measured* here, not just modelled: [`FrontEnd::counters`] reports
+//! actual RPCs and round trips.
+//!
+//! Towards clients the front-end is a server itself: `QueryReq` frames
+//! run the shared [`QueryExecutor`] over the remote router and return the
+//! full response; `SubscribeReq` frames register standing queries whose
+//! incident transitions are pushed as [`Frame::IncidentPush`] when the
+//! hosting process closes a window ([`FrontEnd::close_window`]).
+//! Subscription topics keep their full incident log, and a subscribe
+//! carries a `resume_after` cursor — a client that lost its connection
+//! mid-stream resubscribes and re-derives the log bit-identically, with
+//! zero duplicated and zero dropped transitions (property-tested).
+//!
+//! Transport failures towards a shard are retried once over a fresh
+//! connection (servers keep no per-connection state, so a reconnect is
+//! free); a shard that stays unreachable is fatal to the in-flight query
+//! — shards are single-replica here.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use netsim::packet::{FlowId, NodeId};
+use queryplane::SharedCtx;
+use streamplane::{
+    fingerprint, pending_fp, summarize, transition_kind, Incident, StandingQuery, SubscriptionId,
+    PENDING_SUMMARY,
+};
+use switchpointer::bitset::BitSet;
+use switchpointer::host::TriggerEvent;
+use switchpointer::hoststore::FlowRecord;
+use switchpointer::query::{ExecutionTrace, QueryExecutor, QueryRequest, QueryResponse};
+use switchpointer::shard::{BackendRouter, RouterCounters, ShardBackend};
+use telemetry::frame::WireError;
+use telemetry::EpochRange;
+
+use crate::proto::{Frame, WindowSummary, FRONT_ROLE};
+use crate::server::{Listener, WireConfig};
+
+/// One shard server, reached over a (lazily re-established) loopback
+/// connection. Implements [`ShardBackend`], so the core router treats it
+/// exactly like a local slice.
+pub struct RemoteShard {
+    shard: usize,
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpStream>>,
+    max_frame: u32,
+    rpcs: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl RemoteShard {
+    /// Dials `addr` and verifies the greeting names shard `shard`.
+    pub fn connect(shard: usize, addr: SocketAddr, max_frame: u32) -> Result<Self, WireError> {
+        let rs = RemoteShard {
+            shard,
+            addr,
+            conn: Mutex::new(None),
+            max_frame,
+            rpcs: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        };
+        let stream = rs.dial()?;
+        *rs.conn.lock().unwrap() = Some(stream);
+        Ok(rs)
+    }
+
+    fn dial(&self) -> Result<TcpStream, WireError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        match Frame::read(&mut stream, self.max_frame)? {
+            Frame::Hello { shard, .. } if shard as usize == self.shard => Ok(stream),
+            Frame::Hello { shard, .. } => Err(WireError::Remote(format!(
+                "dialed shard {} but {} answered",
+                self.shard, shard
+            ))),
+            Frame::Error(e) => Err(e),
+            other => Err(WireError::Remote(format!(
+                "expected greeting, got frame {:#04x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// One request/reply exchange. A transport failure drops the
+    /// connection and retries exactly once over a fresh dial — the
+    /// server keeps no per-connection state, so the retried request is
+    /// idempotent by construction (all shard RPCs are reads).
+    fn call(&self, req: &Frame) -> Result<Frame, WireError> {
+        let mut guard = self.conn.lock().unwrap();
+        for attempt in 0..2 {
+            if guard.is_none() {
+                match self.dial() {
+                    Ok(s) => {
+                        if attempt > 0 || self.rpcs.load(Ordering::Relaxed) > 0 {
+                            self.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        *guard = Some(s);
+                    }
+                    Err(e) => {
+                        if attempt == 1 {
+                            return Err(e);
+                        }
+                        continue;
+                    }
+                }
+            }
+            let stream = guard.as_mut().expect("connection just ensured");
+            let exchange = (|| -> Result<Frame, WireError> {
+                req.write(stream)?;
+                stream.flush()?;
+                Frame::read(stream, self.max_frame)
+            })();
+            match exchange {
+                Ok(Frame::Error(e)) => return Err(e),
+                Ok(reply) => {
+                    self.rpcs.fetch_add(1, Ordering::Relaxed);
+                    return Ok(reply);
+                }
+                Err(WireError::Io(_)) if attempt == 0 => {
+                    // Connection died (e.g. injected failure): retry once
+                    // over a fresh dial.
+                    *guard = None;
+                    continue;
+                }
+                Err(e) => {
+                    *guard = None;
+                    return Err(e);
+                }
+            }
+        }
+        unreachable!("call loop returns within two attempts")
+    }
+
+    /// A reply of the wrong type is a protocol error.
+    fn expect<T>(
+        &self,
+        got: Result<Frame, WireError>,
+        extract: impl FnOnce(Frame) -> Option<T>,
+    ) -> T {
+        match got {
+            Ok(frame) => {
+                let tag = frame.tag();
+                extract(frame).unwrap_or_else(|| {
+                    panic!(
+                        "shard {} at {}: mismatched reply frame {tag:#04x}",
+                        self.shard, self.addr
+                    )
+                })
+            }
+            Err(e) => panic!(
+                "shard {} at {} unreachable after retry: {e}",
+                self.shard, self.addr
+            ),
+        }
+    }
+
+    /// The shard's snapshot epoch horizon.
+    pub fn horizon(&self) -> u64 {
+        self.expect(self.call(&Frame::HorizonReq), |f| match f {
+            Frame::HorizonRep(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Wire RPCs issued over this connection so far.
+    pub fn rpcs(&self) -> u64 {
+        self.rpcs.load(Ordering::Relaxed)
+    }
+
+    /// Reconnects performed (failure-injection visibility).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: drop the live connection so the next call must
+    /// re-establish it (simulates a mid-stream connection kill).
+    pub fn kill_connection(&self) {
+        if let Some(s) = self.conn.lock().unwrap().take() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn shard_id(&self) -> usize {
+        self.shard
+    }
+
+    fn union_slice(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        self.expect(
+            self.call(&Frame::UnionSliceReq { switch, range }),
+            |f| match f {
+                Frame::UnionSliceRep(v) => Some(v),
+                _ => None,
+            },
+        )
+    }
+
+    fn probe_exact(&self, switch: NodeId, addr: u64, epoch: u64) -> Option<Option<bool>> {
+        self.expect(
+            self.call(&Frame::ProbeExactReq {
+                switch,
+                addr,
+                epoch,
+            }),
+            |f| match f {
+                Frame::ProbeExactRep(v) => Some(v),
+                _ => None,
+            },
+        )
+    }
+
+    fn store_len(&self, host: NodeId) -> Option<usize> {
+        self.expect(self.call(&Frame::StoreLenReq { host }), |f| match f {
+            Frame::StoreLenRep(v) => Some(v.map(|n| n as usize)),
+            _ => None,
+        })
+    }
+
+    fn record(&self, host: NodeId, flow: FlowId) -> Option<FlowRecord> {
+        self.expect(self.call(&Frame::RecordReq { host, flow }), |f| match f {
+            Frame::RecordRep(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    fn first_trigger_for(&self, host: NodeId, flow: FlowId) -> Option<TriggerEvent> {
+        self.expect(self.call(&Frame::TriggerReq { host, flow }), |f| match f {
+            Frame::TriggerRep(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    fn store_len_wave(&self, hosts: &[NodeId]) -> Vec<Option<usize>> {
+        self.expect(
+            self.call(&Frame::StoreLenWaveReq {
+                hosts: hosts.to_vec(),
+            }),
+            |f| match f {
+                Frame::StoreLenWaveRep(v) => {
+                    Some(v.into_iter().map(|l| l.map(|n| n as usize)).collect())
+                }
+                _ => None,
+            },
+        )
+    }
+
+    fn filter_wave(
+        &self,
+        hosts: &[NodeId],
+        switch: NodeId,
+        range: EpochRange,
+    ) -> Vec<(Option<usize>, Vec<FlowRecord>)> {
+        self.expect(
+            self.call(&Frame::FilterWaveReq {
+                switch,
+                range,
+                hosts: hosts.to_vec(),
+            }),
+            |f| match f {
+                Frame::FilterWaveRep(v) => Some(
+                    v.into_iter()
+                        .map(|(l, recs)| (l.map(|n| n as usize), recs))
+                        .collect(),
+                ),
+                _ => None,
+            },
+        )
+    }
+
+    fn top_k_wave(
+        &self,
+        hosts: &[NodeId],
+        switch: NodeId,
+        k: usize,
+    ) -> Vec<(Option<usize>, Vec<(FlowId, u64)>)> {
+        self.expect(
+            self.call(&Frame::TopKWaveReq {
+                switch,
+                k: k as u64,
+                hosts: hosts.to_vec(),
+            }),
+            |f| match f {
+                Frame::TopKWaveRep(v) => Some(
+                    v.into_iter()
+                        .map(|(l, flows)| (l.map(|n| n as usize), flows))
+                        .collect(),
+                ),
+                _ => None,
+            },
+        )
+    }
+
+    fn sizes_wave(
+        &self,
+        hosts: &[NodeId],
+        switch: NodeId,
+    ) -> Vec<(Option<usize>, Vec<(u16, u64)>)> {
+        self.expect(
+            self.call(&Frame::SizesWaveReq {
+                switch,
+                hosts: hosts.to_vec(),
+            }),
+            |f| match f {
+                Frame::SizesWaveRep(v) => Some(
+                    v.into_iter()
+                        .map(|(l, sizes)| (l.map(|n| n as usize), sizes))
+                        .collect(),
+                ),
+                _ => None,
+            },
+        )
+    }
+}
+
+/// One subscribed client connection on one topic.
+struct Watcher {
+    conn_id: u64,
+    writer: Arc<Mutex<TcpStream>>,
+    /// Next incident seq to push.
+    sent: u64,
+}
+
+/// One standing-query topic: the subscription, its change-detection
+/// state, the full incident log (seq = index), and its watchers.
+struct Topic {
+    query: StandingQuery,
+    last_fp: Option<u64>,
+    log: Vec<Incident>,
+    watchers: Vec<Watcher>,
+}
+
+#[derive(Default)]
+struct Topics {
+    list: Vec<(SubscriptionId, Topic)>,
+}
+
+impl Topics {
+    /// The topic for `query`, creating it (next subscription id, in
+    /// first-subscribe order — the same id assignment the in-process
+    /// stream plane uses) if new.
+    fn topic_for(&mut self, query: StandingQuery) -> usize {
+        if let Some(i) = self.list.iter().position(|(_, t)| t.query == query) {
+            return i;
+        }
+        let id = SubscriptionId(self.list.len() as u64);
+        self.list.push((
+            id,
+            Topic {
+                query,
+                last_fp: None,
+                log: Vec::new(),
+                watchers: Vec::new(),
+            },
+        ));
+        self.list.len() - 1
+    }
+}
+
+struct FrontInner {
+    ctx: Arc<SharedCtx>,
+    shards: Vec<RemoteShard>,
+    /// Per-shard wave coalescing on the router (off = the naive
+    /// one-RPC-per-host counterfactual).
+    coalesce: bool,
+    topics: Mutex<Topics>,
+    window: AtomicU64,
+    counters: Mutex<RouterCounters>,
+    queries: AtomicU64,
+    next_conn: AtomicU64,
+}
+
+impl FrontInner {
+    /// Executes one request through the remote router, accumulating the
+    /// routing counters.
+    fn execute(&self, req: &QueryRequest) -> (QueryResponse, ExecutionTrace, RouterCounters) {
+        let router = self.router();
+        let exec = QueryExecutor::new(self.ctx.query_ctx(), &router);
+        let (resp, trace) = exec.execute_traced(req);
+        let counters = router.counters();
+        self.absorb(&counters);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        (resp, trace, counters)
+    }
+
+    fn router(&self) -> BackendRouter<'_, RemoteShard> {
+        let r = BackendRouter::new(&self.shards, &self.ctx.dir);
+        if self.coalesce {
+            r
+        } else {
+            r.without_coalescing()
+        }
+    }
+
+    fn absorb(&self, c: &RouterCounters) {
+        let mut total = self.counters.lock().unwrap();
+        total.fanout.absorb(&c.fanout);
+        total.rpcs += c.rpcs;
+        total.wave_rpcs += c.wave_rpcs;
+        total.wave_rounds += c.wave_rounds;
+        total.rounds += c.rounds;
+    }
+
+    /// Pushes a prebuilt frame to a client writer; a failed write means
+    /// the client is gone (its watcher is reaped by the caller).
+    fn push(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> bool {
+        let Ok(bytes) = frame.to_frame_bytes() else {
+            return false;
+        };
+        let mut w = writer.lock().unwrap();
+        w.write_all(&bytes).and_then(|_| w.flush()).is_ok()
+    }
+}
+
+/// The client-facing service front-end over `N` wire-connected shard
+/// servers.
+pub struct FrontEnd {
+    inner: Arc<FrontInner>,
+    listener: Listener,
+}
+
+impl FrontEnd {
+    /// Connects to the shard servers at `addrs` (in shard order) and
+    /// binds the client listener on `127.0.0.1:0`; the bound address
+    /// comes back via [`FrontEnd::local_addr`].
+    pub fn connect(
+        ctx: Arc<SharedCtx>,
+        addrs: &[SocketAddr],
+        cfg: WireConfig,
+    ) -> Result<Self, WireError> {
+        Self::connect_with(ctx, addrs, cfg, true)
+    }
+
+    /// [`FrontEnd::connect`] with per-shard wave coalescing configurable
+    /// — `coalesce: false` is the measurable naive per-host RPC regime.
+    pub fn connect_with(
+        ctx: Arc<SharedCtx>,
+        addrs: &[SocketAddr],
+        cfg: WireConfig,
+        coalesce: bool,
+    ) -> Result<Self, WireError> {
+        assert_eq!(
+            addrs.len(),
+            ctx.dir.n_shards(),
+            "one shard server per directory shard"
+        );
+        let shards: Vec<RemoteShard> = addrs
+            .iter()
+            .enumerate()
+            .map(|(s, &a)| RemoteShard::connect(s, a, cfg.max_frame))
+            .collect::<Result<_, _>>()?;
+        let inner = Arc::new(FrontInner {
+            ctx,
+            shards,
+            coalesce,
+            topics: Mutex::new(Topics::default()),
+            window: AtomicU64::new(0),
+            counters: Mutex::new(RouterCounters::default()),
+            queries: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+        });
+        let serving = Arc::clone(&inner);
+        let max_frame = cfg.max_frame;
+        let n_shards = inner.shards.len() as u16;
+        let listener = Listener::spawn("wireplane-front", cfg.max_conns, move |mut stream| {
+            let conn_id = serving.next_conn.fetch_add(1, Ordering::Relaxed);
+            if (Frame::Hello {
+                shard: FRONT_ROLE,
+                n_shards,
+            })
+            .write(&mut stream)
+            .is_err()
+            {
+                return;
+            }
+            let writer = match stream.try_clone() {
+                Ok(w) => Arc::new(Mutex::new(w)),
+                Err(_) => return,
+            };
+            loop {
+                let req = match Frame::read(&mut stream, max_frame) {
+                    Ok(req) => req,
+                    Err(WireError::Io(_)) => break,
+                    Err(e) => {
+                        let _ = FrontInner::push(&writer, &Frame::Error(e));
+                        break;
+                    }
+                };
+                match req {
+                    Frame::QueryReq(q) => {
+                        // A shard staying unreachable panics the executor;
+                        // surface it to the client as a typed error
+                        // instead of a hung connection.
+                        let reply = match catch_unwind(AssertUnwindSafe(|| serving.execute(&q))) {
+                            Ok((resp, _, _)) => Frame::QueryRep(resp),
+                            Err(_) => Frame::Error(WireError::Remote(
+                                "query execution failed (shard unreachable?)".to_string(),
+                            )),
+                        };
+                        if !FrontInner::push(&writer, &reply) {
+                            break;
+                        }
+                    }
+                    Frame::SubscribeReq {
+                        query,
+                        resume_after,
+                    } => {
+                        let mut topics = serving.topics.lock().unwrap();
+                        let i = topics.topic_for(query);
+                        let (sub, topic) = &mut topics.list[i];
+                        let available = topic.log.len() as u64;
+                        let ack = Frame::SubscribeRep {
+                            sub: *sub,
+                            available,
+                        };
+                        if !FrontInner::push(&writer, &ack) {
+                            break;
+                        }
+                        // Replay the backlog from the client's cursor:
+                        // zero duplicates (nothing below the cursor) and
+                        // zero drops (everything from it on).
+                        let mut sent = resume_after.min(available);
+                        while sent < available {
+                            let frame = Frame::IncidentPush {
+                                seq: sent,
+                                incident: topic.log[sent as usize].clone(),
+                            };
+                            if !FrontInner::push(&writer, &frame) {
+                                break;
+                            }
+                            sent += 1;
+                        }
+                        topic.watchers.push(Watcher {
+                            conn_id,
+                            writer: Arc::clone(&writer),
+                            sent,
+                        });
+                    }
+                    other => {
+                        let e = WireError::Remote(format!(
+                            "front-end cannot answer frame {:#04x}",
+                            other.tag()
+                        ));
+                        if !FrontInner::push(&writer, &Frame::Error(e)) {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Connection closed: reap this connection's watchers.
+            let mut topics = serving.topics.lock().unwrap();
+            for (_, topic) in &mut topics.list {
+                topic.watchers.retain(|w| w.conn_id != conn_id);
+            }
+        })?;
+        Ok(FrontEnd { inner, listener })
+    }
+
+    /// The bound client-facing loopback address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.addr()
+    }
+
+    /// Executes one request locally (without a client connection) through
+    /// the remote router — the harness-side path the drivers use for
+    /// accounting.
+    pub fn execute(&self, req: &QueryRequest) -> (QueryResponse, ExecutionTrace, RouterCounters) {
+        self.inner.execute(req)
+    }
+
+    /// Cumulative router counters (RPCs, rounds, per-shard fan-out)
+    /// across every query and window evaluation.
+    pub fn counters(&self) -> RouterCounters {
+        self.inner.counters.lock().unwrap().clone()
+    }
+
+    /// Queries executed (client-submitted and harness-side).
+    pub fn queries(&self) -> u64 {
+        self.inner.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total reconnects the shard connections performed.
+    pub fn shard_reconnects(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.reconnects()).sum()
+    }
+
+    /// Test hook: kill every live shard connection (they re-establish on
+    /// the next call — the mid-stream failure-injection scenario).
+    pub fn kill_shard_connections(&self) {
+        for s in &self.inner.shards {
+            s.kill_connection();
+        }
+    }
+
+    /// Closes one evaluation window: re-evaluates every subscribed topic
+    /// against the shard servers' current state, appends incident
+    /// transitions to the topic logs, and pushes the new frames to every
+    /// watcher. Call after the shard states were refreshed — the wire
+    /// analogue of [`streamplane::StreamPlane::run_window`], sharing its
+    /// resolution, fingerprint and transition rules so the two incident
+    /// streams are bit-identical.
+    pub fn close_window(&self) -> WindowSummary {
+        let inner = &*self.inner;
+        let window = inner.window.fetch_add(1, Ordering::SeqCst);
+        let horizon = inner.shards.iter().map(|s| s.horizon()).max().unwrap_or(0);
+        inner.absorb(&RouterCounters {
+            rpcs: inner.shards.len() as u64,
+            rounds: 1,
+            ..RouterCounters::default()
+        });
+
+        let mut topics = inner.topics.lock().unwrap();
+        let mut evaluated = 0u64;
+        let mut pending = 0u64;
+        let mut incidents = 0u64;
+        for (sub, topic) in &mut topics.list {
+            evaluated += 1;
+            let router = inner.router();
+            let (fp, summary) = match topic.query.resolve(&router, horizon) {
+                None => {
+                    pending += 1;
+                    (pending_fp(), PENDING_SUMMARY.to_string())
+                }
+                Some(req) => {
+                    let exec = QueryExecutor::new(inner.ctx.query_ctx(), &router);
+                    let (resp, _) = exec.execute_traced(&req);
+                    (fingerprint(&resp), summarize(&resp))
+                }
+            };
+            inner.absorb(&router.counters());
+            let kind = transition_kind(topic.last_fp, fp);
+            topic.last_fp = Some(fp);
+            if let Some(kind) = kind {
+                topic.log.push(Incident {
+                    window,
+                    horizon,
+                    sub: *sub,
+                    kind,
+                    summary,
+                    fingerprint: fp,
+                });
+                incidents += 1;
+            }
+        }
+
+        let summary = WindowSummary {
+            window,
+            horizon,
+            evaluated,
+            pending,
+            incidents,
+        };
+
+        // Push new incidents per watcher, then one window digest per
+        // distinct client connection.
+        let mut digests: HashMap<u64, Arc<Mutex<TcpStream>>> = HashMap::new();
+        for (_, topic) in &mut topics.list {
+            let log = &topic.log;
+            topic.watchers.retain_mut(|w| {
+                while (w.sent as usize) < log.len() {
+                    let frame = Frame::IncidentPush {
+                        seq: w.sent,
+                        incident: log[w.sent as usize].clone(),
+                    };
+                    if !FrontInner::push(&w.writer, &frame) {
+                        return false;
+                    }
+                    w.sent += 1;
+                }
+                digests
+                    .entry(w.conn_id)
+                    .or_insert_with(|| Arc::clone(&w.writer));
+                true
+            });
+        }
+        for writer in digests.values() {
+            let _ = FrontInner::push(writer, &Frame::WindowPush(summary));
+        }
+        summary
+    }
+
+    /// The full incident log of every topic, in subscription order — the
+    /// server-side ground truth clients re-derive.
+    pub fn incident_logs(&self) -> Vec<(SubscriptionId, Vec<Incident>)> {
+        let topics = self.inner.topics.lock().unwrap();
+        topics
+            .list
+            .iter()
+            .map(|(id, t)| (*id, t.log.clone()))
+            .collect()
+    }
+
+    /// Graceful shutdown of the client listener (shard connections close
+    /// with the struct).
+    pub fn shutdown(mut self) {
+        self.listener.shutdown();
+    }
+}

@@ -1,0 +1,218 @@
+//! # wireplane — the loopback RPC transport for the sharded planes
+//!
+//! Everything so far serves queries *in process*: the query plane's
+//! batching, pointer caching and directory sharding wins are all
+//! accounted through [`CostModel`](switchpointer::cost::CostModel)
+//! terms. This crate puts the same architecture behind a **real wire**:
+//! a std-only, length-prefix-framed binary RPC protocol over loopback
+//! TCP (see [`telemetry::frame`] for the framing and `DESIGN.md` §13 for
+//! the frame layout and RPC table). Three roles:
+//!
+//! * **[`ShardServer`]** — owns one
+//!   [`DirectoryShard`](switchpointer::shard::DirectoryShard) plus its
+//!   per-shard snapshot slice ([`queryplane::Snapshot::shard_slice`]) and
+//!   answers decode / host-read / fan-out RPCs. Thread-per-connection
+//!   with a bounded accept pool and graceful shutdown.
+//! * **[`FrontEnd`]** — embeds the core
+//!   [`BackendRouter`](switchpointer::shard::BackendRouter) over
+//!   [`RemoteShard`] connections: pointer unions reassemble from masked
+//!   per-shard slices, host reads route to the owner, and a whole query
+//!   wave coalesces into **one request frame per shard** — the
+//!   batched-RPC term the cost model prices, made measurable
+//!   ([`FrontEnd::counters`]). Serves clients: blocking queries plus
+//!   standing-query subscriptions whose incidents push as windows close.
+//! * **[`WireClient`]** — the blocking client library: `query()`,
+//!   `subscribe()`, `next_incident()`/`drain_window()` streaming, and
+//!   cursor-based resumption after a dropped connection.
+//!
+//! The repo invariant survives the wire: verdicts served through N
+//! wire-connected shard servers are **bit-identical** to the in-process
+//! [`ShardedAnalyzer`](switchpointer::shard::ShardedAnalyzer) at any
+//! shard count, and a standing query's wire incident stream equals the
+//! in-process [`StreamPlane`](streamplane::StreamPlane)'s — both
+//! property-pinned at 1/2/4/8 shards in `tests/wireplane_props.rs`.
+//!
+//! Every listener binds `127.0.0.1:0` and plumbs the kernel-chosen port
+//! back to callers, so nothing here ever flakes on a busy port.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use netsim::prelude::*;
+//! use switchpointer::query::QueryRequest;
+//! use switchpointer::testbed::{Testbed, TestbedConfig};
+//! use telemetry::EpochRange;
+//! use wireplane::{WireCluster, WireConfig};
+//!
+//! let topo = Topology::chain(3, 2, GBPS);
+//! let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+//! let (a, f) = (tb.node("A"), tb.node("F"));
+//! tb.sim.add_udp_flow(UdpFlowSpec {
+//!     src: a, dst: f, priority: Priority::LOW,
+//!     start: SimTime::ZERO, duration: SimTime::from_ms(2),
+//!     rate_bps: 100_000_000, payload_bytes: 1458,
+//! });
+//! tb.sim.run_until(SimTime::from_ms(5));
+//! let analyzer = tb.analyzer();
+//!
+//! // Two shard servers + front-end, all on ephemeral loopback ports.
+//! let cluster = WireCluster::launch(&analyzer, 2, WireConfig::default()).unwrap();
+//! let mut client = cluster.client().unwrap();
+//! let req = QueryRequest::TopK {
+//!     switch: tb.node("S2"), k: 10, range: EpochRange { lo: 0, hi: 4 },
+//! };
+//! let wire = client.query(&req).unwrap();
+//! // Bit-identical to the in-process analyzer.
+//! assert_eq!(format!("{:?}", wire), format!("{:?}", analyzer.execute(&req)));
+//! cluster.shutdown();
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netsim::routing::RouteTable;
+use queryplane::{QueryPlaneConfig, SharedCtx, Snapshot};
+use switchpointer::shard::ShardedDirectory;
+use switchpointer::Analyzer;
+use telemetry::frame::WireError;
+
+pub mod client;
+pub mod frontend;
+pub mod proto;
+pub mod server;
+
+pub use client::{WireClient, WireEvent};
+pub use frontend::{FrontEnd, RemoteShard};
+pub use proto::{Frame, WindowSummary, Wire, FRONT_ROLE};
+pub use server::{ShardServer, ShardState, WireConfig};
+pub use telemetry::frame::WireError as Error;
+
+/// Flow-record shards per host inside each server's snapshot slice (the
+/// same default the query plane uses).
+const HOST_SHARDS: usize = 8;
+
+/// A whole loopback deployment: N shard servers plus the front-end,
+/// launched from one analyzer's state. The harness-side handle the
+/// tests, example and experiment drive.
+pub struct WireCluster {
+    servers: Vec<ShardServer>,
+    front: FrontEnd,
+    ctx: Arc<SharedCtx>,
+    cfg: WireConfig,
+}
+
+impl WireCluster {
+    /// Captures the analyzer's state, slices it across `n_shards` shard
+    /// servers (each bound to `127.0.0.1:0`), and connects a front-end
+    /// over them.
+    pub fn launch(
+        analyzer: &Analyzer,
+        n_shards: usize,
+        cfg: WireConfig,
+    ) -> Result<WireCluster, WireError> {
+        Self::launch_with(analyzer, n_shards, cfg, true)
+    }
+
+    /// [`WireCluster::launch`] with per-shard wave coalescing
+    /// configurable (`coalesce: false` = the naive one-RPC-per-host
+    /// counterfactual the `spexp wire` ablation measures against).
+    pub fn launch_with(
+        analyzer: &Analyzer,
+        n_shards: usize,
+        cfg: WireConfig,
+        coalesce: bool,
+    ) -> Result<WireCluster, WireError> {
+        // Validated like any plane config: a zero-shard deployment is a
+        // config error, not a panic deep in the partition builder.
+        QueryPlaneConfig {
+            directory_shards: n_shards,
+            ..QueryPlaneConfig::default()
+        }
+        .validate()
+        .map_err(|e| WireError::Remote(format!("invalid wire deployment: {e}")))?;
+        let dir = ShardedDirectory::new(
+            analyzer.directory().mphf().clone(),
+            &analyzer.all_hosts(),
+            n_shards,
+        );
+        let snapshot = Snapshot::capture_with(analyzer, HOST_SHARDS, n_shards);
+        let mut servers = Vec::with_capacity(n_shards);
+        let mut addrs = Vec::with_capacity(n_shards);
+        for shard in dir.shards() {
+            let keep: BTreeSet<_> = shard.hosts().iter().copied().collect();
+            let state = ShardState {
+                shard: shard.clone(),
+                view: snapshot.shard_slice(&keep),
+            };
+            let server = ShardServer::spawn(state, n_shards, cfg)?;
+            addrs.push(server.local_addr());
+            servers.push(server);
+        }
+        let ctx = Arc::new(SharedCtx {
+            topo: analyzer.topo().clone(),
+            routes: RouteTable::build(analyzer.topo()),
+            params: analyzer.params(),
+            directory: analyzer.directory().clone(),
+            dir,
+            cost: *analyzer.cost(),
+        });
+        let front = FrontEnd::connect_with(Arc::clone(&ctx), &addrs, cfg, coalesce)?;
+        Ok(WireCluster {
+            servers,
+            front,
+            ctx,
+            cfg,
+        })
+    }
+
+    /// Re-captures the analyzer's state and swaps every server's slice —
+    /// the out-of-band state ingestion path (reads cross the wire, state
+    /// does not; each server is co-located with the instance that owns
+    /// its slice). Call between windows, then [`WireCluster::close_window`].
+    pub fn refresh(&self, analyzer: &Analyzer) {
+        let n_shards = self.ctx.dir.n_shards();
+        let snapshot = Snapshot::capture_with(analyzer, HOST_SHARDS, n_shards);
+        for (server, shard) in self.servers.iter().zip(self.ctx.dir.shards()) {
+            let keep: BTreeSet<_> = shard.hosts().iter().copied().collect();
+            server.swap_state(ShardState {
+                shard: shard.clone(),
+                view: snapshot.shard_slice(&keep),
+            });
+        }
+    }
+
+    /// The client-facing front-end address (ephemeral loopback port).
+    pub fn front_addr(&self) -> std::net::SocketAddr {
+        self.front.local_addr()
+    }
+
+    /// The per-shard server addresses, in shard order.
+    pub fn shard_addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.servers.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Connects a fresh client to the front-end.
+    pub fn client(&self) -> Result<WireClient, WireError> {
+        WireClient::connect(self.front.local_addr(), self.cfg.max_frame)
+    }
+
+    /// The front-end handle (counters, window closing, failure hooks).
+    pub fn front(&self) -> &FrontEnd {
+        &self.front
+    }
+
+    /// Closes one evaluation window on the front-end (evaluate
+    /// subscriptions, push incidents). See [`FrontEnd::close_window`].
+    pub fn close_window(&self) -> WindowSummary {
+        self.front.close_window()
+    }
+
+    /// Graceful shutdown: front-end first, then every shard server.
+    pub fn shutdown(self) {
+        let WireCluster { servers, front, .. } = self;
+        front.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

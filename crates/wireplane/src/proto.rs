@@ -1,0 +1,1192 @@
+//! The wireplane protocol: every message the shard servers, the
+//! front-end and remote clients exchange, as length-prefix-framed binary
+//! over [`telemetry::frame`].
+//!
+//! Design rules:
+//!
+//! * **Fixed-width little-endian, no padding** — encode→decode is the
+//!   identity for every frame type (property-pinned in
+//!   `tests/wireplane_props.rs`), so a verdict that crosses the wire is
+//!   bit-identical to one that never left the process.
+//! * **Decoding never panics.** Truncated or corrupt input surfaces as a
+//!   typed [`WireError`]; collection lengths are bounded by the bytes
+//!   actually present before any allocation.
+//! * **One tag byte per frame type.** Requests and replies pair up
+//!   (`0x1x` shard requests, `0x2x` shard replies, `0x3x` client-plane
+//!   frames); [`Frame::Error`] carries a [`WireError`] to the peer.
+//!
+//! The RPC table (see `DESIGN.md` §13):
+//!
+//! | frame | direction | carries |
+//! |---|---|---|
+//! | `UnionSliceReq/Rep` | front → shard | masked pointer-union slice |
+//! | `ProbeExactReq/Rep` | front → shard | exact-epoch presence probe |
+//! | `StoreLenReq/Rep`, `RecordReq/Rep`, `TriggerReq/Rep` | front → shard | host point reads |
+//! | `StoreLenWaveReq/Rep`, `FilterWaveReq/Rep`, `TopKWaveReq/Rep`, `SizesWaveReq/Rep` | front → shard | one coalesced wave per shard |
+//! | `HorizonReq/Rep` | front → shard | snapshot epoch horizon |
+//! | `Hello` | server → peer | greeting: role + shard id |
+//! | `QueryReq/Rep` | client → front | one-shot query / full response |
+//! | `SubscribeReq/Rep` | client → front | standing query + resume point |
+//! | `IncidentPush`, `WindowPush` | front → client | streamed frames on window close |
+//! | `Error` | any | typed failure |
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Write};
+
+use netsim::packet::{FlowId, NodeId, Priority, Protocol};
+use netsim::time::SimTime;
+use streamplane::{Incident, IncidentKind, StandingQuery, SubscriptionId};
+use switchpointer::analyzer::{
+    CascadeDiagnosis, CascadeStage, ContentionDiagnosis, Culprit, DropDiagnosis,
+    LoadImbalanceDiagnosis, RedLightsDiagnosis, TopKResult, Verdict,
+};
+use switchpointer::bitset::BitSet;
+use switchpointer::cost::{LatencyBreakdown, QueryWaveCost};
+use switchpointer::host::TriggerEvent;
+use switchpointer::hoststore::FlowRecord;
+use switchpointer::query::{QueryRequest, QueryResponse};
+use telemetry::frame::{read_frame, write_frame, Dec, Enc, WireError};
+use telemetry::EpochRange;
+
+/// Value-level codec: how one type travels inside a frame payload.
+pub trait Wire: Sized {
+    fn enc(&self, e: &mut Enc);
+    fn dec(d: &mut Dec) -> Result<Self, WireError>;
+}
+
+/// Encodes one value into a standalone payload buffer.
+pub fn to_bytes<T: Wire>(v: &T) -> Vec<u8> {
+    let mut e = Enc::new();
+    v.enc(&mut e);
+    e.into_bytes()
+}
+
+/// Decodes one value from a payload, requiring full consumption.
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut d = Dec::new(bytes);
+    let v = T::dec(&mut d)?;
+    d.finish()?;
+    Ok(v)
+}
+
+// ----------------------------------------------------------------------
+// Primitive and container impls
+// ----------------------------------------------------------------------
+
+macro_rules! wire_uint {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl Wire for $t {
+            fn enc(&self, e: &mut Enc) {
+                e.$put(*self);
+            }
+            fn dec(d: &mut Dec) -> Result<Self, WireError> {
+                d.$get()
+            }
+        }
+    };
+}
+wire_uint!(u8, put_u8, get_u8);
+wire_uint!(u16, put_u16, get_u16);
+wire_uint!(u32, put_u32, get_u32);
+wire_uint!(u64, put_u64, get_u64);
+wire_uint!(bool, put_bool, get_bool);
+
+impl Wire for usize {
+    fn enc(&self, e: &mut Enc) {
+        e.put_usize(*self);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        d.get_usize()
+    }
+}
+
+impl Wire for String {
+    fn enc(&self, e: &mut Enc) {
+        e.put_str(self);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        d.get_string()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn enc(&self, e: &mut Enc) {
+        match self {
+            None => e.put_u8(0),
+            Some(v) => {
+                e.put_u8(1);
+                v.enc(e);
+            }
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::dec(d)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn enc(&self, e: &mut Enc) {
+        e.put_usize(self.len());
+        for v in self {
+            v.enc(e);
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        let n = d.get_len()?;
+        // `get_len` bounds n by the *bytes* remaining, but reserving n
+        // elements costs n·size_of::<T>() — for large element types a
+        // corrupt count could still drive a multi-GB reservation. Cap
+        // the reservation by what the remaining bytes could possibly
+        // hold; decode then grows normally if elements encode smaller
+        // than their in-memory size.
+        let cap = n.min(d.remaining() / std::mem::size_of::<T>().max(1));
+        let mut out = Vec::with_capacity(cap);
+        for _ in 0..n {
+            out.push(T::dec(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn enc(&self, e: &mut Enc) {
+        self.0.enc(e);
+        self.1.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok((A::dec(d)?, B::dec(d)?))
+    }
+}
+
+impl<T: Wire + Ord> Wire for BTreeSet<T> {
+    fn enc(&self, e: &mut Enc) {
+        e.put_usize(self.len());
+        for v in self {
+            v.enc(e);
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        let n = d.get_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::dec(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn enc(&self, e: &mut Enc) {
+        e.put_usize(self.len());
+        for (k, v) in self {
+            k.enc(e);
+            v.enc(e);
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        let n = d.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::dec(d)?;
+            out.insert(k, V::dec(d)?);
+        }
+        Ok(out)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Domain scalar impls
+// ----------------------------------------------------------------------
+
+impl Wire for SimTime {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u64(self.as_ns());
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(SimTime::from_ns(d.get_u64()?))
+    }
+}
+
+impl Wire for NodeId {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u32(self.0);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(NodeId(d.get_u32()?))
+    }
+}
+
+impl Wire for FlowId {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u64(self.0);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(FlowId(d.get_u64()?))
+    }
+}
+
+impl Wire for Priority {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u8(self.0);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(Priority(d.get_u8()?))
+    }
+}
+
+impl Wire for Protocol {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u8(match self {
+            Protocol::Tcp => 0,
+            Protocol::Udp => 1,
+        });
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(Protocol::Tcp),
+            1 => Ok(Protocol::Udp),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for EpochRange {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u64(self.lo);
+        e.put_u64(self.hi);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(EpochRange {
+            lo: d.get_u64()?,
+            hi: d.get_u64()?,
+        })
+    }
+}
+
+impl Wire for BitSet {
+    fn enc(&self, e: &mut Enc) {
+        e.put_usize(self.capacity());
+        self.words().to_vec().enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        let nbits = d.get_usize()?;
+        let words = Vec::<u64>::dec(d)?;
+        // The capacity must match the words actually present: a corrupt
+        // `nbits` must not drive `from_words`'s zero-fill allocation
+        // (the encoder always writes exactly ⌈nbits/64⌉ words).
+        if nbits.div_ceil(64) != words.len() {
+            return Err(WireError::Truncated {
+                needed: nbits.div_ceil(64),
+                have: words.len(),
+            });
+        }
+        Ok(BitSet::from_words(nbits, &words))
+    }
+}
+
+impl Wire for TriggerEvent {
+    fn enc(&self, e: &mut Enc) {
+        self.at.enc(e);
+        self.flow.enc(e);
+        e.put_u64(self.prev_bytes);
+        e.put_u64(self.cur_bytes);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(TriggerEvent {
+            at: SimTime::dec(d)?,
+            flow: FlowId::dec(d)?,
+            prev_bytes: d.get_u64()?,
+            cur_bytes: d.get_u64()?,
+        })
+    }
+}
+
+impl Wire for FlowRecord {
+    fn enc(&self, e: &mut Enc) {
+        self.flow.enc(e);
+        self.src.enc(e);
+        self.dst.enc(e);
+        self.protocol.enc(e);
+        self.priority.enc(e);
+        e.put_u64(self.bytes);
+        e.put_u64(self.packets);
+        self.path.enc(e);
+        self.epochs_at.enc(e);
+        self.bytes_per_epoch.enc(e);
+        self.link_vid.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(FlowRecord {
+            flow: FlowId::dec(d)?,
+            src: NodeId::dec(d)?,
+            dst: NodeId::dec(d)?,
+            protocol: Protocol::dec(d)?,
+            priority: Priority::dec(d)?,
+            bytes: d.get_u64()?,
+            packets: d.get_u64()?,
+            path: Vec::dec(d)?,
+            epochs_at: BTreeMap::dec(d)?,
+            bytes_per_epoch: BTreeMap::dec(d)?,
+            link_vid: Option::dec(d)?,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Query requests and responses
+// ----------------------------------------------------------------------
+
+impl Wire for QueryRequest {
+    fn enc(&self, e: &mut Enc) {
+        match *self {
+            QueryRequest::Contention {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => {
+                e.put_u8(0);
+                victim.enc(e);
+                victim_dst.enc(e);
+                trigger_window.enc(e);
+            }
+            QueryRequest::RedLights {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => {
+                e.put_u8(1);
+                victim.enc(e);
+                victim_dst.enc(e);
+                trigger_window.enc(e);
+            }
+            QueryRequest::Cascade {
+                victim,
+                victim_dst,
+                trigger_window,
+                max_depth,
+            } => {
+                e.put_u8(2);
+                victim.enc(e);
+                victim_dst.enc(e);
+                trigger_window.enc(e);
+                e.put_usize(max_depth);
+            }
+            QueryRequest::LoadImbalance { switch, range } => {
+                e.put_u8(3);
+                switch.enc(e);
+                range.enc(e);
+            }
+            QueryRequest::TopK { switch, k, range } => {
+                e.put_u8(4);
+                switch.enc(e);
+                e.put_usize(k);
+                range.enc(e);
+            }
+            QueryRequest::SilentDrop {
+                flow,
+                src,
+                dst,
+                range,
+            } => {
+                e.put_u8(5);
+                flow.enc(e);
+                src.enc(e);
+                dst.enc(e);
+                range.enc(e);
+            }
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(QueryRequest::Contention {
+                victim: FlowId::dec(d)?,
+                victim_dst: NodeId::dec(d)?,
+                trigger_window: SimTime::dec(d)?,
+            }),
+            1 => Ok(QueryRequest::RedLights {
+                victim: FlowId::dec(d)?,
+                victim_dst: NodeId::dec(d)?,
+                trigger_window: SimTime::dec(d)?,
+            }),
+            2 => Ok(QueryRequest::Cascade {
+                victim: FlowId::dec(d)?,
+                victim_dst: NodeId::dec(d)?,
+                trigger_window: SimTime::dec(d)?,
+                max_depth: d.get_usize()?,
+            }),
+            3 => Ok(QueryRequest::LoadImbalance {
+                switch: NodeId::dec(d)?,
+                range: EpochRange::dec(d)?,
+            }),
+            4 => Ok(QueryRequest::TopK {
+                switch: NodeId::dec(d)?,
+                k: d.get_usize()?,
+                range: EpochRange::dec(d)?,
+            }),
+            5 => Ok(QueryRequest::SilentDrop {
+                flow: FlowId::dec(d)?,
+                src: NodeId::dec(d)?,
+                dst: NodeId::dec(d)?,
+                range: EpochRange::dec(d)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Verdict {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u8(match self {
+            Verdict::PriorityContention => 0,
+            Verdict::Microburst => 1,
+            Verdict::NoCulprit => 2,
+        });
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(Verdict::PriorityContention),
+            1 => Ok(Verdict::Microburst),
+            2 => Ok(Verdict::NoCulprit),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Culprit {
+    fn enc(&self, e: &mut Enc) {
+        self.flow.enc(e);
+        self.src.enc(e);
+        self.dst.enc(e);
+        self.host.enc(e);
+        self.priority.enc(e);
+        e.put_u64(self.bytes);
+        self.common_epochs.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(Culprit {
+            flow: FlowId::dec(d)?,
+            src: NodeId::dec(d)?,
+            dst: NodeId::dec(d)?,
+            host: NodeId::dec(d)?,
+            priority: Priority::dec(d)?,
+            bytes: d.get_u64()?,
+            common_epochs: Vec::dec(d)?,
+        })
+    }
+}
+
+impl Wire for QueryWaveCost {
+    fn enc(&self, e: &mut Enc) {
+        self.connection_initiation.enc(e);
+        self.request.enc(e);
+        self.query_execution.enc(e);
+        self.response.enc(e);
+        self.base.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(QueryWaveCost {
+            connection_initiation: SimTime::dec(d)?,
+            request: SimTime::dec(d)?,
+            query_execution: SimTime::dec(d)?,
+            response: SimTime::dec(d)?,
+            base: SimTime::dec(d)?,
+        })
+    }
+}
+
+impl Wire for LatencyBreakdown {
+    fn enc(&self, e: &mut Enc) {
+        self.detection.enc(e);
+        self.alert.enc(e);
+        self.pointer_retrieval.enc(e);
+        self.diagnosis.enc(e);
+        self.diagnosis_detail.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(LatencyBreakdown {
+            detection: SimTime::dec(d)?,
+            alert: SimTime::dec(d)?,
+            pointer_retrieval: SimTime::dec(d)?,
+            diagnosis: SimTime::dec(d)?,
+            diagnosis_detail: QueryWaveCost::dec(d)?,
+        })
+    }
+}
+
+impl Wire for ContentionDiagnosis {
+    fn enc(&self, e: &mut Enc) {
+        self.victim.enc(e);
+        self.switch.enc(e);
+        self.epochs.enc(e);
+        self.culprits.enc(e);
+        e.put_usize(self.hosts_contacted);
+        self.verdict.enc(e);
+        self.breakdown.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(ContentionDiagnosis {
+            victim: FlowId::dec(d)?,
+            switch: NodeId::dec(d)?,
+            epochs: EpochRange::dec(d)?,
+            culprits: Vec::dec(d)?,
+            hosts_contacted: d.get_usize()?,
+            verdict: Verdict::dec(d)?,
+            breakdown: LatencyBreakdown::dec(d)?,
+        })
+    }
+}
+
+impl Wire for RedLightsDiagnosis {
+    fn enc(&self, e: &mut Enc) {
+        self.victim.enc(e);
+        self.per_switch.enc(e);
+        self.implicated.enc(e);
+        e.put_usize(self.hosts_contacted);
+        self.breakdown.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(RedLightsDiagnosis {
+            victim: FlowId::dec(d)?,
+            per_switch: Vec::dec(d)?,
+            implicated: Vec::dec(d)?,
+            hosts_contacted: d.get_usize()?,
+            breakdown: LatencyBreakdown::dec(d)?,
+        })
+    }
+}
+
+impl Wire for CascadeStage {
+    fn enc(&self, e: &mut Enc) {
+        self.victim.enc(e);
+        self.switch.enc(e);
+        self.culprit.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(CascadeStage {
+            victim: FlowId::dec(d)?,
+            switch: NodeId::dec(d)?,
+            culprit: Culprit::dec(d)?,
+        })
+    }
+}
+
+impl Wire for CascadeDiagnosis {
+    fn enc(&self, e: &mut Enc) {
+        self.stages.enc(e);
+        e.put_usize(self.hosts_contacted);
+        self.breakdown.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(CascadeDiagnosis {
+            stages: Vec::dec(d)?,
+            hosts_contacted: d.get_usize()?,
+            breakdown: LatencyBreakdown::dec(d)?,
+        })
+    }
+}
+
+impl Wire for LoadImbalanceDiagnosis {
+    fn enc(&self, e: &mut Enc) {
+        self.per_link.enc(e);
+        self.separation_bytes.enc(e);
+        e.put_usize(self.hosts_contacted);
+        self.breakdown.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(LoadImbalanceDiagnosis {
+            per_link: BTreeMap::dec(d)?,
+            separation_bytes: Option::dec(d)?,
+            hosts_contacted: d.get_usize()?,
+            breakdown: LatencyBreakdown::dec(d)?,
+        })
+    }
+}
+
+impl Wire for TopKResult {
+    fn enc(&self, e: &mut Enc) {
+        self.flows.enc(e);
+        e.put_usize(self.hosts_contacted);
+        self.pointer_retrieval.enc(e);
+        self.wave.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(TopKResult {
+            flows: Vec::dec(d)?,
+            hosts_contacted: d.get_usize()?,
+            pointer_retrieval: SimTime::dec(d)?,
+            wave: QueryWaveCost::dec(d)?,
+        })
+    }
+}
+
+impl Wire for DropDiagnosis {
+    fn enc(&self, e: &mut Enc) {
+        self.flow.enc(e);
+        self.path.enc(e);
+        self.per_switch.enc(e);
+        self.suspected_segment.enc(e);
+        self.pointer_retrieval.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(DropDiagnosis {
+            flow: FlowId::dec(d)?,
+            path: Vec::dec(d)?,
+            per_switch: Vec::dec(d)?,
+            suspected_segment: Option::dec(d)?,
+            pointer_retrieval: SimTime::dec(d)?,
+        })
+    }
+}
+
+impl Wire for QueryResponse {
+    fn enc(&self, e: &mut Enc) {
+        match self {
+            QueryResponse::Contention(v) => {
+                e.put_u8(0);
+                v.enc(e);
+            }
+            QueryResponse::RedLights(v) => {
+                e.put_u8(1);
+                v.enc(e);
+            }
+            QueryResponse::Cascade(v) => {
+                e.put_u8(2);
+                v.enc(e);
+            }
+            QueryResponse::LoadImbalance(v) => {
+                e.put_u8(3);
+                v.enc(e);
+            }
+            QueryResponse::TopK(v) => {
+                e.put_u8(4);
+                v.enc(e);
+            }
+            QueryResponse::SilentDrop(v) => {
+                e.put_u8(5);
+                v.enc(e);
+            }
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(QueryResponse::Contention(ContentionDiagnosis::dec(d)?)),
+            1 => Ok(QueryResponse::RedLights(RedLightsDiagnosis::dec(d)?)),
+            2 => Ok(QueryResponse::Cascade(CascadeDiagnosis::dec(d)?)),
+            3 => Ok(QueryResponse::LoadImbalance(LoadImbalanceDiagnosis::dec(
+                d,
+            )?)),
+            4 => Ok(QueryResponse::TopK(TopKResult::dec(d)?)),
+            5 => Ok(QueryResponse::SilentDrop(DropDiagnosis::dec(d)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Streaming types
+// ----------------------------------------------------------------------
+
+impl Wire for StandingQuery {
+    fn enc(&self, e: &mut Enc) {
+        match *self {
+            StandingQuery::Fixed(req) => {
+                e.put_u8(0);
+                req.enc(e);
+            }
+            StandingQuery::TopKSliding {
+                switch,
+                k,
+                epochs_back,
+            } => {
+                e.put_u8(1);
+                switch.enc(e);
+                e.put_usize(k);
+                e.put_u64(epochs_back);
+            }
+            StandingQuery::LoadImbalanceSliding {
+                switch,
+                epochs_back,
+            } => {
+                e.put_u8(2);
+                switch.enc(e);
+                e.put_u64(epochs_back);
+            }
+            StandingQuery::ContentionWatch {
+                victim,
+                victim_dst,
+                trigger_window,
+            } => {
+                e.put_u8(3);
+                victim.enc(e);
+                victim_dst.enc(e);
+                trigger_window.enc(e);
+            }
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(StandingQuery::Fixed(QueryRequest::dec(d)?)),
+            1 => Ok(StandingQuery::TopKSliding {
+                switch: NodeId::dec(d)?,
+                k: d.get_usize()?,
+                epochs_back: d.get_u64()?,
+            }),
+            2 => Ok(StandingQuery::LoadImbalanceSliding {
+                switch: NodeId::dec(d)?,
+                epochs_back: d.get_u64()?,
+            }),
+            3 => Ok(StandingQuery::ContentionWatch {
+                victim: FlowId::dec(d)?,
+                victim_dst: NodeId::dec(d)?,
+                trigger_window: SimTime::dec(d)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for IncidentKind {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u8(match self {
+            IncidentKind::Baseline => 0,
+            IncidentKind::Transition => 1,
+        });
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(IncidentKind::Baseline),
+            1 => Ok(IncidentKind::Transition),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Incident {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u64(self.window);
+        e.put_u64(self.horizon);
+        e.put_u64(self.sub.0);
+        self.kind.enc(e);
+        self.summary.enc(e);
+        e.put_u64(self.fingerprint);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(Incident {
+            window: d.get_u64()?,
+            horizon: d.get_u64()?,
+            sub: SubscriptionId(d.get_u64()?),
+            kind: IncidentKind::dec(d)?,
+            summary: String::dec(d)?,
+            fingerprint: d.get_u64()?,
+        })
+    }
+}
+
+/// Compact digest of one closed window — what the front-end pushes to
+/// every subscribed client alongside the incident frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// Window index (0-based, monotone).
+    pub window: u64,
+    /// Snapshot epoch horizon the window evaluated at.
+    pub horizon: u64,
+    /// Standing queries evaluated (pending included).
+    pub evaluated: u64,
+    /// Subscriptions still pending (no trigger yet).
+    pub pending: u64,
+    /// Incidents appended this window across all topics.
+    pub incidents: u64,
+}
+
+impl Wire for WindowSummary {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u64(self.window);
+        e.put_u64(self.horizon);
+        e.put_u64(self.evaluated);
+        e.put_u64(self.pending);
+        e.put_u64(self.incidents);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(WindowSummary {
+            window: d.get_u64()?,
+            horizon: d.get_u64()?,
+            evaluated: d.get_u64()?,
+            pending: d.get_u64()?,
+            incidents: d.get_u64()?,
+        })
+    }
+}
+
+impl Wire for WireError {
+    fn enc(&self, e: &mut Enc) {
+        match self {
+            WireError::Truncated { needed, have } => {
+                e.put_u8(0);
+                e.put_usize(*needed);
+                e.put_usize(*have);
+            }
+            WireError::BadTag(t) => {
+                e.put_u8(1);
+                e.put_u8(*t);
+            }
+            WireError::Oversize(n) => {
+                e.put_u8(2);
+                e.put_u32(*n);
+            }
+            WireError::TrailingBytes(n) => {
+                e.put_u8(3);
+                e.put_usize(*n);
+            }
+            WireError::BadUtf8 => e.put_u8(4),
+            WireError::Io(kind) => {
+                e.put_u8(5);
+                e.put_str(&format!("{kind:?}"));
+            }
+            WireError::Remote(msg) => {
+                e.put_u8(6);
+                e.put_str(msg);
+            }
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(WireError::Truncated {
+                needed: d.get_usize()?,
+                have: d.get_usize()?,
+            }),
+            1 => Ok(WireError::BadTag(d.get_u8()?)),
+            2 => Ok(WireError::Oversize(d.get_u32()?)),
+            3 => Ok(WireError::TrailingBytes(d.get_usize()?)),
+            4 => Ok(WireError::BadUtf8),
+            // An io kind does not round-trip as a kind; it arrives as the
+            // remote's description — the peer cannot act on the kind
+            // anyway, only report it.
+            5 => Ok(WireError::Remote(format!("remote io: {}", d.get_string()?))),
+            6 => Ok(WireError::Remote(d.get_string()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Frames
+// ----------------------------------------------------------------------
+
+/// Wire body of a filter-wave reply: per host, store size and matching
+/// records (`usize` travels as `u64`).
+pub type FilterWaveBody = Vec<(Option<u64>, Vec<FlowRecord>)>;
+/// Wire body of a top-k wave reply.
+pub type TopKWaveBody = Vec<(Option<u64>, Vec<(FlowId, u64)>)>;
+/// Wire body of a link-sizes wave reply.
+pub type SizesWaveBody = Vec<(Option<u64>, Vec<(u16, u64)>)>;
+
+/// Every message of the wireplane protocol.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Server greeting on accept: which role/shard answered.
+    Hello {
+        /// Serving shard id, or [`FRONT_ROLE`] for the front-end.
+        shard: u16,
+        /// Directory shard count of the deployment.
+        n_shards: u16,
+    },
+
+    // Shard RPCs (front-end → shard server).
+    UnionSliceReq {
+        switch: NodeId,
+        range: EpochRange,
+    },
+    UnionSliceRep(Option<BitSet>),
+    ProbeExactReq {
+        switch: NodeId,
+        addr: u64,
+        epoch: u64,
+    },
+    ProbeExactRep(Option<Option<bool>>),
+    StoreLenReq {
+        host: NodeId,
+    },
+    StoreLenRep(Option<u64>),
+    RecordReq {
+        host: NodeId,
+        flow: FlowId,
+    },
+    RecordRep(Option<FlowRecord>),
+    TriggerReq {
+        host: NodeId,
+        flow: FlowId,
+    },
+    TriggerRep(Option<TriggerEvent>),
+    StoreLenWaveReq {
+        hosts: Vec<NodeId>,
+    },
+    StoreLenWaveRep(Vec<Option<u64>>),
+    FilterWaveReq {
+        switch: NodeId,
+        range: EpochRange,
+        hosts: Vec<NodeId>,
+    },
+    FilterWaveRep(FilterWaveBody),
+    TopKWaveReq {
+        switch: NodeId,
+        k: u64,
+        hosts: Vec<NodeId>,
+    },
+    TopKWaveRep(TopKWaveBody),
+    SizesWaveReq {
+        switch: NodeId,
+        hosts: Vec<NodeId>,
+    },
+    SizesWaveRep(SizesWaveBody),
+    HorizonReq,
+    HorizonRep(u64),
+
+    // Client plane (client ↔ front-end).
+    QueryReq(QueryRequest),
+    QueryRep(QueryResponse),
+    SubscribeReq {
+        query: StandingQuery,
+        /// Incidents of this topic the client has already consumed; the
+        /// front-end replays from here, so a reconnecting subscriber
+        /// re-derives the log with zero duplicates and zero drops.
+        resume_after: u64,
+    },
+    SubscribeRep {
+        sub: SubscriptionId,
+        /// Incidents currently in the topic's log (the replay backlog
+        /// upper bound).
+        available: u64,
+    },
+    IncidentPush {
+        seq: u64,
+        incident: Incident,
+    },
+    WindowPush(WindowSummary),
+
+    /// Typed failure, either direction.
+    Error(WireError),
+}
+
+/// `Hello.shard` value identifying the front-end rather than a shard.
+pub const FRONT_ROLE: u16 = u16::MAX;
+
+impl Frame {
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::UnionSliceReq { .. } => 0x10,
+            Frame::ProbeExactReq { .. } => 0x11,
+            Frame::StoreLenReq { .. } => 0x12,
+            Frame::RecordReq { .. } => 0x13,
+            Frame::TriggerReq { .. } => 0x14,
+            Frame::StoreLenWaveReq { .. } => 0x15,
+            Frame::FilterWaveReq { .. } => 0x16,
+            Frame::TopKWaveReq { .. } => 0x17,
+            Frame::SizesWaveReq { .. } => 0x18,
+            Frame::HorizonReq => 0x19,
+            Frame::UnionSliceRep(_) => 0x20,
+            Frame::ProbeExactRep(_) => 0x21,
+            Frame::StoreLenRep(_) => 0x22,
+            Frame::RecordRep(_) => 0x23,
+            Frame::TriggerRep(_) => 0x24,
+            Frame::StoreLenWaveRep(_) => 0x25,
+            Frame::FilterWaveRep(_) => 0x26,
+            Frame::TopKWaveRep(_) => 0x27,
+            Frame::SizesWaveRep(_) => 0x28,
+            Frame::HorizonRep(_) => 0x29,
+            Frame::QueryReq(_) => 0x30,
+            Frame::QueryRep(_) => 0x31,
+            Frame::SubscribeReq { .. } => 0x32,
+            Frame::SubscribeRep { .. } => 0x33,
+            Frame::IncidentPush { .. } => 0x34,
+            Frame::WindowPush(_) => 0x35,
+            Frame::Error(_) => 0x3F,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Frame::Hello { shard, n_shards } => {
+                e.put_u16(*shard);
+                e.put_u16(*n_shards);
+            }
+            Frame::UnionSliceReq { switch, range } => {
+                switch.enc(&mut e);
+                range.enc(&mut e);
+            }
+            Frame::UnionSliceRep(v) => v.enc(&mut e),
+            Frame::ProbeExactReq {
+                switch,
+                addr,
+                epoch,
+            } => {
+                switch.enc(&mut e);
+                e.put_u64(*addr);
+                e.put_u64(*epoch);
+            }
+            Frame::ProbeExactRep(v) => v.enc(&mut e),
+            Frame::StoreLenReq { host } => host.enc(&mut e),
+            Frame::StoreLenRep(v) => v.enc(&mut e),
+            Frame::RecordReq { host, flow } => {
+                host.enc(&mut e);
+                flow.enc(&mut e);
+            }
+            Frame::RecordRep(v) => v.enc(&mut e),
+            Frame::TriggerReq { host, flow } => {
+                host.enc(&mut e);
+                flow.enc(&mut e);
+            }
+            Frame::TriggerRep(v) => v.enc(&mut e),
+            Frame::StoreLenWaveReq { hosts } => hosts.enc(&mut e),
+            Frame::StoreLenWaveRep(v) => v.enc(&mut e),
+            Frame::FilterWaveReq {
+                switch,
+                range,
+                hosts,
+            } => {
+                switch.enc(&mut e);
+                range.enc(&mut e);
+                hosts.enc(&mut e);
+            }
+            Frame::FilterWaveRep(v) => v.enc(&mut e),
+            Frame::TopKWaveReq { switch, k, hosts } => {
+                switch.enc(&mut e);
+                e.put_u64(*k);
+                hosts.enc(&mut e);
+            }
+            Frame::TopKWaveRep(v) => v.enc(&mut e),
+            Frame::SizesWaveReq { switch, hosts } => {
+                switch.enc(&mut e);
+                hosts.enc(&mut e);
+            }
+            Frame::SizesWaveRep(v) => v.enc(&mut e),
+            Frame::HorizonReq => {}
+            Frame::HorizonRep(v) => e.put_u64(*v),
+            Frame::QueryReq(v) => v.enc(&mut e),
+            Frame::QueryRep(v) => v.enc(&mut e),
+            Frame::SubscribeReq {
+                query,
+                resume_after,
+            } => {
+                query.enc(&mut e);
+                e.put_u64(*resume_after);
+            }
+            Frame::SubscribeRep { sub, available } => {
+                e.put_u64(sub.0);
+                e.put_u64(*available);
+            }
+            Frame::IncidentPush { seq, incident } => {
+                e.put_u64(*seq);
+                incident.enc(&mut e);
+            }
+            Frame::WindowPush(v) => v.enc(&mut e),
+            Frame::Error(err) => err.enc(&mut e),
+        }
+        e.into_bytes()
+    }
+
+    /// Serializes the whole frame (length prefix + tag + payload) into a
+    /// buffer — callers holding a stream lock write it in one syscall so
+    /// concurrent pushers never interleave partial frames.
+    pub fn to_frame_bytes(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        write_frame(&mut out, self.tag(), &self.payload())?;
+        Ok(out)
+    }
+
+    /// Writes the frame to `w`.
+    pub fn write(&self, w: &mut impl Write) -> Result<(), WireError> {
+        write_frame(w, self.tag(), &self.payload())
+    }
+
+    /// Reads one frame from `r`, bounding the accepted size by `max`.
+    pub fn read(r: &mut impl Read, max: u32) -> Result<Frame, WireError> {
+        let (tag, payload) = read_frame(r, max)?;
+        Self::decode(tag, &payload)
+    }
+
+    /// Decodes a frame from its tag and payload. Any trailing bytes in
+    /// the payload are a protocol error.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut d = Dec::new(payload);
+        let frame = match tag {
+            0x01 => Frame::Hello {
+                shard: d.get_u16()?,
+                n_shards: d.get_u16()?,
+            },
+            0x10 => Frame::UnionSliceReq {
+                switch: NodeId::dec(&mut d)?,
+                range: EpochRange::dec(&mut d)?,
+            },
+            0x11 => Frame::ProbeExactReq {
+                switch: NodeId::dec(&mut d)?,
+                addr: d.get_u64()?,
+                epoch: d.get_u64()?,
+            },
+            0x12 => Frame::StoreLenReq {
+                host: NodeId::dec(&mut d)?,
+            },
+            0x13 => Frame::RecordReq {
+                host: NodeId::dec(&mut d)?,
+                flow: FlowId::dec(&mut d)?,
+            },
+            0x14 => Frame::TriggerReq {
+                host: NodeId::dec(&mut d)?,
+                flow: FlowId::dec(&mut d)?,
+            },
+            0x15 => Frame::StoreLenWaveReq {
+                hosts: Vec::dec(&mut d)?,
+            },
+            0x16 => Frame::FilterWaveReq {
+                switch: NodeId::dec(&mut d)?,
+                range: EpochRange::dec(&mut d)?,
+                hosts: Vec::dec(&mut d)?,
+            },
+            0x17 => Frame::TopKWaveReq {
+                switch: NodeId::dec(&mut d)?,
+                k: d.get_u64()?,
+                hosts: Vec::dec(&mut d)?,
+            },
+            0x18 => Frame::SizesWaveReq {
+                switch: NodeId::dec(&mut d)?,
+                hosts: Vec::dec(&mut d)?,
+            },
+            0x19 => Frame::HorizonReq,
+            0x20 => Frame::UnionSliceRep(Option::dec(&mut d)?),
+            0x21 => Frame::ProbeExactRep(Option::dec(&mut d)?),
+            0x22 => Frame::StoreLenRep(Option::dec(&mut d)?),
+            0x23 => Frame::RecordRep(Option::dec(&mut d)?),
+            0x24 => Frame::TriggerRep(Option::dec(&mut d)?),
+            0x25 => Frame::StoreLenWaveRep(Vec::dec(&mut d)?),
+            0x26 => Frame::FilterWaveRep(Vec::dec(&mut d)?),
+            0x27 => Frame::TopKWaveRep(Vec::dec(&mut d)?),
+            0x28 => Frame::SizesWaveRep(Vec::dec(&mut d)?),
+            0x29 => Frame::HorizonRep(d.get_u64()?),
+            0x30 => Frame::QueryReq(QueryRequest::dec(&mut d)?),
+            0x31 => Frame::QueryRep(QueryResponse::dec(&mut d)?),
+            0x32 => Frame::SubscribeReq {
+                query: StandingQuery::dec(&mut d)?,
+                resume_after: d.get_u64()?,
+            },
+            0x33 => Frame::SubscribeRep {
+                sub: SubscriptionId(d.get_u64()?),
+                available: d.get_u64()?,
+            },
+            0x34 => Frame::IncidentPush {
+                seq: d.get_u64()?,
+                incident: Incident::dec(&mut d)?,
+            },
+            0x35 => Frame::WindowPush(WindowSummary::dec(&mut d)?),
+            0x3F => Frame::Error(WireError::dec(&mut d)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}

@@ -1,0 +1,351 @@
+//! The shard server: one directory shard's state behind a loopback TCP
+//! listener.
+//!
+//! Each server owns one [`DirectoryShard`] (its slice of the bit → host
+//! partition) plus a per-shard [`Snapshot`] slice: the flow-record stores
+//! of exactly the hosts it owns, with the small switch pointer metadata
+//! carried whole (the paper's footprint argument — MPHF + pointer bits
+//! are the cheap replicated layer, host stores the heavy partitioned
+//! one). It answers the decode / host-read / fan-out RPCs of
+//! [`Frame`](crate::proto::Frame): a whole per-shard query wave arrives
+//! as *one* request frame and leaves as one reply frame, which is what
+//! makes the front-end's batched fan-out a single wire round trip per
+//! shard.
+//!
+//! Serving model: thread-per-connection with a **bounded accept pool** —
+//! beyond `WireConfig::max_conns` concurrent connections the server
+//! greets with a typed [`WireError::Remote`] error frame and closes
+//! instead of queueing unboundedly. Listeners always bind
+//! `127.0.0.1:0`; the kernel-chosen port travels back through
+//! [`ShardServer::local_addr`], so nothing in tests or CI ever races for
+//! a fixed port. Shutdown is graceful: the accept loop is woken by a
+//! sentinel connection and every connection thread is joined.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use netsim::packet::NodeId;
+use queryplane::Snapshot;
+use switchpointer::bitset::BitSet;
+use switchpointer::query::StateView;
+use switchpointer::shard::DirectoryShard;
+use telemetry::frame::{WireError, MAX_FRAME};
+use telemetry::EpochRange;
+
+use crate::proto::Frame;
+
+/// Transport tuning shared by servers, the front-end and clients.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// Concurrent connections a listener serves before refusing with a
+    /// typed error frame (the bounded accept pool).
+    pub max_conns: usize,
+    /// Largest frame either side accepts, in bytes.
+    pub max_frame: u32,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            max_conns: 64,
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// One shard's serving state: the directory slice plus the snapshot
+/// slice it answers reads from. Swapped wholesale on refresh.
+pub struct ShardState {
+    /// The directory shard this instance owns.
+    pub shard: DirectoryShard,
+    /// Snapshot slice: owned hosts' stores + full pointer metadata (see
+    /// [`Snapshot::shard_slice`]).
+    pub view: Snapshot,
+}
+
+impl ShardState {
+    /// This shard's masked slice of a pointer union — the decode RPC's
+    /// answer. Masking happens server-side, so one slice reply carries
+    /// only the bits this shard is responsible for decoding.
+    fn union_slice(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
+        self.view
+            .pointer_union(switch, range)
+            .map(|u| self.shard.mask(&u))
+    }
+
+    /// Serves one decoded request frame. Returns the reply frame (an
+    /// [`Frame::Error`] for requests this role does not answer).
+    fn serve(&self, req: &Frame) -> Frame {
+        match req {
+            Frame::UnionSliceReq { switch, range } => {
+                Frame::UnionSliceRep(self.union_slice(*switch, *range))
+            }
+            Frame::ProbeExactReq {
+                switch,
+                addr,
+                epoch,
+            } => Frame::ProbeExactRep(self.view.pointer_contains_exact(*switch, *addr, *epoch)),
+            Frame::StoreLenReq { host } => {
+                Frame::StoreLenRep(self.view.store_len(*host).map(|n| n as u64))
+            }
+            Frame::RecordReq { host, flow } => Frame::RecordRep(self.view.record(*host, *flow)),
+            Frame::TriggerReq { host, flow } => {
+                Frame::TriggerRep(self.view.first_trigger_for(*host, *flow))
+            }
+            Frame::StoreLenWaveReq { hosts } => Frame::StoreLenWaveRep(
+                self.view
+                    .store_len_wave(hosts)
+                    .into_iter()
+                    .map(|l| l.map(|n| n as u64))
+                    .collect(),
+            ),
+            Frame::FilterWaveReq {
+                switch,
+                range,
+                hosts,
+            } => Frame::FilterWaveRep(
+                self.view
+                    .filter_wave(hosts, *switch, *range)
+                    .into_iter()
+                    .map(|(l, recs)| (l.map(|n| n as u64), recs))
+                    .collect(),
+            ),
+            Frame::TopKWaveReq { switch, k, hosts } => Frame::TopKWaveRep(
+                self.view
+                    .top_k_wave(hosts, *switch, *k as usize)
+                    .into_iter()
+                    .map(|(l, flows)| (l.map(|n| n as u64), flows))
+                    .collect(),
+            ),
+            Frame::SizesWaveReq { switch, hosts } => Frame::SizesWaveRep(
+                self.view
+                    .sizes_wave(hosts, *switch)
+                    .into_iter()
+                    .map(|(l, sizes)| (l.map(|n| n as u64), sizes))
+                    .collect(),
+            ),
+            Frame::HorizonReq => Frame::HorizonRep(self.view.epoch_horizon()),
+            other => Frame::Error(WireError::Remote(format!(
+                "shard server cannot answer frame {:#04x}",
+                other.tag()
+            ))),
+        }
+    }
+}
+
+/// Shared listener mechanics (accept loop, bounded pool, graceful
+/// shutdown) used by both the shard servers and the front-end.
+pub(crate) struct Listener {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Clones of the live peer streams (keyed per connection, removed on
+    /// connection exit): shutdown closes them so blocked connection
+    /// threads wake from `read` and can be joined.
+    streams: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>,
+}
+
+impl Listener {
+    /// Binds `127.0.0.1:0` (always an ephemeral port — the bound address
+    /// is plumbed back through [`Listener::addr`]) and serves each
+    /// accepted connection on its own thread via `handle`, up to
+    /// `max_conns` at once.
+    pub(crate) fn spawn<F>(name: &str, max_conns: usize, handle: F) -> Result<Listener, WireError>
+    where
+        F: Fn(TcpStream) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let streams: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
+            Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let streams = Arc::clone(&streams);
+            let handle = Arc::new(handle);
+            let name = name.to_string();
+            std::thread::Builder::new()
+                .name(format!("{name}-accept"))
+                .spawn(move || {
+                    let mut next_conn = 0u64;
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if active.load(Ordering::SeqCst) >= max_conns {
+                            // Bounded accept pool: refuse with a typed
+                            // error frame rather than queueing.
+                            let mut s = stream;
+                            let _ = Frame::Error(WireError::Remote(
+                                "accept pool exhausted".to_string(),
+                            ))
+                            .write(&mut s);
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let conn_id = next_conn;
+                        next_conn += 1;
+                        match stream.try_clone() {
+                            Ok(clone) => {
+                                streams.lock().unwrap().insert(conn_id, clone);
+                            }
+                            // Without a registered clone, shutdown could
+                            // not wake this connection's blocked read and
+                            // would hang joining it — refuse instead.
+                            Err(_) => continue,
+                        }
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let handle = Arc::clone(&handle);
+                        let active = Arc::clone(&active);
+                        let streams = Arc::clone(&streams);
+                        let jh = std::thread::Builder::new()
+                            .name(format!("{name}-conn"))
+                            .spawn(move || {
+                                handle(stream);
+                                streams.lock().unwrap().remove(&conn_id);
+                                active.fetch_sub(1, Ordering::SeqCst);
+                            })
+                            .expect("spawn connection thread");
+                        let mut guard = conns.lock().unwrap();
+                        // Reap finished threads so the vec stays bounded.
+                        let mut kept = Vec::new();
+                        for h in guard.drain(..) {
+                            if h.is_finished() {
+                                let _ = h.join();
+                            } else {
+                                kept.push(h);
+                            }
+                        }
+                        *guard = kept;
+                        guard.push(jh);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Listener {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+            streams,
+        })
+    }
+
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop with a sentinel
+    /// connection, closes every live peer stream (so connection threads
+    /// blocked in `read` wake up) and joins every connection thread.
+    pub(crate) fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for (_, s) in self.streams.lock().unwrap().drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.conns.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A running shard server.
+pub struct ShardServer {
+    listener: Listener,
+    state: Arc<RwLock<Arc<ShardState>>>,
+    shard: usize,
+}
+
+impl ShardServer {
+    /// Binds `127.0.0.1:0` and starts serving `state`. The ephemeral
+    /// bound address comes back via [`ShardServer::local_addr`].
+    pub fn spawn(state: ShardState, n_shards: usize, cfg: WireConfig) -> Result<Self, WireError> {
+        let shard = state.shard.id();
+        let state = Arc::new(RwLock::new(Arc::new(state)));
+        let serving = Arc::clone(&state);
+        let max_frame = cfg.max_frame;
+        let listener = Listener::spawn(
+            &format!("wireplane-shard{shard}"),
+            cfg.max_conns,
+            move |mut stream| {
+                // Greet with role + shard id so the dialer can verify it
+                // reached the shard it meant to.
+                if (Frame::Hello {
+                    shard: shard as u16,
+                    n_shards: n_shards as u16,
+                })
+                .write(&mut stream)
+                .is_err()
+                {
+                    return;
+                }
+                loop {
+                    let req = match Frame::read(&mut stream, max_frame) {
+                        Ok(req) => req,
+                        Err(WireError::Io(_)) => break, // peer gone
+                        Err(e) => {
+                            // Framing is lost: report the typed error and
+                            // drop the connection (the client reconnects).
+                            let _ = Frame::Error(e).write(&mut stream);
+                            break;
+                        }
+                    };
+                    let reply = {
+                        let state = serving.read().unwrap().clone();
+                        state.serve(&req)
+                    };
+                    if reply.write(&mut stream).is_err() {
+                        break;
+                    }
+                    let _ = stream.flush();
+                }
+            },
+        )?;
+        Ok(ShardServer {
+            listener,
+            state,
+            shard,
+        })
+    }
+
+    /// The shard this server owns.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The bound loopback address (ephemeral port chosen by the kernel).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.addr()
+    }
+
+    /// Swaps in a refreshed state slice. In-flight requests finish
+    /// against the old state; subsequent requests see the new one —
+    /// state ingestion is out-of-band (the owning process refreshes its
+    /// instance), only *reads* cross the wire.
+    pub fn swap_state(&self, state: ShardState) {
+        *self.state.write().unwrap() = Arc::new(state);
+    }
+
+    /// Graceful shutdown: stop accepting, join every connection thread.
+    pub fn shutdown(mut self) {
+        self.listener.shutdown();
+    }
+}

@@ -9,3 +9,4 @@ pub use queryplane;
 pub use streamplane;
 pub use switchpointer;
 pub use telemetry;
+pub use wireplane;

@@ -346,3 +346,65 @@ fn subscriptions_partition_across_shards() {
     let report = sp.run_window(&analyzer);
     assert_eq!(report.per_shard_standing.iter().sum::<usize>(), ids.len());
 }
+
+/// (b continued) The shard-backend abstraction is the same partition
+/// behind a different reach: a [`BackendRouter`] over in-process
+/// [`LocalBackend`]s (what a wire deployment computes behind its
+/// sockets) answers bit-identically to the flat analyzer, at any shard
+/// count, while coalescing each query wave into one backend call per
+/// shard.
+#[test]
+fn backend_router_over_local_backends_matches_flat_view() {
+    use queryplane::Snapshot;
+    use switchpointer::shard::{BackendRouter, LocalBackend, ShardedDirectory};
+
+    let (tb, victim) = storm_testbed();
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    let baseline: Vec<String> = reqs
+        .iter()
+        .map(|r| format!("{:?}", analyzer.execute(r)))
+        .collect();
+    let snapshot = Snapshot::capture(&analyzer, 8);
+    for n_shards in [1usize, 2, 4, 8] {
+        let dir = ShardedDirectory::new(
+            analyzer.directory().mphf().clone(),
+            &analyzer.all_hosts(),
+            n_shards,
+        );
+        let backends: Vec<LocalBackend<'_, Snapshot>> = dir
+            .shards()
+            .iter()
+            .map(|s| LocalBackend::new(s, &snapshot))
+            .collect();
+        for coalesce in [true, false] {
+            let router = if coalesce {
+                BackendRouter::new(&backends, &dir)
+            } else {
+                BackendRouter::new(&backends, &dir).without_coalescing()
+            };
+            for (i, req) in reqs.iter().enumerate() {
+                let exec = switchpointer::query::QueryExecutor::new(analyzer.ctx(), &router);
+                let resp = exec.execute(req);
+                assert_eq!(
+                    format!("{resp:?}"),
+                    baseline[i],
+                    "query {i} diverged through the backend router \
+                     ({n_shards} shards, coalesce={coalesce})"
+                );
+            }
+            let c = router.counters();
+            assert!(c.rpcs >= c.rounds, "a round needs at least one RPC");
+            if !coalesce {
+                // The naive regime can only cost more backend calls.
+                let batched = BackendRouter::new(&backends, &dir);
+                let exec = switchpointer::query::QueryExecutor::new(analyzer.ctx(), &batched);
+                exec.execute(&reqs[0]);
+                assert!(
+                    c.rpcs / reqs.len() as u64 >= batched.counters().rpcs,
+                    "coalescing must not increase per-query RPCs"
+                );
+            }
+        }
+    }
+}
