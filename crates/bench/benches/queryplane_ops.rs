@@ -16,9 +16,10 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use netsim::prelude::*;
+use obsplane::{HistogramSnapshot, Percentiles, RegistrySnapshot};
 use queryplane::{QueryPlane, QueryPlaneConfig, RetentionPolicy, Snapshot};
 use streamplane::{StandingQuery, StreamConfig, StreamPlane};
-use switchpointer::query::QueryRequest;
+use switchpointer::query::{QueryRequest, QUERY_CLASS_NAMES};
 use switchpointer::testbed::{churn_storm, Testbed, TestbedConfig};
 use telemetry::EpochRange;
 use wireplane::{WireCluster, WireConfig};
@@ -110,12 +111,12 @@ fn batch_delta(
     plane: &mut QueryPlane,
     reqs: &[QueryRequest],
 ) -> (std::time::Duration, BatchAccounting) {
-    let before = *plane.stats();
+    let before = plane.stats();
     let t0 = Instant::now();
     let outcomes = plane.execute_batch(reqs);
     let dt = t0.elapsed();
     assert_eq!(outcomes.len(), reqs.len());
-    let after = *plane.stats();
+    let after = plane.stats();
     let hits = after.pointer_hits - before.pointer_hits;
     let misses = after.pointer_misses - before.pointer_misses;
     let sequential = (after.sequential_total - before.sequential_total).as_ns() as f64;
@@ -207,8 +208,8 @@ fn measure_shards(tb: &Testbed, reqs: &[QueryRequest]) -> Vec<ShardPoint> {
         );
         let outcomes = plane.execute_batch(reqs);
         assert_eq!(outcomes.len(), reqs.len());
-        let fanout = plane.fanout().clone();
-        let stats = *plane.stats();
+        let fanout = plane.fanout();
+        let stats = plane.stats();
         points.push(ShardPoint {
             shards,
             decode_bits: fanout.decode_bits,
@@ -337,7 +338,7 @@ fn measure_stream() -> StreamSummary {
         sp.run_window(&analyzer);
     }
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
-    let stats = *sp.stats();
+    let stats = sp.stats();
     StreamSummary {
         delta_refresh,
         full_recapture,
@@ -446,6 +447,37 @@ fn measure_retention() -> RetentionSummary {
     summary
 }
 
+/// Per-class execution-latency percentiles off the plane's obsplane
+/// histograms (`queryplane.exec_ns.<class>`): one storm batch through a
+/// fresh 8-worker plane, then read the recorded distribution. Classes
+/// the storm never issues report a zero count.
+fn measure_latency(tb: &Testbed, reqs: &[QueryRequest]) -> Vec<(&'static str, Percentiles)> {
+    let analyzer = tb.analyzer();
+    let mut plane = QueryPlane::from_analyzer(
+        &analyzer,
+        QueryPlaneConfig {
+            workers: 8,
+            shards: 8,
+            directory_shards: 1,
+            cache_capacity: 4096,
+            retention: None,
+        },
+    );
+    let outcomes = plane.execute_batch(reqs);
+    assert_eq!(outcomes.len(), reqs.len());
+    let snap = plane.metrics().snapshot();
+    QUERY_CLASS_NAMES
+        .iter()
+        .map(|&class| {
+            let p = snap
+                .hist(&format!("queryplane.exec_ns.{class}"))
+                .map(|h| h.percentiles())
+                .unwrap_or_default();
+            (class, p)
+        })
+        .collect()
+}
+
 /// The wire trajectory: actual RPC frames and round trips for a sample
 /// of the storm batch served through a 2-shard loopback cluster — the
 /// transport-layer counters future PRs compare against.
@@ -457,6 +489,13 @@ struct WireSummary {
     wave_rounds: u64,
     rounds: u64,
     wall_us_per_query: f64,
+    /// Labelled registries the scrape returned (front + one per shard).
+    scraped_processes: usize,
+    /// `wire.frames_served` summed over every scraped shard registry.
+    frames_served: u64,
+    /// Front-side RPC round trip, merged across the per-shard
+    /// `wire.rtt_ns.shard{N}` histograms.
+    rtt: Percentiles,
 }
 
 fn measure_wire(tb: &Testbed, reqs: &[QueryRequest]) -> WireSummary {
@@ -471,6 +510,23 @@ fn measure_wire(tb: &Testbed, reqs: &[QueryRequest]) -> WireSummary {
     }
     let wall = t0.elapsed();
     let c = cluster.front().counters();
+    // Scrape the live deployment the same way a remote client would.
+    let scraped = cluster.front().scrape().expect("scrape wire cluster");
+    let mut merged = RegistrySnapshot::default();
+    for (_, snap) in &scraped {
+        merged.merge(snap);
+    }
+    let front_snap = &scraped
+        .iter()
+        .find(|(label, _)| label == "front")
+        .expect("front snapshot present")
+        .1;
+    let mut rtt = HistogramSnapshot::default();
+    for (name, h) in &front_snap.hists {
+        if name.starts_with("wire.rtt_ns.") {
+            rtt.merge(h);
+        }
+    }
     cluster.shutdown();
     WireSummary {
         shards,
@@ -480,14 +536,19 @@ fn measure_wire(tb: &Testbed, reqs: &[QueryRequest]) -> WireSummary {
         wave_rounds: c.wave_rounds,
         rounds: c.rounds,
         wall_us_per_query: wall.as_micros() as f64 / sample.len().max(1) as f64,
+        scraped_processes: scraped.len(),
+        frames_served: merged.counter("wire.frames_served"),
+        rtt: rtt.percentiles(),
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one section per JSON block, called once
 fn write_summary(
     points: &[ThroughputPoint],
     cold: &BatchAccounting,
     warm: &BatchAccounting,
     shards: &[ShardPoint],
+    latency: &[(&'static str, Percentiles)],
     stream: &StreamSummary,
     retention: &RetentionSummary,
     wire: &WireSummary,
@@ -548,7 +609,7 @@ fn write_summary(
         retention.steady_state_resident,
     );
     let wire_json = format!(
-        "  \"wireplane\": {{\n    \"shard_servers\": {},\n    \"queries\": {},\n    \"rpc_frames\": {},\n    \"wave_rpc_frames\": {},\n    \"wave_round_trips\": {},\n    \"round_trips\": {},\n    \"wire_wall_us_per_query\": {:.1}\n  }}",
+        "  \"wireplane\": {{\n    \"shard_servers\": {},\n    \"queries\": {},\n    \"rpc_frames\": {},\n    \"wave_rpc_frames\": {},\n    \"wave_round_trips\": {},\n    \"round_trips\": {},\n    \"wire_wall_us_per_query\": {:.1},\n    \"scraped_processes\": {},\n    \"frames_served\": {},\n    \"rtt_ns\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}\n  }}",
         wire.shards,
         wire.queries,
         wire.rpcs,
@@ -556,15 +617,36 @@ fn write_summary(
         wire.wave_rounds,
         wire.rounds,
         wire.wall_us_per_query,
+        wire.scraped_processes,
+        wire.frames_served,
+        wire.rtt.count,
+        wire.rtt.p50,
+        wire.rtt.p95,
+        wire.rtt.p99,
+        wire.rtt.max,
+    );
+    let latency_rows: Vec<String> = latency
+        .iter()
+        .map(|(class, p)| {
+            format!(
+                "    \"{class}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                p.count, p.p50, p.p95, p.p99, p.max
+            )
+        })
+        .collect();
+    let latency_json = format!(
+        "  \"query_latency\": {{\n{}\n  }}",
+        latency_rows.join(",\n")
     );
     let json = format!(
-        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{},\n{},\n{}\n}}\n",
         cold.cache_hit_rate,
         cold.modelled_speedup,
         warm.cache_hit_rate,
         warm.modelled_speedup,
         rows.join(",\n"),
         shard_rows.join(",\n"),
+        latency_json,
         stream_json,
         retention_json,
         wire_json
@@ -574,7 +656,9 @@ fn write_summary(
         env!("CARGO_MANIFEST_DIR"),
         "/../../target/queryplane_ops.json"
     );
-    match std::fs::write(path, &json) {
+    // Atomic (temp + rename): a killed bench run never leaves a torn
+    // trajectory file for the next comparison to trip over.
+    match obsplane::write_atomic(path, json.as_bytes()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
@@ -636,6 +720,19 @@ fn bench_queryplane(c: &mut Criterion) {
     );
 
     let shard_points = measure_shards(&tb, &reqs);
+    let latency = measure_latency(&tb, &reqs);
+    // The storm issues these three classes; their latency histograms
+    // must have real samples with live percentiles.
+    for class in ["top_k", "load_imbalance", "silent_drop"] {
+        let (_, p) = latency
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("class present");
+        assert!(
+            p.count > 0 && p.p50 > 0 && p.p99 > 0 && p.max > 0,
+            "per-class latency histogram for {class} is empty or zeroed: {p:?}"
+        );
+    }
     let stream = measure_stream();
     let retention = measure_retention();
     let wire = measure_wire(&tb, &reqs);
@@ -644,6 +741,7 @@ fn bench_queryplane(c: &mut Criterion) {
         &cold,
         &warm,
         &shard_points,
+        &latency,
         &stream,
         &retention,
         &wire,

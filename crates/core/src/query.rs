@@ -166,6 +166,37 @@ pub enum QueryRequest {
     },
 }
 
+/// The stable query-class names, in [`QueryRequest::class_index`] order.
+/// Metric names (`queryplane.exec_ns.<class>`), span labels and the
+/// bench JSON's per-class percentile section all key off these.
+pub const QUERY_CLASS_NAMES: [&str; 6] = [
+    "contention",
+    "red_lights",
+    "cascade",
+    "load_imbalance",
+    "top_k",
+    "silent_drop",
+];
+
+impl QueryRequest {
+    /// This request's position in [`QUERY_CLASS_NAMES`].
+    pub fn class_index(&self) -> usize {
+        match self {
+            QueryRequest::Contention { .. } => 0,
+            QueryRequest::RedLights { .. } => 1,
+            QueryRequest::Cascade { .. } => 2,
+            QueryRequest::LoadImbalance { .. } => 3,
+            QueryRequest::TopK { .. } => 4,
+            QueryRequest::SilentDrop { .. } => 5,
+        }
+    }
+
+    /// The stable class name observability keys off (one per variant).
+    pub fn class_name(&self) -> &'static str {
+        QUERY_CLASS_NAMES[self.class_index()]
+    }
+}
+
 /// The matching result for each [`QueryRequest`] variant.
 #[derive(Debug, Clone)]
 pub enum QueryResponse {
@@ -178,6 +209,24 @@ pub enum QueryResponse {
 }
 
 impl QueryResponse {
+    /// This response's position in [`QUERY_CLASS_NAMES`] (matches the
+    /// originating request's [`QueryRequest::class_index`]).
+    pub fn class_index(&self) -> usize {
+        match self {
+            QueryResponse::Contention(_) => 0,
+            QueryResponse::RedLights(_) => 1,
+            QueryResponse::Cascade(_) => 2,
+            QueryResponse::LoadImbalance(_) => 3,
+            QueryResponse::TopK(_) => 4,
+            QueryResponse::SilentDrop(_) => 5,
+        }
+    }
+
+    /// The stable class name observability keys off.
+    pub fn class_name(&self) -> &'static str {
+        QUERY_CLASS_NAMES[self.class_index()]
+    }
+
     /// The modelled end-to-end latency of this query when executed alone
     /// (no batching, no pointer cache) — the sequential baseline.
     pub fn sequential_latency(&self) -> SimTime {

@@ -30,11 +30,11 @@
 //! Sharding never changes a verdict; it changes who decodes what, which
 //! the fan-out counters record and the cost model prices.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mphf::{stable_shard, Mphf, ShardedMphf};
 use netsim::packet::{FlowId, NodeId};
+use obsplane::Counter;
 use telemetry::EpochRange;
 
 use crate::analyzer::Analyzer;
@@ -283,15 +283,17 @@ impl ShardFanout {
 
 /// A [`StateView`] router over any underlying view: pointer sets are
 /// decoded per owning shard and reassembled deterministically; host reads
-/// route to the owning shard. Counters use atomics so the router stays
-/// `Sync` over `Sync` views (the query plane's worker pool relies on it).
+/// route to the owning shard. Counters are [`obsplane::Counter`]s so the
+/// router stays `Sync` over `Sync` views (the query plane's worker pool
+/// relies on it); [`ShardedView::fanout`] assembles the [`ShardFanout`]
+/// thin view from them on demand.
 pub struct ShardedView<'a, V: StateView> {
     inner: &'a V,
     dir: &'a ShardedDirectory,
-    decode_bits: Vec<AtomicU64>,
-    host_reads: Vec<AtomicU64>,
-    merges: AtomicU64,
-    merged_bits: AtomicU64,
+    decode_bits: Vec<Counter>,
+    host_reads: Vec<Counter>,
+    merges: Counter,
+    merged_bits: Counter,
 }
 
 impl<'a, V: StateView> ShardedView<'a, V> {
@@ -300,33 +302,25 @@ impl<'a, V: StateView> ShardedView<'a, V> {
         ShardedView {
             inner,
             dir,
-            decode_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            host_reads: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            merges: AtomicU64::new(0),
-            merged_bits: AtomicU64::new(0),
+            decode_bits: (0..n).map(|_| Counter::new()).collect(),
+            host_reads: (0..n).map(|_| Counter::new()).collect(),
+            merges: Counter::new(),
+            merged_bits: Counter::new(),
         }
     }
 
     /// Snapshot of the fan-out counters.
     pub fn fanout(&self) -> ShardFanout {
         ShardFanout {
-            decode_bits: self
-                .decode_bits
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            host_reads: self
-                .host_reads
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            merges: self.merges.load(Ordering::Relaxed),
-            merged_bits: self.merged_bits.load(Ordering::Relaxed),
+            decode_bits: self.decode_bits.iter().map(|a| a.get()).collect(),
+            host_reads: self.host_reads.iter().map(|a| a.get()).collect(),
+            merges: self.merges.get(),
+            merged_bits: self.merged_bits.get(),
         }
     }
 
     fn note_host_read(&self, host: NodeId) {
-        self.host_reads[self.dir.owner_of(host)].fetch_add(1, Ordering::Relaxed);
+        self.host_reads[self.dir.owner_of(host)].inc();
     }
 }
 
@@ -334,7 +328,7 @@ impl<V: StateView> StateView for ShardedView<'_, V> {
     fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
         let full = self.inner.pointer_union(switch, range)?;
         if self.dir.n_shards() == 1 {
-            self.decode_bits[0].fetch_add(full.count() as u64, Ordering::Relaxed);
+            self.decode_bits[0].add(full.count() as u64);
             return Some(full);
         }
         // Fan the decode out: every shard takes the slice of `full` under
@@ -350,12 +344,12 @@ impl<V: StateView> StateView for ShardedView<'_, V> {
         for shard in self.dir.shards() {
             let ones = shard.count_owned(&full) as u64;
             if ones > 0 {
-                self.decode_bits[shard.id()].fetch_add(ones, Ordering::Relaxed);
+                self.decode_bits[shard.id()].add(ones);
                 total += ones;
             }
         }
-        self.merges.fetch_add(1, Ordering::Relaxed);
-        self.merged_bits.fetch_add(total, Ordering::Relaxed);
+        self.merges.inc();
+        self.merged_bits.add(total);
         debug_assert_eq!(
             total,
             full.count() as u64,
@@ -372,7 +366,7 @@ impl<V: StateView> StateView for ShardedView<'_, V> {
     ) -> Option<Option<bool>> {
         // The shard owning the probed address's slot answers the probe.
         if let Some(s) = self.dir.owner_of_addr(addr) {
-            self.decode_bits[s].fetch_add(1, Ordering::Relaxed);
+            self.decode_bits[s].inc();
         }
         self.inner.pointer_contains_exact(switch, addr, epoch)
     }
@@ -557,14 +551,14 @@ pub struct BackendRouter<'a, B: ShardBackend> {
     backends: &'a [B],
     dir: &'a ShardedDirectory,
     coalesce: bool,
-    decode_bits: Vec<AtomicU64>,
-    host_reads: Vec<AtomicU64>,
-    merges: AtomicU64,
-    merged_bits: AtomicU64,
-    rpcs: AtomicU64,
-    wave_rpcs: AtomicU64,
-    wave_rounds: AtomicU64,
-    rounds: AtomicU64,
+    decode_bits: Vec<Counter>,
+    host_reads: Vec<Counter>,
+    merges: Counter,
+    merged_bits: Counter,
+    rpcs: Counter,
+    wave_rpcs: Counter,
+    wave_rounds: Counter,
+    rounds: Counter,
 }
 
 impl<'a, B: ShardBackend> BackendRouter<'a, B> {
@@ -583,14 +577,14 @@ impl<'a, B: ShardBackend> BackendRouter<'a, B> {
             backends,
             dir,
             coalesce: true,
-            decode_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            host_reads: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            merges: AtomicU64::new(0),
-            merged_bits: AtomicU64::new(0),
-            rpcs: AtomicU64::new(0),
-            wave_rpcs: AtomicU64::new(0),
-            wave_rounds: AtomicU64::new(0),
-            rounds: AtomicU64::new(0),
+            decode_bits: (0..n).map(|_| Counter::new()).collect(),
+            host_reads: (0..n).map(|_| Counter::new()).collect(),
+            merges: Counter::new(),
+            merged_bits: Counter::new(),
+            rpcs: Counter::new(),
+            wave_rpcs: Counter::new(),
+            wave_rounds: Counter::new(),
+            rounds: Counter::new(),
         }
     }
 
@@ -606,23 +600,15 @@ impl<'a, B: ShardBackend> BackendRouter<'a, B> {
     pub fn counters(&self) -> RouterCounters {
         RouterCounters {
             fanout: ShardFanout {
-                decode_bits: self
-                    .decode_bits
-                    .iter()
-                    .map(|a| a.load(Ordering::Relaxed))
-                    .collect(),
-                host_reads: self
-                    .host_reads
-                    .iter()
-                    .map(|a| a.load(Ordering::Relaxed))
-                    .collect(),
-                merges: self.merges.load(Ordering::Relaxed),
-                merged_bits: self.merged_bits.load(Ordering::Relaxed),
+                decode_bits: self.decode_bits.iter().map(|a| a.get()).collect(),
+                host_reads: self.host_reads.iter().map(|a| a.get()).collect(),
+                merges: self.merges.get(),
+                merged_bits: self.merged_bits.get(),
             },
-            rpcs: self.rpcs.load(Ordering::Relaxed),
-            wave_rpcs: self.wave_rpcs.load(Ordering::Relaxed),
-            wave_rounds: self.wave_rounds.load(Ordering::Relaxed),
-            rounds: self.rounds.load(Ordering::Relaxed),
+            rpcs: self.rpcs.get(),
+            wave_rpcs: self.wave_rpcs.get(),
+            wave_rounds: self.wave_rounds.get(),
+            rounds: self.rounds.get(),
         }
     }
 
@@ -631,9 +617,9 @@ impl<'a, B: ShardBackend> BackendRouter<'a, B> {
     }
 
     fn note_point_read(&self, shard: usize) {
-        self.host_reads[shard].fetch_add(1, Ordering::Relaxed);
-        self.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.host_reads[shard].inc();
+        self.rpcs.inc();
+        self.rounds.inc();
     }
 
     /// Routes one wave: groups `hosts` by owning shard (input order kept
@@ -649,8 +635,8 @@ impl<'a, B: ShardBackend> BackendRouter<'a, B> {
         if hosts.is_empty() {
             return Vec::new();
         }
-        self.rounds.fetch_add(1, Ordering::Relaxed);
-        self.wave_rounds.fetch_add(1, Ordering::Relaxed);
+        self.rounds.inc();
+        self.wave_rounds.inc();
         let mut by_shard: Vec<(Vec<usize>, Vec<NodeId>)> =
             vec![(Vec::new(), Vec::new()); self.backends.len()];
         for (i, &h) in hosts.iter().enumerate() {
@@ -663,10 +649,10 @@ impl<'a, B: ShardBackend> BackendRouter<'a, B> {
             if shard_hosts.is_empty() {
                 continue;
             }
-            self.host_reads[s].fetch_add(shard_hosts.len() as u64, Ordering::Relaxed);
+            self.host_reads[s].add(shard_hosts.len() as u64);
             if self.coalesce {
-                self.rpcs.fetch_add(1, Ordering::Relaxed);
-                self.wave_rpcs.fetch_add(1, Ordering::Relaxed);
+                self.rpcs.inc();
+                self.wave_rpcs.inc();
                 let replies = call(&self.backends[s], &shard_hosts);
                 debug_assert_eq!(replies.len(), shard_hosts.len());
                 for (i, reply) in idxs.into_iter().zip(replies) {
@@ -674,8 +660,8 @@ impl<'a, B: ShardBackend> BackendRouter<'a, B> {
                 }
             } else {
                 for (i, h) in idxs.into_iter().zip(shard_hosts) {
-                    self.rpcs.fetch_add(1, Ordering::Relaxed);
-                    self.wave_rpcs.fetch_add(1, Ordering::Relaxed);
+                    self.rpcs.inc();
+                    self.wave_rpcs.inc();
                     let mut replies = call(&self.backends[s], std::slice::from_ref(&h));
                     out[i] = replies.pop();
                 }
@@ -693,17 +679,17 @@ impl<B: ShardBackend> StateView for BackendRouter<'_, B> {
         // partition tests). Counted as one round: a deployment issues
         // the slice requests concurrently (here they are pipelined
         // sequentially — see `RouterCounters::wave_rounds`).
-        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.rounds.inc();
         let mut acc: Option<BitSet> = None;
         let mut total = 0u64;
         for b in self.backends {
-            self.rpcs.fetch_add(1, Ordering::Relaxed);
+            self.rpcs.inc();
             let Some(slice) = b.union_slice(switch, range) else {
                 continue;
             };
             let ones = slice.count() as u64;
             if ones > 0 {
-                self.decode_bits[b.shard_id()].fetch_add(ones, Ordering::Relaxed);
+                self.decode_bits[b.shard_id()].add(ones);
                 total += ones;
             }
             match &mut acc {
@@ -712,8 +698,8 @@ impl<B: ShardBackend> StateView for BackendRouter<'_, B> {
             }
         }
         if self.backends.len() > 1 && acc.is_some() {
-            self.merges.fetch_add(1, Ordering::Relaxed);
-            self.merged_bits.fetch_add(total, Ordering::Relaxed);
+            self.merges.inc();
+            self.merged_bits.add(total);
         }
         acc
     }
@@ -728,9 +714,9 @@ impl<B: ShardBackend> StateView for BackendRouter<'_, B> {
         // outside the directory fall to shard 0 (any shard can answer —
         // the probe reads pointer state, not host stores).
         let s = self.dir.owner_of_addr(addr).unwrap_or(0);
-        self.decode_bits[s].fetch_add(1, Ordering::Relaxed);
-        self.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.decode_bits[s].inc();
+        self.rpcs.inc();
+        self.rounds.inc();
         self.backends[s].probe_exact(switch, addr, epoch)
     }
 

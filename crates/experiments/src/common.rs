@@ -4,8 +4,6 @@
 //! paper reports") and can additionally emit machine-readable JSON with
 //! `--json <path>` so EXPERIMENTS.md stays regenerable.
 
-use std::io::Write;
-
 /// A named series of (x, y) points — one plotted line of a figure.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Series {
@@ -100,9 +98,9 @@ impl FigureData {
     }
 }
 
-/// Writes figures to a JSON file.
+/// Writes figures to a JSON file — atomically (temp file + rename), so a
+/// crashed or concurrent run never leaves a half-written artifact.
 pub fn write_json(figs: &[FigureData], path: &str) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
     let json = serde_json::to_string_pretty(figs).expect("serialize figures");
-    f.write_all(json.as_bytes())
+    obsplane::write_atomic(path, json.as_bytes())
 }

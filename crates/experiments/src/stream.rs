@@ -128,7 +128,7 @@ pub fn stream() -> Vec<FigureData> {
     }
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
 
-    let stats = *sp.stats();
+    let stats = sp.stats();
     let transitions = sp
         .incidents()
         .iter()

@@ -1,0 +1,54 @@
+//! Atomic artifact export.
+//!
+//! Bench and experiment JSONs are *trajectories* — downstream tooling
+//! diffs them across runs — so an interrupted writer must never leave
+//! a truncated file behind. [`write_atomic`] stages the bytes in a
+//! sibling temp file and renames it into place; on POSIX the rename is
+//! atomic, so readers observe either the old artifact or the complete
+//! new one, never a prefix.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: stage to `<path>.tmp` in the
+/// same directory (so the rename cannot cross filesystems), flush, then
+/// rename over the destination.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no stray staging file on failure.
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join("obsplane_export_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":2}");
+        // No staging residue.
+        assert!(!dir.join("artifact.json.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

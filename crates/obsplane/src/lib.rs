@@ -1,0 +1,39 @@
+//! # obsplane — the observability plane
+//!
+//! One std-only metrics layer shared by every plane in the workspace,
+//! replacing the ad-hoc counter structs (`ShardFanout`,
+//! `RouterCounters`, `QueryPlaneStats`, `StreamStats`) that each crate
+//! grew independently. Three primitives:
+//!
+//! * **[`Counter`] / [`Gauge`]** — relaxed atomics behind `Arc`
+//!   handles; the planes resolve handles once at construction and bump
+//!   them lock-free on the hot path. The legacy stats structs survive
+//!   as *thin views* assembled from these on demand.
+//! * **[`Histogram`]** — HDR-style log-bucketed latency histograms
+//!   (`grid_bits` sub-bucket precision, relative quantile error
+//!   ≤ `2^-grid_bits`) with mergeable [`HistogramSnapshot`]s and
+//!   p50/p95/p99/max extraction. Query execution, window close,
+//!   delta apply, incident lag and wire encode/decode/RTT all record
+//!   here.
+//! * **[`Tracer`]** — a bounded ring of completed spans keyed by
+//!   (query class, epoch, shard) for postmortem "what ran lately".
+//!
+//! A [`MetricsRegistry`] binds names to metrics and snapshots the lot
+//! into a [`RegistrySnapshot`] — the mergeable, wire-encodable unit
+//! `wireplane` ships in `Frame::StatsScrapeRep` so
+//! `WireClient::scrape_stats()` can pull a live cluster's histograms.
+//! [`export::write_atomic`] rounds the crate out: temp-file + rename
+//! writes for bench/experiment JSON artifacts.
+//!
+//! See `DESIGN.md` §14 for the bucketing scheme, span model and scrape
+//! frame layout.
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use export::write_atomic;
+pub use hist::{Histogram, HistogramSnapshot, Percentiles, DEFAULT_GRID_BITS};
+pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use trace::{SpanEvent, SpanGuard, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -1,0 +1,161 @@
+//! A lightweight span/event tracer keyed by (query class, epoch, shard).
+//!
+//! Spans are cheap enough to leave on: starting one snapshots a
+//! monotonic clock, and dropping the guard appends a fixed-size
+//! [`SpanEvent`] to a bounded ring (oldest evicted first, with an
+//! eviction counter so loss is visible). The ring is for *postmortem
+//! inspection* — "what were the last N queries and how long did each
+//! take, on which shard, against which epoch horizon" — while the
+//! aggregate distributions live in the registry's histograms.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity (events retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// One completed span: a (class, epoch, shard)-keyed duration, with
+/// its start offset from the tracer's origin for ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static label, e.g. a query class name.
+    pub class: &'static str,
+    /// Epoch the work was keyed to (a snapshot horizon, window id, …).
+    pub epoch: u64,
+    /// Shard the work ran against (or `u32::MAX` for unsharded work).
+    pub shard: u32,
+    /// Start time, nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A bounded, concurrent span recorder. Embedded in every
+/// [`MetricsRegistry`](crate::MetricsRegistry).
+#[derive(Debug)]
+pub struct Tracer {
+    origin: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts a span; the returned guard records on drop.
+    pub fn span(&self, class: &'static str, epoch: u64, shard: u32) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            class,
+            epoch,
+            shard,
+            started: Instant::now(),
+        }
+    }
+
+    /// Appends a completed event directly (what the guard does).
+    pub fn record(&self, class: &'static str, epoch: u64, shard: u32, started: Instant) {
+        let now = Instant::now();
+        let ev = SpanEvent {
+            class,
+            epoch,
+            shard,
+            start_ns: saturating_ns(started.duration_since(self.origin)),
+            dur_ns: saturating_ns(now.duration_since(started)),
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.ring.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// RAII guard: records the span into the tracer when dropped.
+#[must_use = "a span records when the guard drops"]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    class: &'static str,
+    epoch: u64,
+    shard: u32,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer
+            .record(self.class, self.epoch, self.shard, self.started);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("alpha", 1, 0);
+        }
+        {
+            let _b = t.span("beta", 2, 3);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].class, "alpha");
+        assert_eq!(evs[1].class, "beta");
+        assert_eq!(evs[1].epoch, 2);
+        assert_eq!(evs[1].shard, 3);
+        assert!(evs[0].start_ns <= evs[1].start_ns);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        let t = Tracer::with_capacity(2);
+        for i in 0..5 {
+            t.record("x", i, 0, Instant::now());
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].epoch, 3);
+        assert_eq!(evs[1].epoch, 4);
+        assert_eq!(t.dropped(), 3);
+    }
+}

@@ -84,8 +84,9 @@ use std::sync::Arc;
 use netsim::packet::NodeId;
 use netsim::routing::RouteTable;
 use netsim::time::SimTime;
+use obsplane::{Counter, MetricsRegistry};
 use switchpointer::cost::BatchedHostLoad;
-use switchpointer::query::{QueryRequest, QueryResponse, TraceDeps};
+use switchpointer::query::{QueryRequest, QueryResponse, TraceDeps, QUERY_CLASS_NAMES};
 use switchpointer::retention;
 use switchpointer::shard::{host_shard_of, ShardFanout, ShardedDirectory};
 use switchpointer::Analyzer;
@@ -227,7 +228,9 @@ pub struct QueryOutcome {
     pub deps: TraceDeps,
 }
 
-/// Cumulative service counters.
+/// Cumulative service counters — a *thin view* assembled on demand from
+/// the plane's [`MetricsRegistry`] counters (`queryplane.*`), kept as a
+/// plain struct so existing callers and tests read it unchanged.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryPlaneStats {
     pub queries: u64,
@@ -294,6 +297,68 @@ impl QueryPlaneStats {
     }
 }
 
+/// The plane's registry handles, resolved once at construction so the
+/// accounting pass bumps counters without any name lookups. The legacy
+/// [`QueryPlaneStats`] / [`ShardFanout`] accessors assemble their thin
+/// views from these.
+struct QpMetrics {
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    pointer_hits: Arc<Counter>,
+    pointer_misses: Arc<Counter>,
+    rounds_skipped: Arc<Counter>,
+    host_rpcs_issued: Arc<Counter>,
+    host_requests: Arc<Counter>,
+    cross_shard_merges: Arc<Counter>,
+    modelled_decode_total_ns: Arc<Counter>,
+    modelled_decode_unsharded_ns: Arc<Counter>,
+    sequential_total_ns: Arc<Counter>,
+    batched_total_ns: Arc<Counter>,
+    fanout_merges: Arc<Counter>,
+    fanout_merged_bits: Arc<Counter>,
+    /// Per directory shard.
+    fanout_decode_bits: Vec<Arc<Counter>>,
+    fanout_host_reads: Vec<Arc<Counter>>,
+    /// Per query class ([`QUERY_CLASS_NAMES`] order).
+    cache_hits_by_class: Vec<Arc<Counter>>,
+    cache_misses_by_class: Vec<Arc<Counter>>,
+}
+
+impl QpMetrics {
+    fn new(reg: &MetricsRegistry, dir_shards: usize) -> QpMetrics {
+        QpMetrics {
+            queries: reg.counter("queryplane.queries"),
+            batches: reg.counter("queryplane.batches"),
+            pointer_hits: reg.counter("queryplane.pointer_hits"),
+            pointer_misses: reg.counter("queryplane.pointer_misses"),
+            rounds_skipped: reg.counter("queryplane.rounds_skipped"),
+            host_rpcs_issued: reg.counter("queryplane.host_rpcs_issued"),
+            host_requests: reg.counter("queryplane.host_requests"),
+            cross_shard_merges: reg.counter("queryplane.cross_shard_merges"),
+            modelled_decode_total_ns: reg.counter("queryplane.modelled_decode_total_ns"),
+            modelled_decode_unsharded_ns: reg.counter("queryplane.modelled_decode_unsharded_ns"),
+            sequential_total_ns: reg.counter("queryplane.sequential_total_ns"),
+            batched_total_ns: reg.counter("queryplane.batched_total_ns"),
+            fanout_merges: reg.counter("queryplane.fanout.merges"),
+            fanout_merged_bits: reg.counter("queryplane.fanout.merged_bits"),
+            fanout_decode_bits: (0..dir_shards)
+                .map(|s| reg.counter(&format!("queryplane.fanout.decode_bits.shard{s}")))
+                .collect(),
+            fanout_host_reads: (0..dir_shards)
+                .map(|s| reg.counter(&format!("queryplane.fanout.host_reads.shard{s}")))
+                .collect(),
+            cache_hits_by_class: QUERY_CLASS_NAMES
+                .iter()
+                .map(|c| reg.counter(&format!("queryplane.cache_hits.{c}")))
+                .collect(),
+            cache_misses_by_class: QUERY_CLASS_NAMES
+                .iter()
+                .map(|c| reg.counter(&format!("queryplane.cache_misses.{c}")))
+                .collect(),
+        }
+    }
+}
+
 /// The concurrent query service front-end.
 pub struct QueryPlane {
     ctx: Arc<SharedCtx>,
@@ -301,10 +366,9 @@ pub struct QueryPlane {
     snapshot: Arc<Snapshot>,
     pool: WorkerPool,
     cache: PointerCache,
-    stats: QueryPlaneStats,
-    /// Cumulative per-shard fan-out (decode bits / host reads per
-    /// directory shard) across every executed query.
-    fanout: ShardFanout,
+    /// Registry-backed counters (service totals + cumulative per-shard
+    /// fan-out across every executed query).
+    m: QpMetrics,
 }
 
 impl QueryPlane {
@@ -333,25 +397,27 @@ impl QueryPlane {
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let dir_shards = cfg.directory_shards;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let m = QpMetrics::new(&metrics, dir_shards);
         Ok(QueryPlane {
-            ctx: Arc::new(SharedCtx {
-                topo: analyzer.topo().clone(),
-                routes: RouteTable::build(analyzer.topo()),
-                params: analyzer.params(),
-                directory: analyzer.directory().clone(),
-                dir: ShardedDirectory::new(
+            ctx: Arc::new(SharedCtx::new(
+                analyzer.topo().clone(),
+                RouteTable::build(analyzer.topo()),
+                analyzer.params(),
+                analyzer.directory().clone(),
+                ShardedDirectory::new(
                     analyzer.directory().mphf().clone(),
                     &analyzer.all_hosts(),
                     dir_shards,
                 ),
-                cost: *analyzer.cost(),
-            }),
+                *analyzer.cost(),
+                metrics,
+            )),
             cfg,
             snapshot: Arc::new(Snapshot::capture_with(analyzer, cfg.shards, dir_shards)),
             pool: WorkerPool::new(cfg.workers),
             cache: PointerCache::new(cfg.cache_capacity),
-            stats: QueryPlaneStats::default(),
-            fanout: ShardFanout::new(dir_shards),
+            m,
         })
     }
 
@@ -429,15 +495,43 @@ impl QueryPlane {
         self.cfg
     }
 
-    /// Cumulative counters since construction.
-    pub fn stats(&self) -> &QueryPlaneStats {
-        &self.stats
+    /// The plane's metric registry: every `queryplane.*` counter, the
+    /// per-class `queryplane.exec_ns.*` latency histograms the workers
+    /// record, and the span tracer. The stream plane shares this
+    /// registry; snapshots of it are what a wire scrape ships.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.ctx.metrics
+    }
+
+    /// Cumulative counters since construction (a thin view assembled
+    /// from the registry).
+    pub fn stats(&self) -> QueryPlaneStats {
+        QueryPlaneStats {
+            queries: self.m.queries.get(),
+            batches: self.m.batches.get(),
+            pointer_hits: self.m.pointer_hits.get(),
+            pointer_misses: self.m.pointer_misses.get(),
+            rounds_skipped: self.m.rounds_skipped.get(),
+            host_rpcs_issued: self.m.host_rpcs_issued.get(),
+            host_requests: self.m.host_requests.get(),
+            cross_shard_merges: self.m.cross_shard_merges.get(),
+            modelled_decode_total: SimTime(self.m.modelled_decode_total_ns.get()),
+            modelled_decode_unsharded: SimTime(self.m.modelled_decode_unsharded_ns.get()),
+            sequential_total: SimTime(self.m.sequential_total_ns.get()),
+            batched_total: SimTime(self.m.batched_total_ns.get()),
+        }
     }
 
     /// Cumulative per-shard fan-out: decode bits and host reads per
-    /// directory shard, plus the cross-shard merge volume.
-    pub fn fanout(&self) -> &ShardFanout {
-        &self.fanout
+    /// directory shard, plus the cross-shard merge volume (a thin view
+    /// assembled from the registry).
+    pub fn fanout(&self) -> ShardFanout {
+        ShardFanout {
+            decode_bits: self.m.fanout_decode_bits.iter().map(|c| c.get()).collect(),
+            host_reads: self.m.fanout_host_reads.iter().map(|c| c.get()).collect(),
+            merges: self.m.fanout_merges.get(),
+            merged_bits: self.m.fanout_merged_bits.get(),
+        }
     }
 
     /// Convenience: a single query (a batch of one).
@@ -478,7 +572,7 @@ impl QueryPlane {
     /// fan-out coalescing, and per-shard decode pricing over the batch's
     /// execution traces.
     fn account(&mut self, results: Vec<PoolResult>) -> Vec<QueryOutcome> {
-        self.stats.batches += 1;
+        self.m.batches.inc();
 
         /// Per-query accounting scratch.
         struct PerQuery {
@@ -495,15 +589,26 @@ impl QueryPlane {
         let mut per_query: Vec<PerQuery> = Vec::with_capacity(results.len());
         let mut batched_pointer_total = SimTime::ZERO;
 
-        for (_, trace, fanout) in &results {
+        for (resp, trace, fanout) in &results {
             // Per-shard decode pricing: shards decode their slices
             // concurrently (max term), the router pays the serial merge;
             // the counterfactual bills the same bits through one shard.
-            self.fanout.absorb(fanout);
-            self.stats.cross_shard_merges += fanout.merges;
-            self.stats.modelled_decode_total += fanout.modelled_decode(&self.ctx.cost);
+            for (s, &bits) in fanout.decode_bits.iter().enumerate() {
+                self.m.fanout_decode_bits[s].add(bits);
+            }
+            for (s, &reads) in fanout.host_reads.iter().enumerate() {
+                self.m.fanout_host_reads[s].add(reads);
+            }
+            self.m.fanout_merges.add(fanout.merges);
+            self.m.fanout_merged_bits.add(fanout.merged_bits);
+            self.m.cross_shard_merges.add(fanout.merges);
+            self.m
+                .modelled_decode_total_ns
+                .add(fanout.modelled_decode(&self.ctx.cost).as_ns());
             let total_bits: u64 = fanout.decode_bits.iter().sum();
-            self.stats.modelled_decode_unsharded += self.ctx.cost.sharded_decode(&[total_bits], 0);
+            self.m
+                .modelled_decode_unsharded_ns
+                .add(self.ctx.cost.sharded_decode(&[total_bits], 0).as_ns());
             // Pointer rounds against the LRU cache, in submission order.
             let mut hits = 0u32;
             let mut misses = 0u32;
@@ -522,7 +627,7 @@ impl QueryPlane {
                     batched_pointer += round.modelled;
                 } else {
                     batched_pointer += self.ctx.cost.pointer_cache_hit;
-                    self.stats.rounds_skipped += 1;
+                    self.m.rounds_skipped.inc();
                 }
             }
             batched_pointer_total += batched_pointer;
@@ -545,8 +650,12 @@ impl QueryPlane {
                 }
             }
 
-            self.stats.pointer_hits += hits as u64;
-            self.stats.pointer_misses += misses as u64;
+            self.m.pointer_hits.add(hits as u64);
+            self.m.pointer_misses.add(misses as u64);
+            // Per-class cache effectiveness (the response variant names
+            // the class).
+            self.m.cache_hits_by_class[resp.class_index()].add(hits as u64);
+            self.m.cache_misses_by_class[resp.class_index()].add(misses as u64);
             per_query.push(PerQuery {
                 sequential: trace.pointer_total() + sequential_waves,
                 batched_pointer,
@@ -560,10 +669,11 @@ impl QueryPlane {
         let loads: Vec<BatchedHostLoad> = per_host.values().copied().collect();
         let batched_wave_total = self.ctx.cost.batched_query_wave(&loads).total();
         let total_requests: u64 = per_query.iter().map(|q| q.requests).sum();
-        self.stats.host_rpcs_issued += loads.len() as u64;
-        self.stats.host_requests += total_requests;
-        self.stats.batched_total =
-            self.stats.batched_total + batched_pointer_total + batched_wave_total;
+        self.m.host_rpcs_issued.add(loads.len() as u64);
+        self.m.host_requests.add(total_requests);
+        self.m
+            .batched_total_ns
+            .add((batched_pointer_total + batched_wave_total).as_ns());
 
         results
             .into_iter()
@@ -580,8 +690,8 @@ impl QueryPlane {
                             / total_requests as u128) as u64,
                     )
                 };
-                self.stats.queries += 1;
-                self.stats.sequential_total += q.sequential;
+                self.m.queries.inc();
+                self.m.sequential_total_ns.add(q.sequential.as_ns());
                 QueryOutcome {
                     response,
                     cost: QueryCost {

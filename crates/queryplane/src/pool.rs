@@ -28,12 +28,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use netsim::routing::RouteTable;
 use netsim::topology::Topology;
+use obsplane::{Histogram, MetricsRegistry};
 use switchpointer::analyzer::HostDirectory;
 use switchpointer::cost::CostModel;
-use switchpointer::query::{ExecutionTrace, QueryCtx, QueryExecutor, QueryRequest, QueryResponse};
+use switchpointer::query::{
+    ExecutionTrace, QueryCtx, QueryExecutor, QueryRequest, QueryResponse, QUERY_CLASS_NAMES,
+};
 use switchpointer::shard::{ShardFanout, ShardedDirectory, ShardedView};
 use telemetry::EpochParams;
 
@@ -41,8 +45,10 @@ use crate::snapshot::Snapshot;
 
 /// The immutable deployment knowledge every executor needs besides the
 /// snapshot: topology, routes, epoch timing, the bit→host directory (flat
-/// and hash-partitioned) and the calibrated cost model. Shared across
-/// worker threads by `Arc`.
+/// and hash-partitioned) and the calibrated cost model — plus the plane's
+/// [`MetricsRegistry`], so workers record per-query-class execution
+/// latency and spans without extra plumbing. Shared across worker threads
+/// by `Arc`.
 pub struct SharedCtx {
     pub topo: Topology,
     pub routes: RouteTable,
@@ -50,9 +56,44 @@ pub struct SharedCtx {
     pub directory: HostDirectory,
     pub dir: ShardedDirectory,
     pub cost: CostModel,
+    /// The owning plane's metric registry (shared with the stream plane
+    /// and scrapeable over the wire).
+    pub metrics: Arc<MetricsRegistry>,
+    /// `queryplane.exec_ns.<class>` histograms pre-resolved per query
+    /// class (indexed by [`QueryRequest::class_index`]) so the worker hot
+    /// path records without a registry lookup.
+    pub exec_hists: Vec<Arc<Histogram>>,
 }
 
 impl SharedCtx {
+    /// Builds the shared context, resolving the per-class execution
+    /// histograms out of `metrics` once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        topo: Topology,
+        routes: RouteTable,
+        params: EpochParams,
+        directory: HostDirectory,
+        dir: ShardedDirectory,
+        cost: CostModel,
+        metrics: Arc<MetricsRegistry>,
+    ) -> SharedCtx {
+        let exec_hists = QUERY_CLASS_NAMES
+            .iter()
+            .map(|class| metrics.histogram(&format!("queryplane.exec_ns.{class}")))
+            .collect();
+        SharedCtx {
+            topo,
+            routes,
+            params,
+            directory,
+            dir,
+            cost,
+            metrics,
+            exec_hists,
+        }
+    }
+
     /// The borrow view executors take. Public because the wire front-end
     /// builds the same executor context over remote shard backends.
     pub fn query_ctx(&self) -> QueryCtx<'_> {
@@ -62,6 +103,20 @@ impl SharedCtx {
             params: self.params,
             directory: &self.directory,
             cost: &self.cost,
+        }
+    }
+
+    /// The epoch a request is keyed to for span tracing: the range's
+    /// upper epoch for range queries, the trigger window's epoch for
+    /// trigger-anchored diagnoses.
+    pub fn span_epoch(&self, req: &QueryRequest) -> u64 {
+        match *req {
+            QueryRequest::Contention { trigger_window, .. }
+            | QueryRequest::RedLights { trigger_window, .. }
+            | QueryRequest::Cascade { trigger_window, .. } => self.params.epoch_of(trigger_window),
+            QueryRequest::LoadImbalance { range, .. }
+            | QueryRequest::TopK { range, .. }
+            | QueryRequest::SilentDrop { range, .. } => range.hi,
         }
     }
 }
@@ -124,7 +179,21 @@ impl WorkerPool {
                                         // recorded per shard.
                                         let view = ShardedView::new(&*snapshot, &ctx.dir);
                                         let exec = QueryExecutor::new(ctx.query_ctx(), &view);
+                                        let started = Instant::now();
                                         let (resp, trace) = exec.execute_traced(&req);
+                                        // Real wall time of this executor
+                                        // run, recorded per query class —
+                                        // the p50/p95/p99 the bench JSON
+                                        // publishes — plus a span keyed
+                                        // (class, epoch, home shard).
+                                        ctx.exec_hists[req.class_index()]
+                                            .record_duration(started.elapsed());
+                                        ctx.metrics.tracer().record(
+                                            req.class_name(),
+                                            ctx.span_epoch(&req),
+                                            crate::home_shard(&req, ctx.dir.n_shards()) as u32,
+                                            started,
+                                        );
                                         let fanout = view.fanout();
                                         (idx, (resp, trace, fanout))
                                     })
@@ -297,18 +366,19 @@ mod tests {
         });
         tb.sim.run_until(SimTime::from_ms(5));
         let analyzer = tb.analyzer();
-        let ctx = Arc::new(SharedCtx {
-            topo: analyzer.topo().clone(),
-            routes: RouteTable::build(analyzer.topo()),
-            params: analyzer.params(),
-            directory: analyzer.directory().clone(),
-            dir: ShardedDirectory::new(
+        let ctx = Arc::new(SharedCtx::new(
+            analyzer.topo().clone(),
+            RouteTable::build(analyzer.topo()),
+            analyzer.params(),
+            analyzer.directory().clone(),
+            ShardedDirectory::new(
                 analyzer.directory().mphf().clone(),
                 &analyzer.all_hosts(),
                 2,
             ),
-            cost: *analyzer.cost(),
-        });
+            *analyzer.cost(),
+            Arc::new(MetricsRegistry::new()),
+        ));
         let snapshot = Arc::new(Snapshot::capture(&analyzer, 4));
         let s2 = tb.node("S2");
         let reqs: Vec<QueryRequest> = (0..10)

@@ -53,9 +53,12 @@
 //! `spexp stream`.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
 
 use netsim::packet::{FlowId, NodeId};
 use netsim::time::SimTime;
+use obsplane::{Counter, Histogram, MetricsRegistry};
 use queryplane::{home_shard, QueryOutcome, QueryPlane, QueryPlaneConfig, SnapshotDelta};
 use switchpointer::query::{QueryRequest, QueryResponse, StateView};
 use switchpointer::retention::{self, SweepReport};
@@ -232,7 +235,9 @@ impl Default for StreamConfig {
     }
 }
 
-/// Cumulative service counters.
+/// Cumulative service counters — a *thin view* assembled on demand from
+/// the shared [`MetricsRegistry`] (`streamplane.*` counters), kept as a
+/// plain struct so existing callers and tests read it unchanged.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamStats {
     /// Evaluation windows run.
@@ -346,6 +351,55 @@ pub struct WindowReport {
     pub one_shot: Vec<(TicketId, QueryOutcome)>,
 }
 
+/// The stream plane's registry handles, resolved once at construction
+/// (into the *query plane's* registry, so one scrape covers both).
+struct SpMetrics {
+    windows: Arc<Counter>,
+    evaluations: Arc<Counter>,
+    one_shots: Arc<Counter>,
+    result_hits: Arc<Counter>,
+    result_misses: Arc<Counter>,
+    invalidated: Arc<Counter>,
+    incidents: Arc<Counter>,
+    delta_copied: Arc<Counter>,
+    full_copied_equiv: Arc<Counter>,
+    modelled_saved_ns: Arc<Counter>,
+    sweeps: Arc<Counter>,
+    records_reclaimed: Arc<Counter>,
+    pointer_sets_retired: Arc<Counter>,
+    triggers_reclaimed: Arc<Counter>,
+    /// Real wall time of one whole `run_window` call.
+    window_close_ns: Arc<Histogram>,
+    /// Real wall time of the incremental snapshot refresh inside it.
+    delta_apply_ns: Arc<Histogram>,
+    /// Window-open → incident-append lag for each fired incident.
+    incident_fire_lag_ns: Arc<Histogram>,
+}
+
+impl SpMetrics {
+    fn new(reg: &MetricsRegistry) -> SpMetrics {
+        SpMetrics {
+            windows: reg.counter("streamplane.windows"),
+            evaluations: reg.counter("streamplane.evaluations"),
+            one_shots: reg.counter("streamplane.one_shots"),
+            result_hits: reg.counter("streamplane.result_hits"),
+            result_misses: reg.counter("streamplane.result_misses"),
+            invalidated: reg.counter("streamplane.invalidated"),
+            incidents: reg.counter("streamplane.incidents"),
+            delta_copied: reg.counter("streamplane.delta_copied"),
+            full_copied_equiv: reg.counter("streamplane.full_copied_equiv"),
+            modelled_saved_ns: reg.counter("streamplane.modelled_saved_ns"),
+            sweeps: reg.counter("streamplane.sweeps"),
+            records_reclaimed: reg.counter("streamplane.records_reclaimed"),
+            pointer_sets_retired: reg.counter("streamplane.pointer_sets_retired"),
+            triggers_reclaimed: reg.counter("streamplane.triggers_reclaimed"),
+            window_close_ns: reg.histogram("streamplane.window_close_ns"),
+            delta_apply_ns: reg.histogram("streamplane.delta_apply_ns"),
+            incident_fire_lag_ns: reg.histogram("streamplane.incident_fire_lag_ns"),
+        }
+    }
+}
+
 /// The continuous-monitoring front-end.
 pub struct StreamPlane {
     plane: QueryPlane,
@@ -357,7 +411,7 @@ pub struct StreamPlane {
     incidents: Vec<Incident>,
     last_fp: BTreeMap<SubscriptionId, u64>,
     window: u64,
-    stats: StreamStats,
+    m: SpMetrics,
 }
 
 /// Fingerprint of the pending (no verdict yet) state. Public (as with
@@ -443,8 +497,10 @@ impl StreamPlane {
         analyzer: &Analyzer,
         cfg: StreamConfig,
     ) -> Result<Self, queryplane::ConfigError> {
+        let plane = QueryPlane::try_from_analyzer(analyzer, cfg.plane)?;
+        let m = SpMetrics::new(plane.metrics());
         Ok(StreamPlane {
-            plane: QueryPlane::try_from_analyzer(analyzer, cfg.plane)?,
+            plane,
             subs: Vec::new(),
             next_sub: 0,
             next_ticket: 0,
@@ -456,7 +512,7 @@ impl StreamPlane {
             incidents: Vec::new(),
             last_fp: BTreeMap::new(),
             window: 0,
-            stats: StreamStats::default(),
+            m,
         })
     }
 
@@ -496,9 +552,10 @@ impl StreamPlane {
     /// are a pure function of the snapshot state — independent of worker
     /// count, admission batching and result-cache hits (property-tested).
     pub fn run_window(&mut self, analyzer: &Analyzer) -> WindowReport {
+        let opened = Instant::now();
         let window = self.window;
         self.window += 1;
-        self.stats.windows += 1;
+        self.m.windows.inc();
 
         // 0. Retention sweep (when a policy is configured): reclaim live
         // state no standing query can still reach — the pins computed from
@@ -510,10 +567,14 @@ impl StreamPlane {
             let live_horizon = retention::newest_epoch(analyzer);
             let pins = self.retention_pins_at(analyzer, live_horizon);
             let report = retention::sweep_at(analyzer, policy, n_dir, &pins, live_horizon);
-            self.stats.sweeps += 1;
-            self.stats.records_reclaimed += report.records_evicted as u64;
-            self.stats.pointer_sets_retired += report.archived_retired as u64;
-            self.stats.triggers_reclaimed += report.triggers_trimmed as u64;
+            self.m.sweeps.inc();
+            self.m.records_reclaimed.add(report.records_evicted as u64);
+            self.m
+                .pointer_sets_retired
+                .add(report.archived_retired as u64);
+            self.m
+                .triggers_reclaimed
+                .add(report.triggers_trimmed as u64);
             Some(report)
         } else {
             None
@@ -522,11 +583,19 @@ impl StreamPlane {
         // 1. Incremental refresh + eviction-aware precise invalidation:
         // dirty switches/hosts match per dependency set; eviction-forced
         // rescans additionally broadcast per owning directory shard.
+        let delta_started = Instant::now();
         let delta = self.plane.refresh_delta(analyzer);
+        self.m
+            .delta_apply_ns
+            .record_duration(delta_started.elapsed());
         let invalidated = self.results.invalidate_delta(&delta);
-        self.stats.invalidated += invalidated as u64;
-        self.stats.delta_copied += delta.cloned_records + delta.cloned_slots;
-        self.stats.full_copied_equiv += delta.full_records + delta.full_slots;
+        self.m.invalidated.add(invalidated as u64);
+        self.m
+            .delta_copied
+            .add(delta.cloned_records + delta.cloned_slots);
+        self.m
+            .full_copied_equiv
+            .add(delta.full_records + delta.full_slots);
         let horizon = delta.epoch_horizon;
 
         // 2. Resolve the admitted set: standing queries in registration
@@ -546,9 +615,9 @@ impl StreamPlane {
                 None => pending_subs.push(id),
             }
         }
-        self.stats.evaluations += self.subs.len() as u64;
+        self.m.evaluations.add(self.subs.len() as u64);
         let one_shots = std::mem::take(&mut self.pending);
-        self.stats.one_shots += one_shots.len() as u64;
+        self.m.one_shots.add(one_shots.len() as u64);
         for &(ticket, req) in &one_shots {
             admitted.push((Origin::Ticket(ticket), req));
         }
@@ -566,13 +635,13 @@ impl StreamPlane {
         for (origin, req) in admitted {
             match self.results.lookup(&req) {
                 Some(cached) => {
-                    self.stats.result_hits += 1;
-                    self.stats.modelled_saved += cached.cost.batched;
+                    self.m.result_hits.inc();
+                    self.m.modelled_saved_ns.add(cached.cost.batched.as_ns());
                     served_from_cache += 1;
                     evaluations.push((origin, req, Evaluation::Cached(cached)));
                 }
                 None => {
-                    self.stats.result_misses += 1;
+                    self.m.result_misses.inc();
                     let i = *miss_index.entry(req).or_insert_with(|| {
                         miss_reqs.push(req);
                         miss_slots.push(Vec::new());
@@ -667,8 +736,21 @@ impl StreamPlane {
             standing,
             one_shot: one_shot_out,
         };
-        self.stats.incidents += incidents.len() as u64;
+        self.m.incidents.add(incidents.len() as u64);
+        // Fire lag: how long after the window opened each incident was
+        // appended (they append together, so one observation per
+        // incident at the same lag — the distribution still shows how
+        // incident-bearing windows stretch).
+        let lag = opened.elapsed();
+        for _ in &incidents {
+            self.m.incident_fire_lag_ns.record_duration(lag);
+        }
         self.incidents.extend(incidents);
+        self.m.window_close_ns.record_duration(opened.elapsed());
+        self.plane
+            .metrics()
+            .tracer()
+            .record("window_close", horizon, u32::MAX, opened);
         report
     }
 
@@ -777,9 +859,32 @@ impl StreamPlane {
         &self.incidents
     }
 
-    /// Cumulative counters.
-    pub fn stats(&self) -> &StreamStats {
-        &self.stats
+    /// Cumulative counters (a thin view assembled from the shared
+    /// registry).
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            windows: self.m.windows.get(),
+            evaluations: self.m.evaluations.get(),
+            one_shots: self.m.one_shots.get(),
+            result_hits: self.m.result_hits.get(),
+            result_misses: self.m.result_misses.get(),
+            invalidated: self.m.invalidated.get(),
+            incidents: self.m.incidents.get(),
+            delta_copied: self.m.delta_copied.get(),
+            full_copied_equiv: self.m.full_copied_equiv.get(),
+            modelled_saved: SimTime(self.m.modelled_saved_ns.get()),
+            sweeps: self.m.sweeps.get(),
+            records_reclaimed: self.m.records_reclaimed.get(),
+            pointer_sets_retired: self.m.pointer_sets_retired.get(),
+            triggers_reclaimed: self.m.triggers_reclaimed.get(),
+        }
+    }
+
+    /// The metric registry shared with the inner query plane: all
+    /// `streamplane.*` window/delta/incident metrics land next to the
+    /// `queryplane.*` execution metrics, so one snapshot covers both.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.plane.metrics()
     }
 
     /// The inner query plane (its stats cover pool execution, pointer

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 
+use obsplane::RegistrySnapshot;
 use streamplane::{Incident, StandingQuery, SubscriptionId};
 use switchpointer::query::{QueryRequest, QueryResponse};
 use telemetry::frame::WireError;
@@ -100,6 +101,22 @@ impl WireClient {
             Frame::QueryRep(resp) => Ok(Some(resp)),
             other => Err(WireError::Remote(format!(
                 "expected a query reply, got frame {:#04x}",
+                other.tag()
+            ))),
+        })
+    }
+
+    /// Pulls the live cluster's labelled registry snapshots: `("front",
+    /// ..)` then one `("shard{i}", ..)` per shard, each exactly the
+    /// owning process's registry at scrape time (the scrape itself is
+    /// never recorded anywhere). Merge them with
+    /// [`RegistrySnapshot::merge`] for cluster-wide histograms.
+    pub fn scrape_stats(&mut self) -> Result<Vec<(String, RegistrySnapshot)>, WireError> {
+        self.send(&Frame::StatsScrapeReq)?;
+        self.await_reply(|f| match f {
+            Frame::StatsScrapeRep(v) => Ok(Some(v)),
+            other => Err(WireError::Remote(format!(
+                "expected a stats scrape reply, got frame {:#04x}",
                 other.tag()
             ))),
         })

@@ -33,8 +33,10 @@ use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use netsim::packet::{FlowId, NodeId};
+use obsplane::{Histogram, RegistrySnapshot};
 use queryplane::SharedCtx;
 use streamplane::{
     fingerprint, pending_fp, summarize, transition_kind, Incident, StandingQuery, SubscriptionId,
@@ -61,11 +63,25 @@ pub struct RemoteShard {
     max_frame: u32,
     rpcs: AtomicU64,
     reconnects: AtomicU64,
+    /// Per-exchange round-trip latency, when the dialer observes it
+    /// (`wire.rtt_ns.shard{N}` in the front-end's registry).
+    rtt_ns: Option<Arc<Histogram>>,
 }
 
 impl RemoteShard {
     /// Dials `addr` and verifies the greeting names shard `shard`.
     pub fn connect(shard: usize, addr: SocketAddr, max_frame: u32) -> Result<Self, WireError> {
+        Self::connect_observed(shard, addr, max_frame, None)
+    }
+
+    /// [`RemoteShard::connect`], recording each exchange's round trip
+    /// into `rtt_ns` when provided.
+    pub fn connect_observed(
+        shard: usize,
+        addr: SocketAddr,
+        max_frame: u32,
+        rtt_ns: Option<Arc<Histogram>>,
+    ) -> Result<Self, WireError> {
         let rs = RemoteShard {
             shard,
             addr,
@@ -73,6 +89,7 @@ impl RemoteShard {
             max_frame,
             rpcs: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            rtt_ns,
         };
         let stream = rs.dial()?;
         *rs.conn.lock().unwrap() = Some(stream);
@@ -101,6 +118,13 @@ impl RemoteShard {
     /// server keeps no per-connection state, so the retried request is
     /// idempotent by construction (all shard RPCs are reads).
     fn call(&self, req: &Frame) -> Result<Frame, WireError> {
+        self.call_inner(req, true)
+    }
+
+    /// [`RemoteShard::call`] without touching the RPC counter or RTT
+    /// histogram — the scrape path uses this so pulling metrics never
+    /// perturbs the metrics being pulled.
+    fn call_inner(&self, req: &Frame, observe: bool) -> Result<Frame, WireError> {
         let mut guard = self.conn.lock().unwrap();
         for attempt in 0..2 {
             if guard.is_none() {
@@ -120,6 +144,7 @@ impl RemoteShard {
                 }
             }
             let stream = guard.as_mut().expect("connection just ensured");
+            let started = Instant::now();
             let exchange = (|| -> Result<Frame, WireError> {
                 req.write(stream)?;
                 stream.flush()?;
@@ -128,7 +153,12 @@ impl RemoteShard {
             match exchange {
                 Ok(Frame::Error(e)) => return Err(e),
                 Ok(reply) => {
-                    self.rpcs.fetch_add(1, Ordering::Relaxed);
+                    if observe {
+                        self.rpcs.fetch_add(1, Ordering::Relaxed);
+                        if let Some(h) = &self.rtt_ns {
+                            h.record_duration(started.elapsed());
+                        }
+                    }
                     return Ok(reply);
                 }
                 Err(WireError::Io(_)) if attempt == 0 => {
@@ -175,6 +205,20 @@ impl RemoteShard {
             Frame::HorizonRep(h) => Some(h),
             _ => None,
         })
+    }
+
+    /// Pulls the shard server's labelled registry snapshot. The exchange
+    /// is unobserved on both ends (no RPC count, no RTT sample, nothing
+    /// recorded server-side), so the snapshot is exactly the server's
+    /// and repeated scrapes of a quiesced cluster are identical.
+    pub fn scrape(&self) -> Result<Vec<(String, RegistrySnapshot)>, WireError> {
+        match self.call_inner(&Frame::StatsScrapeReq, false)? {
+            Frame::StatsScrapeRep(v) => Ok(v),
+            other => Err(WireError::Remote(format!(
+                "expected StatsScrapeRep, got frame {:#04x}",
+                other.tag()
+            ))),
+        }
     }
 
     /// Wire RPCs issued over this connection so far.
@@ -391,11 +435,34 @@ impl FrontInner {
     fn execute(&self, req: &QueryRequest) -> (QueryResponse, ExecutionTrace, RouterCounters) {
         let router = self.router();
         let exec = QueryExecutor::new(self.ctx.query_ctx(), &router);
+        let started = Instant::now();
         let (resp, trace) = exec.execute_traced(req);
+        // Same per-class exec histograms + span stream the in-process
+        // worker pool feeds, so `spexp wire` latency distributions read
+        // off the identical metric names.
+        self.ctx.exec_hists[req.class_index()].record_duration(started.elapsed());
+        self.ctx.metrics.tracer().record(
+            req.class_name(),
+            self.ctx.span_epoch(req),
+            u32::MAX,
+            started,
+        );
         let counters = router.counters();
         self.absorb(&counters);
         self.queries.fetch_add(1, Ordering::Relaxed);
         (resp, trace, counters)
+    }
+
+    /// The whole deployment's labelled snapshots: the front-end's own
+    /// registry first, then every shard server's, in shard order. The
+    /// front snapshot is taken *before* the shard scrapes and the scrape
+    /// RPCs are unobserved, so scraping never shows up in the scrape.
+    fn scrape_all(&self) -> Result<Vec<(String, RegistrySnapshot)>, WireError> {
+        let mut out = vec![("front".to_string(), self.ctx.metrics.snapshot())];
+        for shard in &self.shards {
+            out.extend(shard.scrape()?);
+        }
+        Ok(out)
     }
 
     fn router(&self) -> BackendRouter<'_, RemoteShard> {
@@ -462,7 +529,10 @@ impl FrontEnd {
         let shards: Vec<RemoteShard> = addrs
             .iter()
             .enumerate()
-            .map(|(s, &a)| RemoteShard::connect(s, a, cfg.max_frame))
+            .map(|(s, &a)| {
+                let rtt = ctx.metrics.histogram(&format!("wire.rtt_ns.shard{s}"));
+                RemoteShard::connect_observed(s, a, cfg.max_frame, Some(rtt))
+            })
             .collect::<Result<_, _>>()?;
         let inner = Arc::new(FrontInner {
             ctx,
@@ -551,6 +621,15 @@ impl FrontEnd {
                             sent,
                         });
                     }
+                    Frame::StatsScrapeReq => {
+                        let reply = match serving.scrape_all() {
+                            Ok(v) => Frame::StatsScrapeRep(v),
+                            Err(e) => Frame::Error(e),
+                        };
+                        if !FrontInner::push(&writer, &reply) {
+                            break;
+                        }
+                    }
                     other => {
                         let e = WireError::Remote(format!(
                             "front-end cannot answer frame {:#04x}",
@@ -587,6 +666,13 @@ impl FrontEnd {
     /// across every query and window evaluation.
     pub fn counters(&self) -> RouterCounters {
         self.inner.counters.lock().unwrap().clone()
+    }
+
+    /// Labelled registry snapshots of the whole deployment (front-end
+    /// first, then each shard in order) — the harness-side twin of
+    /// [`crate::WireClient::scrape_stats`].
+    pub fn scrape(&self) -> Result<Vec<(String, RegistrySnapshot)>, WireError> {
+        self.inner.scrape_all()
     }
 
     /// Queries executed (client-submitted and harness-side).

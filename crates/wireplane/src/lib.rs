@@ -148,14 +148,17 @@ impl WireCluster {
             addrs.push(server.local_addr());
             servers.push(server);
         }
-        let ctx = Arc::new(SharedCtx {
-            topo: analyzer.topo().clone(),
-            routes: RouteTable::build(analyzer.topo()),
-            params: analyzer.params(),
-            directory: analyzer.directory().clone(),
+        // The front-end's own registry: per-class execution latency for
+        // queries it serves, RTT/encode/decode for the frames it moves.
+        let ctx = Arc::new(SharedCtx::new(
+            analyzer.topo().clone(),
+            RouteTable::build(analyzer.topo()),
+            analyzer.params(),
+            analyzer.directory().clone(),
             dir,
-            cost: *analyzer.cost(),
-        });
+            *analyzer.cost(),
+            Arc::new(obsplane::MetricsRegistry::new()),
+        ));
         let front = FrontEnd::connect_with(Arc::clone(&ctx), &addrs, cfg, coalesce)?;
         Ok(WireCluster {
             servers,
@@ -199,6 +202,17 @@ impl WireCluster {
     /// The front-end handle (counters, window closing, failure hooks).
     pub fn front(&self) -> &FrontEnd {
         &self.front
+    }
+
+    /// Shard server `i`'s obsplane registry — the server-side ground
+    /// truth a wire scrape of `"shard{i}"` must match exactly.
+    pub fn server_metrics(&self, i: usize) -> &Arc<obsplane::MetricsRegistry> {
+        self.servers[i].metrics()
+    }
+
+    /// The front-end's registry (per-class exec latency + per-shard RTT).
+    pub fn front_metrics(&self) -> &Arc<obsplane::MetricsRegistry> {
+        &self.ctx.metrics
     }
 
     /// Closes one evaluation window on the front-end (evaluate

@@ -24,6 +24,7 @@
 //! | `StoreLenReq/Rep`, `RecordReq/Rep`, `TriggerReq/Rep` | front → shard | host point reads |
 //! | `StoreLenWaveReq/Rep`, `FilterWaveReq/Rep`, `TopKWaveReq/Rep`, `SizesWaveReq/Rep` | front → shard | one coalesced wave per shard |
 //! | `HorizonReq/Rep` | front → shard | snapshot epoch horizon |
+//! | `StatsScrapeReq/Rep` | client → front → shard | labelled obsplane registry snapshots |
 //! | `Hello` | server → peer | greeting: role + shard id |
 //! | `QueryReq/Rep` | client → front | one-shot query / full response |
 //! | `SubscribeReq/Rep` | client → front | standing query + resume point |
@@ -35,6 +36,7 @@ use std::io::{Read, Write};
 
 use netsim::packet::{FlowId, NodeId, Priority, Protocol};
 use netsim::time::SimTime;
+use obsplane::{HistogramSnapshot, RegistrySnapshot};
 use streamplane::{Incident, IncidentKind, StandingQuery, SubscriptionId};
 use switchpointer::analyzer::{
     CascadeDiagnosis, CascadeStage, ContentionDiagnosis, Culprit, DropDiagnosis,
@@ -97,6 +99,17 @@ impl Wire for usize {
     }
     fn dec(d: &mut Dec) -> Result<Self, WireError> {
         d.get_usize()
+    }
+}
+
+// Gauges are signed; they travel as their two's-complement bit pattern
+// so the codec stays fixed-width like every other scalar.
+impl Wire for i64 {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u64(*self as u64);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(d.get_u64()? as i64)
     }
 }
 
@@ -872,6 +885,43 @@ impl Wire for WireError {
     }
 }
 
+// Obsplane snapshots cross the wire so `WireClient::scrape_stats` can
+// pull a live cluster's histograms. The codec lives here (not in
+// obsplane) to keep that crate dependency-free.
+impl Wire for HistogramSnapshot {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u32(self.grid_bits);
+        self.counts.enc(e);
+        e.put_u64(self.count);
+        e.put_u64(self.sum);
+        e.put_u64(self.max);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(HistogramSnapshot {
+            grid_bits: d.get_u32()?,
+            counts: Vec::dec(d)?,
+            count: d.get_u64()?,
+            sum: d.get_u64()?,
+            max: d.get_u64()?,
+        })
+    }
+}
+
+impl Wire for RegistrySnapshot {
+    fn enc(&self, e: &mut Enc) {
+        self.counters.enc(e);
+        self.gauges.enc(e);
+        self.hists.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(RegistrySnapshot {
+            counters: BTreeMap::dec(d)?,
+            gauges: BTreeMap::dec(d)?,
+            hists: BTreeMap::dec(d)?,
+        })
+    }
+}
+
 // ----------------------------------------------------------------------
 // Frames
 // ----------------------------------------------------------------------
@@ -944,6 +994,13 @@ pub enum Frame {
     SizesWaveRep(SizesWaveBody),
     HorizonReq,
     HorizonRep(u64),
+    /// Pull the peer's obsplane metrics. Sent by clients to the
+    /// front-end (which fans it out) or by the front-end to one shard.
+    StatsScrapeReq,
+    /// Labelled registry snapshots: `("front", ..)` then one
+    /// `("shard{i}", ..)` per shard when the front-end answers; a single
+    /// `("shard{i}", ..)` when a shard server answers directly.
+    StatsScrapeRep(Vec<(String, RegistrySnapshot)>),
 
     // Client plane (client ↔ front-end).
     QueryReq(QueryRequest),
@@ -989,6 +1046,7 @@ impl Frame {
             Frame::TopKWaveReq { .. } => 0x17,
             Frame::SizesWaveReq { .. } => 0x18,
             Frame::HorizonReq => 0x19,
+            Frame::StatsScrapeReq => 0x1A,
             Frame::UnionSliceRep(_) => 0x20,
             Frame::ProbeExactRep(_) => 0x21,
             Frame::StoreLenRep(_) => 0x22,
@@ -999,6 +1057,7 @@ impl Frame {
             Frame::TopKWaveRep(_) => 0x27,
             Frame::SizesWaveRep(_) => 0x28,
             Frame::HorizonRep(_) => 0x29,
+            Frame::StatsScrapeRep(_) => 0x2A,
             Frame::QueryReq(_) => 0x30,
             Frame::QueryRep(_) => 0x31,
             Frame::SubscribeReq { .. } => 0x32,
@@ -1068,6 +1127,8 @@ impl Frame {
             Frame::SizesWaveRep(v) => v.enc(&mut e),
             Frame::HorizonReq => {}
             Frame::HorizonRep(v) => e.put_u64(*v),
+            Frame::StatsScrapeReq => {}
+            Frame::StatsScrapeRep(v) => v.enc(&mut e),
             Frame::QueryReq(v) => v.enc(&mut e),
             Frame::QueryRep(v) => v.enc(&mut e),
             Frame::SubscribeReq {
@@ -1158,6 +1219,7 @@ impl Frame {
                 hosts: Vec::dec(&mut d)?,
             },
             0x19 => Frame::HorizonReq,
+            0x1A => Frame::StatsScrapeReq,
             0x20 => Frame::UnionSliceRep(Option::dec(&mut d)?),
             0x21 => Frame::ProbeExactRep(Option::dec(&mut d)?),
             0x22 => Frame::StoreLenRep(Option::dec(&mut d)?),
@@ -1168,6 +1230,7 @@ impl Frame {
             0x27 => Frame::TopKWaveRep(Vec::dec(&mut d)?),
             0x28 => Frame::SizesWaveRep(Vec::dec(&mut d)?),
             0x29 => Frame::HorizonRep(d.get_u64()?),
+            0x2A => Frame::StatsScrapeRep(Vec::dec(&mut d)?),
             0x30 => Frame::QueryReq(QueryRequest::dec(&mut d)?),
             0x31 => Frame::QueryRep(QueryResponse::dec(&mut d)?),
             0x32 => Frame::SubscribeReq {

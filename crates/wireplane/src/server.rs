@@ -26,16 +26,39 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use netsim::packet::NodeId;
+use obsplane::{Counter, Histogram, MetricsRegistry};
 use queryplane::Snapshot;
 use switchpointer::bitset::BitSet;
 use switchpointer::query::StateView;
 use switchpointer::shard::DirectoryShard;
-use telemetry::frame::{WireError, MAX_FRAME};
+use telemetry::frame::{read_frame, WireError, MAX_FRAME};
 use telemetry::EpochRange;
 
 use crate::proto::Frame;
+
+/// Per-frame wire metrics one serving loop records, resolved once at
+/// spawn so the hot path never touches the registry's lock.
+#[derive(Clone)]
+pub(crate) struct WireLoopMetrics {
+    pub(crate) frames_served: Arc<Counter>,
+    pub(crate) decode_ns: Arc<Histogram>,
+    pub(crate) serve_ns: Arc<Histogram>,
+    pub(crate) encode_ns: Arc<Histogram>,
+}
+
+impl WireLoopMetrics {
+    pub(crate) fn new(reg: &MetricsRegistry) -> Self {
+        WireLoopMetrics {
+            frames_served: reg.counter("wire.frames_served"),
+            decode_ns: reg.histogram("wire.decode_ns"),
+            serve_ns: reg.histogram("wire.serve_ns"),
+            encode_ns: reg.histogram("wire.encode_ns"),
+        }
+    }
+}
 
 /// Transport tuning shared by servers, the front-end and clients.
 #[derive(Debug, Clone, Copy)]
@@ -272,6 +295,7 @@ pub struct ShardServer {
     listener: Listener,
     state: Arc<RwLock<Arc<ShardState>>>,
     shard: usize,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ShardServer {
@@ -282,6 +306,10 @@ impl ShardServer {
         let state = Arc::new(RwLock::new(Arc::new(state)));
         let serving = Arc::clone(&state);
         let max_frame = cfg.max_frame;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let m = WireLoopMetrics::new(&metrics);
+        let scrape_label = format!("shard{shard}");
+        let scrape_reg = Arc::clone(&metrics);
         let listener = Listener::spawn(
             &format!("wireplane-shard{shard}"),
             cfg.max_conns,
@@ -298,8 +326,8 @@ impl ShardServer {
                     return;
                 }
                 loop {
-                    let req = match Frame::read(&mut stream, max_frame) {
-                        Ok(req) => req,
+                    let (tag, payload) = match read_frame(&mut stream, max_frame) {
+                        Ok(fr) => fr,
                         Err(WireError::Io(_)) => break, // peer gone
                         Err(e) => {
                             // Framing is lost: report the typed error and
@@ -308,11 +336,45 @@ impl ShardServer {
                             break;
                         }
                     };
+                    let decode_started = Instant::now();
+                    let req = match Frame::decode(tag, &payload) {
+                        Ok(req) => req,
+                        Err(e) => {
+                            let _ = Frame::Error(e).write(&mut stream);
+                            break;
+                        }
+                    };
+                    let decode_elapsed = decode_started.elapsed();
+                    // Scrapes are answered entirely side-effect-free —
+                    // not even their own decode/encode is recorded — so
+                    // the snapshot that crosses the wire is exactly the
+                    // server registry's, and repeated scrapes of a
+                    // quiesced server are identical.
+                    if matches!(req, Frame::StatsScrapeReq) {
+                        let reply = Frame::StatsScrapeRep(vec![(
+                            scrape_label.clone(),
+                            scrape_reg.snapshot(),
+                        )]);
+                        if reply.write(&mut stream).is_err() {
+                            break;
+                        }
+                        let _ = stream.flush();
+                        continue;
+                    }
+                    m.decode_ns.record_duration(decode_elapsed);
+                    let serve_started = Instant::now();
                     let reply = {
                         let state = serving.read().unwrap().clone();
                         state.serve(&req)
                     };
-                    if reply.write(&mut stream).is_err() {
+                    m.serve_ns.record_duration(serve_started.elapsed());
+                    let encode_started = Instant::now();
+                    let Ok(buf) = reply.to_frame_bytes() else {
+                        break;
+                    };
+                    m.encode_ns.record_duration(encode_started.elapsed());
+                    m.frames_served.inc();
+                    if stream.write_all(&buf).is_err() {
                         break;
                     }
                     let _ = stream.flush();
@@ -323,12 +385,19 @@ impl ShardServer {
             listener,
             state,
             shard,
+            metrics,
         })
     }
 
     /// The shard this server owns.
     pub fn shard(&self) -> usize {
         self.shard
+    }
+
+    /// This server's obsplane registry (`wire.*` frame metrics). The
+    /// scrape RPC serves snapshots of exactly this registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The bound loopback address (ephemeral port chosen by the kernel).

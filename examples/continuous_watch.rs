@@ -152,8 +152,8 @@ fn main() {
         assert!(report.standing.iter().any(|(id, _)| *id == watch));
     }
 
-    let stats = *sp.stats();
-    let plane = *sp.plane().stats();
+    let stats = sp.stats();
+    let plane = sp.plane().stats();
     println!("\n== stream accounting ==");
     println!("epoch ticks observed    : {}", epochs_seen.borrow());
     println!(

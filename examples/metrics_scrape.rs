@@ -1,0 +1,170 @@
+//! Metrics scrape: boot a loopback wire cluster, drive a query storm
+//! through a remote client, then pull the whole deployment's obsplane
+//! registries over the wire with [`WireClient::scrape_stats`] — the
+//! front-end's per-class execution-latency histograms and per-shard RTT,
+//! plus every shard server's frame-level decode/serve/encode costs —
+//! and print the percentile summary an operator's dashboard would plot.
+//!
+//! Run with: `cargo run --release --example metrics_scrape`
+
+use netsim::prelude::*;
+use obsplane::RegistrySnapshot;
+use switchpointer::query::{QueryRequest, QUERY_CLASS_NAMES};
+use switchpointer::testbed::{Testbed, TestbedConfig};
+use telemetry::EpochRange;
+use wireplane::{WireCluster, WireConfig};
+
+fn main() {
+    // A k=4 fat tree under cross-pod UDP background traffic.
+    let topo = Topology::fat_tree(4, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    for (s, d) in [
+        ("h1_0_0", "h3_1_1"),
+        ("h1_1_0", "h2_1_1"),
+        ("h3_0_0", "h0_1_0"),
+    ] {
+        let (s, d) = (tb.node(s), tb.node(d));
+        tb.sim.add_udp_flow(UdpFlowSpec {
+            src: s,
+            dst: d,
+            priority: Priority::LOW,
+            start: SimTime::ZERO,
+            duration: SimTime::from_ms(25),
+            rate_bps: 100_000_000,
+            payload_bytes: 1458,
+        });
+    }
+    tb.sim.run_until(SimTime::from_ms(30));
+    let analyzer = tb.analyzer();
+
+    // Two shard servers + front-end on ephemeral loopback ports, and a
+    // remote client driving a mixed storm through the front-end.
+    let n_shards = 2usize;
+    let cluster =
+        WireCluster::launch(&analyzer, n_shards, WireConfig::default()).expect("launch cluster");
+    let mut client = cluster.client().expect("connect client");
+    let window = EpochRange { lo: 5, hi: 20 };
+    let mut queries = 0u64;
+    for round in 0..8u64 {
+        for name in ["edge0_0", "agg0_0", "core0_0", "edge2_0"] {
+            client
+                .query(&QueryRequest::TopK {
+                    switch: tb.node(name),
+                    k: 10,
+                    range: window,
+                })
+                .expect("top-k over the wire");
+            queries += 1;
+            if round % 2 == 0 {
+                client
+                    .query(&QueryRequest::LoadImbalance {
+                        switch: tb.node(name),
+                        range: window,
+                    })
+                    .expect("load-imbalance over the wire");
+                queries += 1;
+            }
+        }
+        client
+            .query(&QueryRequest::SilentDrop {
+                flow: FlowId(9000 + round),
+                src: tb.node("h0_1_0"),
+                dst: tb.node("h2_1_0"),
+                range: EpochRange { lo: 0, hi: 999 },
+            })
+            .expect("silent-drop over the wire");
+        queries += 1;
+    }
+
+    // One scrape RPC returns the labelled registry of every process in
+    // the deployment: ("front", ..) then ("shard0", ..), ("shard1", ..).
+    let scraped = client.scrape_stats().expect("scrape stats");
+    assert_eq!(scraped.len(), n_shards + 1, "front + one per shard");
+
+    println!("=== wire-scraped obsplane registries ({queries} queries) ===\n");
+    let front = &scraped[0].1;
+    println!("front: per-class execution latency (ns)");
+    println!(
+        "  {:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "class", "count", "p50", "p95", "p99", "max"
+    );
+    let mut classes_seen = 0;
+    for class in QUERY_CLASS_NAMES {
+        let Some(h) = front.hist(&format!("queryplane.exec_ns.{class}")) else {
+            continue;
+        };
+        let p = h.percentiles();
+        println!(
+            "  {:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            class, p.count, p.p50, p.p95, p.p99, p.max
+        );
+        if p.count > 0 {
+            assert!(
+                p.p50 > 0 && p.p95 >= p.p50 && p.p99 >= p.p95 && p.max >= p.p99,
+                "degenerate percentiles for {class}: {p:?}"
+            );
+            classes_seen += 1;
+        }
+    }
+    assert!(
+        classes_seen >= 3,
+        "the storm issues top_k, load_imbalance and silent_drop; \
+         only {classes_seen} classes recorded latency"
+    );
+
+    println!("\nfront: shard RPC round trip (ns)");
+    for s in 0..n_shards {
+        let p = front
+            .hist(&format!("wire.rtt_ns.shard{s}"))
+            .expect("rtt histogram")
+            .percentiles();
+        println!(
+            "  shard{s}: count={} p50={} p99={} max={}",
+            p.count, p.p50, p.p99, p.max
+        );
+        assert!(p.count > 0, "shard{s} answered RPCs yet recorded no RTT");
+    }
+
+    println!("\nshard servers: frame decode / serve / encode (ns)");
+    let mut cluster_wide = RegistrySnapshot::default();
+    for (label, snap) in scraped.iter().skip(1) {
+        let served = snap.counter("wire.frames_served");
+        assert!(
+            served > 0,
+            "{label} served the storm yet counts zero frames"
+        );
+        let serve = snap
+            .hist("wire.serve_ns")
+            .expect("serve hist")
+            .percentiles();
+        println!(
+            "  {label}: frames={served} serve p50={} p99={} max={}",
+            serve.p50, serve.p99, serve.max
+        );
+        cluster_wide.merge(snap);
+    }
+    // Per-shard snapshots bucket-merge into cluster-wide distributions.
+    let merged = cluster_wide
+        .hist("wire.serve_ns")
+        .expect("merged serve hist");
+    assert_eq!(
+        merged.count,
+        cluster_wide.counter("wire.frames_served"),
+        "merged serve samples must equal total frames served"
+    );
+    println!(
+        "\ncluster-wide: frames={} serve p50={} p99={}",
+        cluster_wide.counter("wire.frames_served"),
+        merged.quantile(0.50),
+        merged.quantile(0.99),
+    );
+
+    // Scraping is side-effect-free: an idle cluster scrapes identically.
+    assert_eq!(
+        scraped,
+        client.scrape_stats().expect("second scrape"),
+        "scrape must not perturb the metrics it reads"
+    );
+    cluster.shutdown();
+    println!("\nOK: scraped {} registries over the wire", n_shards + 1);
+}

@@ -105,7 +105,7 @@ fn main() {
     assert_eq!(format!("{:?}", outcomes[0].response), check);
     println!("determinism spot-check: plane response == sequential analyzer response");
 
-    let stats = *plane.stats();
+    let stats = plane.stats();
     println!("\n== plane accounting ==");
     println!("queries executed        : {}", stats.queries);
     println!(

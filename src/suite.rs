@@ -4,6 +4,7 @@
 pub use baselines;
 pub use mphf;
 pub use netsim;
+pub use obsplane;
 pub use pathdump;
 pub use queryplane;
 pub use streamplane;

@@ -1,0 +1,157 @@
+//! Property tests of the obsplane histogram — the error and merge
+//! contracts every plane's latency numbers rest on:
+//!
+//! (a) **Bounded relative error.** For any sample set and quantile, the
+//!     histogram's estimate is ≥ the sorted-oracle value and overshoots
+//!     by at most a factor `2^-grid_bits` (values below `2^(grid_bits+1)`
+//!     are exact).
+//! (b) **Merge is lossless and order-free.** Merging per-shard snapshots
+//!     in any association or order equals the histogram that recorded
+//!     every sample itself — the property that makes cluster-wide
+//!     percentiles from per-shard scrapes meaningful.
+//! (c) **Concurrent snapshots never lose counts.** Snapshots taken while
+//!     writers are recording are internally consistent (total == sum of
+//!     buckets), never panic, and the final snapshot holds every record.
+
+use obsplane::{Histogram, DEFAULT_GRID_BITS};
+use proptest::prelude::*;
+
+/// The sorted-oracle quantile the histogram approximates: the value at
+/// rank `ceil(q·n)` (clamped to [1, n]), 1-indexed.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a) For every quantile, oracle ≤ estimate ≤ oracle·(1 + 2^-g).
+    #[test]
+    fn quantile_within_relative_error_of_sorted_oracle(
+        values in prop::collection::vec(any::<u64>(), 1..400)
+    ) {
+        let snap = record_all(&values).snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let truth = oracle(&sorted, q);
+            let est = snap.quantile(q);
+            prop_assert!(
+                est >= truth,
+                "q={q}: estimate {est} undershoots oracle {truth}"
+            );
+            prop_assert!(
+                est - truth <= truth >> DEFAULT_GRID_BITS,
+                "q={q}: estimate {est} exceeds oracle {truth} beyond the \
+                 2^-{DEFAULT_GRID_BITS} relative bound"
+            );
+        }
+        // The max is tracked exactly, not bucket-rounded.
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        prop_assert_eq!(snap.quantile(1.0), snap.max);
+    }
+
+    /// (a continued) Values in the exact region (< 2^(g+1)) round-trip
+    /// through the histogram with zero error at every quantile.
+    #[test]
+    fn small_values_are_exact(
+        values in prop::collection::vec(0u64..(1 << (DEFAULT_GRID_BITS + 1)), 1..300)
+    ) {
+        let snap = record_all(&values).snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(snap.quantile(q), oracle(&sorted, q));
+        }
+    }
+
+    /// (b) Any association/order of merges equals the single histogram
+    /// that saw every sample.
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        a in prop::collection::vec(any::<u64>(), 0..150),
+        b in prop::collection::vec(any::<u64>(), 0..150),
+        c in prop::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let (sa, sb, sc) = (
+            record_all(&a).snapshot(),
+            record_all(&b).snapshot(),
+            record_all(&c).snapshot(),
+        );
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let single = record_all(&all).snapshot();
+
+        // ((a ⊕ b) ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // (a ⊕ (b ⊕ c))
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        // (c ⊕ b ⊕ a) — commuted
+        let mut rev = sc.clone();
+        rev.merge(&sb);
+        rev.merge(&sa);
+
+        prop_assert_eq!(&left, &single, "left association diverged");
+        prop_assert_eq!(&right, &single, "right association diverged");
+        prop_assert_eq!(&rev, &single, "commuted merge diverged");
+        prop_assert_eq!(single.count, all.len() as u64);
+    }
+}
+
+/// (c) Snapshots raced against live writers are always internally
+/// consistent and the final one holds every recorded sample.
+#[test]
+fn concurrent_snapshots_never_lose_counts() {
+    use std::sync::Arc;
+
+    let h = Arc::new(Histogram::new());
+    let writers = 4usize;
+    let per_writer = 20_000u64;
+    let mut handles = Vec::new();
+    for w in 0..writers as u64 {
+        let h = Arc::clone(&h);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_writer {
+                // A spread that crosses the exact/log-bucket boundary.
+                h.record((w + 1) * i % (1 << 20));
+            }
+        }));
+    }
+    // Snapshot continuously while the writers run: every observation
+    // must be internally consistent (count == sum of bucket counts — the
+    // snapshot recomputes it from the buckets) and counts never move
+    // backwards across sequential observations of a grow-only histogram.
+    let mut last_count = 0u64;
+    while handles.iter().any(|jh| !jh.is_finished()) {
+        let snap = h.snapshot();
+        let bucket_total: u64 = snap.counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(snap.count, bucket_total, "snapshot tore mid-record");
+        assert!(snap.count >= last_count, "count moved backwards");
+        last_count = snap.count;
+    }
+    for jh in handles {
+        jh.join().unwrap();
+    }
+    let fin = h.snapshot();
+    assert_eq!(fin.count, writers as u64 * per_writer, "records were lost");
+    let bucket_total: u64 = fin.counts.iter().map(|&(_, c)| c).sum();
+    assert_eq!(fin.count, bucket_total);
+    // Quiesced: repeated snapshots are identical.
+    assert_eq!(fin, h.snapshot());
+}

@@ -304,7 +304,7 @@ fn batching_and_caching_beat_sequential_accounting() {
     }
     let mut plane = QueryPlane::from_analyzer(&analyzer, QueryPlaneConfig::default());
     let outcomes = plane.execute_batch(&reqs);
-    let stats = *plane.stats();
+    let stats = plane.stats();
     assert_eq!(stats.queries, reqs.len() as u64);
     assert!(
         stats.cache_hit_rate() > 0.5,

@@ -286,6 +286,32 @@ fn gen_bitset(rng: &mut TestRng) -> switchpointer::bitset::BitSet {
     bits
 }
 
+/// A randomized histogram snapshot, built through the real recording
+/// path so bucket indices are always internally consistent.
+fn gen_hist_snapshot(rng: &mut TestRng) -> obsplane::HistogramSnapshot {
+    let h = obsplane::Histogram::new();
+    for _ in 0..rng.below(50) {
+        h.record(rng.below(1 << 40));
+    }
+    h.snapshot()
+}
+
+fn gen_registry_snapshot(rng: &mut TestRng) -> obsplane::RegistrySnapshot {
+    let mut snap = obsplane::RegistrySnapshot::default();
+    for i in 0..rng.below(4) {
+        snap.counters.insert(format!("c{i}"), rng.next_u64());
+    }
+    for i in 0..rng.below(3) {
+        // Exercise negative gauges: i64 travels as its bit pattern.
+        snap.gauges
+            .insert(format!("g{i}"), rng.next_u64() as i64 >> 8);
+    }
+    for i in 0..rng.below(3) {
+        snap.hists.insert(format!("h{i}"), gen_hist_snapshot(rng));
+    }
+    snap
+}
+
 /// One sample of every frame type in the protocol, contents randomized.
 fn gen_frames(rng: &mut TestRng) -> Vec<Frame> {
     let hosts = |rng: &mut TestRng| -> Vec<NodeId> {
@@ -403,6 +429,12 @@ fn gen_frames(rng: &mut TestRng) -> Vec<Frame> {
         ),
         Frame::HorizonReq,
         Frame::HorizonRep(rng.below(10_000)),
+        Frame::StatsScrapeReq,
+        Frame::StatsScrapeRep(
+            (0..1 + rng.below(3))
+                .map(|i| (format!("shard{i}"), gen_registry_snapshot(rng)))
+                .collect(),
+        ),
         Frame::QueryReq(gen_request(rng)),
         Frame::QueryRep(gen_response(rng)),
         Frame::SubscribeReq {
@@ -942,5 +974,97 @@ fn window_digests_report_subscriptions_and_pending_counts() {
         }
         other => panic!("expected the baseline incident, got {other:?}"),
     }
+    cluster.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// (e) Stats scrape parity: wire-round-tripped registry snapshots ARE the
+// server-side registries
+// ----------------------------------------------------------------------
+
+#[test]
+fn scraped_stats_equal_server_registries_and_merge_to_totals() {
+    let (mut tb, victim, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    let n_shards = 4usize;
+    let cluster = WireCluster::launch(&analyzer, n_shards, WireConfig::default()).unwrap();
+    let mut client = cluster.client().unwrap();
+    for req in &reqs {
+        client.query(req).unwrap();
+    }
+
+    // Every query's reply arrived, so every shard finished recording its
+    // RPC metrics before we scrape; nothing else is driving the cluster.
+    let scraped = client.scrape_stats().unwrap();
+    assert_eq!(scraped.len(), n_shards + 1, "front + one entry per shard");
+    assert_eq!(scraped[0].0, "front");
+
+    // Per-shard parity: the snapshot that crossed the wire is *equal* to
+    // the server-side registry's, field for field — the scrape neither
+    // lossy-encodes nor perturbs what it measures.
+    for i in 0..n_shards {
+        let (label, snap) = &scraped[i + 1];
+        assert_eq!(label, &format!("shard{i}"));
+        let server_side = cluster.server_metrics(i).snapshot();
+        assert_eq!(
+            snap, &server_side,
+            "shard {i}: scraped snapshot diverged from the server registry"
+        );
+        assert!(
+            snap.counter("wire.frames_served") > 0,
+            "shard {i} served the storm yet scraped zero frames"
+        );
+    }
+    // The front records per-class exec latency under the same names the
+    // in-process plane uses, plus per-shard RTT.
+    let front = &scraped[0].1;
+    assert!(front.hist("queryplane.exec_ns.top_k").is_some());
+    for i in 0..n_shards {
+        assert!(front.hist(&format!("wire.rtt_ns.shard{i}")).is_some());
+    }
+
+    // Merged across shards, counters and histogram counts equal the sum
+    // of the per-shard server-side totals.
+    let mut merged = obsplane::RegistrySnapshot::default();
+    for (_, snap) in scraped.iter().skip(1) {
+        merged.merge(snap);
+    }
+    let served_sum: u64 = (0..n_shards)
+        .map(|i| {
+            cluster
+                .server_metrics(i)
+                .snapshot()
+                .counter("wire.frames_served")
+        })
+        .sum();
+    assert_eq!(merged.counter("wire.frames_served"), served_sum);
+    let serve_count_sum: u64 = (0..n_shards)
+        .map(|i| {
+            cluster
+                .server_metrics(i)
+                .snapshot()
+                .hist("wire.serve_ns")
+                .map(|h| h.count)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        merged
+            .hist("wire.serve_ns")
+            .expect("merged serve hist")
+            .count,
+        serve_count_sum
+    );
+    assert_eq!(merged.counter("wire.frames_served"), serve_count_sum);
+
+    // Scraping is side-effect-free end to end: a quiesced cluster scrapes
+    // identically any number of times, from any client.
+    let again = client.scrape_stats().unwrap();
+    assert_eq!(scraped, again, "scrape perturbed the metrics it pulled");
+    let mut other = cluster.client().unwrap();
+    let third = other.scrape_stats().unwrap();
+    assert_eq!(scraped, third, "scrape result depends on the connection");
     cluster.shutdown();
 }
