@@ -18,6 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use netsim::prelude::*;
 use obsplane::{HistogramSnapshot, Percentiles, RegistrySnapshot};
 use queryplane::{QueryPlane, QueryPlaneConfig, RetentionPolicy, Snapshot};
+use replicaplane::ReplicaCluster;
 use streamplane::{StandingQuery, StreamConfig, StreamPlane};
 use switchpointer::query::{QueryRequest, QUERY_CLASS_NAMES};
 use switchpointer::testbed::{churn_storm, Testbed, TestbedConfig};
@@ -542,6 +543,92 @@ fn measure_wire(tb: &Testbed, reqs: &[QueryRequest]) -> WireSummary {
     }
 }
 
+/// The replication trajectory: sequenced delta publication to a
+/// primary+standby deployment, then a full-primary kill drill — the
+/// numbers future PRs compare failover cost against.
+struct ReplicationSummary {
+    shards: usize,
+    replicas: usize,
+    publishes: u64,
+    appends: u64,
+    bootstraps: u64,
+    /// `repl.lag` after the last publish — zero when every live replica
+    /// acked the owner's head.
+    replay_lag: i64,
+    /// Sequenced appends acked per second of publish wall-clock.
+    applied_seqs_per_sec: f64,
+    publish_wall_us_mean: f64,
+    /// Wall-clock of the first query wave issued after every primary
+    /// died — dial + retry + rotation to the standby, end to end.
+    failover_wall_us: f64,
+    /// The front-end's `wire.failover_ns` histogram over the drill.
+    failover_ns: Percentiles,
+}
+
+fn measure_replication(reqs: &[QueryRequest]) -> ReplicationSummary {
+    let topo = Topology::fat_tree(4, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    let (a, da) = (tb.node("h0_0_0"), tb.node("h2_0_0"));
+    tb.sim.add_tcp_flow(TcpFlowSpec::running_until(
+        a,
+        da,
+        Priority::LOW,
+        SimTime::from_ms(60),
+    ));
+    tb.sim.run_until(SimTime::from_ms(10));
+    let analyzer = tb.analyzer();
+    let (shards, replicas) = (2usize, 2usize);
+    let cluster = ReplicaCluster::launch(&analyzer, shards, replicas, WireConfig::default())
+        .expect("launch replicated cluster");
+
+    // Publish a train of sequenced deltas to every replica.
+    let mut publish_wall = Duration::ZERO;
+    let windows = 8u64;
+    for w in 1..=windows {
+        tb.sim.run_until(SimTime::from_ms(10 + w * 5));
+        let t0 = Instant::now();
+        cluster.refresh(&analyzer);
+        publish_wall += t0.elapsed();
+    }
+
+    // The drill: every primary dies; the next wave rotates to standbys.
+    for s in 0..shards {
+        assert!(cluster.kill_primary(s));
+    }
+    let sample: Vec<&QueryRequest> = reqs.iter().take(8).collect();
+    let t0 = Instant::now();
+    for req in &sample {
+        let _ = cluster.front().execute(req);
+    }
+    let failover_wall = t0.elapsed();
+    assert!(
+        cluster.front().shard_failovers() >= shards as u64,
+        "every shard must rotate off its dead primary"
+    );
+
+    let owner = cluster.owner_metrics().snapshot();
+    let front = cluster.front_metrics().snapshot();
+    let appends = owner.counter("repl.appends");
+    let summary = ReplicationSummary {
+        shards,
+        replicas,
+        publishes: owner.counter("repl.published"),
+        appends,
+        bootstraps: owner.counter("repl.bootstraps"),
+        replay_lag: owner.gauges.get("repl.lag").copied().unwrap_or(i64::MAX),
+        applied_seqs_per_sec: appends as f64 / publish_wall.as_secs_f64().max(1e-9),
+        publish_wall_us_mean: publish_wall.as_micros() as f64 / windows as f64,
+        failover_wall_us: failover_wall.as_micros() as f64,
+        failover_ns: front
+            .hists
+            .get("wire.failover_ns")
+            .map(|h| h.percentiles())
+            .unwrap_or_default(),
+    };
+    cluster.shutdown();
+    summary
+}
+
 #[allow(clippy::too_many_arguments)] // one section per JSON block, called once
 fn write_summary(
     points: &[ThroughputPoint],
@@ -552,6 +639,7 @@ fn write_summary(
     stream: &StreamSummary,
     retention: &RetentionSummary,
     wire: &WireSummary,
+    repl: &ReplicationSummary,
 ) {
     let rows: Vec<String> = points
         .iter()
@@ -625,6 +713,23 @@ fn write_summary(
         wire.rtt.p99,
         wire.rtt.max,
     );
+    let repl_json = format!(
+        "  \"replication\": {{\n    \"shards\": {},\n    \"replicas_per_shard\": {},\n    \"publishes\": {},\n    \"sequenced_appends\": {},\n    \"bootstraps\": {},\n    \"replay_lag\": {},\n    \"applied_seqs_per_sec\": {:.0},\n    \"publish_wall_us_mean\": {:.1},\n    \"failover_wall_us\": {:.1},\n    \"failover_ns\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}\n  }}",
+        repl.shards,
+        repl.replicas,
+        repl.publishes,
+        repl.appends,
+        repl.bootstraps,
+        repl.replay_lag,
+        repl.applied_seqs_per_sec,
+        repl.publish_wall_us_mean,
+        repl.failover_wall_us,
+        repl.failover_ns.count,
+        repl.failover_ns.p50,
+        repl.failover_ns.p95,
+        repl.failover_ns.p99,
+        repl.failover_ns.max,
+    );
     let latency_rows: Vec<String> = latency
         .iter()
         .map(|(class, p)| {
@@ -639,7 +744,7 @@ fn write_summary(
         latency_rows.join(",\n")
     );
     let json = format!(
-        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{},\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"queryplane_ops\",\n  \"modelled\": {{\n    \"cold_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}},\n    \"warm_batch\": {{\"cache_hit_rate\": {:.4}, \"modelled_speedup\": {:.2}}}\n  }},\n  \"throughput\": [\n{}\n  ],\n  \"directory_shards\": [\n{}\n  ],\n{},\n{},\n{},\n{},\n{}\n}}\n",
         cold.cache_hit_rate,
         cold.modelled_speedup,
         warm.cache_hit_rate,
@@ -649,7 +754,8 @@ fn write_summary(
         latency_json,
         stream_json,
         retention_json,
-        wire_json
+        wire_json,
+        repl_json
     );
     // Benches run with the package dir as cwd; aim at the workspace target.
     let path = concat!(
@@ -736,6 +842,7 @@ fn bench_queryplane(c: &mut Criterion) {
     let stream = measure_stream();
     let retention = measure_retention();
     let wire = measure_wire(&tb, &reqs);
+    let repl = measure_replication(&reqs);
     write_summary(
         &points,
         &cold,
@@ -745,6 +852,7 @@ fn bench_queryplane(c: &mut Criterion) {
         &stream,
         &retention,
         &wire,
+        &repl,
     );
 
     let mut group = c.benchmark_group("queryplane_ops");

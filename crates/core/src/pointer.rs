@@ -24,6 +24,7 @@
 use std::sync::Arc;
 
 use mphf::Mphf;
+use telemetry::frame::{Dec, Enc, WireError};
 
 use crate::bitset::BitSet;
 
@@ -674,6 +675,336 @@ impl PartialEq for PointerHierarchy {
     }
 }
 
+// ---- wire codecs ---------------------------------------------------------
+//
+// Replication ships pointer patches and whole hierarchies between shard
+// replicas (the `replicaplane` crate). The codecs are inherent methods here
+// because `Slot` and the patch internals are private: nothing outside this
+// module may construct a patch, but any peer may decode one. Decoding never
+// panics — malformed input is a typed [`WireError`] — and the MPHF never
+// travels: a decoded hierarchy re-attaches the receiver's shared `Arc` so
+// identity-based equality keeps holding across the wire.
+
+fn enc_bits(e: &mut Enc, bits: &BitSet) {
+    e.put_usize(bits.capacity());
+    for w in bits.words() {
+        e.put_u64(*w);
+    }
+}
+
+fn dec_bits(d: &mut Dec) -> Result<BitSet, WireError> {
+    let nbits = d.get_usize()?;
+    let n_words = nbits.div_ceil(64);
+    // Bound the allocation by the bytes actually present: a corrupt
+    // capacity cannot OOM the decoder.
+    if n_words
+        .checked_mul(8)
+        .map(|need| need > d.remaining())
+        .unwrap_or(true)
+    {
+        return Err(WireError::Truncated {
+            needed: n_words.saturating_mul(8),
+            have: d.remaining(),
+        });
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(d.get_u64()?);
+    }
+    Ok(BitSet::from_words(nbits, &words))
+}
+
+fn enc_opt_u64(e: &mut Enc, v: Option<u64>) {
+    match v {
+        None => e.put_u8(0),
+        Some(x) => {
+            e.put_u8(1);
+            e.put_u64(x);
+        }
+    }
+}
+
+fn dec_opt_u64(d: &mut Dec) -> Result<Option<u64>, WireError> {
+    match d.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(d.get_u64()?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Slot indices travel as u64 with the `usize::MAX` "skip" sentinel mapped
+/// to `u64::MAX` so both ends agree regardless of platform width.
+fn enc_slot_index(e: &mut Enc, si: usize) {
+    e.put_u64(if si == usize::MAX {
+        u64::MAX
+    } else {
+        si as u64
+    });
+}
+
+fn dec_slot_index(d: &mut Dec) -> Result<usize, WireError> {
+    let v = d.get_u64()?;
+    Ok(if v == u64::MAX {
+        usize::MAX
+    } else {
+        v as usize
+    })
+}
+
+impl Slot {
+    fn wire_enc(&self, e: &mut Enc) {
+        enc_opt_u64(e, self.period);
+        enc_bits(e, &self.bits);
+        e.put_u64(self.touched);
+    }
+
+    fn wire_dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(Slot {
+            period: dec_opt_u64(d)?,
+            bits: dec_bits(d)?,
+            touched: d.get_u64()?,
+        })
+    }
+}
+
+impl ArchivedPointer {
+    /// Encodes one flushed top-level set.
+    pub fn wire_enc(&self, e: &mut Enc) {
+        e.put_u64(self.period);
+        enc_bits(e, &self.bits);
+    }
+
+    /// Decodes one flushed top-level set; never panics.
+    pub fn wire_dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(ArchivedPointer {
+            period: d.get_u64()?,
+            bits: dec_bits(d)?,
+        })
+    }
+}
+
+impl PointerPatch {
+    /// Encodes the patch for the replication log.
+    pub fn wire_enc(&self, e: &mut Enc) {
+        e.put_u64(self.version);
+        e.put_usize(self.slots.len());
+        for (li, si, slot) in &self.slots {
+            e.put_usize(*li);
+            enc_slot_index(e, *si);
+            slot.wire_enc(e);
+        }
+        e.put_usize(self.archive_tail.len());
+        for a in &self.archive_tail {
+            a.wire_enc(e);
+        }
+        e.put_usize(self.archive_retired);
+        e.put_u64(self.flushed_bits);
+        e.put_u64(self.updates);
+        e.put_u64(self.unknown_dsts);
+        enc_opt_u64(e, self.cached_epoch);
+        e.put_usize(self.cached_slots.len());
+        for &s in &self.cached_slots {
+            enc_slot_index(e, s);
+        }
+    }
+
+    /// Decodes a patch; never panics. Structural validity against a
+    /// particular hierarchy is checked at apply time by
+    /// [`PointerHierarchy::checked_apply_patch`].
+    pub fn wire_dec(d: &mut Dec) -> Result<Self, WireError> {
+        let version = d.get_u64()?;
+        let n_slots = d.get_len()?;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let li = d.get_usize()?;
+            let si = dec_slot_index(d)?;
+            slots.push((li, si, Slot::wire_dec(d)?));
+        }
+        let n_tail = d.get_len()?;
+        let mut archive_tail = Vec::with_capacity(n_tail);
+        for _ in 0..n_tail {
+            archive_tail.push(ArchivedPointer::wire_dec(d)?);
+        }
+        let archive_retired = d.get_usize()?;
+        let flushed_bits = d.get_u64()?;
+        let updates = d.get_u64()?;
+        let unknown_dsts = d.get_u64()?;
+        let cached_epoch = dec_opt_u64(d)?;
+        let n_cached = d.get_len()?;
+        let mut cached_slots = Vec::with_capacity(n_cached);
+        for _ in 0..n_cached {
+            cached_slots.push(dec_slot_index(d)?);
+        }
+        Ok(PointerPatch {
+            version,
+            slots,
+            archive_tail,
+            archive_retired,
+            flushed_bits,
+            updates,
+            unknown_dsts,
+            cached_epoch,
+            cached_slots,
+        })
+    }
+}
+
+impl PointerHierarchy {
+    /// Bounds-validated [`PointerHierarchy::apply_patch`] for patches that
+    /// crossed the wire: a corrupt or mismatched patch is a typed error
+    /// instead of an index panic, and the hierarchy is untouched on error.
+    pub fn checked_apply_patch(&mut self, patch: &PointerPatch) -> Result<(), WireError> {
+        for &(li, si, ref slot) in &patch.slots {
+            if si == usize::MAX {
+                continue;
+            }
+            let fits = self
+                .levels
+                .get(li)
+                .map(|level| si < level.len())
+                .unwrap_or(false);
+            if !fits {
+                return Err(WireError::Remote(format!(
+                    "pointer patch slot ({li},{si}) outside hierarchy shape"
+                )));
+            }
+            if slot.bits.capacity() != self.cfg.n_hosts {
+                return Err(WireError::Remote(format!(
+                    "pointer patch slot capacity {} != {}",
+                    slot.bits.capacity(),
+                    self.cfg.n_hosts
+                )));
+            }
+        }
+        if patch
+            .archive_tail
+            .iter()
+            .any(|a| a.bits.capacity() != self.cfg.n_hosts)
+        {
+            return Err(WireError::Remote(
+                "pointer patch archive capacity mismatch".into(),
+            ));
+        }
+        if patch.cached_slots.len() != self.cfg.k {
+            return Err(WireError::Remote(format!(
+                "pointer patch cached-slot count {} != k {}",
+                patch.cached_slots.len(),
+                self.cfg.k
+            )));
+        }
+        self.apply_patch(patch);
+        Ok(())
+    }
+
+    /// Encodes the full hierarchy state — everything except the MPHF,
+    /// which is deployment-shared and re-attached on decode.
+    pub fn wire_enc(&self, e: &mut Enc) {
+        e.put_usize(self.cfg.n_hosts);
+        e.put_u32(self.cfg.alpha);
+        e.put_usize(self.cfg.k);
+        for level in &self.levels {
+            e.put_usize(level.len());
+            for slot in level {
+                slot.wire_enc(e);
+            }
+        }
+        e.put_usize(self.archive.len());
+        for a in &self.archive {
+            a.wire_enc(e);
+        }
+        e.put_usize(self.archive_retired);
+        enc_opt_u64(e, self.cached_epoch);
+        e.put_usize(self.cached_slots.len());
+        for &s in &self.cached_slots {
+            enc_slot_index(e, s);
+        }
+        e.put_u64(self.version);
+        e.put_u64(self.flushed_bits);
+        e.put_u64(self.updates);
+        e.put_u64(self.unknown_dsts);
+    }
+
+    /// Decodes a hierarchy, re-attaching the receiver's shared MPHF.
+    /// Shape and config are fully validated; malformed input is a typed
+    /// error, never a panic. Round-trips to `==` with the encoded source
+    /// when both sides hold the same MPHF `Arc`.
+    pub fn wire_dec(d: &mut Dec, mphf: &Arc<Mphf>) -> Result<Self, WireError> {
+        let cfg = PointerConfig {
+            n_hosts: d.get_usize()?,
+            alpha: d.get_u32()?,
+            k: d.get_usize()?,
+        };
+        cfg.validate()
+            .map_err(|e| WireError::Remote(format!("invalid pointer config on wire: {e}")))?;
+        if cfg.n_hosts != mphf.len() {
+            return Err(WireError::Remote(format!(
+                "pointer hierarchy sized for {} hosts, local MPHF covers {}",
+                cfg.n_hosts,
+                mphf.len()
+            )));
+        }
+        let mut levels = Vec::with_capacity(cfg.k);
+        for h in 1..=cfg.k {
+            let n = d.get_len()?;
+            if n != cfg.slots_at(h) {
+                return Err(WireError::Remote(format!(
+                    "level {h} carries {n} slots, config says {}",
+                    cfg.slots_at(h)
+                )));
+            }
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                let slot = Slot::wire_dec(d)?;
+                if slot.bits.capacity() != cfg.n_hosts {
+                    return Err(WireError::Remote(
+                        "slot capacity does not match config".into(),
+                    ));
+                }
+                slots.push(slot);
+            }
+            levels.push(slots);
+        }
+        let n_arch = d.get_len()?;
+        let mut archive = Vec::with_capacity(n_arch);
+        for _ in 0..n_arch {
+            let a = ArchivedPointer::wire_dec(d)?;
+            if a.bits.capacity() != cfg.n_hosts {
+                return Err(WireError::Remote(
+                    "archived set capacity does not match config".into(),
+                ));
+            }
+            archive.push(a);
+        }
+        let archive_retired = d.get_usize()?;
+        let cached_epoch = dec_opt_u64(d)?;
+        let n_cached = d.get_len()?;
+        if n_cached != cfg.k {
+            return Err(WireError::Remote(format!(
+                "cached-slot count {n_cached} != k {}",
+                cfg.k
+            )));
+        }
+        let mut cached_slots = Vec::with_capacity(n_cached);
+        for _ in 0..n_cached {
+            cached_slots.push(dec_slot_index(d)?);
+        }
+        Ok(PointerHierarchy {
+            spans: (1..=cfg.k).map(|h| cfg.span_epochs(h)).collect(),
+            cached_epoch,
+            cached_slots,
+            version: d.get_u64()?,
+            cfg,
+            mphf: mphf.clone(),
+            levels,
+            archive,
+            archive_retired,
+            flushed_bits: d.get_u64()?,
+            updates: d.get_u64()?,
+            unknown_dsts: d.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1072,6 +1403,63 @@ mod tests {
         let mut patched = clone_at_base;
         patched.apply_patch(&patch);
         assert!(patched == h, "deep sweep past the baseline must patch");
+    }
+
+    #[test]
+    fn patch_and_hierarchy_wire_roundtrip_to_equality() {
+        let (mut h, addrs) = hierarchy(32, 4, 3);
+        h.update(addrs[1], 0);
+        h.update(addrs[2], 1);
+        let clone_at_base = h.clone();
+        let base = (h.version(), h.archive_logical_len());
+        for e in 2..9u64 {
+            h.update(addrs[(e % 32) as usize], e);
+        }
+        h.retire_archive_before(2);
+        let patch = h.delta_since(base.0, base.1).expect("changes happened");
+
+        // Patch: encode → decode → checked apply == direct apply.
+        let mut e = Enc::new();
+        patch.wire_enc(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let decoded = PointerPatch::wire_dec(&mut d).unwrap();
+        d.finish().unwrap();
+        let mut patched = clone_at_base;
+        patched.checked_apply_patch(&decoded).unwrap();
+        assert!(patched == h, "wire-tripped patch must restore equality");
+
+        // Whole hierarchy: encode → decode with the shared MPHF == source.
+        let mut e = Enc::new();
+        h.wire_enc(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let over_wire = PointerHierarchy::wire_dec(&mut d, h.mphf()).unwrap();
+        d.finish().unwrap();
+        assert!(over_wire == h, "wire-tripped hierarchy must be ==");
+
+        // Truncation anywhere is a typed error, never a panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(PointerHierarchy::wire_dec(&mut d, h.mphf()).is_err());
+        }
+    }
+
+    #[test]
+    fn mismatched_wire_patch_is_rejected_without_half_applying() {
+        let (mut big, addrs) = hierarchy(64, 4, 3);
+        big.update(addrs[0], 0);
+        let base = (0, 0);
+        let patch = big.delta_since(base.0, base.1).unwrap();
+        let mut e = Enc::new();
+        patch.wire_enc(&mut e);
+        let bytes = e.into_bytes();
+        let decoded = PointerPatch::wire_dec(&mut Dec::new(&bytes)).unwrap();
+        // A hierarchy with a different slot capacity must refuse it.
+        let (mut small, _) = hierarchy(16, 4, 3);
+        let before = small.clone();
+        assert!(small.checked_apply_patch(&decoded).is_err());
+        assert!(small == before, "rejected patch must not perturb state");
     }
 
     #[test]

@@ -93,10 +93,12 @@ use switchpointer::Analyzer;
 
 mod cache;
 mod pool;
+mod repl;
 mod snapshot;
 
 pub use cache::{key_of, PointerCache, PointerKey};
 pub use pool::{PoolResult, SharedCtx, WorkerPool};
+pub use repl::{DeltaRecord, HostPatch, HostPatchKind, SwitchPatch};
 pub use snapshot::{ShardedHostStore, Snapshot, SnapshotDelta};
 pub use switchpointer::retention::{RetentionPolicy, SweepReport};
 

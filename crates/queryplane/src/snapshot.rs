@@ -27,8 +27,9 @@
 //! instant.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use mphf::Mphf;
 use netsim::packet::{FlowId, NodeId};
 use switchpointer::bitset::BitSet;
 use switchpointer::host::TriggerEvent;
@@ -37,15 +38,31 @@ use switchpointer::pointer::PointerHierarchy;
 use switchpointer::query::StateView;
 use switchpointer::shard::host_shard_of;
 use switchpointer::Analyzer;
+use telemetry::frame::{Dec, Enc, WireError};
 use telemetry::EpochRange;
 
+use crate::repl::{DeltaRecord, HostPatch, HostPatchKind, SwitchPatch};
+
 /// One shard of a host's frozen flow records.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 struct Shard {
     /// Records sorted by ascending flow id.
     records: Vec<FlowRecord>,
     /// Secondary index: switch -> indices into `records` (ascending).
     by_switch: HashMap<NodeId, Vec<usize>>,
+}
+
+/// Renders `by_switch` in sorted key order, so two `==` shards print
+/// identically — the wire tests' Debug-based bit-identity checks depend
+/// on deterministic rendering.
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let by_switch: std::collections::BTreeMap<_, _> = self.by_switch.iter().collect();
+        f.debug_struct("Shard")
+            .field("records", &self.records)
+            .field("by_switch", &by_switch)
+            .finish()
+    }
 }
 
 impl Shard {
@@ -84,13 +101,14 @@ impl ShardedHostStore {
 
     /// Rebuilds only the shards containing `dirty` flows from the live
     /// store (one scan, clones restricted to dirty shards). Returns the
-    /// number of records cloned.
+    /// number of records cloned and the rebuilt shard indices (sorted) —
+    /// what a replication journal ships.
     fn patch_shards(
         &mut self,
         store: &FlowStore,
         triggers: &[TriggerEvent],
         dirty: &[FlowId],
-    ) -> usize {
+    ) -> (usize, Vec<usize>) {
         let n_shards = self.shards.len();
         let dirty_shards: BTreeSet<usize> = dirty.iter().map(|&f| shard_of(f, n_shards)).collect();
         for &s in &dirty_shards {
@@ -106,7 +124,67 @@ impl ShardedHostStore {
         }
         self.triggers = triggers.to_vec();
         self.total = store.len();
-        cloned
+        (cloned, dirty_shards.into_iter().collect())
+    }
+
+    /// Rebuilds a store from a flat record list (any order) partitioned
+    /// `n_shards` ways — the decode-side inverse of freezing. Records are
+    /// sorted by flow id first, so the rebuilt store is `==` to one frozen
+    /// from a live [`FlowStore`] holding the same records.
+    pub fn from_records(
+        mut records: Vec<FlowRecord>,
+        triggers: Vec<TriggerEvent>,
+        n_shards: usize,
+    ) -> Self {
+        let n_shards = n_shards.max(1);
+        records.sort_by_key(|r| r.flow);
+        let total = records.len();
+        let mut shards = vec![Shard::default(); n_shards];
+        for rec in records {
+            let s = shard_of(rec.flow, n_shards);
+            shards[s].push(rec);
+        }
+        ShardedHostStore {
+            shards,
+            triggers,
+            total,
+        }
+    }
+
+    /// Encodes the full frozen store (bootstrap and `FullRescan` patches).
+    pub fn wire_enc(&self, e: &mut Enc) {
+        e.put_usize(self.shards.len());
+        for shard in &self.shards {
+            e.put_usize(shard.records.len());
+            for r in &shard.records {
+                crate::repl::enc_record(e, r);
+            }
+        }
+        crate::repl::enc_triggers(e, &self.triggers);
+        e.put_u64(self.total as u64);
+    }
+
+    /// Decodes a frozen store; never panics. The secondary index is
+    /// rebuilt by pushing each shard's records in their carried (sorted)
+    /// order, so the result is `==` to the encoded source.
+    pub fn wire_dec(d: &mut Dec) -> Result<Self, WireError> {
+        let n_shards = d.get_len()?.max(1);
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let n_recs = d.get_len()?;
+            let mut shard = Shard::default();
+            for _ in 0..n_recs {
+                shard.push(crate::repl::dec_record(d)?);
+            }
+            shards.push(shard);
+        }
+        let triggers = crate::repl::dec_triggers(d)?;
+        let total = d.get_u64()? as usize;
+        Ok(ShardedHostStore {
+            shards,
+            triggers,
+            total,
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -336,6 +414,27 @@ impl Snapshot {
     /// same instant (property-tested), at asymptotically less copy work
     /// when the advance was small.
     pub fn apply_delta(&mut self, analyzer: &Analyzer) -> SnapshotDelta {
+        self.apply_delta_inner(analyzer, None)
+    }
+
+    /// [`Snapshot::apply_delta`] that additionally journals every change
+    /// as a shippable [`DeltaRecord`]: the pointer patches applied, the
+    /// host shards rebuilt (with their records), and the new freeze
+    /// baselines. Applying the record to a snapshot at the same prior
+    /// baseline (via [`Snapshot::apply_record`]) reproduces this
+    /// snapshot's post-advance state bit-for-bit — the owner side of the
+    /// replication log.
+    pub fn apply_delta_journaled(&mut self, analyzer: &Analyzer) -> (SnapshotDelta, DeltaRecord) {
+        let mut record = DeltaRecord::default();
+        let delta = self.apply_delta_inner(analyzer, Some(&mut record));
+        (delta, record)
+    }
+
+    fn apply_delta_inner(
+        &mut self,
+        analyzer: &Analyzer,
+        mut journal: Option<&mut DeltaRecord>,
+    ) -> SnapshotDelta {
         let mut delta = SnapshotDelta::default();
         let mut horizon = 0u64;
 
@@ -357,6 +456,9 @@ impl Snapshot {
                 self.switch_base
                     .insert(sw, (live.version(), live.archive_logical_len()));
                 delta.dirty_switches.push(sw);
+                if let Some(j) = journal.as_deref_mut() {
+                    j.switches.push(SwitchPatch { switch: sw, patch });
+                }
             }
         }
 
@@ -374,16 +476,28 @@ impl Snapshot {
                 .get_mut(&h)
                 .expect("snapshot host set is fixed at capture");
             let n_shards = frozen.n_shards();
-            match store_delta {
+            let journaled_kind = match store_delta {
                 StoreDelta::Unchanged if !triggers_changed => continue,
                 StoreDelta::Unchanged => {
                     // Only the trigger log moved (a raise, a retention
                     // trim, or both): re-clone it in place.
                     frozen.triggers = comp.triggers().to_vec();
+                    journal.is_some().then(|| HostPatchKind::TriggersOnly {
+                        triggers: frozen.triggers.clone(),
+                    })
                 }
                 StoreDelta::Flows(dirty) => {
-                    delta.cloned_records +=
-                        frozen.patch_shards(&comp.store, comp.triggers(), &dirty) as u64;
+                    let (cloned, dirty_shards) =
+                        frozen.patch_shards(&comp.store, comp.triggers(), &dirty);
+                    delta.cloned_records += cloned as u64;
+                    journal.is_some().then(|| HostPatchKind::Shards {
+                        dirty: dirty_shards
+                            .iter()
+                            .map(|&s| (s as u64, frozen.shards[s].records.clone()))
+                            .collect(),
+                        triggers: frozen.triggers.clone(),
+                        total: frozen.total as u64,
+                    })
                 }
                 StoreDelta::FullRescan => {
                     delta.cloned_records += comp.store.len() as u64;
@@ -391,10 +505,20 @@ impl Snapshot {
                     // An eviction invalidated the per-flow journal: caches
                     // keyed on this store's contents must purge, not patch.
                     delta.rescanned_hosts.push(h);
+                    journal.is_some().then(|| HostPatchKind::Full {
+                        store: frozen.clone(),
+                    })
                 }
+            };
+            let new_base = (comp.store.version(), comp.trigger_version());
+            if let (Some(j), Some(kind)) = (journal.as_deref_mut(), journaled_kind) {
+                j.hosts.push(HostPatch {
+                    host: h,
+                    new_base,
+                    kind,
+                });
             }
-            self.host_base
-                .insert(h, (comp.store.version(), comp.trigger_version()));
+            self.host_base.insert(h, new_base);
             delta.dirty_hosts.push(h);
         }
 
@@ -411,6 +535,9 @@ impl Snapshot {
 
         self.epoch_horizon = horizon.max(self.epoch_horizon);
         delta.epoch_horizon = self.epoch_horizon;
+        if let Some(j) = journal {
+            j.epoch_horizon = self.epoch_horizon;
+        }
 
         // Memoized pointer unions for patched switches are stale.
         if !delta.dirty_switches.is_empty() {
@@ -421,6 +548,148 @@ impl Snapshot {
                 .retain(|&(sw, _, _), _| !dirty.contains(&sw));
         }
         delta
+    }
+
+    /// The replica side of the replication log: applies a journaled
+    /// [`DeltaRecord`] produced by the owner's
+    /// [`Snapshot::apply_delta_journaled`] (possibly sliced per shard via
+    /// [`DeltaRecord::slice_for`]). Applied in-sequence to a snapshot at
+    /// the owner's prior baseline, the result is `==` to the owner's
+    /// post-advance snapshot. A mismatched or corrupt record surfaces a
+    /// typed error — the replica then re-bootstraps — never a panic.
+    pub fn apply_record(&mut self, rec: &DeltaRecord) -> Result<(), WireError> {
+        for sp in &rec.switches {
+            let h = self.switches.get_mut(&sp.switch).ok_or_else(|| {
+                WireError::Remote(format!("delta names unknown switch {:?}", sp.switch))
+            })?;
+            h.checked_apply_patch(&sp.patch)?;
+            let base = (h.version(), h.archive_logical_len());
+            self.switch_base.insert(sp.switch, base);
+        }
+        for hp in &rec.hosts {
+            let frozen = self.hosts.get_mut(&hp.host).ok_or_else(|| {
+                WireError::Remote(format!("delta names unknown host {:?}", hp.host))
+            })?;
+            match &hp.kind {
+                HostPatchKind::TriggersOnly { triggers } => {
+                    frozen.triggers = triggers.clone();
+                }
+                HostPatchKind::Shards {
+                    dirty,
+                    triggers,
+                    total,
+                } => {
+                    for (s, recs) in dirty {
+                        let si = *s as usize;
+                        if si >= frozen.shards.len() {
+                            return Err(WireError::Remote(format!(
+                                "delta rebuilds shard {si} of a {}-way store",
+                                frozen.shards.len()
+                            )));
+                        }
+                        let mut shard = Shard::default();
+                        for r in recs {
+                            shard.push(r.clone());
+                        }
+                        frozen.shards[si] = shard;
+                    }
+                    frozen.triggers = triggers.clone();
+                    frozen.total = *total as usize;
+                }
+                HostPatchKind::Full { store } => {
+                    if store.n_shards() != frozen.n_shards() {
+                        return Err(WireError::Remote(format!(
+                            "delta store is {}-way, snapshot is {}-way",
+                            store.n_shards(),
+                            frozen.n_shards()
+                        )));
+                    }
+                    *frozen = store.clone();
+                }
+            }
+            self.host_base.insert(hp.host, hp.new_base);
+        }
+        self.epoch_horizon = self.epoch_horizon.max(rec.epoch_horizon);
+        if !rec.switches.is_empty() {
+            let dirty: BTreeSet<NodeId> = rec.switches.iter().map(|sp| sp.switch).collect();
+            self.union_memo
+                .lock()
+                .unwrap()
+                .retain(|&(sw, _, _), _| !dirty.contains(&sw));
+        }
+        Ok(())
+    }
+
+    /// The deployment-shared hash function, borrowed from any frozen
+    /// hierarchy — the decode context a [`Snapshot::wire_dec`] of a peer's
+    /// bytes needs. `None` only for a switchless deployment.
+    pub fn mphf(&self) -> Option<&Arc<Mphf>> {
+        self.switches.values().next().map(|p| p.mphf())
+    }
+
+    /// Encodes the whole snapshot (replica bootstrap). Components are
+    /// written in sorted node order, so the same state always yields the
+    /// same bytes.
+    pub fn wire_enc(&self, e: &mut Enc) {
+        e.put_usize(self.dir_shards);
+        e.put_u64(self.epoch_horizon);
+        let mut switches: Vec<NodeId> = self.switches.keys().copied().collect();
+        switches.sort();
+        e.put_usize(switches.len());
+        for sw in switches {
+            e.put_u32(sw.0);
+            self.switches[&sw].wire_enc(e);
+            let (v, a) = self.switch_base.get(&sw).copied().unwrap_or((0, 0));
+            e.put_u64(v);
+            e.put_usize(a);
+        }
+        let mut hosts: Vec<NodeId> = self.hosts.keys().copied().collect();
+        hosts.sort();
+        e.put_usize(hosts.len());
+        for h in hosts {
+            e.put_u32(h.0);
+            self.hosts[&h].wire_enc(e);
+            let (v, t) = self.host_base.get(&h).copied().unwrap_or((0, 0));
+            e.put_u64(v);
+            e.put_u64(t);
+        }
+    }
+
+    /// Decodes a snapshot, re-attaching the receiver's shared MPHF to
+    /// every hierarchy. Never panics; round-trips to `==` when both sides
+    /// hold the same MPHF `Arc`.
+    pub fn wire_dec(d: &mut Dec, mphf: &Arc<Mphf>) -> Result<Self, WireError> {
+        let dir_shards = d.get_usize()?.max(1);
+        let epoch_horizon = d.get_u64()?;
+        let n_sw = d.get_len()?;
+        let mut switches = HashMap::with_capacity(n_sw);
+        let mut switch_base = HashMap::with_capacity(n_sw);
+        for _ in 0..n_sw {
+            let sw = NodeId(d.get_u32()?);
+            let h = PointerHierarchy::wire_dec(d, mphf)?;
+            let base = (d.get_u64()?, d.get_usize()?);
+            switches.insert(sw, h);
+            switch_base.insert(sw, base);
+        }
+        let n_hosts = d.get_len()?;
+        let mut hosts = HashMap::with_capacity(n_hosts);
+        let mut host_base = HashMap::with_capacity(n_hosts);
+        for _ in 0..n_hosts {
+            let h = NodeId(d.get_u32()?);
+            let store = ShardedHostStore::wire_dec(d)?;
+            let base = (d.get_u64()?, d.get_u64()?);
+            hosts.insert(h, store);
+            host_base.insert(h, base);
+        }
+        Ok(Snapshot {
+            switches,
+            hosts,
+            dir_shards,
+            switch_base,
+            host_base,
+            epoch_horizon,
+            union_memo: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Total flow records frozen across all hosts.
@@ -478,6 +747,37 @@ impl Snapshot {
     /// Newest epoch any frozen pointer hierarchy has seen.
     pub fn epoch_horizon(&self) -> u64 {
         self.epoch_horizon
+    }
+}
+
+/// Debug renders the frozen data only (the union memo is a derived cache
+/// whose occupancy depends on query history, not state).
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("switches", &self.switches)
+            .field("hosts", &self.hosts)
+            .field("dir_shards", &self.dir_shards)
+            .field("switch_base", &self.switch_base)
+            .field("host_base", &self.host_base)
+            .field("epoch_horizon", &self.epoch_horizon)
+            .finish()
+    }
+}
+
+/// Clones the frozen data; the union memo is a derived cache and starts
+/// empty in the clone (it cannot affect results, only recomputation).
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        Snapshot {
+            switches: self.switches.clone(),
+            hosts: self.hosts.clone(),
+            dir_shards: self.dir_shards,
+            switch_base: self.switch_base.clone(),
+            host_base: self.host_base.clone(),
+            epoch_horizon: self.epoch_horizon,
+            union_memo: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -569,6 +869,84 @@ impl StateView for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::prelude::*;
+    use switchpointer::testbed::{Testbed, TestbedConfig};
+    use telemetry::frame::{Dec, Enc};
+
+    fn chain_testbed() -> Testbed {
+        let topo = Topology::chain(3, 2, GBPS);
+        let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+        let (a, b) = (tb.node("A"), tb.node("B"));
+        let (d, f) = (tb.node("D"), tb.node("F"));
+        tb.sim.add_udp_flow(UdpFlowSpec {
+            src: a,
+            dst: f,
+            priority: Priority::LOW,
+            start: SimTime::ZERO,
+            duration: SimTime::from_ms(30),
+            rate_bps: 80_000_000,
+            payload_bytes: 1458,
+        });
+        tb.sim.add_tcp_flow(TcpFlowSpec::transfer(
+            d,
+            b,
+            Priority::LOW,
+            SimTime::ZERO,
+            400_000,
+        ));
+        tb
+    }
+
+    /// The replication-log kernel: a journaled delta, shipped as bytes and
+    /// applied to a standby at the same baseline, reproduces the owner's
+    /// post-advance snapshot exactly — repeatedly, across several epochs.
+    #[test]
+    fn journaled_delta_replays_to_equality_over_the_wire() {
+        let mut tb = chain_testbed();
+        let analyzer = tb.analyzer();
+        tb.sim.run_until(SimTime::from_ms(2));
+        let mut owner = Snapshot::capture_with(&analyzer, 3, 2);
+        let mut standby = owner.clone();
+        assert_eq!(owner, standby);
+
+        for t_ms in [5u64, 9, 14, 22] {
+            tb.sim.run_until(SimTime::from_ms(t_ms));
+            let (_, record) = owner.apply_delta_journaled(&analyzer);
+            let mut e = Enc::new();
+            record.wire_enc(&mut e);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            let decoded = DeltaRecord::wire_dec(&mut d).expect("record decodes");
+            d.finish().expect("no trailing bytes");
+            standby.apply_record(&decoded).expect("record applies");
+            assert_eq!(owner, standby, "diverged after advance to {t_ms}ms");
+        }
+    }
+
+    /// Bootstrap path: a full snapshot round-trips through its wire form
+    /// to equality when the receiver re-attaches the same shared MPHF.
+    #[test]
+    fn snapshot_wire_roundtrip_bootstraps_to_equality() {
+        let mut tb = chain_testbed();
+        let analyzer = tb.analyzer();
+        tb.sim.run_until(SimTime::from_ms(8));
+        let snap = Snapshot::capture_with(&analyzer, 2, 2);
+        let mphf = snap.mphf().expect("chain has switches").clone();
+
+        let mut e = Enc::new();
+        snap.wire_enc(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let decoded = Snapshot::wire_dec(&mut d, &mphf).expect("snapshot decodes");
+        d.finish().expect("no trailing bytes");
+        assert_eq!(snap, decoded);
+
+        // Truncation never panics: every strict prefix is a typed error.
+        for cut in 0..bytes.len().min(64) {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(Snapshot::wire_dec(&mut d, &mphf).is_err() || d.finish().is_err());
+        }
+    }
 
     /// The satellite fix: an all-GC'd (empty) delta must report 0.0
     /// savings — finite and meaningful — never NaN from 0/0 and never a

@@ -1,0 +1,47 @@
+//! # replicaplane — sequenced delta replication and shard failover
+//!
+//! The wire deployment so far has exactly one server per directory
+//! shard, and its state advances *out of band* (the harness hands the
+//! server a new [`Snapshot`](queryplane::Snapshot) slice). This crate
+//! makes state movement a first-class, sequenced wire protocol and uses
+//! it to run **standby replicas**:
+//!
+//! * **[`ReplicationLog`]** — per shard, the owner's bounded journal of
+//!   [`DeltaRecord`](queryplane::DeltaRecord)s, one per refresh, seqs
+//!   contiguous from 1. Retention sweeps need no special casing: a sweep
+//!   mutates the live deployment and simply rides the next journaled
+//!   record.
+//! * **[`DeltaPublisher`]** — journals each refresh against the
+//!   authoritative owner snapshot, slices it per shard
+//!   ([`DeltaRecord::slice_for`](queryplane::DeltaRecord::slice_for)),
+//!   appends to the log, and feeds every replica as sequenced
+//!   [`Frame::DeltaAppend`](wireplane::Frame) records. A replica
+//!   answering [`WireError::SeqGap`](telemetry::frame::WireError)
+//!   replays the retained suffix; a truncated suffix (or a refused
+//!   replay) falls back to a full
+//!   [`Frame::SnapshotInstall`](wireplane::Frame) bootstrap.
+//! * **[`ReplicaCluster`]** — N shards × R replicas, each replica an
+//!   ordinary [`ShardServer`](wireplane::ShardServer) consuming the same
+//!   log, with the [`FrontEnd`](wireplane::FrontEnd) connected to the
+//!   full replica set. [`kill_primary`](ReplicaCluster::kill_primary) is
+//!   the drill: in-flight query waves rotate to the standby under the
+//!   retry budget, subscription cursors resume there, and the incident
+//!   stream stays bit-identical — replicas apply the same records in the
+//!   same order, so primary and standby are equal at every applied seq
+//!   (property-pinned in `tests/replicaplane_props.rs`).
+//!
+//! The invariant stack, bottom to top: deterministic state
+//! (`Shard::push` order), deterministic deltas (journaled records
+//! replayed with
+//! [`apply_record`](queryplane::Snapshot::apply_record) reproduce `==`
+//! state), sequenced delivery (gaps are typed errors, never silent
+//! skips), so replica divergence is structurally impossible rather than
+//! merely untested.
+
+pub mod cluster;
+pub mod log;
+pub mod publish;
+
+pub use cluster::{ReplicaCluster, DEFAULT_LOG_CAP};
+pub use log::ReplicationLog;
+pub use publish::DeltaPublisher;

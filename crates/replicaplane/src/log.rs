@@ -1,0 +1,112 @@
+//! The per-shard replication log: a bounded, sequenced record journal.
+//!
+//! Seqs start at 1 and never repeat or skip — `append` assigns the next
+//! one. The log keeps the newest `cap` records; a replica whose position
+//! fell behind the retained suffix cannot be replayed from the log and
+//! must be re-bootstrapped with a full snapshot install ([`since`]
+//! returning `None` is exactly that signal).
+//!
+//! [`since`]: ReplicationLog::since
+
+use std::collections::VecDeque;
+
+use queryplane::DeltaRecord;
+
+/// One shard's replication log. Owner-side only: replicas never see this
+/// type, just the [`Frame::DeltaAppend`](wireplane::Frame) records cut
+/// from it.
+#[derive(Debug)]
+pub struct ReplicationLog {
+    /// Retained suffix, oldest first; seqs are contiguous ending at
+    /// `head`.
+    entries: VecDeque<(u64, DeltaRecord)>,
+    /// Seq of the most recently appended record (0 = nothing yet).
+    head: u64,
+    cap: usize,
+}
+
+impl ReplicationLog {
+    /// An empty log retaining at most `cap` records (at least one).
+    pub fn new(cap: usize) -> Self {
+        ReplicationLog {
+            entries: VecDeque::new(),
+            head: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends `record` and returns its assigned seq (`head` afterwards).
+    pub fn append(&mut self, record: DeltaRecord) -> u64 {
+        self.head += 1;
+        self.entries.push_back((self.head, record));
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+        self.head
+    }
+
+    /// Seq of the newest record (0 when nothing was ever appended).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained records with seq strictly greater than `after`, in
+    /// seq order — the replay suffix for a replica whose applied seq is
+    /// `after`. `None` when the suffix was truncated away (the replica
+    /// is too far behind; bootstrap it instead). An up-to-date replica
+    /// (`after == head`) gets `Some(vec![])`.
+    pub fn since(&self, after: u64) -> Option<Vec<&(u64, DeltaRecord)>> {
+        if after > self.head {
+            return None;
+        }
+        let missing = (self.head - after) as usize;
+        if missing > self.entries.len() {
+            return None;
+        }
+        Some(
+            self.entries
+                .iter()
+                .skip(self.entries.len() - missing)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqs_are_contiguous_and_truncation_signals_bootstrap() {
+        let mut log = ReplicationLog::new(3);
+        assert_eq!(log.head(), 0);
+        assert!(log.since(0).is_some_and(|s| s.is_empty()));
+        for want in 1..=5u64 {
+            assert_eq!(log.append(DeltaRecord::default()), want);
+        }
+        assert_eq!(log.head(), 5);
+        assert_eq!(log.len(), 3);
+        // Retained suffix is [3, 4, 5]: a replica at 2 replays 3 records,
+        // a replica at 4 replays one, an up-to-date replica replays none.
+        let seqs = |after: u64| {
+            log.since(after)
+                .map(|s| s.iter().map(|(q, _)| *q).collect::<Vec<_>>())
+        };
+        assert_eq!(seqs(2), Some(vec![3, 4, 5]));
+        assert_eq!(seqs(4), Some(vec![5]));
+        assert_eq!(seqs(5), Some(vec![]));
+        // A replica at 1 needs seq 2, which was truncated: bootstrap.
+        assert_eq!(seqs(1), None);
+        assert_eq!(seqs(0), None);
+    }
+}

@@ -470,6 +470,36 @@ fn note_pin(pins: &mut [Option<u64>], s: usize, lo: u64) {
     pins[s] = Some(pins[s].map_or(lo, |p| p.min(lo)));
 }
 
+/// Conservative per-shard retention pins for a set of standing queries
+/// when neither an analyzer nor a result cache is at hand — the failover
+/// handoff path. A front-end promoting a standby mid-stream cannot
+/// consult the dead primary's evaluation cache for dep-shard precision,
+/// so each subscription pins its home shard at `floor`, and any
+/// subscription whose cross-shard fan-out is unknowable without an
+/// evaluation (a contention watch, which may be pending, or a fixed
+/// diagnosis-class request) pins every shard. Always at or below
+/// [`StreamPlane::retention_pins`]' precise answer for the same floor,
+/// so a sweep honoring these pins never evicts state a cursor resumed on
+/// the standby could still reach.
+pub fn handoff_pins(queries: &[StandingQuery], n_shards: usize, floor: u64) -> Vec<Option<u64>> {
+    let n = n_shards.max(1);
+    let mut pins: Vec<Option<u64>> = vec![None; n];
+    for q in queries {
+        note_pin(&mut pins, q.home_shard(n), floor);
+        let fans_out = match q {
+            StandingQuery::ContentionWatch { .. } => true,
+            StandingQuery::Fixed(req) => diagnosis_class(req),
+            _ => false,
+        };
+        if fans_out {
+            for s in 0..n {
+                note_pin(&mut pins, s, floor);
+            }
+        }
+    }
+    pins
+}
+
 /// Trigger-anchored diagnoses whose cross-shard fan-out is unknown until
 /// first evaluated — the requests whose windows must never dangle.
 fn diagnosis_class(req: &QueryRequest) -> bool {

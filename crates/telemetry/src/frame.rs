@@ -52,11 +52,38 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A string field that was not valid UTF-8.
     BadUtf8,
-    /// The underlying transport failed.
-    Io(std::io::ErrorKind),
+    /// The underlying transport failed. `peer` names the remote address
+    /// when the failing side knew it — a multi-replica client needs to
+    /// know *which* replica died, not just that a socket broke.
+    Io {
+        kind: std::io::ErrorKind,
+        peer: Option<String>,
+    },
     /// The peer reported a protocol-level failure (carried in an error
     /// frame; e.g. "unknown RPC for this role", "accept pool exhausted").
     Remote(String),
+    /// A replication append arrived out of sequence: the replica expected
+    /// `expected` next but the log carried `got`. The publisher must
+    /// replay the gap or re-bootstrap the replica.
+    SeqGap { expected: u64, got: u64 },
+    /// A replica answered a query while behind the published log head —
+    /// surfaced so callers can distinguish stale reads from dead peers.
+    ReplicaLag { applied: u64, published: u64 },
+}
+
+impl WireError {
+    /// Attach a peer address to a transport error; other variants pass
+    /// through untouched. An already-present peer is kept (the innermost
+    /// attribution is the most precise).
+    pub fn with_peer(self, peer: impl std::fmt::Display) -> Self {
+        match self {
+            WireError::Io { kind, peer: None } => WireError::Io {
+                kind,
+                peer: Some(peer.to_string()),
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -69,8 +96,21 @@ impl std::fmt::Display for WireError {
             WireError::Oversize(n) => write!(f, "frame length {n} outside accepted range"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decoded value"),
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
-            WireError::Io(kind) => write!(f, "transport error: {kind:?}"),
+            WireError::Io { kind, peer: None } => write!(f, "transport error: {kind:?}"),
+            WireError::Io {
+                kind,
+                peer: Some(p),
+            } => write!(f, "transport error talking to {p}: {kind:?}"),
             WireError::Remote(msg) => write!(f, "peer error: {msg}"),
+            WireError::SeqGap { expected, got } => {
+                write!(
+                    f,
+                    "replication sequence gap: expected {expected}, got {got}"
+                )
+            }
+            WireError::ReplicaLag { applied, published } => {
+                write!(f, "replica lag: applied {applied} of {published} published")
+            }
         }
     }
 }
@@ -79,7 +119,10 @@ impl std::error::Error for WireError {}
 
 impl From<std::io::Error> for WireError {
     fn from(e: std::io::Error) -> Self {
-        WireError::Io(e.kind())
+        WireError::Io {
+            kind: e.kind(),
+            peer: None,
+        }
     }
 }
 
@@ -344,7 +387,10 @@ mod tests {
         // Clean EOF surfaces as the io error kind, not a panic.
         assert_eq!(
             read_frame(&mut r, MAX_FRAME),
-            Err(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+            Err(WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                peer: None
+            })
         );
     }
 
@@ -370,7 +416,31 @@ mod tests {
         pipe.truncate(pipe.len() - 4);
         assert_eq!(
             read_frame(&mut &pipe[..], MAX_FRAME),
-            Err(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+            Err(WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                peer: None
+            })
         );
+    }
+
+    #[test]
+    fn peer_context_attaches_once_and_only_to_io() {
+        let e = WireError::from(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        let tagged = e.with_peer("127.0.0.1:9999");
+        assert_eq!(
+            tagged,
+            WireError::Io {
+                kind: std::io::ErrorKind::ConnectionReset,
+                peer: Some("127.0.0.1:9999".into())
+            }
+        );
+        // Innermost attribution wins; re-tagging is a no-op.
+        assert_eq!(tagged.clone().with_peer("10.0.0.1:1"), tagged);
+        // Non-transport errors pass through untouched.
+        let gap = WireError::SeqGap {
+            expected: 4,
+            got: 9,
+        };
+        assert_eq!(gap.clone().with_peer("x"), gap);
     }
 }

@@ -22,16 +22,21 @@
 //! mid-stream resubscribes and re-derives the log bit-identically, with
 //! zero duplicated and zero dropped transitions (property-tested).
 //!
-//! Transport failures towards a shard are retried once over a fresh
-//! connection (servers keep no per-connection state, so a reconnect is
-//! free); a shard that stays unreachable is fatal to the in-flight query
-//! — shards are single-replica here.
+//! Transport failures towards a shard are retried under a bounded
+//! exponential-backoff [`RetryPolicy`] over fresh connections (servers
+//! keep no per-connection state, so a reconnect is free). A shard
+//! connected with a *replica set* ([`RemoteShard::connect_replicated`])
+//! fails over: when the active replica exhausts its retry budget the
+//! connection rotates to the next address mid-query, so a query wave
+//! survives a primary kill and subscription streams resume on the
+//! standby. A shard whose every replica stays unreachable is fatal to
+//! the in-flight query.
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -51,21 +56,32 @@ use telemetry::frame::WireError;
 use telemetry::EpochRange;
 
 use crate::proto::{Frame, WindowSummary, FRONT_ROLE};
+use crate::retry::RetryPolicy;
 use crate::server::{Listener, WireConfig};
 
-/// One shard server, reached over a (lazily re-established) loopback
-/// connection. Implements [`ShardBackend`], so the core router treats it
-/// exactly like a local slice.
+/// One shard, reached over a (lazily re-established) loopback connection
+/// to whichever of its replicas is currently active. Implements
+/// [`ShardBackend`], so the core router treats it exactly like a local
+/// slice.
 pub struct RemoteShard {
     shard: usize,
-    addr: SocketAddr,
+    /// The shard's replica addresses (primary first). `active` indexes
+    /// the replica the live connection points at; it only moves forward
+    /// (mod `addrs.len()`) when a replica exhausts its retry budget.
+    addrs: Vec<SocketAddr>,
+    active: AtomicUsize,
     conn: Mutex<Option<TcpStream>>,
     max_frame: u32,
+    retry: RetryPolicy,
     rpcs: AtomicU64,
     reconnects: AtomicU64,
+    failovers: AtomicU64,
     /// Per-exchange round-trip latency, when the dialer observes it
     /// (`wire.rtt_ns.shard{N}` in the front-end's registry).
     rtt_ns: Option<Arc<Histogram>>,
+    /// First-failure → first-success-on-another-replica wall-clock
+    /// (`wire.failover_ns`), when observed.
+    failover_ns: Option<Arc<Histogram>>,
 }
 
 impl RemoteShard {
@@ -82,41 +98,87 @@ impl RemoteShard {
         max_frame: u32,
         rtt_ns: Option<Arc<Histogram>>,
     ) -> Result<Self, WireError> {
-        let rs = RemoteShard {
+        Self::connect_replicated(
             shard,
-            addr,
-            conn: Mutex::new(None),
+            vec![addr],
             max_frame,
-            rpcs: AtomicU64::new(0),
-            reconnects: AtomicU64::new(0),
+            RetryPolicy::immediate(2),
             rtt_ns,
-        };
-        let stream = rs.dial()?;
-        *rs.conn.lock().unwrap() = Some(stream);
-        Ok(rs)
+            None,
+        )
     }
 
-    fn dial(&self) -> Result<TcpStream, WireError> {
-        let mut stream = TcpStream::connect(self.addr)?;
+    /// Connects to a shard served by a replica set: `addrs[0]` is the
+    /// primary, the rest are standbys taken in order when the active
+    /// replica exhausts `retry`. At least one address must be dialable
+    /// now; dead standbys are tolerated until failover reaches them.
+    pub fn connect_replicated(
+        shard: usize,
+        addrs: Vec<SocketAddr>,
+        max_frame: u32,
+        retry: RetryPolicy,
+        rtt_ns: Option<Arc<Histogram>>,
+        failover_ns: Option<Arc<Histogram>>,
+    ) -> Result<Self, WireError> {
+        assert!(!addrs.is_empty(), "a shard needs at least one replica");
+        let rs = RemoteShard {
+            shard,
+            addrs,
+            active: AtomicUsize::new(0),
+            conn: Mutex::new(None),
+            max_frame,
+            retry,
+            rpcs: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            rtt_ns,
+            failover_ns,
+        };
+        // Walk the set until one replica greets; remember it as active.
+        let n = rs.addrs.len();
+        let mut last_err = None;
+        for i in 0..n {
+            match rs.dial(rs.addrs[i]) {
+                Ok(stream) => {
+                    rs.active.store(i, Ordering::Relaxed);
+                    *rs.conn.lock().unwrap() = Some(stream);
+                    return Ok(rs);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("non-empty replica set"))
+    }
+
+    /// The replica the live connection currently points at.
+    pub fn active_replica(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    fn dial(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| WireError::from(e).with_peer(addr))?;
         stream.set_nodelay(true).ok();
-        match Frame::read(&mut stream, self.max_frame)? {
+        match Frame::read(&mut stream, self.max_frame).map_err(|e| e.with_peer(addr))? {
             Frame::Hello { shard, .. } if shard as usize == self.shard => Ok(stream),
             Frame::Hello { shard, .. } => Err(WireError::Remote(format!(
-                "dialed shard {} but {} answered",
+                "dialed shard {} at {addr} but {} answered",
                 self.shard, shard
             ))),
             Frame::Error(e) => Err(e),
             other => Err(WireError::Remote(format!(
-                "expected greeting, got frame {:#04x}",
+                "expected greeting from {addr}, got frame {:#04x}",
                 other.tag()
             ))),
         }
     }
 
     /// One request/reply exchange. A transport failure drops the
-    /// connection and retries exactly once over a fresh dial — the
-    /// server keeps no per-connection state, so the retried request is
-    /// idempotent by construction (all shard RPCs are reads).
+    /// connection and retries over fresh dials under the retry policy,
+    /// rotating to the next replica when the active one exhausts its
+    /// budget — the server keeps no per-connection state and all shard
+    /// RPCs are reads, so the retried request is idempotent by
+    /// construction and a mid-query failover is invisible to the caller.
     fn call(&self, req: &Frame) -> Result<Frame, WireError> {
         self.call_inner(req, true)
     }
@@ -126,19 +188,36 @@ impl RemoteShard {
     /// perturbs the metrics being pulled.
     fn call_inner(&self, req: &Frame, observe: bool) -> Result<Frame, WireError> {
         let mut guard = self.conn.lock().unwrap();
-        for attempt in 0..2 {
+        let n = self.addrs.len();
+        let per_replica = self.retry.attempts();
+        let budget = per_replica * n;
+        let mut failures = 0usize;
+        let mut first_failure: Option<Instant> = None;
+        let mut failed_over = false;
+        loop {
             if guard.is_none() {
-                match self.dial() {
+                let idx = self.active.load(Ordering::Relaxed);
+                match self.dial(self.addrs[idx]) {
                     Ok(s) => {
-                        if attempt > 0 || self.rpcs.load(Ordering::Relaxed) > 0 {
+                        if failures > 0 || self.rpcs.load(Ordering::Relaxed) > 0 {
                             self.reconnects.fetch_add(1, Ordering::Relaxed);
                         }
                         *guard = Some(s);
                     }
                     Err(e) => {
-                        if attempt == 1 {
+                        failures += 1;
+                        first_failure.get_or_insert_with(Instant::now);
+                        if failures >= budget {
                             return Err(e);
                         }
+                        // A replica that exhausted its attempts is
+                        // presumed dead: rotate to the next one.
+                        if failures.is_multiple_of(per_replica) && n > 1 {
+                            self.active.store((idx + 1) % n, Ordering::Relaxed);
+                            self.failovers.fetch_add(1, Ordering::Relaxed);
+                            failed_over = true;
+                        }
+                        std::thread::sleep(self.retry.backoff(failures as u32 - 1));
                         continue;
                     }
                 }
@@ -159,13 +238,29 @@ impl RemoteShard {
                             h.record_duration(started.elapsed());
                         }
                     }
+                    if failed_over {
+                        if let (Some(h), Some(t0)) = (&self.failover_ns, first_failure) {
+                            h.record_duration(t0.elapsed());
+                        }
+                    }
                     return Ok(reply);
                 }
-                Err(WireError::Io(_)) if attempt == 0 => {
-                    // Connection died (e.g. injected failure): retry once
-                    // over a fresh dial.
+                Err(e @ WireError::Io { .. }) => {
+                    // Connection died (killed primary, injected failure):
+                    // drop it and go back around under the same budget.
                     *guard = None;
-                    continue;
+                    let idx = self.active.load(Ordering::Relaxed);
+                    failures += 1;
+                    first_failure.get_or_insert_with(Instant::now);
+                    if failures >= budget {
+                        return Err(e.with_peer(self.addrs[idx]));
+                    }
+                    if failures.is_multiple_of(per_replica) && n > 1 {
+                        self.active.store((idx + 1) % n, Ordering::Relaxed);
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        failed_over = true;
+                    }
+                    std::thread::sleep(self.retry.backoff(failures as u32 - 1));
                 }
                 Err(e) => {
                     *guard = None;
@@ -173,7 +268,6 @@ impl RemoteShard {
                 }
             }
         }
-        unreachable!("call loop returns within two attempts")
     }
 
     /// A reply of the wrong type is a protocol error.
@@ -182,19 +276,20 @@ impl RemoteShard {
         got: Result<Frame, WireError>,
         extract: impl FnOnce(Frame) -> Option<T>,
     ) -> T {
+        let active = self.addrs[self.active.load(Ordering::Relaxed)];
         match got {
             Ok(frame) => {
                 let tag = frame.tag();
                 extract(frame).unwrap_or_else(|| {
                     panic!(
                         "shard {} at {}: mismatched reply frame {tag:#04x}",
-                        self.shard, self.addr
+                        self.shard, active
                     )
                 })
             }
             Err(e) => panic!(
-                "shard {} at {} unreachable after retry: {e}",
-                self.shard, self.addr
+                "shard {} unreachable on every replica (last peer {}): {e}",
+                self.shard, active
             ),
         }
     }
@@ -229,6 +324,11 @@ impl RemoteShard {
     /// Reconnects performed (failure-injection visibility).
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Replica rotations performed (0 until a replica actually died).
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
     }
 
     /// Test hook: drop the live connection so the next call must
@@ -521,17 +621,42 @@ impl FrontEnd {
         cfg: WireConfig,
         coalesce: bool,
     ) -> Result<Self, WireError> {
+        let sets: Vec<Vec<SocketAddr>> = addrs.iter().map(|&a| vec![a]).collect();
+        Self::connect_replica_sets(ctx, &sets, cfg, coalesce, RetryPolicy::immediate(2))
+    }
+
+    /// Connects each shard to a *replica set* (`addr_sets[s][0]` the
+    /// primary, the rest standbys): when a replica dies mid-query the
+    /// shard connection rotates to the next address under `retry` and
+    /// the wave completes on the standby. Subscription topics live on
+    /// the front-end, so standing-query streams keep their cursors
+    /// across the failover.
+    pub fn connect_replica_sets(
+        ctx: Arc<SharedCtx>,
+        addr_sets: &[Vec<SocketAddr>],
+        cfg: WireConfig,
+        coalesce: bool,
+        retry: RetryPolicy,
+    ) -> Result<Self, WireError> {
         assert_eq!(
-            addrs.len(),
+            addr_sets.len(),
             ctx.dir.n_shards(),
-            "one shard server per directory shard"
+            "one replica set per directory shard"
         );
-        let shards: Vec<RemoteShard> = addrs
+        let shards: Vec<RemoteShard> = addr_sets
             .iter()
             .enumerate()
-            .map(|(s, &a)| {
+            .map(|(s, set)| {
                 let rtt = ctx.metrics.histogram(&format!("wire.rtt_ns.shard{s}"));
-                RemoteShard::connect_observed(s, a, cfg.max_frame, Some(rtt))
+                let failover = ctx.metrics.histogram("wire.failover_ns");
+                RemoteShard::connect_replicated(
+                    s,
+                    set.clone(),
+                    cfg.max_frame,
+                    retry,
+                    Some(rtt),
+                    Some(failover),
+                )
             })
             .collect::<Result<_, _>>()?;
         let inner = Arc::new(FrontInner {
@@ -565,7 +690,7 @@ impl FrontEnd {
             loop {
                 let req = match Frame::read(&mut stream, max_frame) {
                     Ok(req) => req,
-                    Err(WireError::Io(_)) => break,
+                    Err(WireError::Io { .. }) => break,
                     Err(e) => {
                         let _ = FrontInner::push(&writer, &Frame::Error(e));
                         break;
@@ -685,6 +810,20 @@ impl FrontEnd {
         self.inner.shards.iter().map(|s| s.reconnects()).sum()
     }
 
+    /// Total replica failovers the shard connections performed.
+    pub fn shard_failovers(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.failovers()).sum()
+    }
+
+    /// Each shard connection's currently active replica index.
+    pub fn active_replicas(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.active_replica())
+            .collect()
+    }
+
     /// Test hook: kill every live shard connection (they re-establish on
     /// the next call — the mid-stream failure-injection scenario).
     pub fn kill_shard_connections(&self) {
@@ -778,6 +917,20 @@ impl FrontEnd {
             let _ = FrontInner::push(writer, &Frame::WindowPush(summary));
         }
         summary
+    }
+
+    /// Conservative per-shard retention pins covering every live
+    /// subscription — [`streamplane::handoff_pins`] over the topics this
+    /// front-end serves. The failover path: after a primary kill the
+    /// owner keeps sweeping retention, but it must not evict state a
+    /// cursor resumed on the standby can still reach, and the dead
+    /// primary's evaluation cache (which powers the precise pins) is
+    /// gone. `floor` is the oldest epoch the handed-off cursors may
+    /// re-derive from.
+    pub fn handoff_pins(&self, floor: u64) -> Vec<Option<u64>> {
+        let topics = self.inner.topics.lock().unwrap();
+        let queries: Vec<StandingQuery> = topics.list.iter().map(|(_, t)| t.query).collect();
+        streamplane::handoff_pins(&queries, self.inner.ctx.dir.n_shards(), floor)
     }
 
     /// The full incident log of every topic, in subscription order — the

@@ -68,28 +68,41 @@
 //! ```
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use netsim::routing::RouteTable;
-use queryplane::{QueryPlaneConfig, SharedCtx, Snapshot};
+use queryplane::{QueryPlaneConfig, SharedCtx, Snapshot, SnapshotDelta};
 use switchpointer::shard::ShardedDirectory;
 use switchpointer::Analyzer;
-use telemetry::frame::WireError;
+use telemetry::frame::{Enc, WireError};
 
 pub mod client;
 pub mod frontend;
 pub mod proto;
+pub mod repl;
+pub mod retry;
 pub mod server;
 
 pub use client::{WireClient, WireEvent};
 pub use frontend::{FrontEnd, RemoteShard};
 pub use proto::{Frame, WindowSummary, Wire, FRONT_ROLE};
+pub use repl::ReplicaWriter;
+pub use retry::RetryPolicy;
 pub use server::{ShardServer, ShardState, WireConfig};
 pub use telemetry::frame::WireError as Error;
 
 /// Flow-record shards per host inside each server's snapshot slice (the
 /// same default the query plane uses).
 const HOST_SHARDS: usize = 8;
+
+/// The cluster's owner-side replication state: the authoritative
+/// snapshot the deltas are journaled against, one seq counter and one
+/// [`ReplicaWriter`] per shard.
+struct Owner {
+    snapshot: Snapshot,
+    seqs: Vec<u64>,
+    writers: Vec<ReplicaWriter>,
+}
 
 /// A whole loopback deployment: N shard servers plus the front-end,
 /// launched from one analyzer's state. The harness-side handle the
@@ -99,6 +112,7 @@ pub struct WireCluster {
     front: FrontEnd,
     ctx: Arc<SharedCtx>,
     cfg: WireConfig,
+    owner: Mutex<Owner>,
 }
 
 impl WireCluster {
@@ -138,13 +152,20 @@ impl WireCluster {
         let snapshot = Snapshot::capture_with(analyzer, HOST_SHARDS, n_shards);
         let mut servers = Vec::with_capacity(n_shards);
         let mut addrs = Vec::with_capacity(n_shards);
+        // Each server gets one accept slot beyond the configured budget:
+        // the owner's replication writer is infrastructure, and must not
+        // consume the client/front-end connection budget.
+        let server_cfg = WireConfig {
+            max_conns: cfg.max_conns + 1,
+            ..cfg
+        };
         for shard in dir.shards() {
             let keep: BTreeSet<_> = shard.hosts().iter().copied().collect();
             let state = ShardState {
                 shard: shard.clone(),
                 view: snapshot.shard_slice(&keep),
             };
-            let server = ShardServer::spawn(state, n_shards, cfg)?;
+            let server = ShardServer::spawn(state, n_shards, server_cfg)?;
             addrs.push(server.local_addr());
             servers.push(server);
         }
@@ -160,28 +181,59 @@ impl WireCluster {
             Arc::new(obsplane::MetricsRegistry::new()),
         ));
         let front = FrontEnd::connect_with(Arc::clone(&ctx), &addrs, cfg, coalesce)?;
+        // The owner side of the replication log: one writer + seq
+        // counter per shard, journaling deltas against `snapshot`.
+        let writers = addrs
+            .iter()
+            .enumerate()
+            .map(|(s, &a)| ReplicaWriter::connect(s, a, cfg.max_frame, RetryPolicy::default()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let owner = Mutex::new(Owner {
+            snapshot,
+            seqs: vec![0; n_shards],
+            writers,
+        });
         Ok(WireCluster {
             servers,
             front,
             ctx,
             cfg,
+            owner,
         })
     }
 
-    /// Re-captures the analyzer's state and swaps every server's slice —
-    /// the out-of-band state ingestion path (reads cross the wire, state
-    /// does not; each server is co-located with the instance that owns
-    /// its slice). Call between windows, then [`WireCluster::close_window`].
-    pub fn refresh(&self, analyzer: &Analyzer) {
-        let n_shards = self.ctx.dir.n_shards();
-        let snapshot = Snapshot::capture_with(analyzer, HOST_SHARDS, n_shards);
-        for (server, shard) in self.servers.iter().zip(self.ctx.dir.shards()) {
+    /// Advances the cluster to the analyzer's current state **in-band**:
+    /// journals one delta against the owner snapshot, slices it per
+    /// shard, and appends each slice to that shard's replication log as
+    /// a sequenced [`Frame::DeltaAppend`]. A replica that refuses with a
+    /// [`WireError::SeqGap`] (or whose transport stays down past the
+    /// retry budget) is re-bootstrapped with a full
+    /// [`Frame::SnapshotInstall`] at the current seq. Call between
+    /// windows, then [`WireCluster::close_window`].
+    pub fn refresh(&self, analyzer: &Analyzer) -> SnapshotDelta {
+        let mut owner = self.owner.lock().unwrap();
+        let (delta, record) = owner.snapshot.apply_delta_journaled(analyzer);
+        for (i, shard) in self.ctx.dir.shards().iter().enumerate() {
             let keep: BTreeSet<_> = shard.hosts().iter().copied().collect();
-            server.swap_state(ShardState {
-                shard: shard.clone(),
-                view: snapshot.shard_slice(&keep),
-            });
+            owner.seqs[i] += 1;
+            let seq = owner.seqs[i];
+            let sliced = record.slice_for(&keep);
+            if owner.writers[i].append(seq, &sliced).is_err() {
+                // Gap or dead transport: fall back to a full bootstrap
+                // at the owner's log position.
+                let mut e = Enc::new();
+                owner.snapshot.shard_slice(&keep).wire_enc(&mut e);
+                let _ = owner.writers[i].install(seq, e.into_bytes());
+            }
         }
+        delta
+    }
+
+    /// Per-shard applied replication seqs, in shard order — the
+    /// server-side log positions (equal to the owner's counters whenever
+    /// every append was acked).
+    pub fn applied_seqs(&self) -> Vec<u64> {
+        self.servers.iter().map(|s| s.applied_seq()).collect()
     }
 
     /// The client-facing front-end address (ephemeral loopback port).

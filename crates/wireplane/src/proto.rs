@@ -29,6 +29,9 @@
 //! | `QueryReq/Rep` | client → front | one-shot query / full response |
 //! | `SubscribeReq/Rep` | client → front | standing query + resume point |
 //! | `IncidentPush`, `WindowPush` | front → client | streamed frames on window close |
+//! | `DeltaAppend` / `DeltaAck` | owner → replica | one sequenced replication-log record |
+//! | `SnapshotInstall` | owner → replica | full-state bootstrap at a seq |
+//! | `ReplicaStatusReq/Rep` | any → replica | applied-seq probe |
 //! | `Error` | any | typed failure |
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,6 +40,7 @@ use std::io::{Read, Write};
 use netsim::packet::{FlowId, NodeId, Priority, Protocol};
 use netsim::time::SimTime;
 use obsplane::{HistogramSnapshot, RegistrySnapshot};
+use queryplane::DeltaRecord;
 use streamplane::{Incident, IncidentKind, StandingQuery, SubscriptionId};
 use switchpointer::analyzer::{
     CascadeDiagnosis, CascadeStage, ContentionDiagnosis, Culprit, DropDiagnosis,
@@ -855,13 +859,30 @@ impl Wire for WireError {
                 e.put_usize(*n);
             }
             WireError::BadUtf8 => e.put_u8(4),
-            WireError::Io(kind) => {
+            WireError::Io { kind, peer } => {
                 e.put_u8(5);
                 e.put_str(&format!("{kind:?}"));
+                match peer {
+                    None => e.put_u8(0),
+                    Some(p) => {
+                        e.put_u8(1);
+                        e.put_str(p);
+                    }
+                }
             }
             WireError::Remote(msg) => {
                 e.put_u8(6);
                 e.put_str(msg);
+            }
+            WireError::SeqGap { expected, got } => {
+                e.put_u8(7);
+                e.put_u64(*expected);
+                e.put_u64(*got);
+            }
+            WireError::ReplicaLag { applied, published } => {
+                e.put_u8(8);
+                e.put_u64(*applied);
+                e.put_u64(*published);
             }
         }
     }
@@ -876,12 +897,42 @@ impl Wire for WireError {
             3 => Ok(WireError::TrailingBytes(d.get_usize()?)),
             4 => Ok(WireError::BadUtf8),
             // An io kind does not round-trip as a kind; it arrives as the
-            // remote's description — the peer cannot act on the kind
-            // anyway, only report it.
-            5 => Ok(WireError::Remote(format!("remote io: {}", d.get_string()?))),
+            // remote's description (peer context preserved) — the peer
+            // cannot act on the kind anyway, only report it.
+            5 => {
+                let kind = d.get_string()?;
+                let msg = match d.get_u8()? {
+                    0 => format!("remote io: {kind}"),
+                    1 => format!("remote io at {}: {kind}", d.get_string()?),
+                    t => return Err(WireError::BadTag(t)),
+                };
+                Ok(WireError::Remote(msg))
+            }
             6 => Ok(WireError::Remote(d.get_string()?)),
+            // Replication-protocol errors round-trip exactly: the owner
+            // acts on them (replay from the gap, or re-bootstrap).
+            7 => Ok(WireError::SeqGap {
+                expected: d.get_u64()?,
+                got: d.get_u64()?,
+            }),
+            8 => Ok(WireError::ReplicaLag {
+                applied: d.get_u64()?,
+                published: d.get_u64()?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
+    }
+}
+
+// The replication payload: `queryplane` owns the codec (the record's
+// shape is its business); the `Wire` impl lives here with every other
+// impl the orphan rule pins to this crate.
+impl Wire for DeltaRecord {
+    fn enc(&self, e: &mut Enc) {
+        self.wire_enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        DeltaRecord::wire_dec(d)
     }
 }
 
@@ -1024,6 +1075,38 @@ pub enum Frame {
     },
     WindowPush(WindowSummary),
 
+    // Replication plane (owner → replica shard server).
+    /// One sequenced record of shard `shard`'s replication log. The
+    /// replica applies it only when `seq` is exactly its applied seq + 1;
+    /// anything else answers [`WireError::SeqGap`] and the owner replays
+    /// or re-bootstraps.
+    DeltaAppend {
+        shard: u16,
+        seq: u64,
+        record: DeltaRecord,
+    },
+    /// Full-state bootstrap: an encoded per-shard snapshot slice
+    /// ([`queryplane::Snapshot`] bytes — opaque here because decoding
+    /// them needs the deployment's shared MPHF, which a context-free
+    /// frame decoder does not hold) that replaces the replica's state and
+    /// sets its applied seq to `seq` unconditionally.
+    SnapshotInstall {
+        shard: u16,
+        seq: u64,
+        view: Vec<u8>,
+    },
+    /// Replica acknowledgement: the log is applied through `applied`.
+    DeltaAck {
+        shard: u16,
+        applied: u64,
+    },
+    /// Probe a replica's replication progress.
+    ReplicaStatusReq,
+    ReplicaStatusRep {
+        shard: u16,
+        applied: u64,
+    },
+
     /// Typed failure, either direction.
     Error(WireError),
 }
@@ -1064,6 +1147,11 @@ impl Frame {
             Frame::SubscribeRep { .. } => 0x33,
             Frame::IncidentPush { .. } => 0x34,
             Frame::WindowPush(_) => 0x35,
+            Frame::DeltaAppend { .. } => 0x40,
+            Frame::SnapshotInstall { .. } => 0x41,
+            Frame::DeltaAck { .. } => 0x42,
+            Frame::ReplicaStatusReq => 0x43,
+            Frame::ReplicaStatusRep { .. } => 0x44,
             Frame::Error(_) => 0x3F,
         }
     }
@@ -1147,6 +1235,25 @@ impl Frame {
                 incident.enc(&mut e);
             }
             Frame::WindowPush(v) => v.enc(&mut e),
+            Frame::DeltaAppend { shard, seq, record } => {
+                e.put_u16(*shard);
+                e.put_u64(*seq);
+                record.enc(&mut e);
+            }
+            Frame::SnapshotInstall { shard, seq, view } => {
+                e.put_u16(*shard);
+                e.put_u64(*seq);
+                e.put_bytes(view);
+            }
+            Frame::DeltaAck { shard, applied } => {
+                e.put_u16(*shard);
+                e.put_u64(*applied);
+            }
+            Frame::ReplicaStatusReq => {}
+            Frame::ReplicaStatusRep { shard, applied } => {
+                e.put_u16(*shard);
+                e.put_u64(*applied);
+            }
             Frame::Error(err) => err.enc(&mut e),
         }
         e.into_bytes()
@@ -1246,6 +1353,25 @@ impl Frame {
                 incident: Incident::dec(&mut d)?,
             },
             0x35 => Frame::WindowPush(WindowSummary::dec(&mut d)?),
+            0x40 => Frame::DeltaAppend {
+                shard: d.get_u16()?,
+                seq: d.get_u64()?,
+                record: DeltaRecord::dec(&mut d)?,
+            },
+            0x41 => Frame::SnapshotInstall {
+                shard: d.get_u16()?,
+                seq: d.get_u64()?,
+                view: d.get_bytes()?.to_vec(),
+            },
+            0x42 => Frame::DeltaAck {
+                shard: d.get_u16()?,
+                applied: d.get_u64()?,
+            },
+            0x43 => Frame::ReplicaStatusReq,
+            0x44 => Frame::ReplicaStatusRep {
+                shard: d.get_u16()?,
+                applied: d.get_u64()?,
+            },
             0x3F => Frame::Error(WireError::dec(&mut d)?),
             t => return Err(WireError::BadTag(t)),
         };

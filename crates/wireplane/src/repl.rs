@@ -1,0 +1,173 @@
+//! The owner side of the replication wire: one [`ReplicaWriter`] per
+//! replica connection.
+//!
+//! The writer is deliberately thin — it moves [`Frame::DeltaAppend`] /
+//! [`Frame::SnapshotInstall`] frames and surfaces the replica's typed
+//! answers ([`WireError::SeqGap`] when the replica's log position does
+//! not match, transport errors with peer context attached). Deciding
+//! *what* to do about a gap — replay the missing suffix from the log, or
+//! re-bootstrap — is policy, and lives in `replicaplane`'s publisher.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use queryplane::DeltaRecord;
+use telemetry::frame::WireError;
+
+use crate::proto::Frame;
+use crate::retry::RetryPolicy;
+
+/// One replica's replication connection: dial + greeting verification,
+/// sequenced appends, snapshot bootstrap, and a status probe. Reconnects
+/// under the given [`RetryPolicy`] on transport failure.
+pub struct ReplicaWriter {
+    shard: usize,
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpStream>>,
+    max_frame: u32,
+    retry: RetryPolicy,
+}
+
+impl ReplicaWriter {
+    /// Dials `addr` and verifies the greeting names shard `shard`.
+    pub fn connect(
+        shard: usize,
+        addr: SocketAddr,
+        max_frame: u32,
+        retry: RetryPolicy,
+    ) -> Result<Self, WireError> {
+        let w = ReplicaWriter {
+            shard,
+            addr,
+            conn: Mutex::new(None),
+            max_frame,
+            retry,
+        };
+        let stream = w.dial()?;
+        *w.conn.lock().unwrap() = Some(stream);
+        Ok(w)
+    }
+
+    /// The replica this writer feeds.
+    pub fn peer(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn dial(&self) -> Result<TcpStream, WireError> {
+        let mut stream =
+            TcpStream::connect(self.addr).map_err(|e| WireError::from(e).with_peer(self.addr))?;
+        stream.set_nodelay(true).ok();
+        match Frame::read(&mut stream, self.max_frame).map_err(|e| e.with_peer(self.addr))? {
+            Frame::Hello { shard, .. } if shard as usize == self.shard => Ok(stream),
+            Frame::Hello { shard, .. } => Err(WireError::Remote(format!(
+                "dialed replica of shard {} but shard {} answered at {}",
+                self.shard, shard, self.addr
+            ))),
+            Frame::Error(e) => Err(e),
+            other => Err(WireError::Remote(format!(
+                "expected greeting from {}, got frame {:#04x}",
+                self.addr,
+                other.tag()
+            ))),
+        }
+    }
+
+    /// One request/reply exchange with bounded reconnect-and-retry on
+    /// transport failure. Typed remote errors (a [`WireError::SeqGap`]
+    /// refusal in particular) return immediately — they are protocol
+    /// answers, not transport faults.
+    fn exchange(&self, req: &Frame) -> Result<Frame, WireError> {
+        let mut guard = self.conn.lock().unwrap();
+        let mut last_err = WireError::Remote("no attempt made".to_string());
+        for attempt in 0..self.retry.attempts() as u32 {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+            }
+            if guard.is_none() {
+                match self.dial() {
+                    Ok(s) => *guard = Some(s),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            let stream = guard.as_mut().expect("connection just ensured");
+            let res = (|| -> Result<Frame, WireError> {
+                req.write(stream)?;
+                stream.flush()?;
+                Frame::read(stream, self.max_frame)
+            })();
+            match res {
+                Ok(Frame::Error(e)) => return Err(e),
+                Ok(reply) => return Ok(reply),
+                Err(e @ WireError::Io { .. }) => {
+                    *guard = None;
+                    last_err = e.with_peer(self.addr);
+                }
+                Err(e) => {
+                    *guard = None;
+                    return Err(e.with_peer(self.addr));
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn expect_ack(&self, reply: Frame) -> Result<u64, WireError> {
+        match reply {
+            Frame::DeltaAck { shard, applied } if shard as usize == self.shard => Ok(applied),
+            other => Err(WireError::Remote(format!(
+                "expected DeltaAck from {}, got frame {:#04x}",
+                self.addr,
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Appends one sequenced record. `Ok(applied)` on success;
+    /// `Err(SeqGap { expected, .. })` when the replica's log position is
+    /// elsewhere (the caller replays from `expected` or bootstraps).
+    pub fn append(&self, seq: u64, record: &DeltaRecord) -> Result<u64, WireError> {
+        let reply = self.exchange(&Frame::DeltaAppend {
+            shard: self.shard as u16,
+            seq,
+            record: record.clone(),
+        })?;
+        self.expect_ack(reply)
+    }
+
+    /// Installs a full encoded snapshot slice at `seq` — the bootstrap
+    /// path for a fresh or fallen-behind replica. Returns the install
+    /// wall-clock alongside the acked seq (the publisher's bootstrap
+    /// histogram feeds from it).
+    pub fn install(
+        &self,
+        seq: u64,
+        view: Vec<u8>,
+    ) -> Result<(u64, std::time::Duration), WireError> {
+        let started = Instant::now();
+        let reply = self.exchange(&Frame::SnapshotInstall {
+            shard: self.shard as u16,
+            seq,
+            view,
+        })?;
+        Ok((self.expect_ack(reply)?, started.elapsed()))
+    }
+
+    /// The replica's applied seq.
+    pub fn status(&self) -> Result<u64, WireError> {
+        match self.exchange(&Frame::ReplicaStatusReq)? {
+            Frame::ReplicaStatusRep { shard, applied } if shard as usize == self.shard => {
+                Ok(applied)
+            }
+            other => Err(WireError::Remote(format!(
+                "expected ReplicaStatusRep from {}, got frame {:#04x}",
+                self.addr,
+                other.tag()
+            ))),
+        }
+    }
+}

@@ -23,18 +23,18 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use netsim::packet::NodeId;
-use obsplane::{Counter, Histogram, MetricsRegistry};
+use obsplane::{Counter, Gauge, Histogram, MetricsRegistry};
 use queryplane::Snapshot;
 use switchpointer::bitset::BitSet;
 use switchpointer::query::StateView;
 use switchpointer::shard::DirectoryShard;
-use telemetry::frame::{read_frame, WireError, MAX_FRAME};
+use telemetry::frame::{read_frame, Dec, Enc, WireError, MAX_FRAME};
 use telemetry::EpochRange;
 
 use crate::proto::Frame;
@@ -76,6 +76,129 @@ impl Default for WireConfig {
             max_conns: 64,
             max_frame: MAX_FRAME,
         }
+    }
+}
+
+/// Replication metrics one serving loop records, resolved once at spawn.
+#[derive(Clone)]
+struct ReplMetrics {
+    /// Replication-log records applied in-band.
+    applied_total: Arc<Counter>,
+    /// Snapshot bootstraps installed.
+    installs: Arc<Counter>,
+    /// The replica's applied sequence number, as a scrapeable gauge.
+    applied_seq: Arc<Gauge>,
+    /// Wall-clock to apply one record (clone + patch + swap).
+    apply_ns: Arc<Histogram>,
+}
+
+impl ReplMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        ReplMetrics {
+            applied_total: reg.counter("repl.applied"),
+            installs: reg.counter("repl.installs"),
+            applied_seq: reg.gauge("repl.applied_seq"),
+            apply_ns: reg.histogram("repl.apply_ns"),
+        }
+    }
+}
+
+/// Serves one replication frame against the shared state. Returns `None`
+/// for non-replication frames (the read-only `serve` path handles those).
+fn serve_replication(
+    req: &Frame,
+    my_shard: usize,
+    state: &RwLock<Arc<ShardState>>,
+    applied: &AtomicU64,
+    m: &ReplMetrics,
+) -> Option<Frame> {
+    match req {
+        Frame::DeltaAppend { shard, seq, record } => {
+            Some(if *shard as usize != my_shard {
+                Frame::Error(WireError::Remote(format!(
+                    "delta for shard {shard} sent to shard {my_shard}"
+                )))
+            } else {
+                // The log contract: records apply exactly in sequence.
+                // Anything else is a typed gap the owner resolves by
+                // replaying the missing suffix or re-bootstrapping.
+                let expected = applied.load(Ordering::SeqCst) + 1;
+                if *seq != expected {
+                    Frame::Error(WireError::SeqGap {
+                        expected,
+                        got: *seq,
+                    })
+                } else {
+                    let started = Instant::now();
+                    let mut guard = state.write().unwrap();
+                    let cur = Arc::clone(&guard);
+                    let mut view = cur.view.clone();
+                    match view.apply_record(record) {
+                        Ok(()) => {
+                            *guard = Arc::new(ShardState {
+                                shard: cur.shard.clone(),
+                                view,
+                            });
+                            applied.store(*seq, Ordering::SeqCst);
+                            m.applied_total.inc();
+                            m.applied_seq.set(*seq as i64);
+                            m.apply_ns.record_duration(started.elapsed());
+                            Frame::DeltaAck {
+                                shard: *shard,
+                                applied: *seq,
+                            }
+                        }
+                        Err(e) => Frame::Error(e),
+                    }
+                }
+            })
+        }
+        Frame::SnapshotInstall { shard, seq, view } => {
+            Some(if *shard as usize != my_shard {
+                Frame::Error(WireError::Remote(format!(
+                    "snapshot for shard {shard} sent to shard {my_shard}"
+                )))
+            } else {
+                let mut guard = state.write().unwrap();
+                let cur = Arc::clone(&guard);
+                // The snapshot bytes need the deployment's shared MPHF
+                // to decode; the replica re-attaches its own copy, so
+                // the installed hierarchies compare `Arc::ptr_eq`-equal
+                // to locally captured ones.
+                let decoded = match cur.view.mphf() {
+                    Some(mphf) => {
+                        let mut d = Dec::new(view);
+                        Snapshot::wire_dec(&mut d, mphf).and_then(|s| d.finish().map(|_| s))
+                    }
+                    None => Err(WireError::Remote(
+                        "replica holds no MPHF to decode a snapshot".to_string(),
+                    )),
+                };
+                match decoded {
+                    Ok(new_view) => {
+                        *guard = Arc::new(ShardState {
+                            shard: cur.shard.clone(),
+                            view: new_view,
+                        });
+                        // Bootstrap resets the log position unconditionally:
+                        // a fresh or fallen-behind replica rejoins here.
+                        applied.store(*seq, Ordering::SeqCst);
+                        m.installs.inc();
+                        m.applied_seq.set(*seq as i64);
+                        Frame::DeltaAck {
+                            shard: *shard,
+                            applied: *seq,
+                        }
+                    }
+                    Err(e) => Frame::Error(e),
+                }
+            })
+        }
+        Frame::ReplicaStatusReq => Some(Frame::ReplicaStatusRep {
+            shard: my_shard as u16,
+            applied: applied.load(Ordering::SeqCst),
+        }),
+        _ => None,
     }
 }
 
@@ -294,7 +417,10 @@ impl Drop for Listener {
 pub struct ShardServer {
     listener: Listener,
     state: Arc<RwLock<Arc<ShardState>>>,
+    /// Replication-log position: the seq of the last applied record.
+    applied: Arc<AtomicU64>,
     shard: usize,
+    max_frame: u32,
     metrics: Arc<MetricsRegistry>,
 }
 
@@ -305,9 +431,12 @@ impl ShardServer {
         let shard = state.shard.id();
         let state = Arc::new(RwLock::new(Arc::new(state)));
         let serving = Arc::clone(&state);
+        let applied = Arc::new(AtomicU64::new(0));
+        let applying = Arc::clone(&applied);
         let max_frame = cfg.max_frame;
         let metrics = Arc::new(MetricsRegistry::new());
         let m = WireLoopMetrics::new(&metrics);
+        let repl_m = ReplMetrics::new(&metrics);
         let scrape_label = format!("shard{shard}");
         let scrape_reg = Arc::clone(&metrics);
         let listener = Listener::spawn(
@@ -328,7 +457,7 @@ impl ShardServer {
                 loop {
                     let (tag, payload) = match read_frame(&mut stream, max_frame) {
                         Ok(fr) => fr,
-                        Err(WireError::Io(_)) => break, // peer gone
+                        Err(WireError::Io { .. }) => break, // peer gone
                         Err(e) => {
                             // Framing is lost: report the typed error and
                             // drop the connection (the client reconnects).
@@ -361,6 +490,17 @@ impl ShardServer {
                         let _ = stream.flush();
                         continue;
                     }
+                    // Replication frames are the one write path: handled
+                    // here (the shared `serve` below is read-only).
+                    if let Some(reply) =
+                        serve_replication(&req, shard, &serving, &applying, &repl_m)
+                    {
+                        if reply.write(&mut stream).is_err() {
+                            break;
+                        }
+                        let _ = stream.flush();
+                        continue;
+                    }
                     m.decode_ns.record_duration(decode_elapsed);
                     let serve_started = Instant::now();
                     let reply = {
@@ -384,7 +524,9 @@ impl ShardServer {
         Ok(ShardServer {
             listener,
             state,
+            applied,
             shard,
+            max_frame: cfg.max_frame,
             metrics,
         })
     }
@@ -405,12 +547,46 @@ impl ShardServer {
         self.listener.addr()
     }
 
-    /// Swaps in a refreshed state slice. In-flight requests finish
-    /// against the old state; subsequent requests see the new one —
-    /// state ingestion is out-of-band (the owning process refreshes its
-    /// instance), only *reads* cross the wire.
+    /// The replica's replication-log position: seq of the last applied
+    /// [`Frame::DeltaAppend`] (or [`Frame::SnapshotInstall`] bootstrap).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// The state currently being served, as the connection loop sees it.
+    /// Divergence tests compare a primary's and standby's views through
+    /// this — both must be bit-identical at every applied seq.
+    pub fn state(&self) -> Arc<ShardState> {
+        Arc::clone(&self.state.read().unwrap())
+    }
+
+    /// Legacy out-of-band state swap, kept so old drivers keep working.
+    /// State ingestion is in-band now: this shim encodes the new view and
+    /// forwards it to the server's own listener as a synthetic
+    /// [`Frame::SnapshotInstall`] at the next seq, so the swap moves the
+    /// replication-log position exactly like a real bootstrap would. The
+    /// directory slice of `state` is dropped — the partition is fixed at
+    /// spawn and a swap cannot change shard ownership.
+    #[deprecated(note = "publish the replication log instead (Frame::DeltaAppend / \
+                Frame::SnapshotInstall via wireplane::repl::ReplicaWriter)")]
     pub fn swap_state(&self, state: ShardState) {
-        *self.state.write().unwrap() = Arc::new(state);
+        let mut e = Enc::new();
+        state.view.wire_enc(&mut e);
+        let frame = Frame::SnapshotInstall {
+            shard: self.shard as u16,
+            seq: self.applied.load(Ordering::SeqCst) + 1,
+            view: e.into_bytes(),
+        };
+        let Ok(mut stream) = TcpStream::connect(self.local_addr()) else {
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        // Greeting, install, ack — errors are the shim's to swallow (the
+        // legacy API had no failure channel either).
+        if Frame::read(&mut stream, self.max_frame).is_ok() && frame.write(&mut stream).is_ok() {
+            let _ = stream.flush();
+            let _ = Frame::read(&mut stream, self.max_frame);
+        }
     }
 
     /// Graceful shutdown: stop accepting, join every connection thread.

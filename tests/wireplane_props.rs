@@ -22,7 +22,11 @@ use std::collections::BTreeMap;
 use netsim::prelude::*;
 use proptest::prelude::*;
 use proptest::rng_for;
-use queryplane::{ConfigError, QueryPlane, QueryPlaneConfig};
+use queryplane::{
+    ConfigError, DeltaRecord, HostPatch, HostPatchKind, QueryPlane, QueryPlaneConfig,
+    ShardedHostStore,
+};
+use replicaplane::ReplicaCluster;
 use streamplane::{Incident, StandingQuery, StreamConfig, StreamPlane, SubscriptionId};
 use switchpointer::analyzer::{
     CascadeDiagnosis, CascadeStage, ContentionDiagnosis, Culprit, DropDiagnosis,
@@ -312,6 +316,61 @@ fn gen_registry_snapshot(rng: &mut TestRng) -> obsplane::RegistrySnapshot {
     snap
 }
 
+/// A randomized replication record. Switch patches are omitted — a
+/// `PointerPatch` is only constructible by diffing live hierarchies (by
+/// design), and the replication tests cover that codec end-to-end — but
+/// every host-patch kind is generated.
+fn gen_delta_record(rng: &mut TestRng) -> DeltaRecord {
+    let triggers = |rng: &mut TestRng| -> Vec<switchpointer::host::TriggerEvent> {
+        (0..rng.below(3))
+            .map(|_| switchpointer::host::TriggerEvent {
+                at: SimTime::from_ns(rng.below(1 << 40)),
+                flow: FlowId(rng.next_u64()),
+                prev_bytes: rng.next_u64(),
+                cur_bytes: rng.next_u64(),
+            })
+            .collect()
+    };
+    let hosts = (0..rng.below(4))
+        .map(|_| {
+            let kind = match rng.below(3) {
+                0 => HostPatchKind::TriggersOnly {
+                    triggers: triggers(rng),
+                },
+                1 => HostPatchKind::Shards {
+                    dirty: (0..rng.below(3))
+                        .map(|_| {
+                            (
+                                rng.below(8),
+                                (0..rng.below(3)).map(|_| gen_record(rng)).collect(),
+                            )
+                        })
+                        .collect(),
+                    triggers: triggers(rng),
+                    total: rng.below(1000),
+                },
+                _ => HostPatchKind::Full {
+                    store: ShardedHostStore::from_records(
+                        (0..rng.below(4)).map(|_| gen_record(rng)).collect(),
+                        triggers(rng),
+                        4,
+                    ),
+                },
+            };
+            HostPatch {
+                host: NodeId(rng.below(64) as u32),
+                new_base: (rng.next_u64(), rng.next_u64()),
+                kind,
+            }
+        })
+        .collect();
+    DeltaRecord {
+        epoch_horizon: rng.below(10_000),
+        switches: Vec::new(),
+        hosts,
+    }
+}
+
 /// One sample of every frame type in the protocol, contents randomized.
 fn gen_frames(rng: &mut TestRng) -> Vec<Frame> {
     let hosts = |rng: &mut TestRng| -> Vec<NodeId> {
@@ -456,7 +515,26 @@ fn gen_frames(rng: &mut TestRng) -> Vec<Frame> {
             pending: rng.below(4),
             incidents: rng.below(8),
         }),
-        Frame::Error(match rng.below(5) {
+        Frame::DeltaAppend {
+            shard: rng.below(8) as u16,
+            seq: 1 + rng.below(1000),
+            record: gen_delta_record(rng),
+        },
+        Frame::SnapshotInstall {
+            shard: rng.below(8) as u16,
+            seq: 1 + rng.below(1000),
+            view: (0..rng.below(64)).map(|_| rng.below(256) as u8).collect(),
+        },
+        Frame::DeltaAck {
+            shard: rng.below(8) as u16,
+            applied: rng.below(1000),
+        },
+        Frame::ReplicaStatusReq,
+        Frame::ReplicaStatusRep {
+            shard: rng.below(8) as u16,
+            applied: rng.below(1000),
+        },
+        Frame::Error(match rng.below(7) {
             0 => WireError::Truncated {
                 needed: rng.below(100) as usize,
                 have: rng.below(100) as usize,
@@ -464,6 +542,14 @@ fn gen_frames(rng: &mut TestRng) -> Vec<Frame> {
             1 => WireError::BadTag(rng.below(256) as u8),
             2 => WireError::Oversize(rng.below(1 << 31) as u32),
             3 => WireError::BadUtf8,
+            4 => WireError::SeqGap {
+                expected: rng.below(1000),
+                got: rng.below(1000),
+            },
+            5 => WireError::ReplicaLag {
+                applied: rng.below(1000),
+                published: rng.below(1000),
+            },
             _ => WireError::Remote(format!("err-{}", rng.below(100))),
         }),
     ]
@@ -827,6 +913,151 @@ fn killed_connections_mid_stream_rederive_the_incident_log_exactly() {
     run_stream_parity(2, true);
 }
 
+/// The replicated deployment under the same parity bar, with the failure
+/// escalated from a killed *connection* to a killed *primary*: every
+/// shard runs primary + standby consuming the same replication log, the
+/// client loses its connection and resumes by cursor, and then every
+/// primary is killed mid-stream — the query waves fail over to the
+/// standbys and the incident stream must still equal the in-process
+/// stream plane's bit for bit, with zero duplicated and zero dropped
+/// transitions.
+#[test]
+fn incident_stream_bit_identical_across_primary_kill() {
+    let (mut tb, victim, da) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(10));
+    let analyzer = tb.analyzer();
+    let n_shards = 2usize;
+
+    let mut sp = StreamPlane::new(
+        &analyzer,
+        StreamConfig {
+            plane: QueryPlaneConfig {
+                workers: 4,
+                shards: 8,
+                directory_shards: n_shards,
+                cache_capacity: 4096,
+                retention: None,
+            },
+            result_cache_capacity: 1024,
+        },
+    );
+    let subs = watch_subscriptions(&tb, victim, da);
+    let mut sub_ids = Vec::new();
+    for q in &subs {
+        sub_ids.push(sp.subscribe(*q));
+    }
+
+    let cluster = ReplicaCluster::launch(&analyzer, n_shards, 2, WireConfig::default()).unwrap();
+    let mut client = Some(cluster.client().unwrap());
+    for q in &subs {
+        let (sub, available) = client.as_mut().unwrap().subscribe(*q, 0).unwrap();
+        assert_eq!(available, 0, "fresh topic must have an empty backlog");
+        assert!(sub_ids.contains(&sub));
+    }
+
+    let mut collected = Collected::default();
+    for w in 1..=8u64 {
+        tb.sim.run_until(SimTime::from_ms(10 + w * 5));
+
+        if w == 3 {
+            // Client dies mid-stream and resumes by cursor, exactly as
+            // in the single-replica drill...
+            drop(client.take());
+            let mut resumed = cluster.client().unwrap();
+            for (q, &sub_id) in subs.iter().zip(&sub_ids) {
+                let cursor = collected.resume_point(sub_id);
+                let (sub, available) = resumed.subscribe(*q, cursor).unwrap();
+                assert_eq!(sub, sub_id, "topic id changed across resubscribe");
+                assert!(available >= cursor);
+            }
+            client = Some(resumed);
+        }
+        if w == 5 {
+            // ...and then every primary is killed outright: the next
+            // window's query waves must rotate to the standbys.
+            for shard in 0..n_shards {
+                assert!(cluster.kill_primary(shard), "primary already dead");
+            }
+        }
+
+        let report = sp.run_window(&analyzer);
+        cluster.refresh(&analyzer);
+        let summary = cluster.close_window();
+        assert_eq!(summary.window, w - 1);
+        assert_eq!(
+            summary.horizon, report.horizon,
+            "wire horizon diverged at window {w}"
+        );
+
+        let (incidents, win) = client.as_mut().unwrap().drain_window().unwrap();
+        assert_eq!(win.window, w - 1);
+        for (seq, incident) in incidents {
+            collected.take(seq, incident);
+        }
+
+        // Replication invariant, checked every window: every surviving
+        // replica sits exactly at the owner's log head, and its served
+        // slice equals the owner's authoritative slice bit for bit.
+        let heads = cluster.heads();
+        let applied = cluster.applied_seqs();
+        for s in 0..n_shards {
+            let owner = cluster.owner_slice(s);
+            for (r, a) in applied[s].iter().enumerate() {
+                let Some(a) = a else { continue };
+                assert_eq!(*a, heads[s], "shard {s} replica {r} lagging at window {w}");
+                let state = cluster.replica_state(s, r).expect("live replica");
+                assert!(
+                    state.view == owner,
+                    "shard {s} replica {r} diverged at window {w}"
+                );
+            }
+        }
+    }
+
+    // The failover actually happened and was observed: every shard's
+    // active replica moved off the primary, and the failover histogram
+    // recorded the wall clock it took.
+    assert!(
+        cluster.front().shard_failovers() >= n_shards as u64,
+        "fewer failovers than killed primaries"
+    );
+    assert!(
+        cluster.front().active_replicas().iter().all(|&r| r == 1),
+        "some shard still points at the dead primary"
+    );
+    let front_snap = cluster.front_metrics().snapshot();
+    assert!(
+        front_snap
+            .hists
+            .get("wire.failover_ns")
+            .is_some_and(|h| h.count >= 1),
+        "failover histogram empty"
+    );
+
+    for &sub in &sub_ids {
+        let in_process: Vec<&Incident> = sp.incidents().iter().filter(|i| i.sub == sub).collect();
+        let over_wire: Vec<&Incident> = collected
+            .by_sub
+            .get(&sub)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default();
+        assert_eq!(
+            over_wire.len(),
+            in_process.len(),
+            "sub {sub}: incident count diverged across primary kill"
+        );
+        for (wi, l) in over_wire.iter().zip(&in_process) {
+            assert_eq!(*wi, *l, "sub {sub}: incident diverged across primary kill");
+        }
+    }
+    let watch_sub = sub_ids[3];
+    assert!(
+        sp.incidents().iter().filter(|i| i.sub == watch_sub).count() >= 2,
+        "contention watch never transitioned — fixture regressed"
+    );
+    cluster.shutdown();
+}
+
 // ----------------------------------------------------------------------
 // (d) Typed boundaries
 // ----------------------------------------------------------------------
@@ -935,7 +1166,7 @@ fn accept_pool_exhaustion_is_a_typed_refusal() {
         // The refused stream may also surface as an io error if the
         // server closed before the greeting was read — but never a hang
         // or a panic. Prefer the typed path, accept the racy close.
-        Err(WireError::Io(_)) => {}
+        Err(WireError::Io { .. }) => {}
         Ok(_) => panic!("accept pool bound not enforced"),
         Err(e) => panic!("unexpected refusal shape: {e}"),
     }
