@@ -319,6 +319,21 @@ impl<'a, V: StateView> ShardedView<'a, V> {
         }
     }
 
+    /// Snapshot of the fan-out counters, zeroing them in the same pass.
+    /// This is the scratch-reuse contract of the work-stealing query
+    /// plane: one router is built per worker per chunk and drained
+    /// between queries, so per-query fan-out still comes out while the
+    /// counter vectors are allocated once per chunk instead of once per
+    /// query.
+    pub fn take_fanout(&self) -> ShardFanout {
+        ShardFanout {
+            decode_bits: self.decode_bits.iter().map(|a| a.take()).collect(),
+            host_reads: self.host_reads.iter().map(|a| a.take()).collect(),
+            merges: self.merges.take(),
+            merged_bits: self.merged_bits.take(),
+        }
+    }
+
     fn note_host_read(&self, host: NodeId) {
         self.host_reads[self.dir.owner_of(host)].inc();
     }

@@ -18,12 +18,17 @@
 //!    [`QueryPlane::refresh_delta`] copies only the pointer slots and host
 //!    shards that changed since the last freeze (see
 //!    [`Snapshot::apply_delta`]).
-//! 2. **Persistent [`WorkerPool`]** — spawned once at plane construction
-//!    and shared by every batch (and by the `streamplane` crate's standing
-//!    query windows). Queries are assigned round-robin by submission index
-//!    and each runs the shared
+//! 2. **Persistent work-stealing [`WorkerPool`]** — spawned once at plane
+//!    construction and shared by every batch (and by the `streamplane`
+//!    crate's standing query windows). Batches are cut into
+//!    [`chunk_size`]d chunks placed by shard affinity and rebalanced by
+//!    stealing; each query runs the shared
 //!    [`QueryExecutor`](switchpointer::query::QueryExecutor) as a pure
-//!    function of the snapshot; results merge back in submission order.
+//!    function of the snapshot and results are stitched lock-free in
+//!    submission order, so verdicts are independent of worker count,
+//!    chunk size, and steal schedule. Snapshots are published through an
+//!    epoch-stamped [`SnapshotSlot`], so a refresh installs new state
+//!    without quiescing in-flight batches.
 //! 3. **Pointer cache** — an epoch-keyed LRU over `(switch, epoch window)`
 //!    retrieval keys. Replayed over each query's
 //!    [`ExecutionTrace`](switchpointer::query::ExecutionTrace) in
@@ -94,11 +99,13 @@ use switchpointer::Analyzer;
 mod cache;
 mod pool;
 mod repl;
+mod slot;
 mod snapshot;
 
 pub use cache::{key_of, PointerCache, PointerKey};
-pub use pool::{PoolResult, SharedCtx, WorkerPool};
+pub use pool::{chunk_size, PoolMetrics, PoolResult, SharedCtx, WorkerPool};
 pub use repl::{DeltaRecord, HostPatch, HostPatchKind, SwitchPatch};
+pub use slot::SnapshotSlot;
 pub use snapshot::{ShardedHostStore, Snapshot, SnapshotDelta};
 pub use switchpointer::retention::{RetentionPolicy, SweepReport};
 
@@ -365,7 +372,15 @@ impl QpMetrics {
 pub struct QueryPlane {
     ctx: Arc<SharedCtx>,
     cfg: QueryPlaneConfig,
-    snapshot: Arc<Snapshot>,
+    /// The epoch-stamped publication slot batches and readers load the
+    /// frozen state from. Installs never quiesce the plane — see
+    /// [`SnapshotSlot`].
+    slot: SnapshotSlot,
+    /// The previous published snapshot, kept as the write buffer for the
+    /// next incremental refresh: when nothing else still holds it,
+    /// [`QueryPlane::refresh_delta`] catches it up from its own freeze
+    /// baselines instead of cloning the current snapshot.
+    spare: Option<Arc<Snapshot>>,
     pool: WorkerPool,
     cache: PointerCache,
     /// Registry-backed counters (service totals + cumulative per-shard
@@ -401,6 +416,7 @@ impl QueryPlane {
         let dir_shards = cfg.directory_shards;
         let metrics = Arc::new(MetricsRegistry::new());
         let m = QpMetrics::new(&metrics, dir_shards);
+        let pool = WorkerPool::with_metrics(cfg.workers, &metrics);
         Ok(QueryPlane {
             ctx: Arc::new(SharedCtx::new(
                 analyzer.topo().clone(),
@@ -416,22 +432,30 @@ impl QueryPlane {
                 metrics,
             )),
             cfg,
-            snapshot: Arc::new(Snapshot::capture_with(analyzer, cfg.shards, dir_shards)),
-            pool: WorkerPool::new(cfg.workers),
+            slot: SnapshotSlot::new(Arc::new(Snapshot::capture_with(
+                analyzer, cfg.shards, dir_shards,
+            ))),
+            spare: None,
+            pool,
             cache: PointerCache::new(cfg.cache_capacity),
             m,
         })
     }
 
     /// Re-freezes the deployment state from scratch (e.g. after more
-    /// simulated time). The pointer cache is cleared — cached windows may
-    /// have rotated — but cumulative stats are kept.
+    /// simulated time) and publishes it under a new epoch. The pointer
+    /// cache is cleared — cached windows may have rotated — but
+    /// cumulative stats are kept. In-flight readers keep their loaded
+    /// snapshot; the old published state becomes the spare write buffer
+    /// for the next incremental refresh.
     pub fn refresh(&mut self, analyzer: &Analyzer) {
-        self.snapshot = Arc::new(Snapshot::capture_with(
+        let old = self.slot.load().0;
+        self.slot.install(Arc::new(Snapshot::capture_with(
             analyzer,
             self.cfg.shards,
             self.cfg.directory_shards.max(1),
-        ));
+        )));
+        self.spare = Some(old);
         self.cache = PointerCache::new(self.cfg.cache_capacity);
     }
 
@@ -447,10 +471,45 @@ impl QueryPlane {
     /// journal that would let us invalidate precisely was itself
     /// invalidated by the eviction. Returns the delta summary (dirty
     /// sets, rescans, copy-work counters).
+    ///
+    /// Publication is quiesce-free: the refreshed snapshot is installed
+    /// into the epoch-stamped [`SnapshotSlot`] while any in-flight batch
+    /// (or remote reader) keeps executing against the snapshot it
+    /// loaded. The refresh writes into the *spare* snapshot — the one
+    /// published two windows ago — catching it up from its own freeze
+    /// baselines (`apply_delta` is baseline-relative, so the result is
+    /// bit-identical to a fresh capture; the dirty sets it reports are a
+    /// conservative superset covering both windows, which only widens
+    /// cache invalidation). If something still holds the spare (an
+    /// unusually long-lived reader), the plane falls back to cloning the
+    /// current snapshot rather than waiting.
     pub fn refresh_delta(&mut self, analyzer: &Analyzer) -> SnapshotDelta {
-        let snapshot = Arc::get_mut(&mut self.snapshot)
-            .expect("no batch in flight: workers hold no snapshot reference between batches");
-        let delta = snapshot.apply_delta(analyzer);
+        let current = self.slot.load().0;
+        let mut next = match self.spare.take() {
+            Some(spare) if Arc::strong_count(&spare) == 1 => spare,
+            _ => Arc::new((*current).clone()),
+        };
+        // The spare's own baselines drive the replay: they may lag the
+        // published snapshot by one window, in which case this delta is
+        // a conservative superset (correct state, over-wide report).
+        let superset = Arc::get_mut(&mut next)
+            .expect("spare snapshot is uniquely held")
+            .apply_delta(analyzer);
+        self.slot.install(next);
+        // Retire the just-unpublished snapshot as the next spare and —
+        // when no in-flight batch still reads it — catch it up NOW. Its
+        // baselines equal the state published last window, so this
+        // second replay yields the *exact* fresh-window delta (empty on
+        // an idle refresh) and keeps both buffers in lockstep, making
+        // the next refresh exact too. With readers still holding it we
+        // fall back to the superset report and let the next refresh
+        // replay the lag.
+        let mut retired = current;
+        let delta = match Arc::get_mut(&mut retired) {
+            Some(snap) => snap.apply_delta(analyzer),
+            None => superset,
+        };
+        self.spare = Some(retired);
         if delta.rescanned_hosts.is_empty() {
             self.cache.invalidate_switches(&delta.dirty_switches);
         } else {
@@ -487,9 +546,23 @@ impl QueryPlane {
         ))
     }
 
-    /// The frozen state being queried.
-    pub fn snapshot(&self) -> &Snapshot {
-        &self.snapshot
+    /// The currently published frozen state, as an owned handle: later
+    /// installs never invalidate it, so a caller can read it for as long
+    /// as it likes without blocking a refresh.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.slot.load().0
+    }
+
+    /// The currently published snapshot together with its publication
+    /// epoch — the consistent pair the stream plane stamps windows with.
+    pub fn published(&self) -> (Arc<Snapshot>, u64) {
+        self.slot.load()
+    }
+
+    /// The current publication epoch: the number of snapshot installs
+    /// (full or incremental refreshes) since construction.
+    pub fn publication_epoch(&self) -> u64 {
+        self.slot.epoch()
     }
 
     /// Service configuration in force.
@@ -557,15 +630,18 @@ impl QueryPlane {
             return Vec::new();
         }
         // With a sharded directory, dispatch is keyed by each request's
-        // home shard (shard-affine scheduling); answers are independent
-        // of the keying either way.
+        // home shard (shard-affine initial placement; idle workers steal);
+        // answers are independent of the keying either way. The batch
+        // executes against the snapshot published *now* — a refresh
+        // landing mid-batch serves later batches, never this one.
+        let snapshot = self.slot.load().0;
         let n_dir = self.ctx.dir.n_shards();
         let results = if n_dir > 1 {
             let keys: Vec<usize> = requests.iter().map(|r| home_shard(r, n_dir)).collect();
             self.pool
-                .run_keyed(&self.ctx, &self.snapshot, requests, Some(&keys))
+                .run_keyed(&self.ctx, &snapshot, requests, Some(&keys))
         } else {
-            self.pool.run(&self.ctx, &self.snapshot, requests)
+            self.pool.run(&self.ctx, &snapshot, requests)
         };
         self.account(results)
     }

@@ -277,6 +277,59 @@ impl ShardedHostStore {
 /// `QueryPlaneConfig::cache_capacity`.)
 const UNION_MEMO_CAP: usize = 4096;
 
+/// Lock stripes the union memo is split across. A single global mutex
+/// here serialized every worker's pointer decode on one cache line; with
+/// the work-stealing pool keeping all workers hot, the memo is striped
+/// by switch id so concurrent unions over different switches never
+/// contend. Striping is invisible to results — the memo caches a pure
+/// function of the frozen hierarchies.
+const UNION_MEMO_STRIPES: usize = 16;
+
+/// One stripe of the union memo: `(switch, lo, hi)` → decoded union.
+type MemoStripe = Mutex<HashMap<(NodeId, u64, u64), BitSet>>;
+
+/// The striped pointer-union memo. Each stripe holds its share of the
+/// global [`UNION_MEMO_CAP`] bound.
+struct UnionMemo {
+    stripes: Vec<MemoStripe>,
+}
+
+impl UnionMemo {
+    fn new() -> Self {
+        UnionMemo {
+            stripes: (0..UNION_MEMO_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, sw: NodeId) -> &Mutex<HashMap<(NodeId, u64, u64), BitSet>> {
+        &self.stripes[sw.0 as usize % UNION_MEMO_STRIPES]
+    }
+
+    fn get(&self, key: &(NodeId, u64, u64)) -> Option<BitSet> {
+        self.stripe(key.0).lock().unwrap().get(key).cloned()
+    }
+
+    fn insert_capped(&self, key: (NodeId, u64, u64), bits: &BitSet) {
+        let mut stripe = self.stripe(key.0).lock().unwrap();
+        if stripe.len() < UNION_MEMO_CAP / UNION_MEMO_STRIPES {
+            stripe.insert(key, bits.clone());
+        }
+    }
+
+    /// Drops every memoized union of a dirty switch (their frozen
+    /// hierarchies were patched, so the cached unions are stale).
+    fn purge_switches(&self, dirty: &BTreeSet<NodeId>) {
+        for stripe in &self.stripes {
+            stripe
+                .lock()
+                .unwrap()
+                .retain(|&(sw, _, _), _| !dirty.contains(&sw));
+        }
+    }
+}
+
 /// What one [`Snapshot::apply_delta`] touched and what it cost, against
 /// the counterfactual of a full recapture. The dirty sets drive precise
 /// result-cache and pointer-cache invalidation in the stream plane.
@@ -355,7 +408,7 @@ pub struct Snapshot {
     /// the frozen hierarchies, so sharing it across workers cannot affect
     /// results — it only skips repeated bit-set unions. Purged per dirty
     /// switch on `apply_delta`.
-    union_memo: Mutex<HashMap<(NodeId, u64, u64), BitSet>>,
+    union_memo: UnionMemo,
 }
 
 impl Snapshot {
@@ -398,7 +451,7 @@ impl Snapshot {
             switch_base,
             host_base,
             epoch_horizon,
-            union_memo: Mutex::new(HashMap::new()),
+            union_memo: UnionMemo::new(),
         }
     }
 
@@ -542,10 +595,7 @@ impl Snapshot {
         // Memoized pointer unions for patched switches are stale.
         if !delta.dirty_switches.is_empty() {
             let dirty: BTreeSet<NodeId> = delta.dirty_switches.iter().copied().collect();
-            self.union_memo
-                .lock()
-                .unwrap()
-                .retain(|&(sw, _, _), _| !dirty.contains(&sw));
+            self.union_memo.purge_switches(&dirty);
         }
         delta
     }
@@ -612,10 +662,7 @@ impl Snapshot {
         self.epoch_horizon = self.epoch_horizon.max(rec.epoch_horizon);
         if !rec.switches.is_empty() {
             let dirty: BTreeSet<NodeId> = rec.switches.iter().map(|sp| sp.switch).collect();
-            self.union_memo
-                .lock()
-                .unwrap()
-                .retain(|&(sw, _, _), _| !dirty.contains(&sw));
+            self.union_memo.purge_switches(&dirty);
         }
         Ok(())
     }
@@ -688,7 +735,7 @@ impl Snapshot {
             switch_base,
             host_base,
             epoch_horizon,
-            union_memo: Mutex::new(HashMap::new()),
+            union_memo: UnionMemo::new(),
         })
     }
 
@@ -740,7 +787,7 @@ impl Snapshot {
                 .map(|(h, b)| (*h, *b))
                 .collect(),
             epoch_horizon: self.epoch_horizon,
-            union_memo: Mutex::new(HashMap::new()),
+            union_memo: UnionMemo::new(),
         }
     }
 
@@ -776,7 +823,7 @@ impl Clone for Snapshot {
             switch_base: self.switch_base.clone(),
             host_base: self.host_base.clone(),
             epoch_horizon: self.epoch_horizon,
-            union_memo: Mutex::new(HashMap::new()),
+            union_memo: UnionMemo::new(),
         }
     }
 }
@@ -798,17 +845,14 @@ impl PartialEq for Snapshot {
 impl StateView for Snapshot {
     fn pointer_union(&self, switch: NodeId, range: EpochRange) -> Option<BitSet> {
         let key = (switch, range.lo, range.hi);
-        if let Some(bits) = self.union_memo.lock().unwrap().get(&key) {
-            return Some(bits.clone());
+        if let Some(bits) = self.union_memo.get(&key) {
+            return Some(bits);
         }
         let bits = self
             .switches
             .get(&switch)?
             .pointer_union(range.lo, range.hi);
-        let mut memo = self.union_memo.lock().unwrap();
-        if memo.len() < UNION_MEMO_CAP {
-            memo.insert(key, bits.clone());
-        }
+        self.union_memo.insert_capped(key, &bits);
         Some(bits)
     }
 

@@ -326,6 +326,11 @@ pub struct WindowReport {
     pub window: u64,
     /// Snapshot epoch horizon after the delta refresh.
     pub horizon: u64,
+    /// Publication epoch of the snapshot this window evaluated against
+    /// (the [`queryplane::SnapshotSlot`] install counter): the window
+    /// consumed exactly the state its delta refresh published, even if
+    /// another refresh lands while the window is still evaluating.
+    pub snapshot_epoch: u64,
     /// The retention sweep this window ran before refreshing, if a policy
     /// is configured (per-shard floors, evicted/resident counts).
     pub sweep: Option<SweepReport>,
@@ -629,18 +634,22 @@ impl StreamPlane {
         let horizon = delta.epoch_horizon;
 
         // 2. Resolve the admitted set: standing queries in registration
-        // order, then one-shots in submission order.
+        // order, then one-shots in submission order. Resolution reads the
+        // epoch-published snapshot the refresh above just installed — an
+        // owned handle, so a concurrent install can never invalidate the
+        // state mid-window.
         enum Origin {
             Sub(SubscriptionId),
             Ticket(TicketId),
         }
+        let (published, snapshot_epoch) = self.plane.published();
         let n_dir = self.plane.config().directory_shards.max(1);
         let mut per_shard_standing = vec![0usize; n_dir];
         let mut admitted: Vec<(Origin, QueryRequest)> = Vec::new();
         let mut pending_subs: Vec<SubscriptionId> = Vec::new();
         for &(id, ref q) in &self.subs {
             per_shard_standing[q.home_shard(n_dir)] += 1;
-            match q.resolve(self.plane.snapshot(), horizon) {
+            match q.resolve(&*published, horizon) {
                 Some(req) => admitted.push((Origin::Sub(id), req)),
                 None => pending_subs.push(id),
             }
@@ -755,6 +764,7 @@ impl StreamPlane {
         let report = WindowReport {
             window,
             horizon,
+            snapshot_epoch,
             sweep,
             delta,
             executed,

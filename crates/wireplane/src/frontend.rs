@@ -42,7 +42,7 @@ use std::time::Instant;
 
 use netsim::packet::{FlowId, NodeId};
 use obsplane::{Histogram, RegistrySnapshot};
-use queryplane::SharedCtx;
+use queryplane::{SharedCtx, WorkerPool};
 use streamplane::{
     fingerprint, pending_fp, summarize, transition_kind, Incident, StandingQuery, SubscriptionId,
     PENDING_SUMMARY,
@@ -522,6 +522,11 @@ struct FrontInner {
     /// Per-shard wave coalescing on the router (off = the naive
     /// one-RPC-per-host counterfactual).
     coalesce: bool,
+    /// The shared execution pool: decoded query waves and window
+    /// evaluations run through the same chunked work-stealing scheduler
+    /// the in-process query plane uses, instead of inline on connection
+    /// threads. Sized by [`WireConfig::front_workers`].
+    pool: WorkerPool,
     topics: Mutex<Topics>,
     window: AtomicU64,
     counters: Mutex<RouterCounters>,
@@ -531,26 +536,57 @@ struct FrontInner {
 
 impl FrontInner {
     /// Executes one request through the remote router, accumulating the
-    /// routing counters.
-    fn execute(&self, req: &QueryRequest) -> (QueryResponse, ExecutionTrace, RouterCounters) {
-        let router = self.router();
-        let exec = QueryExecutor::new(self.ctx.query_ctx(), &router);
-        let started = Instant::now();
-        let (resp, trace) = exec.execute_traced(req);
-        // Same per-class exec histograms + span stream the in-process
-        // worker pool feeds, so `spexp wire` latency distributions read
-        // off the identical metric names.
-        self.ctx.exec_hists[req.class_index()].record_duration(started.elapsed());
-        self.ctx.metrics.tracer().record(
-            req.class_name(),
-            self.ctx.span_epoch(req),
-            u32::MAX,
-            started,
-        );
-        let counters = router.counters();
-        self.absorb(&counters);
+    /// routing counters — a wave of one on the shared pool.
+    fn execute(
+        self: &Arc<Self>,
+        req: &QueryRequest,
+    ) -> (QueryResponse, ExecutionTrace, RouterCounters) {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        (resp, trace, counters)
+        self.execute_wave(std::slice::from_ref(req))
+            .pop()
+            .expect("one request in, one result out")
+    }
+
+    /// Executes a whole decoded wave of requests on the shared pool and
+    /// returns results in submission order. Each query runs the shared
+    /// [`QueryExecutor`] over its own remote router (waves still coalesce
+    /// per shard *within* a query); routing counters accumulate exactly
+    /// as the inline path did. A panic inside any executor (shard
+    /// unreachable past the retry budget) is re-raised here after the
+    /// rest of the wave completes.
+    fn execute_wave(
+        self: &Arc<Self>,
+        reqs: &[QueryRequest],
+    ) -> Vec<(QueryResponse, ExecutionTrace, RouterCounters)> {
+        let inner = Arc::clone(self);
+        let reqs: Arc<[QueryRequest]> = Arc::from(reqs);
+        let out = self.pool.scatter(reqs.len(), None, None, move |_w, idxs| {
+            idxs.iter()
+                .map(|&i| {
+                    let req = &reqs[i];
+                    let router = inner.router();
+                    let exec = QueryExecutor::new(inner.ctx.query_ctx(), &router);
+                    let started = Instant::now();
+                    let (resp, trace) = exec.execute_traced(req);
+                    // Same per-class exec histograms + span stream the
+                    // in-process worker pool feeds, so `spexp wire`
+                    // latency distributions read off the identical
+                    // metric names.
+                    inner.ctx.exec_hists[req.class_index()].record_duration(started.elapsed());
+                    inner.ctx.metrics.tracer().record(
+                        req.class_name(),
+                        inner.ctx.span_epoch(req),
+                        u32::MAX,
+                        started,
+                    );
+                    (resp, trace, router.counters())
+                })
+                .collect()
+        });
+        for (_, _, counters) in &out {
+            self.absorb(counters);
+        }
+        out
     }
 
     /// The whole deployment's labelled snapshots: the front-end's own
@@ -659,10 +695,12 @@ impl FrontEnd {
                 )
             })
             .collect::<Result<_, _>>()?;
+        let pool = WorkerPool::with_metrics(cfg.front_workers, &ctx.metrics);
         let inner = Arc::new(FrontInner {
             ctx,
             shards,
             coalesce,
+            pool,
             topics: Mutex::new(Topics::default()),
             window: AtomicU64::new(0),
             counters: Mutex::new(RouterCounters::default()),
@@ -853,21 +891,45 @@ impl FrontEnd {
         let mut evaluated = 0u64;
         let mut pending = 0u64;
         let mut incidents = 0u64;
-        for (sub, topic) in &mut topics.list {
+
+        // Pass 1 — resolve every topic sequentially (resolution reads a
+        // little remote state; its routing counters absorb per topic),
+        // collecting the concrete requests of the window as one wave.
+        let mut outcomes: Vec<Option<usize>> = Vec::with_capacity(topics.list.len());
+        let mut wave: Vec<QueryRequest> = Vec::new();
+        for (_, topic) in &topics.list {
             evaluated += 1;
             let router = inner.router();
-            let (fp, summary) = match topic.query.resolve(&router, horizon) {
+            let resolved = topic.query.resolve(&router, horizon);
+            inner.absorb(&router.counters());
+            match resolved {
                 None => {
                     pending += 1;
-                    (pending_fp(), PENDING_SUMMARY.to_string())
+                    outcomes.push(None);
                 }
                 Some(req) => {
-                    let exec = QueryExecutor::new(inner.ctx.query_ctx(), &router);
-                    let (resp, _) = exec.execute_traced(&req);
-                    (fingerprint(&resp), summarize(&resp))
+                    outcomes.push(Some(wave.len()));
+                    wave.push(req);
+                }
+            }
+        }
+
+        // Pass 2 — the whole window's evaluations run as a single wave
+        // on the shared pool instead of inline, one executor per query.
+        // Results come back in submission (= topic) order, so pass 3's
+        // transition detection stays bit-identical to the inline path.
+        let results = self.inner.execute_wave(&wave);
+
+        // Pass 3 — fingerprint, detect transitions, append incidents in
+        // topic order.
+        for ((sub, topic), outcome) in topics.list.iter_mut().zip(outcomes) {
+            let (fp, summary) = match outcome {
+                None => (pending_fp(), PENDING_SUMMARY.to_string()),
+                Some(i) => {
+                    let resp = &results[i].0;
+                    (fingerprint(resp), summarize(resp))
                 }
             };
-            inner.absorb(&router.counters());
             let kind = transition_kind(topic.last_fp, fp);
             topic.last_fp = Some(fp);
             if let Some(kind) = kind {

@@ -68,6 +68,10 @@ pub struct WireConfig {
     pub max_conns: usize,
     /// Largest frame either side accepts, in bytes.
     pub max_frame: u32,
+    /// Worker threads in the front-end's shared execution pool: decoded
+    /// query waves and window evaluations run there (work-stealing,
+    /// chunked) instead of inline on connection threads.
+    pub front_workers: usize,
 }
 
 impl Default for WireConfig {
@@ -75,6 +79,7 @@ impl Default for WireConfig {
         WireConfig {
             max_conns: 64,
             max_frame: MAX_FRAME,
+            front_workers: 4,
         }
     }
 }
