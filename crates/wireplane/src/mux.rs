@@ -1,0 +1,326 @@
+//! Connection multiplexing: one socket, many concurrent exchanges.
+//!
+//! The legacy transport pattern — lock the connection, write a request,
+//! block on the reply — serializes every caller sharing a shard link:
+//! a 16-worker query wave degrades to 16 sequential round trips per
+//! shard. [`MuxConn`] replaces it with the classic tagged-frame design:
+//!
+//! * every request is stamped with a `req_id u32` and travels as
+//!   [`Frame::Tagged`] (or packed with its contemporaries into one
+//!   [`Frame::Batch`]);
+//! * a single **demux reader thread** per connection parses replies and
+//!   completes whichever waiter the `req_id` names, so replies may
+//!   arrive in any order;
+//! * writers **combine**: a caller enqueues its request and then drains
+//!   the whole pending queue under the writer lock. While one flush's
+//!   `write` syscall is in flight, every other caller's request piles
+//!   into the queue, and the next flush sends them all as *one*
+//!   `Batch` frame — one frame per shard per scheduling turn emerges
+//!   from contention itself, with no timers and no explicit wave
+//!   barrier.
+//!
+//! Encoding reuses one scratch buffer per connection
+//! ([`Frame::encode_into`]), so a steady-state sender allocates only
+//! for payload bodies. Replication frames, scrapes and query waves all
+//! share the link: the server answers tagged requests out of order on
+//! a serve pool but keeps sequenced replication frames in-band, so the
+//! `SeqGap` protocol's ordering survives multiplexing.
+//!
+//! Failure model: any transport error **poisons** the connection — the
+//! reader marks it dead with a peer-tagged [`WireError`] and wakes every
+//! waiter; replies completed before death still deliver. The owner
+//! ([`RemoteShard`](crate::frontend::RemoteShard)) drops the poisoned
+//! connection and redials under its retry/failover policy, exactly as
+//! it did per-stream.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use telemetry::frame::WireError;
+
+use crate::proto::Frame;
+
+/// Reply slots + death flag shared with the demux reader thread.
+struct Shared {
+    peer: SocketAddr,
+    slots: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+struct SlotState {
+    /// `req_id` → reply slot. A request registers `None` before it is
+    /// written; the reader fills it and wakes the condvar.
+    waiting: HashMap<u32, Option<Result<Frame, WireError>>>,
+    /// Set once on the first transport failure; every waiter whose slot
+    /// is still empty observes it and fails with the same cause.
+    dead: Option<WireError>,
+}
+
+impl Shared {
+    fn complete(&self, id: u32, reply: Frame) {
+        let mut st = self.slots.lock().unwrap();
+        if let Some(slot) = st.waiting.get_mut(&id) {
+            // An unknown id means the waiter gave up; drop the reply.
+            *slot = Some(Ok(reply));
+            self.cond.notify_all();
+        }
+    }
+
+    fn poison(&self, err: WireError) {
+        let mut st = self.slots.lock().unwrap();
+        if st.dead.is_none() {
+            st.dead = Some(err);
+        }
+        self.cond.notify_all();
+    }
+}
+
+/// The write half: the stream plus the reused encode scratch buffer.
+struct Writer {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+/// One multiplexed connection to a wireplane server.
+pub struct MuxConn {
+    shared: Arc<Shared>,
+    writer: Mutex<Writer>,
+    /// Requests enqueued but not yet flushed. Drained wholesale under
+    /// the writer lock — the combining step.
+    pending: Mutex<VecDeque<(u32, Frame)>>,
+    next_id: AtomicU32,
+    /// Envelope frames actually written (one `Batch` counts once).
+    frames_sent: AtomicU64,
+    /// Envelope bytes actually written, length prefixes included.
+    bytes_sent: AtomicU64,
+    /// A clone of the socket kept aside so `kill`/`Drop` can force the
+    /// reader thread out of its blocked `read`.
+    sock: TcpStream,
+    max_frame: u32,
+}
+
+impl MuxConn {
+    /// Dials `addr`, consumes the server's greeting and starts the demux
+    /// reader. Returns the connection plus the greeting's
+    /// `(shard, n_shards)` so the caller can verify it reached the right
+    /// role.
+    pub fn connect(
+        addr: SocketAddr,
+        max_frame: u32,
+    ) -> Result<(Arc<MuxConn>, u16, u16), WireError> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| WireError::from(e).with_peer(addr))?;
+        stream.set_nodelay(true).ok();
+        let (shard, n_shards) =
+            match Frame::read(&mut stream, max_frame).map_err(|e| e.with_peer(addr))? {
+                Frame::Hello { shard, n_shards } => (shard, n_shards),
+                Frame::Error(e) => return Err(e),
+                other => {
+                    return Err(WireError::Remote(format!(
+                        "expected greeting from {addr}, got frame {:#04x}",
+                        other.tag()
+                    )))
+                }
+            };
+        let sock = stream
+            .try_clone()
+            .map_err(|e| WireError::from(e).with_peer(addr))?;
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|e| WireError::from(e).with_peer(addr))?;
+        let shared = Arc::new(Shared {
+            peer: addr,
+            slots: Mutex::new(SlotState {
+                waiting: HashMap::new(),
+                dead: None,
+            }),
+            cond: Condvar::new(),
+        });
+        let conn = Arc::new(MuxConn {
+            shared: Arc::clone(&shared),
+            writer: Mutex::new(Writer {
+                stream,
+                scratch: Vec::with_capacity(4096),
+            }),
+            pending: Mutex::new(VecDeque::new()),
+            next_id: AtomicU32::new(0),
+            frames_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            sock,
+            max_frame,
+        });
+        // The reader holds only `Shared`, not the MuxConn — dropping the
+        // connection shuts the socket, which pops the reader out of
+        // `read` and lets the thread exit.
+        std::thread::Builder::new()
+            .name(format!("wireplane-mux-{addr}"))
+            .spawn(move || Self::reader_loop(reader_stream, shared, max_frame))
+            .map_err(|e| WireError::from(e).with_peer(addr))?;
+        Ok((conn, shard, n_shards))
+    }
+
+    /// The peer this connection points at.
+    pub fn peer(&self) -> SocketAddr {
+        self.shared.peer
+    }
+
+    /// Envelope frames written so far (a whole `Batch` counts once).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Envelope bytes written so far, length prefixes included.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// One request/reply exchange, concurrency-safe: any number of
+    /// threads may call this at once and their exchanges interleave on
+    /// the shared socket. Returns the enveloped reply as-is — a shard's
+    /// [`Frame::Error`] answer comes back as `Ok(Frame::Error(..))` for
+    /// the caller to map, matching the legacy exchange surface.
+    pub fn call(&self, req: &Frame) -> Result<Frame, WireError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.shared.slots.lock().unwrap();
+            if let Some(e) = &st.dead {
+                return Err(e.clone());
+            }
+            st.waiting.insert(id, None);
+        }
+        self.pending.lock().unwrap().push_back((id, req.clone()));
+        // A flush failure poisons the connection, which `wait_reply`
+        // observes — no separate error path needed here.
+        let _ = self.flush_pending();
+        self.wait_reply(id)
+    }
+
+    /// Drains the pending queue into envelope frames under the writer
+    /// lock. The thread that wins the lock sends *everything* queued so
+    /// far — including requests enqueued by threads still blocked on the
+    /// lock behind it — so concurrent callers combine into `Batch`
+    /// frames without any explicit coordination.
+    fn flush_pending(&self) -> Result<(), WireError> {
+        let mut w = self.writer.lock().unwrap();
+        loop {
+            let batch: Vec<(u32, Frame)> = {
+                let mut p = self.pending.lock().unwrap();
+                if p.is_empty() {
+                    return Ok(());
+                }
+                p.drain(..).collect()
+            };
+            let frame = if batch.len() == 1 {
+                let (req_id, inner) = batch.into_iter().next().expect("len checked");
+                Frame::Tagged {
+                    req_id,
+                    inner: Box::new(inner),
+                }
+            } else {
+                Frame::Batch(batch)
+            };
+            let Writer { stream, scratch } = &mut *w;
+            let sent = frame
+                .encode_into(scratch)
+                .and_then(|()| {
+                    stream.write_all(scratch)?;
+                    stream.flush()?;
+                    Ok(scratch.len() as u64)
+                })
+                .map_err(|e| e.with_peer(self.shared.peer));
+            match sent {
+                Ok(n) => {
+                    self.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    self.shared.poison(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn wait_reply(&self, id: u32) -> Result<Frame, WireError> {
+        let mut st = self.shared.slots.lock().unwrap();
+        loop {
+            if st.waiting.get(&id).is_some_and(|slot| slot.is_some()) {
+                return st
+                    .waiting
+                    .remove(&id)
+                    .expect("checked present")
+                    .expect("checked filled");
+            }
+            // Replies completed before death still deliver (checked
+            // above); only still-empty slots fail.
+            if let Some(e) = &st.dead {
+                let e = e.clone();
+                st.waiting.remove(&id);
+                return Err(e);
+            }
+            st = self.shared.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Demultiplexes replies until the stream dies, completing waiters
+    /// by `req_id`. Decode of one reply overlaps the server's work on
+    /// the others and the writer's next flush — the pipelining leg.
+    fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, max_frame: u32) {
+        loop {
+            match Frame::read(&mut stream, max_frame) {
+                Ok(Frame::Tagged { req_id, inner }) => shared.complete(req_id, *inner),
+                Ok(Frame::BatchRep(entries)) => {
+                    for (id, f) in entries {
+                        shared.complete(id, f);
+                    }
+                }
+                // An untagged error means the server lost framing and is
+                // dropping the connection; everything in flight is lost.
+                Ok(Frame::Error(e)) => {
+                    shared.poison(e);
+                    break;
+                }
+                Ok(other) => {
+                    shared.poison(WireError::Remote(format!(
+                        "unexpected untagged frame {:#04x} on multiplexed connection to {}",
+                        other.tag(),
+                        shared.peer
+                    )));
+                    break;
+                }
+                Err(e) => {
+                    shared.poison(e.with_peer(shared.peer));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether a transport failure has poisoned this connection.
+    pub fn is_dead(&self) -> bool {
+        self.shared.slots.lock().unwrap().dead.is_some()
+    }
+
+    /// Test hook and failover lever: force-close the socket. The reader
+    /// poisons the connection and every in-flight exchange fails with a
+    /// peer-tagged error; the owner redials.
+    pub fn kill(&self) {
+        let _ = self.sock.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Largest frame this connection accepts.
+    pub fn max_frame(&self) -> u32 {
+        self.max_frame
+    }
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        // Pop the detached reader thread out of its blocked read.
+        let _ = self.sock.shutdown(std::net::Shutdown::Both);
+    }
+}

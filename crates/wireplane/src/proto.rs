@@ -51,7 +51,7 @@ use switchpointer::cost::{LatencyBreakdown, QueryWaveCost};
 use switchpointer::host::TriggerEvent;
 use switchpointer::hoststore::FlowRecord;
 use switchpointer::query::{QueryRequest, QueryResponse};
-use telemetry::frame::{read_frame, write_frame, Dec, Enc, WireError};
+use telemetry::frame::{read_frame, write_frame, Dec, Enc, WireError, MAX_FRAME};
 use telemetry::EpochRange;
 
 /// Value-level codec: how one type travels inside a frame payload.
@@ -974,6 +974,136 @@ impl Wire for RegistrySnapshot {
 }
 
 // ----------------------------------------------------------------------
+// Compact batch codec helpers
+// ----------------------------------------------------------------------
+//
+// Inside a [`Frame::Tagged`]/[`Frame::Batch`] envelope, payloads use a
+// *compact* encoding: var-int lengths, delta-packed host-id lists and
+// run-length bitsets, instead of the fixed-width legacy layout. The
+// compact codec is differential-tested against the legacy one — for
+// every frame type, compact decode(compact encode(f)) == legacy
+// decode(legacy encode(f)) — so a value that crosses the wire in a
+// batch is bit-identical to one that crossed frame-per-call.
+
+/// Delta-packed id list: `count | first | zigzag deltas`. A sorted host
+/// list costs ~1 byte per id instead of 4.
+fn enc_ids_delta(ids: &[NodeId], e: &mut Enc) {
+    e.put_varint(ids.len() as u64);
+    let mut prev = 0i64;
+    for id in ids {
+        let v = i64::from(id.0);
+        e.put_zigzag(v - prev);
+        prev = v;
+    }
+}
+
+fn dec_ids_delta(d: &mut Dec) -> Result<Vec<NodeId>, WireError> {
+    let n = d.get_varint()? as usize;
+    // Each delta costs ≥ 1 byte, so a corrupt count cannot drive a huge
+    // reservation.
+    if n > d.remaining() {
+        return Err(WireError::Truncated {
+            needed: n,
+            have: d.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev += d.get_zigzag()?;
+        let id = u32::try_from(prev).map_err(|_| WireError::Oversize(u32::MAX))?;
+        out.push(NodeId(id));
+    }
+    Ok(out)
+}
+
+/// Run-length bitset: `capacity | runs…`, alternating zero/one runs
+/// starting with a zero run. Pointer-union slices are sparse and
+/// clustered, so runs beat the word array by a wide margin.
+fn enc_bitset_runs(b: &BitSet, e: &mut Enc) {
+    e.put_varint(b.capacity() as u64);
+    let mut cur = false;
+    let mut run = 0u64;
+    for i in 0..b.capacity() {
+        if b.test(i) == cur {
+            run += 1;
+        } else {
+            e.put_varint(run);
+            cur = !cur;
+            run = 1;
+        }
+    }
+    if b.capacity() > 0 {
+        e.put_varint(run);
+    }
+}
+
+fn dec_bitset_runs(d: &mut Dec) -> Result<BitSet, WireError> {
+    let nbits = d.get_varint()? as usize;
+    // Run-length encoding legitimately compresses a sparse bitset far
+    // below its word array, so the capacity cannot be bounded by the
+    // bytes present. Bound it instead by the largest bitset the *legacy*
+    // codec could carry in a maximum frame (8 bits per payload byte):
+    // corrupt input can never allocate more here than it already could
+    // on the fixed-width path.
+    if nbits > (MAX_FRAME as usize) * 8 {
+        return Err(WireError::Oversize(u32::MAX));
+    }
+    let mut words = vec![0u64; nbits.div_ceil(64)];
+    let mut at = 0usize;
+    let mut ones = false;
+    while at < nbits {
+        let run = d.get_varint()? as usize;
+        let end = at.checked_add(run).ok_or(WireError::Oversize(u32::MAX))?;
+        if end > nbits {
+            return Err(WireError::TrailingBytes(end - nbits));
+        }
+        if ones {
+            for i in at..end {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        at = end;
+        ones = !ones;
+    }
+    Ok(BitSet::from_words(nbits, &words))
+}
+
+/// Varint-packed `Option<u64>` list (`0` marker = None, `1` marker then
+/// the varint value = Some) — the store-length wave reply.
+fn enc_opt_u64s(v: &[Option<u64>], e: &mut Enc) {
+    e.put_varint(v.len() as u64);
+    for o in v {
+        match o {
+            None => e.put_varint(0),
+            Some(n) => {
+                e.put_varint(1);
+                e.put_varint(*n);
+            }
+        }
+    }
+}
+
+fn dec_opt_u64s(d: &mut Dec) -> Result<Vec<Option<u64>>, WireError> {
+    let n = d.get_varint()? as usize;
+    if n > d.remaining() {
+        return Err(WireError::Truncated {
+            needed: n,
+            have: d.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match d.get_varint()? {
+            0 => None,
+            1 => Some(d.get_varint()?),
+            t => return Err(WireError::BadTag((t & 0xFF) as u8)),
+        });
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
 // Frames
 // ----------------------------------------------------------------------
 
@@ -1107,6 +1237,24 @@ pub enum Frame {
         applied: u64,
     },
 
+    // Multiplexing envelopes (fast path; PR 9). Inner frames travel in
+    // their *compact* payload form ([`Frame::compact_payload`]) so the
+    // envelope is also where the var-int/delta codec pays off.
+    /// One request or reply stamped with the caller's correlation id, so
+    /// many exchanges can share a socket and complete out of order.
+    Tagged {
+        /// Correlation id; a reply carries the id of its request.
+        req_id: u32,
+        /// The enveloped frame. Envelopes never nest.
+        inner: Box<Frame>,
+    },
+    /// A whole wave of tagged requests in one frame: the per-shard batch
+    /// a front-end flushes per scheduling turn.
+    Batch(Vec<(u32, Frame)>),
+    /// The replies to a [`Frame::Batch`], in whatever order the shard
+    /// finished them; each entry names its request by id.
+    BatchRep(Vec<(u32, Frame)>),
+
     /// Typed failure, either direction.
     Error(WireError),
 }
@@ -1152,6 +1300,9 @@ impl Frame {
             Frame::DeltaAck { .. } => 0x42,
             Frame::ReplicaStatusReq => 0x43,
             Frame::ReplicaStatusRep { .. } => 0x44,
+            Frame::Tagged { .. } => 0x50,
+            Frame::Batch(_) => 0x51,
+            Frame::BatchRep(_) => 0x52,
             Frame::Error(_) => 0x3F,
         }
     }
@@ -1254,9 +1405,103 @@ impl Frame {
                 e.put_u16(*shard);
                 e.put_u64(*applied);
             }
+            Frame::Tagged { req_id, inner } => {
+                e.put_u32(*req_id);
+                e.put_u8(inner.tag());
+                e.put_raw(&inner.compact_payload());
+            }
+            Frame::Batch(entries) | Frame::BatchRep(entries) => {
+                e.put_varint(entries.len() as u64);
+                for (id, f) in entries {
+                    e.put_u32(*id);
+                    e.put_u8(f.tag());
+                    let p = f.compact_payload();
+                    e.put_varint(p.len() as u64);
+                    e.put_raw(&p);
+                }
+            }
             Frame::Error(err) => err.enc(&mut e),
         }
         e.into_bytes()
+    }
+
+    /// The frame's payload in compact form: wave requests and their
+    /// replies swap fixed-width id lists and bitsets for the delta /
+    /// run-length codec. Only envelope interiors use this encoding — a
+    /// bare frame on the wire always carries its legacy [`payload`]
+    /// (`Frame::payload`), so old and new endpoints interoperate frame
+    /// by frame.
+    fn compact_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Frame::StoreLenWaveReq { hosts } => enc_ids_delta(hosts, &mut e),
+            Frame::FilterWaveReq {
+                switch,
+                range,
+                hosts,
+            } => {
+                switch.enc(&mut e);
+                range.enc(&mut e);
+                enc_ids_delta(hosts, &mut e);
+            }
+            Frame::TopKWaveReq { switch, k, hosts } => {
+                switch.enc(&mut e);
+                e.put_varint(*k);
+                enc_ids_delta(hosts, &mut e);
+            }
+            Frame::SizesWaveReq { switch, hosts } => {
+                switch.enc(&mut e);
+                enc_ids_delta(hosts, &mut e);
+            }
+            Frame::UnionSliceRep(v) => match v {
+                None => e.put_u8(0),
+                Some(b) => {
+                    e.put_u8(1);
+                    enc_bitset_runs(b, &mut e);
+                }
+            },
+            Frame::StoreLenWaveRep(v) => enc_opt_u64s(v, &mut e),
+            _ => return self.payload(),
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`Frame::compact_payload`]. Rejects
+    /// the envelope tags themselves (`0x50..=0x52`): envelopes never
+    /// nest, which also bounds decode recursion at one level.
+    fn decode_compact(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        if (0x50..=0x52).contains(&tag) {
+            return Err(WireError::BadTag(tag));
+        }
+        let mut d = Dec::new(payload);
+        let frame = match tag {
+            0x15 => Frame::StoreLenWaveReq {
+                hosts: dec_ids_delta(&mut d)?,
+            },
+            0x16 => Frame::FilterWaveReq {
+                switch: NodeId::dec(&mut d)?,
+                range: EpochRange::dec(&mut d)?,
+                hosts: dec_ids_delta(&mut d)?,
+            },
+            0x17 => Frame::TopKWaveReq {
+                switch: NodeId::dec(&mut d)?,
+                k: d.get_varint()?,
+                hosts: dec_ids_delta(&mut d)?,
+            },
+            0x18 => Frame::SizesWaveReq {
+                switch: NodeId::dec(&mut d)?,
+                hosts: dec_ids_delta(&mut d)?,
+            },
+            0x20 => Frame::UnionSliceRep(match d.get_u8()? {
+                0 => None,
+                1 => Some(dec_bitset_runs(&mut d)?),
+                t => return Err(WireError::BadTag(t)),
+            }),
+            0x25 => Frame::StoreLenWaveRep(dec_opt_u64s(&mut d)?),
+            _ => return Frame::decode(tag, payload),
+        };
+        d.finish()?;
+        Ok(frame)
     }
 
     /// Serializes the whole frame (length prefix + tag + payload) into a
@@ -1266,6 +1511,13 @@ impl Frame {
         let mut out = Vec::new();
         write_frame(&mut out, self.tag(), &self.payload())?;
         Ok(out)
+    }
+
+    /// [`Frame::to_frame_bytes`] into a caller-owned scratch buffer: the
+    /// buffer is cleared and refilled, keeping its allocation, so a
+    /// steady-state sender stops allocating per frame.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        telemetry::frame::frame_into(out, self.tag(), &self.payload())
     }
 
     /// Writes the frame to `w`.
@@ -1372,6 +1624,39 @@ impl Frame {
                 shard: d.get_u16()?,
                 applied: d.get_u64()?,
             },
+            0x50 => {
+                let req_id = d.get_u32()?;
+                let tag = d.get_u8()?;
+                let inner = Frame::decode_compact(tag, d.take_rest())?;
+                Frame::Tagged {
+                    req_id,
+                    inner: Box::new(inner),
+                }
+            }
+            0x51 | 0x52 => {
+                let count = d.get_varint()? as usize;
+                // Every entry costs at least 6 bytes of header, so a
+                // corrupt count cannot force a big reserve.
+                if count > d.remaining() / 6 + 1 {
+                    return Err(WireError::Truncated {
+                        needed: count.saturating_mul(6),
+                        have: d.remaining(),
+                    });
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = d.get_u32()?;
+                    let etag = d.get_u8()?;
+                    let len = d.get_varint()? as usize;
+                    let payload = d.get_raw(len)?;
+                    entries.push((id, Frame::decode_compact(etag, payload)?));
+                }
+                if tag == 0x51 {
+                    Frame::Batch(entries)
+                } else {
+                    Frame::BatchRep(entries)
+                }
+            }
             0x3F => Frame::Error(WireError::dec(&mut d)?),
             t => return Err(WireError::BadTag(t)),
         };

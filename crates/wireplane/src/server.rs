@@ -418,6 +418,78 @@ impl Drop for Listener {
     }
 }
 
+/// Test hook: an artificial per-request serve delay, keyed off the
+/// request frame. The interleaving suite rigs this to force tagged
+/// requests to complete out of order.
+pub type ServeDelay = Arc<dyn Fn(&Frame) -> std::time::Duration + Send + Sync>;
+
+/// In-flight spawned serves per connection before the loop falls back to
+/// serving in-band (backpressure, and a bound on thread count).
+const MAX_INFLIGHT_SERVES: usize = 32;
+
+/// Everything one connection loop needs to answer a single read-only
+/// request, shared with the per-request serve threads the multiplexed
+/// path spawns.
+struct ServeCtx {
+    state: Arc<RwLock<Arc<ShardState>>>,
+    metrics: WireLoopMetrics,
+    scrape_label: String,
+    scrape_reg: Arc<MetricsRegistry>,
+    delay: Arc<RwLock<Option<ServeDelay>>>,
+}
+
+impl ServeCtx {
+    /// Serves one read-only request (scrape or shard read) and returns
+    /// the reply frame. Replication is NOT handled here — it must stay
+    /// in-band on the connection loop so the sequenced-log ordering
+    /// survives out-of-order tagged dispatch.
+    fn serve_read(&self, req: &Frame) -> Frame {
+        if let Some(d) = self.delay.read().unwrap().as_ref() {
+            std::thread::sleep(d(req));
+        }
+        if matches!(req, Frame::StatsScrapeReq) {
+            return Frame::StatsScrapeRep(vec![(
+                self.scrape_label.clone(),
+                self.scrape_reg.snapshot(),
+            )]);
+        }
+        let serve_started = Instant::now();
+        let reply = {
+            let state = self.state.read().unwrap().clone();
+            state.serve(req)
+        };
+        self.metrics
+            .serve_ns
+            .record_duration(serve_started.elapsed());
+        self.metrics.frames_served.inc();
+        reply
+    }
+}
+
+/// Writes one whole frame through the shared per-connection writer in a
+/// single `write_all`, so spawned serve threads never interleave partial
+/// frames on the socket.
+fn write_shared(writer: &Mutex<TcpStream>, frame: &Frame) -> bool {
+    let Ok(buf) = frame.to_frame_bytes() else {
+        return false;
+    };
+    let mut w = writer.lock().unwrap();
+    w.write_all(&buf).is_ok() && w.flush().is_ok()
+}
+
+/// Reaps finished serve threads; joins everything when `all` is set.
+fn reap(serves: &mut Vec<JoinHandle<()>>, all: bool) {
+    let mut kept = Vec::new();
+    for h in serves.drain(..) {
+        if all || h.is_finished() {
+            let _ = h.join();
+        } else {
+            kept.push(h);
+        }
+    }
+    *serves = kept;
+}
+
 /// A running shard server.
 pub struct ShardServer {
     listener: Listener,
@@ -427,6 +499,8 @@ pub struct ShardServer {
     shard: usize,
     max_frame: u32,
     metrics: Arc<MetricsRegistry>,
+    /// Test hook: artificial per-request serve delay (see [`ServeDelay`]).
+    delay: Arc<RwLock<Option<ServeDelay>>>,
 }
 
 impl ShardServer {
@@ -444,6 +518,8 @@ impl ShardServer {
         let repl_m = ReplMetrics::new(&metrics);
         let scrape_label = format!("shard{shard}");
         let scrape_reg = Arc::clone(&metrics);
+        let delay: Arc<RwLock<Option<ServeDelay>>> = Arc::new(RwLock::new(None));
+        let delay_hook = Arc::clone(&delay);
         let listener = Listener::spawn(
             &format!("wireplane-shard{shard}"),
             cfg.max_conns,
@@ -459,6 +535,21 @@ impl ShardServer {
                 {
                     return;
                 }
+                // All replies funnel through one shared writer so the
+                // spawned tagged-serve threads below never interleave
+                // partial frames with the loop's own replies.
+                let writer = match stream.try_clone() {
+                    Ok(s) => Arc::new(Mutex::new(s)),
+                    Err(_) => return,
+                };
+                let ctx = Arc::new(ServeCtx {
+                    state: Arc::clone(&serving),
+                    metrics: m.clone(),
+                    scrape_label: scrape_label.clone(),
+                    scrape_reg: Arc::clone(&scrape_reg),
+                    delay: Arc::clone(&delay_hook),
+                });
+                let mut serves: Vec<JoinHandle<()>> = Vec::new();
                 loop {
                     let (tag, payload) = match read_frame(&mut stream, max_frame) {
                         Ok(fr) => fr,
@@ -466,7 +557,7 @@ impl ShardServer {
                         Err(e) => {
                             // Framing is lost: report the typed error and
                             // drop the connection (the client reconnects).
-                            let _ = Frame::Error(e).write(&mut stream);
+                            let _ = write_shared(&writer, &Frame::Error(e));
                             break;
                         }
                     };
@@ -474,56 +565,193 @@ impl ShardServer {
                     let req = match Frame::decode(tag, &payload) {
                         Ok(req) => req,
                         Err(e) => {
-                            let _ = Frame::Error(e).write(&mut stream);
+                            let _ = write_shared(&writer, &Frame::Error(e));
                             break;
                         }
                     };
                     let decode_elapsed = decode_started.elapsed();
-                    // Scrapes are answered entirely side-effect-free —
-                    // not even their own decode/encode is recorded — so
-                    // the snapshot that crosses the wire is exactly the
-                    // server registry's, and repeated scrapes of a
-                    // quiesced server are identical.
-                    if matches!(req, Frame::StatsScrapeReq) {
-                        let reply = Frame::StatsScrapeRep(vec![(
-                            scrape_label.clone(),
-                            scrape_reg.snapshot(),
-                        )]);
-                        if reply.write(&mut stream).is_err() {
-                            break;
+                    match req {
+                        // Multiplexed fast path: tagged requests complete
+                        // out of order on spawned serve threads, so a
+                        // slow fan-out never convoys the scrapes and
+                        // replication acks sharing the link. Sequenced
+                        // replication frames are the exception — they
+                        // serve in-band, in arrival order, or SeqGap
+                        // would fire on every reordering.
+                        Frame::Tagged { req_id, inner } => {
+                            // Tagged scrapes stay side-effect-free: not
+                            // even their decode is recorded.
+                            if !matches!(*inner, Frame::StatsScrapeReq) {
+                                m.decode_ns.record_duration(decode_elapsed);
+                            }
+                            if let Some(reply) =
+                                serve_replication(&inner, shard, &serving, &applying, &repl_m)
+                            {
+                                if !write_shared(
+                                    &writer,
+                                    &Frame::Tagged {
+                                        req_id,
+                                        inner: Box::new(reply),
+                                    },
+                                ) {
+                                    break;
+                                }
+                                continue;
+                            }
+                            reap(&mut serves, false);
+                            let inner = Arc::new(*inner);
+                            let mut inline = true;
+                            if serves.len() < MAX_INFLIGHT_SERVES {
+                                let ctx = Arc::clone(&ctx);
+                                let writer = Arc::clone(&writer);
+                                let inner = Arc::clone(&inner);
+                                let spawn = std::thread::Builder::new()
+                                    .name(format!("wireplane-shard{shard}-serve"))
+                                    .spawn(move || {
+                                        let reply = ctx.serve_read(&inner);
+                                        let _ = write_shared(
+                                            &writer,
+                                            &Frame::Tagged {
+                                                req_id,
+                                                inner: Box::new(reply),
+                                            },
+                                        );
+                                    });
+                                if let Ok(h) = spawn {
+                                    serves.push(h);
+                                    inline = false;
+                                }
+                            }
+                            // Beyond the in-flight cap (or on spawn
+                            // failure) the loop serves inline, which
+                            // also throttles the reader — backpressure.
+                            if inline {
+                                let reply = ctx.serve_read(&inner);
+                                if !write_shared(
+                                    &writer,
+                                    &Frame::Tagged {
+                                        req_id,
+                                        inner: Box::new(reply),
+                                    },
+                                ) {
+                                    break;
+                                }
+                            }
                         }
-                        let _ = stream.flush();
-                        continue;
-                    }
-                    // Replication frames are the one write path: handled
-                    // here (the shared `serve` below is read-only).
-                    if let Some(reply) =
-                        serve_replication(&req, shard, &serving, &applying, &repl_m)
-                    {
-                        if reply.write(&mut stream).is_err() {
-                            break;
+                        // A whole wave batch serves on one thread and
+                        // answers with one BatchRep; other tagged traffic
+                        // keeps flowing meanwhile. Batches carrying
+                        // replication serve in-band for the same ordering
+                        // reason as above.
+                        Frame::Batch(entries) => {
+                            if entries
+                                .iter()
+                                .any(|(_, f)| !matches!(f, Frame::StatsScrapeReq))
+                            {
+                                m.decode_ns.record_duration(decode_elapsed);
+                            }
+                            let has_repl = entries.iter().any(|(_, f)| {
+                                matches!(
+                                    f,
+                                    Frame::DeltaAppend { .. }
+                                        | Frame::SnapshotInstall { .. }
+                                        | Frame::ReplicaStatusReq
+                                )
+                            });
+                            if has_repl {
+                                let replies: Vec<(u32, Frame)> = entries
+                                    .iter()
+                                    .map(|(id, f)| {
+                                        let reply = serve_replication(
+                                            f, shard, &serving, &applying, &repl_m,
+                                        )
+                                        .unwrap_or_else(|| ctx.serve_read(f));
+                                        (*id, reply)
+                                    })
+                                    .collect();
+                                if !write_shared(&writer, &Frame::BatchRep(replies)) {
+                                    break;
+                                }
+                                continue;
+                            }
+                            reap(&mut serves, false);
+                            let serve_batch = {
+                                let ctx = Arc::clone(&ctx);
+                                let writer = Arc::clone(&writer);
+                                move || {
+                                    let replies: Vec<(u32, Frame)> = entries
+                                        .iter()
+                                        .map(|(id, f)| (*id, ctx.serve_read(f)))
+                                        .collect();
+                                    write_shared(&writer, &Frame::BatchRep(replies))
+                                }
+                            };
+                            if serves.len() < MAX_INFLIGHT_SERVES {
+                                match std::thread::Builder::new()
+                                    .name(format!("wireplane-shard{shard}-serve"))
+                                    .spawn(move || {
+                                        let _ = serve_batch();
+                                    }) {
+                                    Ok(h) => serves.push(h),
+                                    Err(_) => break,
+                                }
+                            } else if !serve_batch() {
+                                break;
+                            }
                         }
-                        let _ = stream.flush();
-                        continue;
+                        // Legacy untagged path: serve in arrival order.
+                        req => {
+                            // Scrapes are answered entirely side-effect-
+                            // free — not even their own decode/encode is
+                            // recorded — so the snapshot that crosses the
+                            // wire is exactly the server registry's, and
+                            // repeated scrapes of a quiesced server are
+                            // identical.
+                            if matches!(req, Frame::StatsScrapeReq) {
+                                let reply = Frame::StatsScrapeRep(vec![(
+                                    scrape_label.clone(),
+                                    scrape_reg.snapshot(),
+                                )]);
+                                if !write_shared(&writer, &reply) {
+                                    break;
+                                }
+                                continue;
+                            }
+                            // Replication frames are the one write path:
+                            // handled here (the shared `serve` is
+                            // read-only).
+                            if let Some(reply) =
+                                serve_replication(&req, shard, &serving, &applying, &repl_m)
+                            {
+                                if !write_shared(&writer, &reply) {
+                                    break;
+                                }
+                                continue;
+                            }
+                            m.decode_ns.record_duration(decode_elapsed);
+                            let serve_started = Instant::now();
+                            let reply = {
+                                let state = serving.read().unwrap().clone();
+                                state.serve(&req)
+                            };
+                            m.serve_ns.record_duration(serve_started.elapsed());
+                            let encode_started = Instant::now();
+                            let Ok(buf) = reply.to_frame_bytes() else {
+                                break;
+                            };
+                            m.encode_ns.record_duration(encode_started.elapsed());
+                            m.frames_served.inc();
+                            let ok = {
+                                let mut w = writer.lock().unwrap();
+                                w.write_all(&buf).is_ok() && w.flush().is_ok()
+                            };
+                            if !ok {
+                                break;
+                            }
+                        }
                     }
-                    m.decode_ns.record_duration(decode_elapsed);
-                    let serve_started = Instant::now();
-                    let reply = {
-                        let state = serving.read().unwrap().clone();
-                        state.serve(&req)
-                    };
-                    m.serve_ns.record_duration(serve_started.elapsed());
-                    let encode_started = Instant::now();
-                    let Ok(buf) = reply.to_frame_bytes() else {
-                        break;
-                    };
-                    m.encode_ns.record_duration(encode_started.elapsed());
-                    m.frames_served.inc();
-                    if stream.write_all(&buf).is_err() {
-                        break;
-                    }
-                    let _ = stream.flush();
                 }
+                reap(&mut serves, true);
             },
         )?;
         Ok(ShardServer {
@@ -533,7 +761,16 @@ impl ShardServer {
             shard,
             max_frame: cfg.max_frame,
             metrics,
+            delay,
         })
+    }
+
+    /// Installs (or clears, with `None`) an artificial per-request serve
+    /// delay on the multiplexed path. Test hook: the interleaving suite
+    /// rigs request-dependent delays so tagged replies provably complete
+    /// out of order.
+    pub fn set_serve_delay(&self, delay: Option<ServeDelay>) {
+        *self.delay.write().unwrap() = delay;
     }
 
     /// The shard this server owns.

@@ -18,6 +18,8 @@
 //!     a typed error frame.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use netsim::prelude::*;
 use proptest::prelude::*;
@@ -40,7 +42,9 @@ use switchpointer::testbed::{Testbed, TestbedConfig};
 use telemetry::frame::{read_frame, WireError, MAX_FRAME};
 use telemetry::EpochRange;
 use wireplane::proto::Frame;
-use wireplane::{WireCluster, WireConfig, WireEvent};
+use wireplane::{
+    MuxConn, RemoteShard, RetryPolicy, ServeDelay, WireClient, WireCluster, WireConfig, WireEvent,
+};
 
 // ----------------------------------------------------------------------
 // (a) Codec totality
@@ -1298,4 +1302,611 @@ fn scraped_stats_equal_server_registries_and_merge_to_totals() {
     let third = other.scrape_stats().unwrap();
     assert_eq!(scraped, third, "scrape result depends on the connection");
     cluster.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// (f) The wire fast path: batch envelopes, multiplexing, buffer reuse
+// ----------------------------------------------------------------------
+
+/// Differential codec pin: every legacy frame type, wrapped in the fast
+/// path's `Tagged`/`Batch`/`BatchRep` envelopes, decodes back to exactly
+/// the value the legacy codec produces for the same frame. The compact
+/// payload forms (delta-packed ids, run-length bitsets, var-int lists)
+/// may lay the bytes out differently — the *decoded value* may not
+/// differ by a bit.
+#[test]
+fn envelope_framing_decodes_every_frame_type_to_its_legacy_value() {
+    let mut rng = rng_for("wireplane envelope differential");
+    for round in 0..10 {
+        let frames = gen_frames(&mut rng);
+        // The legacy codec's view of each frame, via the un-enveloped
+        // path (pinned as the identity by the roundtrip test above).
+        let legacy: Vec<Frame> = frames
+            .iter()
+            .map(|f| {
+                let bytes = f.to_frame_bytes().unwrap();
+                let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+                Frame::decode(tag, &payload).unwrap()
+            })
+            .collect();
+
+        // Tagged: each frame alone under a req-id envelope.
+        for (i, f) in frames.iter().enumerate() {
+            let req_id = i as u32 * 7 + 1;
+            let tagged = Frame::Tagged {
+                req_id,
+                inner: Box::new(f.clone()),
+            };
+            let bytes = tagged.to_frame_bytes().unwrap();
+            let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+            match Frame::decode(tag, &payload).unwrap() {
+                Frame::Tagged { req_id: got, inner } => {
+                    assert_eq!(got, req_id);
+                    assert_eq!(
+                        format!("{inner:?}"),
+                        format!("{:?}", legacy[i]),
+                        "round {round}: tagged {f:?} diverged from the legacy codec"
+                    );
+                }
+                other => panic!("tagged envelope decoded to {other:?}"),
+            }
+        }
+
+        // Batch / BatchRep: the whole sample set in one frame.
+        for make in [Frame::Batch, Frame::BatchRep] {
+            let entries: Vec<(u32, Frame)> = frames
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, f)| (i as u32, f))
+                .collect();
+            let batch = make(entries);
+            let bytes = batch.to_frame_bytes().unwrap();
+            let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+            match Frame::decode(tag, &payload).unwrap() {
+                Frame::Batch(got) | Frame::BatchRep(got) => {
+                    assert_eq!(got.len(), frames.len());
+                    for ((id, inner), (i, want)) in got.iter().zip(legacy.iter().enumerate()) {
+                        assert_eq!(*id, i as u32);
+                        assert_eq!(
+                            format!("{inner:?}"),
+                            format!("{want:?}"),
+                            "round {round}: batch entry {i} diverged from the legacy codec"
+                        );
+                    }
+                }
+                other => panic!("batch envelope decoded to {other:?}"),
+            }
+        }
+    }
+}
+
+/// The fuzz bar extended to the envelope frames: strict prefixes are
+/// typed errors, single-byte flips never panic, hostile length fields
+/// are refused before any allocation they would justify, and envelopes
+/// do not nest (so decode recursion is bounded at one level).
+#[test]
+fn envelope_frames_reject_truncation_corruption_and_hostile_counts() {
+    let mut rng = rng_for("wireplane envelope fuzz");
+    let frames = gen_frames(&mut rng);
+    let entries: Vec<(u32, Frame)> = frames
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, f)| (i as u32, f))
+        .collect();
+    let samples = vec![
+        Frame::Tagged {
+            req_id: 42,
+            inner: Box::new(frames[0].clone()),
+        },
+        Frame::Batch(entries.clone()),
+        Frame::BatchRep(entries),
+    ];
+    for frame in &samples {
+        let bytes = frame.to_frame_bytes().unwrap();
+        let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+        let cuts: Vec<usize> = if payload.len() <= 96 {
+            (0..payload.len()).collect()
+        } else {
+            (0..96).map(|i| i * payload.len() / 96).collect()
+        };
+        for cut in cuts {
+            assert!(
+                Frame::decode(tag, &payload[..cut]).is_err(),
+                "truncated envelope {tag:#04x} at {cut}/{} decoded successfully",
+                payload.len()
+            );
+        }
+        for i in 0..payload.len().min(256) {
+            let mut corrupt = payload.clone();
+            corrupt[i] ^= 0xA5;
+            let _ = Frame::decode(tag, &corrupt); // must return, not panic
+        }
+    }
+
+    // Hand-crafted hostile headers. LEB128, as the codec writes it.
+    fn leb(mut v: u64, out: &mut Vec<u8>) {
+        loop {
+            let b = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(b);
+                break;
+            }
+            out.push(b | 0x80);
+        }
+    }
+    // A Batch count promising more entries than the payload could hold
+    // is refused up front — before allocating a single entry.
+    for tag in [0x51u8, 0x52] {
+        let mut hostile = Vec::new();
+        leb(u64::MAX / 2, &mut hostile);
+        assert!(
+            matches!(
+                Frame::decode(tag, &hostile),
+                Err(WireError::Truncated { .. })
+            ),
+            "hostile batch count not refused"
+        );
+    }
+    // A delta-packed id list (Tagged StoreLenWaveReq) with a count far
+    // beyond its bytes: refused before allocation.
+    let mut hostile_ids = vec![0, 0, 0, 7, 0x18];
+    leb(1 << 40, &mut hostile_ids);
+    assert!(
+        Frame::decode(0x50, &hostile_ids).is_err(),
+        "hostile id count not refused"
+    );
+    // A run-length bitset (Tagged UnionSliceRep) claiming a capacity no
+    // legal frame could carry: typed Oversize, not a giant allocation.
+    let mut hostile_bits = vec![0, 0, 0, 9, 0x20, 1];
+    leb(u64::MAX / 4, &mut hostile_bits);
+    assert!(
+        matches!(
+            Frame::decode(0x50, &hostile_bits),
+            Err(WireError::Oversize(_))
+        ),
+        "hostile bitset capacity not refused"
+    );
+    // Envelopes must not nest: a Tagged wrapping tag 0x50 is a BadTag.
+    let nested = vec![0, 0, 0, 1, 0x50, 0, 0, 0, 2, 0x3F];
+    assert!(
+        matches!(Frame::decode(0x50, &nested), Err(WireError::BadTag(0x50))),
+        "nested envelope not refused"
+    );
+    // Arbitrary garbage under the envelope tags: typed errors or clean
+    // decodes, never a panic.
+    for _ in 0..200 {
+        let n = rng.below(64) as usize;
+        let garbage: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
+        for tag in [0x50u8, 0x51, 0x52] {
+            let _ = Frame::decode(tag, &garbage);
+        }
+    }
+}
+
+/// Buffer-reuse soundness: the fast path encodes every envelope into a
+/// per-connection scratch buffer ([`Frame::encode_into`]). Reusing one
+/// buffer across waves — long frames followed by short ones — must be
+/// byte-identical to a fresh allocation every time (no stale-suffix
+/// leakage).
+#[test]
+fn reused_encode_scratch_is_byte_identical_to_fresh_encoding_across_waves() {
+    let mut rng = rng_for("wireplane scratch reuse");
+    let mut scratch = Vec::new();
+    for wave in 0..3u32 {
+        let frames = gen_frames(&mut rng);
+        for frame in &frames {
+            let tagged = Frame::Tagged {
+                req_id: wave,
+                inner: Box::new(frame.clone()),
+            };
+            tagged.encode_into(&mut scratch).unwrap();
+            assert_eq!(
+                scratch,
+                tagged.to_frame_bytes().unwrap(),
+                "wave {wave}: reused scratch diverged from fresh encoding"
+            );
+        }
+        let batch = Frame::Batch(
+            frames
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| (i as u32, f))
+                .collect(),
+        );
+        batch.encode_into(&mut scratch).unwrap();
+        assert_eq!(
+            scratch,
+            batch.to_frame_bytes().unwrap(),
+            "wave {wave}: reused batch scratch diverged from fresh encoding"
+        );
+    }
+}
+
+/// The envelope-frame economics the fast path exists for: a batched wave
+/// writes a number of envelope frames bounded by its coalesced RPCs
+/// (host-count independent), while the naive per-host regime pays one
+/// envelope per host read. Also pins that the wave instruments itself
+/// (`wire.frames_per_wave`, `wire.bytes_per_query`).
+#[test]
+fn batched_wave_frames_do_not_scale_with_host_count() {
+    let (mut tb, victim, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    let n_shards = 2usize;
+
+    let batched = WireCluster::launch(&analyzer, n_shards, WireConfig::default()).unwrap();
+    let f0 = batched.front().wire_frames_sent();
+    let results = batched.front().execute_wave(&reqs);
+    assert_eq!(results.len(), reqs.len());
+    let batched_frames = batched.front().wire_frames_sent() - f0;
+    let batched_rpcs = batched.front().counters().rpcs;
+
+    let naive =
+        WireCluster::launch_with(&analyzer, n_shards, WireConfig::default(), false).unwrap();
+    let n0 = naive.front().wire_frames_sent();
+    for req in &reqs {
+        naive.front().execute(req);
+    }
+    let naive_frames = naive.front().wire_frames_sent() - n0;
+
+    assert!(
+        batched_frames <= batched_rpcs,
+        "a batched wave wrote {batched_frames} envelopes for {batched_rpcs} coalesced RPCs"
+    );
+    // Strictly fewer envelopes than the per-host regime: the gap is
+    // exactly the per-host fan-outs collapsed into wave frames (every
+    // envelope carries at least one RPC, so batched frames never exceed
+    // the coalesced RPC count, which is below the naive frame count).
+    assert!(
+        naive_frames < 2 * batched_rpcs && naive_frames > batched_frames,
+        "per-host regime wrote {naive_frames} envelope frames vs {batched_frames} batched — \
+         frames are scaling with host count again"
+    );
+
+    // The scaling pin itself, at the wire: a fan-out covering EVERY host
+    // in the fabric is one envelope frame (only its bytes grow), while
+    // per-host reads pay one envelope each.
+    let all_hosts: Vec<NodeId> = tb.hosts.keys().copied().collect();
+    assert!(all_hosts.len() >= 16, "fat-tree(4) fixture has 16 hosts");
+    let (mux, _, _) = MuxConn::connect(batched.shard_addrs()[0], MAX_FRAME).unwrap();
+    let switch = tb.node("edge0_0");
+    let range = EpochRange { lo: 10, hi: 20 };
+    let f0 = mux.frames_sent();
+    let b0 = mux.bytes_sent();
+    mux.call(&Frame::FilterWaveReq {
+        switch,
+        range,
+        hosts: all_hosts.clone(),
+    })
+    .unwrap();
+    assert_eq!(
+        mux.frames_sent() - f0,
+        1,
+        "a whole-fabric fan-out must travel as one envelope frame"
+    );
+    let wave_bytes = mux.bytes_sent() - b0;
+    for &h in &all_hosts {
+        mux.call(&Frame::StoreLenReq { host: h }).unwrap();
+    }
+    assert_eq!(
+        mux.frames_sent() - f0,
+        1 + all_hosts.len() as u64,
+        "per-host reads pay one envelope each — the regime the wave frame replaces"
+    );
+    assert!(wave_bytes > 0, "the fan-out frame carried no bytes");
+
+    let snap = batched.front_metrics().snapshot();
+    let fpw = snap
+        .hist("wire.frames_per_wave")
+        .expect("frames-per-wave histogram");
+    assert_eq!(fpw.count, 1, "one wave, one frames-per-wave sample");
+    assert!(
+        snap.hist("wire.bytes_per_query")
+            .is_some_and(|h| h.count == 1),
+        "bytes-per-query histogram missing its wave sample"
+    );
+    batched.shutdown();
+    naive.shutdown();
+}
+
+/// Interleaving: N concurrent tagged requests on ONE connection, with
+/// server-side delays rigged so the first-issued request finishes last.
+/// Every reply must pair with its own request (no cross-talk), and the
+/// fast requests must complete while the slow one is still in flight —
+/// out-of-order completion over a single multiplexed socket.
+#[test]
+fn mux_tagged_requests_complete_out_of_order_without_cross_talk() {
+    let (mut tb, _victim, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(20));
+    let analyzer = tb.analyzer();
+    let cluster = WireCluster::launch(&analyzer, 1, WireConfig::default()).unwrap();
+    let (mux, shard, _) = MuxConn::connect(cluster.shard_addrs()[0], MAX_FRAME).unwrap();
+    assert_eq!(shard, 0);
+
+    let host_ids: Vec<NodeId> = [
+        "h0_0_0", "h0_0_1", "h1_0_0", "h1_0_1", "h2_0_0", "h2_0_1", "h3_0_0", "h3_0_1",
+    ]
+    .iter()
+    .map(|n| tb.node(n))
+    .collect();
+
+    // Ground truth, serially, before any delay rigging.
+    let expected_lens: Vec<String> = host_ids
+        .iter()
+        .map(|&h| format!("{:?}", mux.call(&Frame::StoreLenReq { host: h }).unwrap()))
+        .collect();
+    let expected_horizon = format!("{:?}", mux.call(&Frame::HorizonReq).unwrap());
+
+    // Rig the server: horizon reads crawl, store-length reads fly.
+    let delay: ServeDelay = Arc::new(|req: &Frame| match req {
+        Frame::HorizonReq => Duration::from_millis(300),
+        _ => Duration::ZERO,
+    });
+    cluster.server(0).set_serve_delay(Some(delay));
+
+    let t0 = Instant::now();
+    let barrier = std::sync::Barrier::new(host_ids.len() + 1);
+    let (slow, fast) = std::thread::scope(|s| {
+        let slow = s.spawn(|| {
+            barrier.wait();
+            let r = mux.call(&Frame::HorizonReq).unwrap();
+            (format!("{r:?}"), t0.elapsed())
+        });
+        let handles: Vec<_> = host_ids
+            .iter()
+            .map(|&h| {
+                let barrier = &barrier;
+                let mux = &mux;
+                s.spawn(move || {
+                    barrier.wait();
+                    // Let the slow request hit the socket first.
+                    std::thread::sleep(Duration::from_millis(30));
+                    let r = mux.call(&Frame::StoreLenReq { host: h }).unwrap();
+                    (format!("{r:?}"), t0.elapsed())
+                })
+            })
+            .collect();
+        (
+            slow.join().unwrap(),
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>(),
+        )
+    });
+    cluster.server(0).set_serve_delay(None);
+
+    // No cross-talk: every reply is exactly the serial answer for ITS
+    // request, even though completions raced.
+    assert_eq!(slow.0, expected_horizon, "slow reply crossed wires");
+    for (i, (got, _)) in fast.iter().enumerate() {
+        assert_eq!(
+            *got, expected_lens[i],
+            "fast reply {i} crossed wires with another request"
+        );
+    }
+    // Out-of-order completion: every fast request (issued after the slow
+    // one) finished while the slow one was still being served.
+    let slowest_fast = fast.iter().map(|(_, t)| *t).max().unwrap();
+    assert!(
+        slowest_fast < slow.1,
+        "fast requests ({slowest_fast:?}) did not overtake the slow one ({slow:?}) — \
+         the connection is serializing"
+    );
+    cluster.shutdown();
+}
+
+/// Wave parity with the serial path at 1/2/4/8 shards: the pipelined,
+/// batch-framed `execute_wave` returns responses bit-identical to the
+/// in-process sharded analyzer, in submission order.
+#[test]
+fn mux_wave_parity_with_serial_at_1_2_4_8_shards() {
+    let (mut tb, victim, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    assert!(reqs.len() > 11, "fixture must include the diagnoses");
+    for n_shards in [1usize, 2, 4, 8] {
+        let sharded = ShardedAnalyzer::new(&analyzer, n_shards);
+        let cluster = WireCluster::launch(&analyzer, n_shards, WireConfig::default()).unwrap();
+        let wave = cluster.front().execute_wave(&reqs);
+        assert_eq!(wave.len(), reqs.len());
+        for (i, ((resp, _, _), req)) in wave.iter().zip(&reqs).enumerate() {
+            let local = sharded.execute(req);
+            assert_eq!(
+                format!("{resp:?}"),
+                format!("{local:?}"),
+                "query {i} diverged on the batched wave at {n_shards} shards"
+            );
+        }
+        cluster.shutdown();
+    }
+}
+
+/// A connection kill landing in the middle of a wave: the in-flight
+/// exchanges fail over to a fresh connection and the wave still returns
+/// bit-identical verdicts; the incident stream on the same deployment
+/// stays seq-continuous (zero duplicated, zero dropped pushes).
+#[test]
+fn mux_mid_wave_connection_kill_fails_over_without_losing_incidents() {
+    let (mut tb, victim, da) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    let n_shards = 2usize;
+    let sharded = ShardedAnalyzer::new(&analyzer, n_shards);
+    let cluster = WireCluster::launch(&analyzer, n_shards, WireConfig::default()).unwrap();
+
+    // A watcher whose stream the kill also threatens.
+    let mut client = cluster.client().unwrap();
+    client
+        .subscribe(
+            StandingQuery::ContentionWatch {
+                victim,
+                victim_dst: da,
+                trigger_window: tb.cfg.trigger.window,
+            },
+            0,
+        )
+        .unwrap();
+
+    // Stretch every serve slightly so the kill lands inside the wave.
+    for s in 0..n_shards {
+        let delay: ServeDelay = Arc::new(|_: &Frame| Duration::from_millis(2));
+        cluster.server(s).set_serve_delay(Some(delay));
+    }
+    let wave = std::thread::scope(|scope| {
+        let killer = scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(20));
+            cluster.front().kill_shard_connections();
+        });
+        let wave = cluster.front().execute_wave(&reqs);
+        killer.join().unwrap();
+        wave
+    });
+    for s in 0..n_shards {
+        cluster.server(s).set_serve_delay(None);
+    }
+
+    for (i, ((resp, _, _), req)) in wave.iter().zip(&reqs).enumerate() {
+        let local = sharded.execute(req);
+        assert_eq!(
+            format!("{resp:?}"),
+            format!("{local:?}"),
+            "query {i} diverged across the mid-wave kill"
+        );
+    }
+
+    // The stream survives on the same deployment: seq continuity on the
+    // drained window (Collected trips on any duplicate or drop).
+    let summary = cluster.close_window();
+    let (incidents, win) = client.drain_window().unwrap();
+    assert_eq!(win.window, summary.window);
+    assert_eq!(incidents.len() as u64, summary.incidents);
+    let mut collected = Collected::default();
+    for (seq, incident) in incidents {
+        collected.take(seq, incident);
+    }
+    assert!(
+        cluster.front().shard_reconnects() >= 1,
+        "the kill never forced a reconnect — it missed"
+    );
+    cluster.shutdown();
+}
+
+/// Replication, scrapes and reads share one multiplexed link — and the
+/// sequenced-log contract survives it: a `DeltaAppend` whose seq skips
+/// ahead is refused with a typed `SeqGap` (served in-band, in arrival
+/// order), the log does not move, and the connection keeps serving.
+#[test]
+fn mux_replication_scrapes_and_reads_share_the_link_with_seqgap_enforced() {
+    let (mut tb, _victim, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(20));
+    let analyzer = tb.analyzer();
+    let cluster = WireCluster::launch(&analyzer, 1, WireConfig::default()).unwrap();
+    let (mux, shard, _) = MuxConn::connect(cluster.shard_addrs()[0], MAX_FRAME).unwrap();
+    assert_eq!(shard, 0);
+
+    let horizon = match mux.call(&Frame::HorizonReq).unwrap() {
+        Frame::HorizonRep(h) => h,
+        other => panic!("expected a horizon reply, got {other:?}"),
+    };
+    assert!(
+        matches!(
+            mux.call(&Frame::StatsScrapeReq).unwrap(),
+            Frame::StatsScrapeRep(_)
+        ),
+        "scrape refused on the multiplexed link"
+    );
+
+    let applied = cluster.server(0).applied_seq();
+    let mut rng = rng_for("wireplane mux seqgap");
+    let record = gen_delta_record(&mut rng);
+    match mux
+        .call(&Frame::DeltaAppend {
+            shard: 0,
+            seq: applied + 7,
+            record,
+        })
+        .unwrap()
+    {
+        Frame::Error(WireError::SeqGap { expected, got }) => {
+            assert_eq!(expected, applied + 1);
+            assert_eq!(got, applied + 7);
+        }
+        other => panic!("expected a SeqGap refusal, got {other:?}"),
+    }
+    assert_eq!(
+        cluster.server(0).applied_seq(),
+        applied,
+        "a refused append must not move the replication log"
+    );
+    // The refusal was an answer, not a poisoning: the link keeps serving.
+    match mux.call(&Frame::HorizonReq).unwrap() {
+        Frame::HorizonRep(h) => assert_eq!(h, horizon),
+        other => panic!("link died after the SeqGap refusal: {other:?}"),
+    }
+    assert!(!mux.is_dead());
+    cluster.shutdown();
+}
+
+/// Transport errors keep their peer address all the way through the
+/// retry/failover rotation: both the client connect path and a shard
+/// error surfaced after rotating across dead replicas render the peer
+/// that failed.
+#[test]
+fn transport_errors_name_the_peer_through_retry_rotation() {
+    // A dead address: bind, learn the port, drop the listener.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let Err(err) = WireClient::connect(dead, MAX_FRAME) else {
+        panic!("connect to a dead address succeeded");
+    };
+    let msg = format!("{err}");
+    assert!(
+        msg.contains(&format!("transport error talking to {dead}")),
+        "client connect error lost its peer: {msg}"
+    );
+
+    // A replica set whose every member goes dark: the rotation exhausts
+    // its budget and the surfaced error still names a peer.
+    let topo = Topology::chain(3, 2, GBPS);
+    let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
+    let (a, f) = (tb.node("A"), tb.node("F"));
+    tb.sim.add_udp_flow(UdpFlowSpec {
+        src: a,
+        dst: f,
+        priority: Priority::LOW,
+        start: SimTime::ZERO,
+        duration: SimTime::from_ms(2),
+        rate_bps: 100_000_000,
+        payload_bytes: 1458,
+    });
+    tb.sim.run_until(SimTime::from_ms(5));
+    let analyzer = tb.analyzer();
+    let cluster = WireCluster::launch(&analyzer, 1, WireConfig::default()).unwrap();
+    let live = cluster.shard_addrs()[0];
+    let rs = RemoteShard::connect_replicated(
+        0,
+        vec![live, dead],
+        MAX_FRAME,
+        RetryPolicy::immediate(1),
+        None,
+        None,
+    )
+    .unwrap();
+    assert!(rs.scrape().is_ok(), "live replica must answer");
+    cluster.shutdown();
+    let err = rs.scrape().unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("transport error talking to 127.0.0.1:"),
+        "rotated shard error lost its peer: {msg}"
+    );
 }
