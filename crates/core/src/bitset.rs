@@ -131,16 +131,21 @@ impl BitSet {
     /// words) pair yields a well-formed set.
     pub fn from_words(nbits: usize, words: &[u64]) -> Self {
         let n_words = nbits.div_ceil(64);
-        let mut out = vec![0u64; n_words];
-        for (o, w) in out.iter_mut().zip(words) {
-            *o = *w;
-        }
+        Self::from_word_vec(nbits, words[..words.len().min(n_words)].to_vec())
+    }
+
+    /// [`BitSet::from_words`], taking ownership of the backing vec so no
+    /// second copy is made — the wire decoder builds the words in place
+    /// and hands them over, halving its peak allocation.
+    pub fn from_word_vec(nbits: usize, mut words: Vec<u64>) -> Self {
+        let n_words = nbits.div_ceil(64);
+        words.resize(n_words, 0);
         // Mask stray bits above the capacity in the last word so equality
         // with a natively built set holds.
         if n_words > 0 && !nbits.is_multiple_of(64) {
-            out[n_words - 1] &= (1u64 << (nbits % 64)) - 1;
+            words[n_words - 1] &= (1u64 << (nbits % 64)) - 1;
         }
-        BitSet { nbits, words: out }
+        BitSet { nbits, words }
     }
 }
 

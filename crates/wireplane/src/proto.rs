@@ -1010,12 +1010,27 @@ fn dec_ids_delta(d: &mut Dec) -> Result<Vec<NodeId>, WireError> {
     let mut out = Vec::with_capacity(n);
     let mut prev = 0i64;
     for _ in 0..n {
-        prev += d.get_zigzag()?;
+        // Checked: a hostile delta sequence that overflows i64 must be a
+        // typed error in every build profile, not a debug-only panic.
+        prev = prev
+            .checked_add(d.get_zigzag()?)
+            .ok_or(WireError::Oversize(u32::MAX))?;
         let id = u32::try_from(prev).map_err(|_| WireError::Oversize(u32::MAX))?;
         out.push(NodeId(id));
     }
     Ok(out)
 }
+
+/// Cumulative allocation budget, in bytes of decoded bitset backing
+/// words, shared by ALL compact payloads of one frame. A run-length
+/// bitset legitimately compresses far below its word array, so capacity
+/// cannot be bounded by the bytes encoding *it* — but it can be bounded
+/// by what one maximal legacy frame could carry: [`MAX_FRAME`] bytes of
+/// words. Charging every bitset in a frame against one shared budget
+/// means a hostile `Batch` of many compactly-encoded huge bitsets
+/// allocates no more in total than a single maximal legacy frame would,
+/// instead of 64 MB *per ~10-byte entry*.
+const COMPACT_BITSET_BUDGET: usize = MAX_FRAME as usize;
 
 /// Run-length bitset: `capacity | runs…`, alternating zero/one runs
 /// starting with a zero run. Pointer-union slices are sparse and
@@ -1038,17 +1053,18 @@ fn enc_bitset_runs(b: &BitSet, e: &mut Enc) {
     }
 }
 
-fn dec_bitset_runs(d: &mut Dec) -> Result<BitSet, WireError> {
+fn dec_bitset_runs(d: &mut Dec, budget: &mut usize) -> Result<BitSet, WireError> {
     let nbits = d.get_varint()? as usize;
-    // Run-length encoding legitimately compresses a sparse bitset far
-    // below its word array, so the capacity cannot be bounded by the
-    // bytes present. Bound it instead by the largest bitset the *legacy*
-    // codec could carry in a maximum frame (8 bits per payload byte):
-    // corrupt input can never allocate more here than it already could
-    // on the fixed-width path.
-    if nbits > (MAX_FRAME as usize) * 8 {
+    // Charge the decoded word-array size against the frame's shared
+    // [`COMPACT_BITSET_BUDGET`]: a single bitset may claim at most what
+    // one maximal legacy frame could carry, and every bitset in the
+    // same frame draws down the same budget, so hostile repetition
+    // inside a `Batch` cannot multiply the allocation.
+    let word_bytes = nbits.div_ceil(64).saturating_mul(8);
+    if word_bytes > *budget {
         return Err(WireError::Oversize(u32::MAX));
     }
+    *budget -= word_bytes;
     let mut words = vec![0u64; nbits.div_ceil(64)];
     let mut at = 0usize;
     let mut ones = false;
@@ -1066,7 +1082,7 @@ fn dec_bitset_runs(d: &mut Dec) -> Result<BitSet, WireError> {
         at = end;
         ones = !ones;
     }
-    Ok(BitSet::from_words(nbits, &words))
+    Ok(BitSet::from_word_vec(nbits, words))
 }
 
 /// Varint-packed `Option<u64>` list (`0` marker = None, `1` marker then
@@ -1468,8 +1484,11 @@ impl Frame {
 
     /// Decodes a payload produced by [`Frame::compact_payload`]. Rejects
     /// the envelope tags themselves (`0x50..=0x52`): envelopes never
-    /// nest, which also bounds decode recursion at one level.
-    fn decode_compact(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    /// nest, which also bounds decode recursion at one level. `budget`
+    /// is the enclosing frame's shared [`COMPACT_BITSET_BUDGET`]
+    /// remainder — every bitset decoded anywhere in the frame draws it
+    /// down.
+    fn decode_compact(tag: u8, payload: &[u8], budget: &mut usize) -> Result<Frame, WireError> {
         if (0x50..=0x52).contains(&tag) {
             return Err(WireError::BadTag(tag));
         }
@@ -1494,7 +1513,7 @@ impl Frame {
             },
             0x20 => Frame::UnionSliceRep(match d.get_u8()? {
                 0 => None,
-                1 => Some(dec_bitset_runs(&mut d)?),
+                1 => Some(dec_bitset_runs(&mut d, budget)?),
                 t => return Err(WireError::BadTag(t)),
             }),
             0x25 => Frame::StoreLenWaveRep(dec_opt_u64s(&mut d)?),
@@ -1627,7 +1646,8 @@ impl Frame {
             0x50 => {
                 let req_id = d.get_u32()?;
                 let tag = d.get_u8()?;
-                let inner = Frame::decode_compact(tag, d.take_rest())?;
+                let mut budget = COMPACT_BITSET_BUDGET;
+                let inner = Frame::decode_compact(tag, d.take_rest(), &mut budget)?;
                 Frame::Tagged {
                     req_id,
                     inner: Box::new(inner),
@@ -1643,13 +1663,17 @@ impl Frame {
                         have: d.remaining(),
                     });
                 }
+                // One bitset-allocation budget for the whole batch: the
+                // entries share it, so N compact entries cannot decode
+                // into N maximal bitsets.
+                let mut budget = COMPACT_BITSET_BUDGET;
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     let id = d.get_u32()?;
                     let etag = d.get_u8()?;
                     let len = d.get_varint()? as usize;
                     let payload = d.get_raw(len)?;
-                    entries.push((id, Frame::decode_compact(etag, payload)?));
+                    entries.push((id, Frame::decode_compact(etag, payload, &mut budget)?));
                 }
                 if tag == 0x51 {
                     Frame::Batch(entries)

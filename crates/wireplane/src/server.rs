@@ -469,12 +469,26 @@ impl ServeCtx {
 /// Writes one whole frame through the shared per-connection writer in a
 /// single `write_all`, so spawned serve threads never interleave partial
 /// frames on the socket.
+///
+/// Any failure — an unencodable reply (e.g. oversize) as much as a
+/// broken pipe — shuts the socket down before reporting `false`. A
+/// spawned serve thread has no connection loop to `break` out of; if
+/// its reply were silently dropped with the socket left healthy, the
+/// client's demux would wait on that `req_id` forever. Killing the
+/// socket makes the connection-loop read fail, the peer's reader
+/// poisons every in-flight waiter, and the client fails over.
 fn write_shared(writer: &Mutex<TcpStream>, frame: &Frame) -> bool {
-    let Ok(buf) = frame.to_frame_bytes() else {
-        return false;
+    let ok = match frame.to_frame_bytes() {
+        Ok(buf) => {
+            let mut w = writer.lock().unwrap();
+            w.write_all(&buf).is_ok() && w.flush().is_ok()
+        }
+        Err(_) => false,
     };
-    let mut w = writer.lock().unwrap();
-    w.write_all(&buf).is_ok() && w.flush().is_ok()
+    if !ok {
+        let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
+    }
+    ok
 }
 
 /// Reaps finished serve threads; joins everything when `all` is set.
@@ -675,9 +689,13 @@ impl ShardServer {
                                 continue;
                             }
                             reap(&mut serves, false);
+                            // Captures only Arcs, so the closure is Clone:
+                            // one copy can go to a spawned thread while
+                            // the original stays callable inline.
                             let serve_batch = {
                                 let ctx = Arc::clone(&ctx);
                                 let writer = Arc::clone(&writer);
+                                let entries = Arc::new(entries);
                                 move || {
                                     let replies: Vec<(u32, Frame)> = entries
                                         .iter()
@@ -686,16 +704,26 @@ impl ShardServer {
                                     write_shared(&writer, &Frame::BatchRep(replies))
                                 }
                             };
+                            let mut inline = true;
                             if serves.len() < MAX_INFLIGHT_SERVES {
-                                match std::thread::Builder::new()
+                                let sb = serve_batch.clone();
+                                let spawn = std::thread::Builder::new()
                                     .name(format!("wireplane-shard{shard}-serve"))
                                     .spawn(move || {
-                                        let _ = serve_batch();
-                                    }) {
-                                    Ok(h) => serves.push(h),
-                                    Err(_) => break,
+                                        let _ = sb();
+                                    });
+                                if let Ok(h) = spawn {
+                                    serves.push(h);
+                                    inline = false;
                                 }
-                            } else if !serve_batch() {
+                            }
+                            // Beyond the in-flight cap — or on a transient
+                            // spawn failure, which must not kill the
+                            // connection and every exchange in flight on
+                            // it — serve inline, mirroring the Tagged
+                            // path (inline also throttles the reader:
+                            // backpressure).
+                            if inline && !serve_batch() {
                                 break;
                             }
                         }
@@ -834,5 +862,48 @@ impl ShardServer {
     /// Graceful shutdown: stop accepting, join every connection thread.
     pub fn shutdown(mut self) {
         self.listener.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::time::Duration;
+
+    /// A reply that cannot be encoded (or written) must kill the socket,
+    /// not leave it healthy with the reply silently dropped — otherwise a
+    /// client demuxing by req_id would wait on the missing reply forever.
+    /// The peer here sees EOF instead of an indefinite hang.
+    #[test]
+    fn write_shared_failure_shuts_the_socket_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut peer = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let writer = Mutex::new(server_side);
+
+        // An encodable frame goes through and reports success.
+        assert!(write_shared(&writer, &Frame::HorizonRep(7)));
+
+        // A payload over MAX_FRAME fails to encode: write_shared must
+        // report failure AND shut the stream down.
+        let oversize = Frame::SnapshotInstall {
+            shard: 0,
+            seq: 1,
+            view: vec![0u8; MAX_FRAME as usize],
+        };
+        assert!(!write_shared(&writer, &oversize));
+
+        // Drain the good frame, then expect EOF — not a hang, and not
+        // more data.
+        peer.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let good = Frame::HorizonRep(7).to_frame_bytes().unwrap();
+        let mut got = vec![0u8; good.len()];
+        peer.read_exact(&mut got).unwrap();
+        assert_eq!(got, good);
+        let mut rest = Vec::new();
+        assert_eq!(peer.read_to_end(&mut rest).unwrap(), 0, "expected EOF");
     }
 }

@@ -1469,6 +1469,77 @@ fn envelope_frames_reject_truncation_corruption_and_hostile_counts() {
         ),
         "hostile bitset capacity not refused"
     );
+    // Memory amplification: entries *individually* under the cap must
+    // not multiply through a Batch. Each ~15-byte entry below claims a
+    // 300M-bit empty bitset (37.5 MB of backing words); the per-frame
+    // cumulative budget (one maximal legacy frame's worth of words)
+    // admits the first and refuses the second — a hostile batch can
+    // never decode into more bitset memory than one legacy frame could
+    // carry, no matter how many entries it packs.
+    let nbits: u64 = 300_000_000;
+    let mut entry = vec![1u8]; // Some marker
+    leb(nbits, &mut entry); // capacity
+    leb(nbits, &mut entry); // one all-zero run
+    let mut hostile_batch = Vec::new();
+    leb(2, &mut hostile_batch); // entry count
+    for id in 0u32..2 {
+        hostile_batch.extend_from_slice(&id.to_le_bytes());
+        hostile_batch.push(0x20);
+        leb(entry.len() as u64, &mut hostile_batch);
+        hostile_batch.extend_from_slice(&entry);
+    }
+    for tag in [0x51u8, 0x52] {
+        assert!(
+            matches!(
+                Frame::decode(tag, &hostile_batch),
+                Err(WireError::Oversize(_))
+            ),
+            "cumulative bitset budget not enforced across batch entries"
+        );
+    }
+    // The same two entries at an honest size (1M bits each) share the
+    // budget comfortably and decode.
+    let nbits: u64 = 1 << 20;
+    let mut entry = vec![1u8];
+    leb(nbits, &mut entry);
+    leb(nbits, &mut entry);
+    let mut honest_batch = Vec::new();
+    leb(2, &mut honest_batch);
+    for id in 0u32..2 {
+        honest_batch.extend_from_slice(&id.to_le_bytes());
+        honest_batch.push(0x20);
+        leb(entry.len() as u64, &mut honest_batch);
+        honest_batch.extend_from_slice(&entry);
+    }
+    match Frame::decode(0x51, &honest_batch) {
+        Ok(Frame::Batch(entries)) => {
+            assert_eq!(entries.len(), 2);
+            for (_, f) in &entries {
+                match f {
+                    Frame::UnionSliceRep(Some(b)) => {
+                        assert_eq!(b.capacity() as u64, nbits);
+                        assert!(b.is_empty());
+                    }
+                    other => panic!("unexpected entry {other:?}"),
+                }
+            }
+        }
+        other => panic!("honest batch refused: {other:?}"),
+    }
+    // A delta-packed id list whose running sum overflows i64 (first id
+    // 1, then delta i64::MAX) is a typed error in every build profile —
+    // never a debug-only arithmetic panic.
+    let mut overflow_ids = vec![0, 0, 0, 8, 0x15];
+    leb(2, &mut overflow_ids); // id count
+    leb(2, &mut overflow_ids); // zigzag(+1)
+    leb(u64::MAX - 1, &mut overflow_ids); // zigzag(i64::MAX)
+    assert!(
+        matches!(
+            Frame::decode(0x50, &overflow_ids),
+            Err(WireError::Oversize(_))
+        ),
+        "overflowing id delta not refused"
+    );
     // Envelopes must not nest: a Tagged wrapping tag 0x50 is a BadTag.
     let nested = vec![0, 0, 0, 1, 0x50, 0, 0, 0, 2, 0x3F];
     assert!(
