@@ -942,6 +942,61 @@ fn write_summary(
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
     println!("{json}");
+    append_trajectory(points, scaling, stream, wire, repl, retention);
+}
+
+/// Appends one headline row per run to the *cumulative* trajectory file
+/// at the repo root (`BENCH_trajectory.json`, a JSON array), so the
+/// perf history accretes across PRs instead of each run overwriting the
+/// last. The append re-writes the whole file through
+/// [`obsplane::write_atomic`]: a killed run leaves the previous history
+/// intact, never a torn file.
+fn append_trajectory(
+    points: &[ThroughputPoint],
+    scaling: &WorkerScalingSummary,
+    stream: &StreamSummary,
+    wire: &WireSummary,
+    repl: &ReplicationSummary,
+    retention: &RetentionSummary,
+) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let qps_at = |w: usize| {
+        points
+            .iter()
+            .find(|p| p.workers == w)
+            .map(|p| (p.cold_qps, p.warm_qps))
+            .unwrap_or((0.0, 0.0))
+    };
+    let (cold16, warm16) = qps_at(16);
+    let entry = format!(
+        "  {{\"unix_time\": {unix_time}, \"cold_qps_16\": {cold16:.0}, \
+         \"warm_qps_16\": {warm16:.0}, \"scaling_16v1\": {:.3}, \
+         \"wire_wall_us_per_query\": {:.1}, \"incidents_per_sec\": {:.0}, \
+         \"applied_seqs_per_sec\": {:.0}, \"steady_state_resident_records\": {}}}",
+        scaling.scaling_16v1,
+        wire.wall_us_per_query,
+        stream.incidents_per_sec,
+        repl.applied_seqs_per_sec,
+        retention.steady_state_resident,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trajectory.json");
+    let history = std::fs::read_to_string(path).unwrap_or_default();
+    let body = match history.trim_end().strip_suffix(']') {
+        // Existing history: splice the new row before the closing bracket.
+        Some(head) if head.trim_end().ends_with('}') => {
+            format!("{},\n{entry}\n]\n", head.trim_end())
+        }
+        // Missing, empty (`[]`/`[\n]`) or unparseable: start fresh rather
+        // than compound a torn file.
+        _ => format!("[\n{entry}\n]\n"),
+    };
+    match obsplane::write_atomic(path, body.as_bytes()) {
+        Ok(()) => println!("appended trajectory row to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn bench_queryplane(c: &mut Criterion) {

@@ -5,7 +5,7 @@
 //! notes, and can dump machine-readable JSON.
 //!
 //! ```text
-//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|gc|wire|all>
+//! spexp <fig2a|fig2b|fig3|fig4|fig7|fig8|fig9|fig10|fig11|fig12|stream|shard|gc|wire|trace|all>
 //!       [--json <path>] [--quick]
 //! ```
 //!
@@ -26,6 +26,7 @@ mod gc;
 mod motivation;
 mod shard;
 mod stream;
+mod trace;
 mod wire;
 
 use common::FigureData;
@@ -51,6 +52,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
         "stream" => stream::stream(),
         "shard" => shard::shard(),
         "wire" => wire::wire(),
+        "trace" => trace::trace(),
         "gc" => gc::gc(),
         "ablation-drr" => ablations::ablation_drr(),
         "ablation-hierarchy" => ablations::ablation_hierarchy(),
@@ -63,7 +65,7 @@ fn run_one(name: &str, quick: bool) -> Vec<FigureData> {
     }
 }
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -78,6 +80,7 @@ const ALL: [&str; 18] = [
     "shard",
     "gc",
     "wire",
+    "trace",
     "ablation-drr",
     "ablation-hierarchy",
     "ablation-dctcp",

@@ -37,7 +37,7 @@ use crate::common::{FigureData, Series};
 /// The continuous-watch storm: a k=4 fat tree under cross-pod traffic
 /// with an ECMP-colliding HIGH burst, so the victim's trigger fires
 /// deterministically and the diagnoses join the sweep.
-fn testbed() -> (Testbed, FlowId, NodeId) {
+pub(crate) fn testbed() -> (Testbed, FlowId, NodeId) {
     let topo = Topology::fat_tree(4, GBPS);
     let mut tb = Testbed::new(topo, TestbedConfig::default_ms());
     let background = |tb: &mut Testbed, s: &str, d: &str| {
@@ -108,7 +108,7 @@ fn testbed() -> (Testbed, FlowId, NodeId) {
 /// fabric — every query wave fans out to many hosts, the regime
 /// per-shard coalescing exists for. The RPC counters are measured on
 /// this sweep.
-fn sweep_queries(tb: &Testbed) -> Vec<QueryRequest> {
+pub(crate) fn sweep_queries(tb: &Testbed) -> Vec<QueryRequest> {
     let window = EpochRange { lo: 5, hi: 25 };
     let mut reqs = Vec::new();
     for name in [

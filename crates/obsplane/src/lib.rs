@@ -15,8 +15,10 @@
 //!   p50/p95/p99/max extraction. Query execution, window close,
 //!   delta apply, incident lag and wire encode/decode/RTT all record
 //!   here.
-//! * **[`Tracer`]** — a bounded ring of completed spans keyed by
-//!   (query class, epoch, shard) for postmortem "what ran lately".
+//! * **[`Tracer`]** — a sharded lock-free ring of completed spans with
+//!   causal identity ([`TraceContext`]: 64-bit trace ids + parent span
+//!   ids), head sampling, and a tail-latency flight recorder that pins
+//!   slow-query span trees as exemplars. See `DESIGN.md` §18.
 //!
 //! A [`MetricsRegistry`] binds names to metrics and snapshots the lot
 //! into a [`RegistrySnapshot`] — the mergeable, wire-encodable unit
@@ -36,4 +38,7 @@ pub mod trace;
 pub use export::write_atomic;
 pub use hist::{Histogram, HistogramSnapshot, Percentiles, DEFAULT_GRID_BITS};
 pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
-pub use trace::{SpanEvent, SpanGuard, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use trace::{
+    chunk_stolen, current, set_chunk_stolen, with_context, SpanEvent, SpanGuard, TraceContext,
+    Tracer, DEFAULT_TRACE_CAPACITY,
+};

@@ -240,11 +240,15 @@ impl<T: Send> BatchShared<T> {
     /// panic anywhere inside is captured per chunk — the worker moves on
     /// to its next chunk, so one poisoned query never strands the rest
     /// of the batch — and re-raised on the caller after the barrier.
-    fn run_chunk(&self, w: usize, c: usize, busy: &mut Duration) {
+    fn run_chunk(&self, w: usize, c: usize, stolen: bool, busy: &mut Duration) {
         let chunk = &self.chunks[c];
         let idxs = &self.order[chunk.lo..chunk.hi];
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // Thread-local steal annotation: spans the work fn records
+            // (exec-stage query spans in particular) mark whether their
+            // chunk ran on a thief worker instead of its home queue.
+            obsplane::set_chunk_stolen(stolen);
             let out = (self.work)(w, idxs);
             assert_eq!(
                 out.len(),
@@ -258,6 +262,7 @@ impl<T: Send> BatchShared<T> {
                 unsafe { self.slots.write(idxs[j], r) };
             }
         }));
+        obsplane::set_chunk_stolen(false);
         *busy += started.elapsed();
         if let Err(p) = result {
             self.record_panic(p);
@@ -276,7 +281,7 @@ impl<T: Send> BatchShared<T> {
         let mut busy = Duration::ZERO;
         for &c in &self.queues[w] {
             if self.claim(c) {
-                self.run_chunk(w, c, &mut busy);
+                self.run_chunk(w, c, false, &mut busy);
             }
         }
         let workers = self.queues.len();
@@ -287,7 +292,7 @@ impl<T: Send> BatchShared<T> {
                 for &c in self.queues[victim].iter().rev() {
                     if self.claim(c) {
                         self.m.steals.inc();
-                        self.run_chunk(w, c, &mut busy);
+                        self.run_chunk(w, c, true, &mut busy);
                         claimed_any = true;
                     }
                 }

@@ -18,9 +18,10 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 use netsim::packet::NodeId;
-use obsplane::{Counter, Gauge, Histogram, MetricsRegistry};
+use obsplane::{Counter, Gauge, Histogram, MetricsRegistry, SpanEvent, Tracer};
 use queryplane::{Snapshot, SnapshotDelta};
 use switchpointer::Analyzer;
 use telemetry::frame::{Enc, WireError};
@@ -73,6 +74,11 @@ pub struct DeltaPublisher {
     logs: Vec<ReplicationLog>,
     replicas: Vec<Vec<ReplicaSlot>>,
     metrics: PubMetrics,
+    /// Mints one trace per sequenced append, so each replica's
+    /// apply-stage span links back to an owner-side replicate-stage
+    /// root. Owned here because the registry is only borrowed at
+    /// construction; dump it via [`DeltaPublisher::tracer`].
+    tracer: Tracer,
 }
 
 impl DeltaPublisher {
@@ -103,12 +109,50 @@ impl DeltaPublisher {
                     .collect()
             })
             .collect();
+        // A fixed owner-side seed, distinct from the per-shard server
+        // perturbations, so span ids stay unique across the deployment.
+        let tracer = Tracer::new();
+        tracer.set_id_seed(0x4F57_4E45_5253_4944); // "OWNERSID"
         DeltaPublisher {
             snapshot,
             keeps,
             logs,
             replicas,
             metrics: PubMetrics::new(registry),
+            tracer,
+        }
+    }
+
+    /// The publisher's span tracer (replicate-stage roots).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records the owner-side replicate-stage root span for one acked
+    /// sequenced append.
+    fn record_replicate(
+        tracer: &Tracer,
+        ctx: Option<obsplane::TraceContext>,
+        s: usize,
+        seq: u64,
+        started: Instant,
+    ) {
+        if let Some(c) = ctx {
+            tracer.submit(
+                SpanEvent {
+                    class: "DeltaAppend",
+                    stage: "replicate",
+                    epoch: seq,
+                    shard: s as u32,
+                    start_ns: tracer.offset_ns(started),
+                    dur_ns: started.elapsed().as_nanos() as u64,
+                    trace_id: c.trace_id,
+                    span_id: c.span_id,
+                    parent_id: 0,
+                    steals: 0,
+                },
+                c.sampled,
+            );
         }
     }
 
@@ -139,6 +183,7 @@ impl DeltaPublisher {
             logs,
             replicas,
             metrics,
+            tracer,
             ..
         } = self;
         let slot = &mut replicas[s][r];
@@ -152,10 +197,13 @@ impl DeltaPublisher {
             if let Some(suffix) = log.since(log.head().saturating_sub(1)) {
                 if let Some(e) = suffix.first() {
                     let (seq, rec) = (e.0, &e.1);
-                    match slot.writer.append(seq, rec) {
+                    let ctx = tracer.mint_trace();
+                    let started = Instant::now();
+                    match slot.writer.append_traced(seq, rec, ctx) {
                         Ok(applied) => {
                             slot.applied = Some(applied);
                             metrics.appends.inc();
+                            Self::record_replicate(tracer, ctx, s, seq, started);
                             return;
                         }
                         Err(WireError::SeqGap { .. }) => {
@@ -181,6 +229,7 @@ impl DeltaPublisher {
             logs,
             replicas,
             metrics,
+            tracer,
             ..
         } = self;
         let slot = &mut replicas[s][r];
@@ -196,10 +245,13 @@ impl DeltaPublisher {
         };
         for e in suffix {
             let (seq, rec) = (e.0, &e.1);
-            match slot.writer.append(seq, rec) {
+            let ctx = tracer.mint_trace();
+            let started = Instant::now();
+            match slot.writer.append_traced(seq, rec, ctx) {
                 Ok(applied) => {
                     slot.applied = Some(applied);
                     metrics.appends.inc();
+                    Self::record_replicate(tracer, ctx, s, seq, started);
                 }
                 Err(_) => return false,
             }

@@ -23,7 +23,7 @@ use streamplane::{Incident, StandingQuery, SubscriptionId};
 use switchpointer::query::{QueryRequest, QueryResponse};
 use telemetry::frame::WireError;
 
-use crate::proto::{Frame, WindowSummary, FRONT_ROLE};
+use crate::proto::{Frame, WindowSummary, WireSpan, FRONT_ROLE};
 
 /// A streamed frame delivered to a subscribed client.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +124,23 @@ impl WireClient {
             Frame::StatsScrapeRep(v) => Ok(Some(v)),
             other => Err(WireError::Remote(format!(
                 "expected a stats scrape reply, got frame {:#04x}",
+                other.tag()
+            ))),
+        })
+    }
+
+    /// Pulls the live cluster's retained spans: `("front", ..)` then one
+    /// `("shard{i}", ..)` per shard, each the owning process's ring plus
+    /// its slow-query exemplars at scrape time. Side-effect-free like
+    /// [`WireClient::scrape_stats`] — scraping traces never makes
+    /// traces. Feed the result to [`crate::traces::assemble`] to rebuild
+    /// cross-process span trees by trace id.
+    pub fn scrape_traces(&mut self) -> Result<Vec<(String, Vec<WireSpan>)>, WireError> {
+        self.send(&Frame::TraceScrapeReq)?;
+        self.await_reply(|f| match f {
+            Frame::TraceScrapeRep(v) => Ok(Some(v)),
+            other => Err(WireError::Remote(format!(
+                "expected a trace scrape reply, got frame {:#04x}",
                 other.tag()
             ))),
         })

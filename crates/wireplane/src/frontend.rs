@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use netsim::packet::{FlowId, NodeId};
-use obsplane::{Histogram, RegistrySnapshot};
+use obsplane::{Histogram, RegistrySnapshot, SpanEvent};
 use queryplane::{SharedCtx, WorkerPool};
 use streamplane::{
     fingerprint, pending_fp, summarize, transition_kind, Incident, StandingQuery, SubscriptionId,
@@ -56,7 +56,7 @@ use telemetry::frame::WireError;
 use telemetry::EpochRange;
 
 use crate::mux::MuxConn;
-use crate::proto::{Frame, WindowSummary, FRONT_ROLE};
+use crate::proto::{Frame, WindowSummary, WireSpan, FRONT_ROLE};
 use crate::retry::RetryPolicy;
 use crate::server::{Listener, WireConfig};
 
@@ -91,6 +91,9 @@ pub struct RemoteShard {
     /// First-failure → first-success-on-another-replica wall-clock
     /// (`wire.failover_ns`), when observed.
     failover_ns: Option<Arc<Histogram>>,
+    /// The registry whose tracer mints wire-stage spans for this link.
+    /// Set by the front-end after connect; plain handles stay untraced.
+    trace_reg: Option<Arc<obsplane::MetricsRegistry>>,
 }
 
 impl RemoteShard {
@@ -144,6 +147,7 @@ impl RemoteShard {
             failovers: AtomicU64::new(0),
             rtt_ns,
             failover_ns,
+            trace_reg: None,
         };
         // Walk the set until one replica greets; remember it as active.
         let n = rs.addrs.len();
@@ -252,8 +256,22 @@ impl RemoteShard {
                     continue;
                 }
             };
+            // Wire-stage span: when the calling thread carries a trace
+            // context (a query executing on the front pool), the
+            // envelope entry gets a child context so the server's
+            // serve-stage span links under this exchange. Scrapes
+            // (`observe: false`) never carry context — pulling traces
+            // must not mint traces.
+            let trace = if observe {
+                self.trace_reg.as_ref().and_then(|reg| {
+                    obsplane::current()
+                        .map(|parent| (parent, parent.child(reg.tracer().next_span_id())))
+                })
+            } else {
+                None
+            };
             let started = Instant::now();
-            match mux.call(req) {
+            match mux.call_ctx(req, trace.map(|(_, wire)| wire)) {
                 Ok(Frame::Error(e)) => return Err(e),
                 Ok(reply) => {
                     if observe {
@@ -261,6 +279,24 @@ impl RemoteShard {
                         if let Some(h) = &self.rtt_ns {
                             h.record_duration(started.elapsed());
                         }
+                    }
+                    if let (Some((parent, wire)), Some(reg)) = (trace, &self.trace_reg) {
+                        let t = reg.tracer();
+                        t.submit(
+                            SpanEvent {
+                                class: req.kind_name(),
+                                stage: "wire",
+                                epoch: 0,
+                                shard: self.shard as u32,
+                                start_ns: t.offset_ns(started),
+                                dur_ns: started.elapsed().as_nanos() as u64,
+                                trace_id: wire.trace_id,
+                                span_id: wire.span_id,
+                                parent_id: parent.span_id,
+                                steals: 0,
+                            },
+                            wire.sampled,
+                        );
                     }
                     if failed_over {
                         if let (Some(h), Some(t0)) = (&self.failover_ns, first_failure) {
@@ -338,6 +374,19 @@ impl RemoteShard {
             Frame::StatsScrapeRep(v) => Ok(v),
             other => Err(WireError::Remote(format!(
                 "expected StatsScrapeRep, got frame {:#04x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Pulls the shard server's retained spans (ring plus slow-query
+    /// exemplars) as a labelled dump. Unobserved on both ends like
+    /// [`RemoteShard::scrape`], so pulling traces never makes traces.
+    pub fn scrape_traces(&self) -> Result<Vec<(String, Vec<WireSpan>)>, WireError> {
+        match self.call_inner(&Frame::TraceScrapeReq, false)? {
+            Frame::TraceScrapeRep(v) => Ok(v),
+            other => Err(WireError::Remote(format!(
+                "expected TraceScrapeRep, got frame {:#04x}",
                 other.tag()
             ))),
         }
@@ -626,6 +675,7 @@ impl FrontInner {
         let frames_before: u64 = self.shards.iter().map(|s| s.wire_frames_sent()).sum();
         let bytes_before: u64 = self.shards.iter().map(|s| s.wire_bytes_sent()).sum();
         let reqs: Arc<[QueryRequest]> = Arc::from(reqs);
+        let wave_started = Instant::now();
         // Chunk size 1: every query is its own work item, so a wave of W
         // queries runs W-wide and their same-shard RPCs combine into
         // batch frames on the multiplexed links. The default chunking
@@ -639,19 +689,79 @@ impl FrontInner {
                         let req = &reqs[i];
                         let router = inner.router();
                         let exec = QueryExecutor::new(inner.ctx.query_ctx(), &router);
+                        let tracer = inner.ctx.metrics.tracer();
+                        // This is where a trace is born: one root per
+                        // request, minted at the wave's entry point.
+                        // The exec child context rides the thread-local
+                        // through the executor, so every shard RPC's
+                        // wire span links under the exec span.
+                        let ctx = tracer.mint_trace();
+                        let exec_ctx = ctx.map(|c| c.child(tracer.next_span_id()));
                         let started = Instant::now();
-                        let (resp, trace) = exec.execute_traced(req);
+                        let (resp, trace) =
+                            obsplane::with_context(exec_ctx, || exec.execute_traced(req));
+                        let done = Instant::now();
                         // Same per-class exec histograms + span stream the
                         // in-process worker pool feeds, so `spexp wire`
                         // latency distributions read off the identical
                         // metric names.
-                        inner.ctx.exec_hists[req.class_index()].record_duration(started.elapsed());
-                        inner.ctx.metrics.tracer().record(
-                            req.class_name(),
-                            inner.ctx.span_epoch(req),
-                            u32::MAX,
-                            started,
-                        );
+                        inner.ctx.exec_hists[req.class_index()]
+                            .record_duration(done.duration_since(started));
+                        let epoch = inner.ctx.span_epoch(req);
+                        match (ctx, exec_ctx) {
+                            (Some(c), Some(e)) => {
+                                // The root "query" span covers submit →
+                                // done (the e2e the client feels), and
+                                // its two children partition it exactly:
+                                // enqueue (pool wait) + exec (run).
+                                let span =
+                                    |stage, span_id, parent_id, from: Instant, dur, steals| {
+                                        SpanEvent {
+                                            class: req.class_name(),
+                                            stage,
+                                            epoch,
+                                            shard: u32::MAX,
+                                            start_ns: tracer.offset_ns(from),
+                                            dur_ns: saturating_ns(dur),
+                                            trace_id: c.trace_id,
+                                            span_id,
+                                            parent_id,
+                                            steals,
+                                        }
+                                    };
+                                let steals = u32::from(obsplane::chunk_stolen());
+                                let group = [
+                                    span(
+                                        "query",
+                                        c.span_id,
+                                        0,
+                                        wave_started,
+                                        done.duration_since(wave_started),
+                                        0,
+                                    ),
+                                    span(
+                                        "enqueue",
+                                        tracer.next_span_id(),
+                                        c.span_id,
+                                        wave_started,
+                                        started.duration_since(wave_started),
+                                        0,
+                                    ),
+                                    span(
+                                        "exec",
+                                        e.span_id,
+                                        c.span_id,
+                                        started,
+                                        done.duration_since(started),
+                                        steals,
+                                    ),
+                                ];
+                                tracer.submit_all(&group, c.sampled);
+                            }
+                            // Tracing disabled: keep the legacy untraced
+                            // span stream.
+                            _ => tracer.record(req.class_name(), epoch, u32::MAX, started),
+                        }
                         (resp, trace, router.counters())
                     })
                     .collect()
@@ -677,6 +787,21 @@ impl FrontInner {
         let mut out = vec![("front".to_string(), self.ctx.metrics.snapshot())];
         for shard in &self.shards {
             out.extend(shard.scrape()?);
+        }
+        Ok(out)
+    }
+
+    /// The whole deployment's retained spans, labelled like
+    /// [`FrontInner::scrape_all`]: the front-end's own dump first, then
+    /// every shard server's, in shard order. Side-effect-free — the
+    /// dumps are snapshots and the scrape RPCs are unobserved.
+    fn scrape_traces_all(&self) -> Result<Vec<(String, Vec<WireSpan>)>, WireError> {
+        let mut out = vec![(
+            "front".to_string(),
+            crate::traces::dump_spans(self.ctx.metrics.tracer()),
+        )];
+        for shard in &self.shards {
+            out.extend(shard.scrape_traces()?);
         }
         Ok(out)
     }
@@ -759,7 +884,7 @@ impl FrontEnd {
             ctx.dir.n_shards(),
             "one replica set per directory shard"
         );
-        let shards: Vec<RemoteShard> = addr_sets
+        let mut shards: Vec<RemoteShard> = addr_sets
             .iter()
             .enumerate()
             .map(|(s, set)| {
@@ -775,6 +900,14 @@ impl FrontEnd {
                 )
             })
             .collect::<Result<_, _>>()?;
+        // Front-side trace wiring: the front registry's tracer mints
+        // trace/span ids and head-samples at the configured rate, and
+        // every shard link tags its envelopes from the executing
+        // thread's context.
+        ctx.metrics.tracer().set_sample_rate(cfg.trace_sample_rate);
+        for s in &mut shards {
+            s.trace_reg = Some(Arc::clone(&ctx.metrics));
+        }
         let pool = WorkerPool::with_metrics(cfg.front_workers, &ctx.metrics);
         let wave_frames = ctx.metrics.histogram("wire.frames_per_wave");
         let query_bytes = ctx.metrics.histogram("wire.bytes_per_query");
@@ -877,6 +1010,15 @@ impl FrontEnd {
                             break;
                         }
                     }
+                    Frame::TraceScrapeReq => {
+                        let reply = match serving.scrape_traces_all() {
+                            Ok(v) => Frame::TraceScrapeRep(v),
+                            Err(e) => Frame::Error(e),
+                        };
+                        if !FrontInner::push(&writer, &reply) {
+                            break;
+                        }
+                    }
                     other => {
                         let e = WireError::Remote(format!(
                             "front-end cannot answer frame {:#04x}",
@@ -936,6 +1078,14 @@ impl FrontEnd {
     /// [`crate::WireClient::scrape_stats`].
     pub fn scrape(&self) -> Result<Vec<(String, RegistrySnapshot)>, WireError> {
         self.inner.scrape_all()
+    }
+
+    /// Labelled span dumps of the whole deployment (front-end first,
+    /// then each shard in order) — the harness-side twin of
+    /// [`crate::WireClient::scrape_traces`]. Feed the result to
+    /// [`crate::traces::assemble`] to rebuild cross-process trees.
+    pub fn scrape_traces(&self) -> Result<Vec<(String, Vec<WireSpan>)>, WireError> {
+        self.inner.scrape_traces_all()
     }
 
     /// Queries executed (client-submitted and harness-side).
@@ -1124,4 +1274,8 @@ impl FrontEnd {
     pub fn shutdown(mut self) {
         self.listener.shutdown();
     }
+}
+
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }

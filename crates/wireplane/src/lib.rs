@@ -83,15 +83,17 @@ pub mod proto;
 pub mod repl;
 pub mod retry;
 pub mod server;
+pub mod traces;
 
 pub use client::{WireClient, WireEvent};
 pub use frontend::{FrontEnd, RemoteShard};
 pub use mux::MuxConn;
-pub use proto::{Frame, WindowSummary, Wire, FRONT_ROLE};
+pub use proto::{Frame, WindowSummary, Wire, WireSpan, FRONT_ROLE};
 pub use repl::ReplicaWriter;
 pub use retry::RetryPolicy;
 pub use server::{ServeDelay, ShardServer, ShardState, WireConfig};
 pub use telemetry::frame::WireError as Error;
+pub use traces::{assemble, dump_spans, TraceTree};
 
 /// Flow-record shards per host inside each server's snapshot slice (the
 /// same default the query plane uses).
@@ -213,6 +215,7 @@ impl WireCluster {
     /// [`Frame::SnapshotInstall`] at the current seq. Call between
     /// windows, then [`WireCluster::close_window`].
     pub fn refresh(&self, analyzer: &Analyzer) -> SnapshotDelta {
+        let tracer = self.ctx.metrics.tracer();
         let mut owner = self.owner.lock().unwrap();
         let (delta, record) = owner.snapshot.apply_delta_journaled(analyzer);
         for (i, shard) in self.ctx.dir.shards().iter().enumerate() {
@@ -220,7 +223,29 @@ impl WireCluster {
             owner.seqs[i] += 1;
             let seq = owner.seqs[i];
             let sliced = record.slice_for(&keep);
-            if owner.writers[i].append(seq, &sliced).is_err() {
+            // Each per-shard append is its own trace: the replica's
+            // apply-stage span links back to this replicate-stage root.
+            let ctx = tracer.mint_trace();
+            let started = std::time::Instant::now();
+            let appended = owner.writers[i].append_traced(seq, &sliced, ctx);
+            if let Some(c) = ctx {
+                tracer.submit(
+                    obsplane::SpanEvent {
+                        class: "DeltaAppend",
+                        stage: "replicate",
+                        epoch: seq,
+                        shard: i as u32,
+                        start_ns: tracer.offset_ns(started),
+                        dur_ns: started.elapsed().as_nanos() as u64,
+                        trace_id: c.trace_id,
+                        span_id: c.span_id,
+                        parent_id: 0,
+                        steals: 0,
+                    },
+                    c.sampled,
+                );
+            }
+            if appended.is_err() {
                 // Gap or dead transport: fall back to a full bootstrap
                 // at the owner's log position.
                 let mut e = Enc::new();

@@ -40,6 +40,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use obsplane::TraceContext;
 use telemetry::frame::WireError;
 
 use crate::proto::Frame;
@@ -89,9 +90,10 @@ struct Writer {
 pub struct MuxConn {
     shared: Arc<Shared>,
     writer: Mutex<Writer>,
-    /// Requests enqueued but not yet flushed. Drained wholesale under
-    /// the writer lock — the combining step.
-    pending: Mutex<VecDeque<(u32, Frame)>>,
+    /// Requests enqueued but not yet flushed (with each caller's trace
+    /// context). Drained wholesale under the writer lock — the
+    /// combining step.
+    pending: Mutex<VecDeque<(u32, Option<TraceContext>, Frame)>>,
     next_id: AtomicU32,
     /// Envelope frames actually written (one `Batch` counts once).
     frames_sent: AtomicU64,
@@ -184,6 +186,13 @@ impl MuxConn {
     /// [`Frame::Error`] answer comes back as `Ok(Frame::Error(..))` for
     /// the caller to map, matching the legacy exchange surface.
     pub fn call(&self, req: &Frame) -> Result<Frame, WireError> {
+        self.call_ctx(req, None)
+    }
+
+    /// [`MuxConn::call`] with an explicit trace context: the envelope
+    /// entry carries `ctx` to the server, so its serve-stage span joins
+    /// the caller's trace.
+    pub fn call_ctx(&self, req: &Frame, ctx: Option<TraceContext>) -> Result<Frame, WireError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut st = self.shared.slots.lock().unwrap();
@@ -192,7 +201,10 @@ impl MuxConn {
             }
             st.waiting.insert(id, None);
         }
-        self.pending.lock().unwrap().push_back((id, req.clone()));
+        self.pending
+            .lock()
+            .unwrap()
+            .push_back((id, ctx, req.clone()));
         // A flush failure poisons the connection, which `wait_reply`
         // observes — no separate error path needed here.
         let _ = self.flush_pending();
@@ -207,7 +219,7 @@ impl MuxConn {
     fn flush_pending(&self) -> Result<(), WireError> {
         let mut w = self.writer.lock().unwrap();
         loop {
-            let batch: Vec<(u32, Frame)> = {
+            let batch: Vec<(u32, Option<TraceContext>, Frame)> = {
                 let mut p = self.pending.lock().unwrap();
                 if p.is_empty() {
                     return Ok(());
@@ -215,9 +227,10 @@ impl MuxConn {
                 p.drain(..).collect()
             };
             let frame = if batch.len() == 1 {
-                let (req_id, inner) = batch.into_iter().next().expect("len checked");
+                let (req_id, ctx, inner) = batch.into_iter().next().expect("len checked");
                 Frame::Tagged {
                     req_id,
+                    ctx,
                     inner: Box::new(inner),
                 }
             } else {
@@ -272,7 +285,7 @@ impl MuxConn {
     fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>, max_frame: u32) {
         loop {
             match Frame::read(&mut stream, max_frame) {
-                Ok(Frame::Tagged { req_id, inner }) => shared.complete(req_id, *inner),
+                Ok(Frame::Tagged { req_id, inner, .. }) => shared.complete(req_id, *inner),
                 Ok(Frame::BatchRep(entries)) => {
                     for (id, f) in entries {
                         shared.complete(id, f);

@@ -25,6 +25,7 @@
 //! | `StoreLenWaveReq/Rep`, `FilterWaveReq/Rep`, `TopKWaveReq/Rep`, `SizesWaveReq/Rep` | front → shard | one coalesced wave per shard |
 //! | `HorizonReq/Rep` | front → shard | snapshot epoch horizon |
 //! | `StatsScrapeReq/Rep` | client → front → shard | labelled obsplane registry snapshots |
+//! | `TraceScrapeReq/Rep` | client → front → shard | labelled span dumps for trace reassembly |
 //! | `Hello` | server → peer | greeting: role + shard id |
 //! | `QueryReq/Rep` | client → front | one-shot query / full response |
 //! | `SubscribeReq/Rep` | client → front | standing query + resume point |
@@ -39,7 +40,7 @@ use std::io::{Read, Write};
 
 use netsim::packet::{FlowId, NodeId, Priority, Protocol};
 use netsim::time::SimTime;
-use obsplane::{HistogramSnapshot, RegistrySnapshot};
+use obsplane::{HistogramSnapshot, RegistrySnapshot, SpanEvent, TraceContext};
 use queryplane::DeltaRecord;
 use streamplane::{Incident, IncidentKind, StandingQuery, SubscriptionId};
 use switchpointer::analyzer::{
@@ -973,6 +974,127 @@ impl Wire for RegistrySnapshot {
     }
 }
 
+/// One span as it travels in a [`Frame::TraceScrapeRep`]: an owned
+/// [`SpanEvent`] plus whether the origin process had pinned it as a
+/// slow-query exemplar. `start_ns` offsets are per-process clocks —
+/// only durations are comparable across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    pub class: String,
+    pub stage: String,
+    pub epoch: u64,
+    pub shard: u32,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub steals: u32,
+    pub exemplar: bool,
+}
+
+impl WireSpan {
+    /// Lifts a tracer event into its owned wire form.
+    pub fn from_event(ev: &SpanEvent, exemplar: bool) -> WireSpan {
+        WireSpan {
+            class: ev.class.to_string(),
+            stage: ev.stage.to_string(),
+            epoch: ev.epoch,
+            shard: ev.shard,
+            start_ns: ev.start_ns,
+            dur_ns: ev.dur_ns,
+            trace_id: ev.trace_id,
+            span_id: ev.span_id,
+            parent_id: ev.parent_id,
+            steals: ev.steals,
+            exemplar,
+        }
+    }
+}
+
+impl Wire for WireSpan {
+    fn enc(&self, e: &mut Enc) {
+        e.put_str(&self.class);
+        e.put_str(&self.stage);
+        e.put_u64(self.epoch);
+        e.put_u32(self.shard);
+        e.put_u64(self.start_ns);
+        e.put_u64(self.dur_ns);
+        e.put_u64(self.trace_id);
+        e.put_u64(self.span_id);
+        e.put_u64(self.parent_id);
+        e.put_u32(self.steals);
+        e.put_bool(self.exemplar);
+    }
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(WireSpan {
+            class: d.get_string()?,
+            stage: d.get_string()?,
+            epoch: d.get_u64()?,
+            shard: d.get_u32()?,
+            start_ns: d.get_u64()?,
+            dur_ns: d.get_u64()?,
+            trace_id: d.get_u64()?,
+            span_id: d.get_u64()?,
+            parent_id: d.get_u64()?,
+            steals: d.get_u32()?,
+            exemplar: d.get_bool()?,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Trace-context envelope extension
+// ----------------------------------------------------------------------
+//
+// Envelope entries may carry a compact [`TraceContext`] between the
+// correlation id and the inner tag, introduced by a marker byte that is
+// never a valid frame tag. A context-free envelope therefore encodes
+// byte-identically to the PR 9 layout (differentially pinned in
+// `tests/wireplane_props.rs`), and old endpoints keep decoding frames
+// from new peers that have tracing disabled.
+
+/// Marker byte announcing an embedded trace context. `0xFF` is not a
+/// frame tag and never will be, so old payloads are unambiguous.
+const TRACE_CTX_MARKER: u8 = 0xFF;
+
+/// Appends the optional context: nothing, or `0xFF | trace | span | flags`.
+fn enc_ctx(ctx: &Option<TraceContext>, e: &mut Enc) {
+    if let Some(c) = ctx {
+        e.put_u8(TRACE_CTX_MARKER);
+        e.put_u64(c.trace_id);
+        e.put_u64(c.span_id);
+        e.put_u8(u8::from(c.sampled));
+    }
+}
+
+/// Decodes the 17-byte context body following a [`TRACE_CTX_MARKER`].
+fn dec_ctx_body(d: &mut Dec) -> Result<TraceContext, WireError> {
+    let trace_id = d.get_u64()?;
+    let span_id = d.get_u64()?;
+    let flags = d.get_u8()?;
+    if flags & !1 != 0 {
+        return Err(WireError::BadTag(flags));
+    }
+    Ok(TraceContext {
+        trace_id,
+        span_id,
+        sampled: flags & 1 != 0,
+    })
+}
+
+/// Reads an inner-frame tag position that may instead open with a
+/// trace context: returns the context (if present) and the real tag.
+fn dec_ctx_then_tag(d: &mut Dec) -> Result<(Option<TraceContext>, u8), WireError> {
+    let first = d.get_u8()?;
+    if first == TRACE_CTX_MARKER {
+        let ctx = dec_ctx_body(d)?;
+        Ok((Some(ctx), d.get_u8()?))
+    } else {
+        Ok((None, first))
+    }
+}
+
 // ----------------------------------------------------------------------
 // Compact batch codec helpers
 // ----------------------------------------------------------------------
@@ -1198,6 +1320,15 @@ pub enum Frame {
     /// `("shard{i}", ..)` per shard when the front-end answers; a single
     /// `("shard{i}", ..)` when a shard server answers directly.
     StatsScrapeRep(Vec<(String, RegistrySnapshot)>),
+    /// Pull the peer's retained spans (ring + pinned exemplars) for
+    /// cross-process trace reassembly. Side-effect-free like a stats
+    /// scrape: snapshot-based, never draining, and excluded from the
+    /// wire histograms, so scraping cannot perturb what it observes.
+    TraceScrapeReq,
+    /// Labelled span dumps, grouped like [`Frame::StatsScrapeRep`]:
+    /// `("front", ..)` plus one `("shard{i}", ..)` per shard when the
+    /// front-end answers.
+    TraceScrapeRep(Vec<(String, Vec<WireSpan>)>),
 
     // Client plane (client ↔ front-end).
     QueryReq(QueryRequest),
@@ -1230,6 +1361,11 @@ pub enum Frame {
         shard: u16,
         seq: u64,
         record: DeltaRecord,
+        /// Optional causal context of the publish that produced this
+        /// record, so replica applies join the originating trace.
+        /// Encoded as an optional trailer — context-free frames are
+        /// byte-identical to the pre-trace layout.
+        ctx: Option<TraceContext>,
     },
     /// Full-state bootstrap: an encoded per-shard snapshot slice
     /// ([`queryplane::Snapshot`] bytes — opaque here because decoding
@@ -1261,12 +1397,16 @@ pub enum Frame {
     Tagged {
         /// Correlation id; a reply carries the id of its request.
         req_id: u32,
+        /// Optional trace context of the caller, propagated so the
+        /// server's serve span joins the caller's trace.
+        ctx: Option<TraceContext>,
         /// The enveloped frame. Envelopes never nest.
         inner: Box<Frame>,
     },
     /// A whole wave of tagged requests in one frame: the per-shard batch
-    /// a front-end flushes per scheduling turn.
-    Batch(Vec<(u32, Frame)>),
+    /// a front-end flushes per scheduling turn. Each entry carries its
+    /// own caller's optional trace context.
+    Batch(Vec<(u32, Option<TraceContext>, Frame)>),
     /// The replies to a [`Frame::Batch`], in whatever order the shard
     /// finished them; each entry names its request by id.
     BatchRep(Vec<(u32, Frame)>),
@@ -1294,6 +1434,7 @@ impl Frame {
             Frame::SizesWaveReq { .. } => 0x18,
             Frame::HorizonReq => 0x19,
             Frame::StatsScrapeReq => 0x1A,
+            Frame::TraceScrapeReq => 0x1B,
             Frame::UnionSliceRep(_) => 0x20,
             Frame::ProbeExactRep(_) => 0x21,
             Frame::StoreLenRep(_) => 0x22,
@@ -1305,6 +1446,7 @@ impl Frame {
             Frame::SizesWaveRep(_) => 0x28,
             Frame::HorizonRep(_) => 0x29,
             Frame::StatsScrapeRep(_) => 0x2A,
+            Frame::TraceScrapeRep(_) => 0x2B,
             Frame::QueryReq(_) => 0x30,
             Frame::QueryRep(_) => 0x31,
             Frame::SubscribeReq { .. } => 0x32,
@@ -1320,6 +1462,53 @@ impl Frame {
             Frame::Batch(_) => 0x51,
             Frame::BatchRep(_) => 0x52,
             Frame::Error(_) => 0x3F,
+        }
+    }
+
+    /// A static label for the frame type, used as the span class when a
+    /// server records a serve-stage span for this request.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::UnionSliceReq { .. } => "UnionSliceReq",
+            Frame::ProbeExactReq { .. } => "ProbeExactReq",
+            Frame::StoreLenReq { .. } => "StoreLenReq",
+            Frame::RecordReq { .. } => "RecordReq",
+            Frame::TriggerReq { .. } => "TriggerReq",
+            Frame::StoreLenWaveReq { .. } => "StoreLenWaveReq",
+            Frame::FilterWaveReq { .. } => "FilterWaveReq",
+            Frame::TopKWaveReq { .. } => "TopKWaveReq",
+            Frame::SizesWaveReq { .. } => "SizesWaveReq",
+            Frame::HorizonReq => "HorizonReq",
+            Frame::StatsScrapeReq => "StatsScrapeReq",
+            Frame::TraceScrapeReq => "TraceScrapeReq",
+            Frame::UnionSliceRep(_) => "UnionSliceRep",
+            Frame::ProbeExactRep(_) => "ProbeExactRep",
+            Frame::StoreLenRep(_) => "StoreLenRep",
+            Frame::RecordRep(_) => "RecordRep",
+            Frame::TriggerRep(_) => "TriggerRep",
+            Frame::StoreLenWaveRep(_) => "StoreLenWaveRep",
+            Frame::FilterWaveRep(_) => "FilterWaveRep",
+            Frame::TopKWaveRep(_) => "TopKWaveRep",
+            Frame::SizesWaveRep(_) => "SizesWaveRep",
+            Frame::HorizonRep(_) => "HorizonRep",
+            Frame::StatsScrapeRep(_) => "StatsScrapeRep",
+            Frame::TraceScrapeRep(_) => "TraceScrapeRep",
+            Frame::QueryReq(_) => "QueryReq",
+            Frame::QueryRep(_) => "QueryRep",
+            Frame::SubscribeReq { .. } => "SubscribeReq",
+            Frame::SubscribeRep { .. } => "SubscribeRep",
+            Frame::IncidentPush { .. } => "IncidentPush",
+            Frame::WindowPush(_) => "WindowPush",
+            Frame::DeltaAppend { .. } => "DeltaAppend",
+            Frame::SnapshotInstall { .. } => "SnapshotInstall",
+            Frame::DeltaAck { .. } => "DeltaAck",
+            Frame::ReplicaStatusReq => "ReplicaStatusReq",
+            Frame::ReplicaStatusRep { .. } => "ReplicaStatusRep",
+            Frame::Tagged { .. } => "Tagged",
+            Frame::Batch(_) => "Batch",
+            Frame::BatchRep(_) => "BatchRep",
+            Frame::Error(_) => "Error",
         }
     }
 
@@ -1384,6 +1573,8 @@ impl Frame {
             Frame::HorizonRep(v) => e.put_u64(*v),
             Frame::StatsScrapeReq => {}
             Frame::StatsScrapeRep(v) => v.enc(&mut e),
+            Frame::TraceScrapeReq => {}
+            Frame::TraceScrapeRep(v) => v.enc(&mut e),
             Frame::QueryReq(v) => v.enc(&mut e),
             Frame::QueryRep(v) => v.enc(&mut e),
             Frame::SubscribeReq {
@@ -1402,10 +1593,19 @@ impl Frame {
                 incident.enc(&mut e);
             }
             Frame::WindowPush(v) => v.enc(&mut e),
-            Frame::DeltaAppend { shard, seq, record } => {
+            Frame::DeltaAppend {
+                shard,
+                seq,
+                record,
+                ctx,
+            } => {
                 e.put_u16(*shard);
                 e.put_u64(*seq);
                 record.enc(&mut e);
+                // Optional trailer: `DeltaRecord` is self-delimiting, so
+                // old decoders see a context-free frame unchanged and new
+                // decoders recognize the marker after the record.
+                enc_ctx(ctx, &mut e);
             }
             Frame::SnapshotInstall { shard, seq, view } => {
                 e.put_u16(*shard);
@@ -1421,12 +1621,24 @@ impl Frame {
                 e.put_u16(*shard);
                 e.put_u64(*applied);
             }
-            Frame::Tagged { req_id, inner } => {
+            Frame::Tagged { req_id, ctx, inner } => {
                 e.put_u32(*req_id);
+                enc_ctx(ctx, &mut e);
                 e.put_u8(inner.tag());
                 e.put_raw(&inner.compact_payload());
             }
-            Frame::Batch(entries) | Frame::BatchRep(entries) => {
+            Frame::Batch(entries) => {
+                e.put_varint(entries.len() as u64);
+                for (id, ctx, f) in entries {
+                    e.put_u32(*id);
+                    enc_ctx(ctx, &mut e);
+                    e.put_u8(f.tag());
+                    let p = f.compact_payload();
+                    e.put_varint(p.len() as u64);
+                    e.put_raw(&p);
+                }
+            }
+            Frame::BatchRep(entries) => {
                 e.put_varint(entries.len() as u64);
                 for (id, f) in entries {
                     e.put_u32(*id);
@@ -1598,6 +1810,7 @@ impl Frame {
             },
             0x19 => Frame::HorizonReq,
             0x1A => Frame::StatsScrapeReq,
+            0x1B => Frame::TraceScrapeReq,
             0x20 => Frame::UnionSliceRep(Option::dec(&mut d)?),
             0x21 => Frame::ProbeExactRep(Option::dec(&mut d)?),
             0x22 => Frame::StoreLenRep(Option::dec(&mut d)?),
@@ -1609,6 +1822,7 @@ impl Frame {
             0x28 => Frame::SizesWaveRep(Vec::dec(&mut d)?),
             0x29 => Frame::HorizonRep(d.get_u64()?),
             0x2A => Frame::StatsScrapeRep(Vec::dec(&mut d)?),
+            0x2B => Frame::TraceScrapeRep(Vec::dec(&mut d)?),
             0x30 => Frame::QueryReq(QueryRequest::dec(&mut d)?),
             0x31 => Frame::QueryRep(QueryResponse::dec(&mut d)?),
             0x32 => Frame::SubscribeReq {
@@ -1624,11 +1838,29 @@ impl Frame {
                 incident: Incident::dec(&mut d)?,
             },
             0x35 => Frame::WindowPush(WindowSummary::dec(&mut d)?),
-            0x40 => Frame::DeltaAppend {
-                shard: d.get_u16()?,
-                seq: d.get_u64()?,
-                record: DeltaRecord::dec(&mut d)?,
-            },
+            0x40 => {
+                let shard = d.get_u16()?;
+                let seq = d.get_u64()?;
+                let record = DeltaRecord::dec(&mut d)?;
+                // The record is self-delimiting: any trailer must be a
+                // marked trace context, otherwise it is a protocol error
+                // (the old decoder's trailing-bytes rejection, kept).
+                let ctx = if d.remaining() > 0 {
+                    let marker = d.get_u8()?;
+                    if marker != TRACE_CTX_MARKER {
+                        return Err(WireError::TrailingBytes(d.remaining() + 1));
+                    }
+                    Some(dec_ctx_body(&mut d)?)
+                } else {
+                    None
+                };
+                Frame::DeltaAppend {
+                    shard,
+                    seq,
+                    record,
+                    ctx,
+                }
+            }
             0x41 => Frame::SnapshotInstall {
                 shard: d.get_u16()?,
                 seq: d.get_u64()?,
@@ -1645,15 +1877,16 @@ impl Frame {
             },
             0x50 => {
                 let req_id = d.get_u32()?;
-                let tag = d.get_u8()?;
+                let (ctx, tag) = dec_ctx_then_tag(&mut d)?;
                 let mut budget = COMPACT_BITSET_BUDGET;
                 let inner = Frame::decode_compact(tag, d.take_rest(), &mut budget)?;
                 Frame::Tagged {
                     req_id,
+                    ctx,
                     inner: Box::new(inner),
                 }
             }
-            0x51 | 0x52 => {
+            0x51 => {
                 let count = d.get_varint()? as usize;
                 // Every entry costs at least 6 bytes of header, so a
                 // corrupt count cannot force a big reserve.
@@ -1670,16 +1903,31 @@ impl Frame {
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     let id = d.get_u32()?;
+                    let (ctx, etag) = dec_ctx_then_tag(&mut d)?;
+                    let len = d.get_varint()? as usize;
+                    let payload = d.get_raw(len)?;
+                    entries.push((id, ctx, Frame::decode_compact(etag, payload, &mut budget)?));
+                }
+                Frame::Batch(entries)
+            }
+            0x52 => {
+                let count = d.get_varint()? as usize;
+                if count > d.remaining() / 6 + 1 {
+                    return Err(WireError::Truncated {
+                        needed: count.saturating_mul(6),
+                        have: d.remaining(),
+                    });
+                }
+                let mut budget = COMPACT_BITSET_BUDGET;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = d.get_u32()?;
                     let etag = d.get_u8()?;
                     let len = d.get_varint()? as usize;
                     let payload = d.get_raw(len)?;
                     entries.push((id, Frame::decode_compact(etag, payload, &mut budget)?));
                 }
-                if tag == 0x51 {
-                    Frame::Batch(entries)
-                } else {
-                    Frame::BatchRep(entries)
-                }
+                Frame::BatchRep(entries)
             }
             0x3F => Frame::Error(WireError::dec(&mut d)?),
             t => return Err(WireError::BadTag(t)),

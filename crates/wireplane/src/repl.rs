@@ -131,10 +131,22 @@ impl ReplicaWriter {
     /// `Err(SeqGap { expected, .. })` when the replica's log position is
     /// elsewhere (the caller replays from `expected` or bootstraps).
     pub fn append(&self, seq: u64, record: &DeltaRecord) -> Result<u64, WireError> {
+        self.append_traced(seq, record, None)
+    }
+
+    /// [`ReplicaWriter::append`] carrying a trace context, so the
+    /// replica's apply-stage span joins the owner's replication trace.
+    pub fn append_traced(
+        &self,
+        seq: u64,
+        record: &DeltaRecord,
+        ctx: Option<obsplane::TraceContext>,
+    ) -> Result<u64, WireError> {
         let reply = self.exchange(&Frame::DeltaAppend {
             shard: self.shard as u16,
             seq,
             record: record.clone(),
+            ctx,
         })?;
         self.expect_ack(reply)
     }

@@ -29,7 +29,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use netsim::packet::NodeId;
-use obsplane::{Counter, Gauge, Histogram, MetricsRegistry};
+use obsplane::{Counter, Gauge, Histogram, MetricsRegistry, SpanEvent, TraceContext, Tracer};
 use queryplane::Snapshot;
 use switchpointer::bitset::BitSet;
 use switchpointer::query::StateView;
@@ -72,6 +72,11 @@ pub struct WireConfig {
     /// query waves and window evaluations run there (work-stealing,
     /// chunked) instead of inline on connection threads.
     pub front_workers: usize,
+    /// Head-sampling rate for causal traces minted at the front-end:
+    /// keep 1-in-N traces in the span rings (`0` disables tracing,
+    /// `1` — the default — samples everything). Unsampled traces still
+    /// propagate context so slow-query exemplars pin everywhere.
+    pub trace_sample_rate: u32,
 }
 
 impl Default for WireConfig {
@@ -80,6 +85,7 @@ impl Default for WireConfig {
             max_conns: 64,
             max_frame: MAX_FRAME,
             front_workers: 4,
+            trace_sample_rate: 1,
         }
     }
 }
@@ -116,9 +122,15 @@ fn serve_replication(
     state: &RwLock<Arc<ShardState>>,
     applied: &AtomicU64,
     m: &ReplMetrics,
+    tracer: &Tracer,
 ) -> Option<Frame> {
     match req {
-        Frame::DeltaAppend { shard, seq, record } => {
+        Frame::DeltaAppend {
+            shard,
+            seq,
+            record,
+            ctx,
+        } => {
             Some(if *shard as usize != my_shard {
                 Frame::Error(WireError::Remote(format!(
                     "delta for shard {shard} sent to shard {my_shard}"
@@ -148,6 +160,26 @@ fn serve_replication(
                             m.applied_total.inc();
                             m.applied_seq.set(*seq as i64);
                             m.apply_ns.record_duration(started.elapsed());
+                            // The apply joins the publisher's trace: the
+                            // replica-side evidence when a slow query
+                            // overlapped a replication burst.
+                            if let Some(c) = ctx {
+                                tracer.submit(
+                                    SpanEvent {
+                                        class: "DeltaAppend",
+                                        stage: "apply",
+                                        epoch: *seq,
+                                        shard: my_shard as u32,
+                                        start_ns: tracer.offset_ns(started),
+                                        dur_ns: started.elapsed().as_nanos() as u64,
+                                        trace_id: c.trace_id,
+                                        span_id: tracer.next_span_id(),
+                                        parent_id: c.span_id,
+                                        steals: 0,
+                                    },
+                                    c.sampled,
+                                );
+                            }
                             Frame::DeltaAck {
                                 shard: *shard,
                                 applied: *seq,
@@ -435,6 +467,7 @@ struct ServeCtx {
     metrics: WireLoopMetrics,
     scrape_label: String,
     scrape_reg: Arc<MetricsRegistry>,
+    shard: u32,
     delay: Arc<RwLock<Option<ServeDelay>>>,
 }
 
@@ -443,14 +476,29 @@ impl ServeCtx {
     /// the reply frame. Replication is NOT handled here — it must stay
     /// in-band on the connection loop so the sequenced-log ordering
     /// survives out-of-order tagged dispatch.
-    fn serve_read(&self, req: &Frame) -> Frame {
+    ///
+    /// When the request's envelope carried a [`TraceContext`], the whole
+    /// serve — *including* any rigged [`ServeDelay`] — records as a
+    /// serve-stage span in the request's trace; the `wire.serve_ns`
+    /// histogram stays delay-exclusive as before.
+    fn serve_read(&self, req: &Frame, tctx: Option<TraceContext>) -> Frame {
+        let span_started = Instant::now();
         if let Some(d) = self.delay.read().unwrap().as_ref() {
             std::thread::sleep(d(req));
         }
+        // Scrapes are side-effect-free: snapshot-based, excluded from
+        // the wire histograms, and they never record spans of their own,
+        // so repeated scrapes of a quiesced server are identical.
         if matches!(req, Frame::StatsScrapeReq) {
             return Frame::StatsScrapeRep(vec![(
                 self.scrape_label.clone(),
                 self.scrape_reg.snapshot(),
+            )]);
+        }
+        if matches!(req, Frame::TraceScrapeReq) {
+            return Frame::TraceScrapeRep(vec![(
+                self.scrape_label.clone(),
+                crate::traces::dump_spans(self.scrape_reg.tracer()),
             )]);
         }
         let serve_started = Instant::now();
@@ -462,6 +510,24 @@ impl ServeCtx {
             .serve_ns
             .record_duration(serve_started.elapsed());
         self.metrics.frames_served.inc();
+        if let Some(c) = tctx {
+            let tracer = self.scrape_reg.tracer();
+            tracer.submit(
+                SpanEvent {
+                    class: req.kind_name(),
+                    stage: "serve",
+                    epoch: 0,
+                    shard: self.shard,
+                    start_ns: tracer.offset_ns(span_started),
+                    dur_ns: span_started.elapsed().as_nanos() as u64,
+                    trace_id: c.trace_id,
+                    span_id: tracer.next_span_id(),
+                    parent_id: c.span_id,
+                    steals: 0,
+                },
+                c.sampled,
+            );
+        }
         reply
     }
 }
@@ -478,8 +544,24 @@ impl ServeCtx {
 /// socket makes the connection-loop read fail, the peer's reader
 /// poisons every in-flight waiter, and the client fails over.
 fn write_shared(writer: &Mutex<TcpStream>, frame: &Frame) -> bool {
+    write_shared_observed(writer, frame, None)
+}
+
+/// [`write_shared`] with optional encode observation: the envelope
+/// paths pass the loop metrics here so `Tagged`/`Batch` replies land in
+/// `wire.encode_ns` like legacy replies do (scrape replies stay
+/// unobserved to keep scrapes side-effect-free).
+fn write_shared_observed(
+    writer: &Mutex<TcpStream>,
+    frame: &Frame,
+    m: Option<&WireLoopMetrics>,
+) -> bool {
+    let encode_started = Instant::now();
     let ok = match frame.to_frame_bytes() {
         Ok(buf) => {
+            if let Some(m) = m {
+                m.encode_ns.record_duration(encode_started.elapsed());
+            }
             let mut w = writer.lock().unwrap();
             w.write_all(&buf).is_ok() && w.flush().is_ok()
         }
@@ -528,6 +610,12 @@ impl ShardServer {
         let applying = Arc::clone(&applied);
         let max_frame = cfg.max_frame;
         let metrics = Arc::new(MetricsRegistry::new());
+        // Perturb the span-id seed per shard (deterministically) so ids
+        // minted by different processes of one cluster never collide in
+        // a reassembled trace tree.
+        metrics
+            .tracer()
+            .set_id_seed((shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let m = WireLoopMetrics::new(&metrics);
         let repl_m = ReplMetrics::new(&metrics);
         let scrape_label = format!("shard{shard}");
@@ -561,6 +649,7 @@ impl ShardServer {
                     metrics: m.clone(),
                     scrape_label: scrape_label.clone(),
                     scrape_reg: Arc::clone(&scrape_reg),
+                    shard: shard as u32,
                     delay: Arc::clone(&delay_hook),
                 });
                 let mut serves: Vec<JoinHandle<()>> = Vec::new();
@@ -592,21 +681,34 @@ impl ShardServer {
                         // replication frames are the exception — they
                         // serve in-band, in arrival order, or SeqGap
                         // would fire on every reordering.
-                        Frame::Tagged { req_id, inner } => {
+                        Frame::Tagged {
+                            req_id,
+                            ctx: tctx,
+                            inner,
+                        } => {
                             // Tagged scrapes stay side-effect-free: not
                             // even their decode is recorded.
-                            if !matches!(*inner, Frame::StatsScrapeReq) {
+                            let is_scrape =
+                                matches!(*inner, Frame::StatsScrapeReq | Frame::TraceScrapeReq);
+                            if !is_scrape {
                                 m.decode_ns.record_duration(decode_elapsed);
                             }
-                            if let Some(reply) =
-                                serve_replication(&inner, shard, &serving, &applying, &repl_m)
-                            {
-                                if !write_shared(
+                            if let Some(reply) = serve_replication(
+                                &inner,
+                                shard,
+                                &serving,
+                                &applying,
+                                &repl_m,
+                                scrape_reg.tracer(),
+                            ) {
+                                if !write_shared_observed(
                                     &writer,
                                     &Frame::Tagged {
                                         req_id,
+                                        ctx: None,
                                         inner: Box::new(reply),
                                     },
+                                    Some(&m),
                                 ) {
                                     break;
                                 }
@@ -622,13 +724,15 @@ impl ShardServer {
                                 let spawn = std::thread::Builder::new()
                                     .name(format!("wireplane-shard{shard}-serve"))
                                     .spawn(move || {
-                                        let reply = ctx.serve_read(&inner);
-                                        let _ = write_shared(
+                                        let reply = ctx.serve_read(&inner, tctx);
+                                        let _ = write_shared_observed(
                                             &writer,
                                             &Frame::Tagged {
                                                 req_id,
+                                                ctx: None,
                                                 inner: Box::new(reply),
                                             },
+                                            (!is_scrape).then_some(&ctx.metrics),
                                         );
                                     });
                                 if let Ok(h) = spawn {
@@ -640,13 +744,15 @@ impl ShardServer {
                             // failure) the loop serves inline, which
                             // also throttles the reader — backpressure.
                             if inline {
-                                let reply = ctx.serve_read(&inner);
-                                if !write_shared(
+                                let reply = ctx.serve_read(&inner, tctx);
+                                if !write_shared_observed(
                                     &writer,
                                     &Frame::Tagged {
                                         req_id,
+                                        ctx: None,
                                         inner: Box::new(reply),
                                     },
+                                    (!is_scrape).then_some(&m),
                                 ) {
                                     break;
                                 }
@@ -658,13 +764,13 @@ impl ShardServer {
                         // replication serve in-band for the same ordering
                         // reason as above.
                         Frame::Batch(entries) => {
-                            if entries
-                                .iter()
-                                .any(|(_, f)| !matches!(f, Frame::StatsScrapeReq))
-                            {
+                            let all_scrapes = entries.iter().all(|(_, _, f)| {
+                                matches!(f, Frame::StatsScrapeReq | Frame::TraceScrapeReq)
+                            });
+                            if !all_scrapes {
                                 m.decode_ns.record_duration(decode_elapsed);
                             }
-                            let has_repl = entries.iter().any(|(_, f)| {
+                            let has_repl = entries.iter().any(|(_, _, f)| {
                                 matches!(
                                     f,
                                     Frame::DeltaAppend { .. }
@@ -675,15 +781,24 @@ impl ShardServer {
                             if has_repl {
                                 let replies: Vec<(u32, Frame)> = entries
                                     .iter()
-                                    .map(|(id, f)| {
+                                    .map(|(id, tctx, f)| {
                                         let reply = serve_replication(
-                                            f, shard, &serving, &applying, &repl_m,
+                                            f,
+                                            shard,
+                                            &serving,
+                                            &applying,
+                                            &repl_m,
+                                            scrape_reg.tracer(),
                                         )
-                                        .unwrap_or_else(|| ctx.serve_read(f));
+                                        .unwrap_or_else(|| ctx.serve_read(f, *tctx));
                                         (*id, reply)
                                     })
                                     .collect();
-                                if !write_shared(&writer, &Frame::BatchRep(replies)) {
+                                if !write_shared_observed(
+                                    &writer,
+                                    &Frame::BatchRep(replies),
+                                    Some(&m),
+                                ) {
                                     break;
                                 }
                                 continue;
@@ -699,9 +814,13 @@ impl ShardServer {
                                 move || {
                                     let replies: Vec<(u32, Frame)> = entries
                                         .iter()
-                                        .map(|(id, f)| (*id, ctx.serve_read(f)))
+                                        .map(|(id, tctx, f)| (*id, ctx.serve_read(f, *tctx)))
                                         .collect();
-                                    write_shared(&writer, &Frame::BatchRep(replies))
+                                    write_shared_observed(
+                                        &writer,
+                                        &Frame::BatchRep(replies),
+                                        (!all_scrapes).then_some(&ctx.metrics),
+                                    )
                                 }
                             };
                             let mut inline = true;
@@ -745,12 +864,27 @@ impl ShardServer {
                                 }
                                 continue;
                             }
+                            if matches!(req, Frame::TraceScrapeReq) {
+                                let reply = Frame::TraceScrapeRep(vec![(
+                                    scrape_label.clone(),
+                                    crate::traces::dump_spans(scrape_reg.tracer()),
+                                )]);
+                                if !write_shared(&writer, &reply) {
+                                    break;
+                                }
+                                continue;
+                            }
                             // Replication frames are the one write path:
                             // handled here (the shared `serve` is
                             // read-only).
-                            if let Some(reply) =
-                                serve_replication(&req, shard, &serving, &applying, &repl_m)
-                            {
+                            if let Some(reply) = serve_replication(
+                                &req,
+                                shard,
+                                &serving,
+                                &applying,
+                                &repl_m,
+                                scrape_reg.tracer(),
+                            ) {
                                 if !write_shared(&writer, &reply) {
                                     break;
                                 }

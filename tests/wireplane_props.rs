@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use netsim::prelude::*;
+use obsplane::TraceContext;
 use proptest::prelude::*;
 use proptest::rng_for;
 use queryplane::{
@@ -44,6 +45,7 @@ use telemetry::EpochRange;
 use wireplane::proto::Frame;
 use wireplane::{
     MuxConn, RemoteShard, RetryPolicy, ServeDelay, WireClient, WireCluster, WireConfig, WireEvent,
+    WireSpan,
 };
 
 // ----------------------------------------------------------------------
@@ -324,6 +326,34 @@ fn gen_registry_snapshot(rng: &mut TestRng) -> obsplane::RegistrySnapshot {
 /// `PointerPatch` is only constructible by diffing live hierarchies (by
 /// design), and the replication tests cover that codec end-to-end — but
 /// every host-patch kind is generated.
+fn gen_wire_span(rng: &mut TestRng) -> WireSpan {
+    WireSpan {
+        class: format!("class{}", rng.below(8)),
+        stage: ["query", "enqueue", "wire", "serve", "exec", "apply"][rng.below(6) as usize]
+            .to_string(),
+        epoch: rng.below(10_000),
+        shard: rng.below(8) as u32,
+        start_ns: rng.next_u64() >> 20,
+        dur_ns: rng.next_u64() >> 30,
+        trace_id: rng.next_u64(),
+        span_id: rng.next_u64(),
+        parent_id: rng.next_u64(),
+        steals: rng.below(4) as u32,
+        exemplar: rng.below(2) == 0,
+    }
+}
+
+fn gen_trace_ctx(rng: &mut TestRng) -> Option<TraceContext> {
+    match rng.below(3) {
+        0 => None,
+        s => Some(TraceContext {
+            trace_id: 1 + rng.next_u64() / 2,
+            span_id: rng.next_u64(),
+            sampled: s == 1,
+        }),
+    }
+}
+
 fn gen_delta_record(rng: &mut TestRng) -> DeltaRecord {
     let triggers = |rng: &mut TestRng| -> Vec<switchpointer::host::TriggerEvent> {
         (0..rng.below(3))
@@ -519,11 +549,25 @@ fn gen_frames(rng: &mut TestRng) -> Vec<Frame> {
             pending: rng.below(4),
             incidents: rng.below(8),
         }),
+        // Context-free on purpose: gen_frames feeds the legacy byte pins;
+        // ctx-bearing envelopes get their own roundtrip/fuzz suite below.
         Frame::DeltaAppend {
             shard: rng.below(8) as u16,
             seq: 1 + rng.below(1000),
             record: gen_delta_record(rng),
+            ctx: None,
         },
+        Frame::TraceScrapeReq,
+        Frame::TraceScrapeRep(
+            (0..1 + rng.below(3))
+                .map(|i| {
+                    (
+                        format!("shard{i}"),
+                        (0..rng.below(5)).map(|_| gen_wire_span(rng)).collect(),
+                    )
+                })
+                .collect(),
+        ),
         Frame::SnapshotInstall {
             shard: rng.below(8) as u16,
             seq: 1 + rng.below(1000),
@@ -1335,13 +1379,19 @@ fn envelope_framing_decodes_every_frame_type_to_its_legacy_value() {
             let req_id = i as u32 * 7 + 1;
             let tagged = Frame::Tagged {
                 req_id,
+                ctx: None,
                 inner: Box::new(f.clone()),
             };
             let bytes = tagged.to_frame_bytes().unwrap();
             let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
             match Frame::decode(tag, &payload).unwrap() {
-                Frame::Tagged { req_id: got, inner } => {
+                Frame::Tagged {
+                    req_id: got,
+                    ctx,
+                    inner,
+                } => {
                     assert_eq!(got, req_id);
+                    assert_eq!(ctx, None);
                     assert_eq!(
                         format!("{inner:?}"),
                         format!("{:?}", legacy[i]),
@@ -1352,31 +1402,55 @@ fn envelope_framing_decodes_every_frame_type_to_its_legacy_value() {
             }
         }
 
-        // Batch / BatchRep: the whole sample set in one frame.
-        for make in [Frame::Batch, Frame::BatchRep] {
-            let entries: Vec<(u32, Frame)> = frames
-                .iter()
-                .cloned()
-                .enumerate()
-                .map(|(i, f)| (i as u32, f))
-                .collect();
-            let batch = make(entries);
-            let bytes = batch.to_frame_bytes().unwrap();
-            let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
-            match Frame::decode(tag, &payload).unwrap() {
-                Frame::Batch(got) | Frame::BatchRep(got) => {
-                    assert_eq!(got.len(), frames.len());
-                    for ((id, inner), (i, want)) in got.iter().zip(legacy.iter().enumerate()) {
-                        assert_eq!(*id, i as u32);
-                        assert_eq!(
-                            format!("{inner:?}"),
-                            format!("{want:?}"),
-                            "round {round}: batch entry {i} diverged from the legacy codec"
-                        );
-                    }
+        // Batch: the whole sample set in one frame.
+        let entries: Vec<(u32, Option<TraceContext>, Frame)> = frames
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, f)| (i as u32, None, f))
+            .collect();
+        let batch = Frame::Batch(entries);
+        let bytes = batch.to_frame_bytes().unwrap();
+        let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+        match Frame::decode(tag, &payload).unwrap() {
+            Frame::Batch(got) => {
+                assert_eq!(got.len(), frames.len());
+                for ((id, ctx, inner), (i, want)) in got.iter().zip(legacy.iter().enumerate()) {
+                    assert_eq!(*id, i as u32);
+                    assert_eq!(*ctx, None);
+                    assert_eq!(
+                        format!("{inner:?}"),
+                        format!("{want:?}"),
+                        "round {round}: batch entry {i} diverged from the legacy codec"
+                    );
                 }
-                other => panic!("batch envelope decoded to {other:?}"),
             }
+            other => panic!("batch envelope decoded to {other:?}"),
+        }
+
+        // BatchRep: same, on the reply side.
+        let entries: Vec<(u32, Frame)> = frames
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, f)| (i as u32, f))
+            .collect();
+        let rep = Frame::BatchRep(entries);
+        let bytes = rep.to_frame_bytes().unwrap();
+        let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+        match Frame::decode(tag, &payload).unwrap() {
+            Frame::BatchRep(got) => {
+                assert_eq!(got.len(), frames.len());
+                for ((id, inner), (i, want)) in got.iter().zip(legacy.iter().enumerate()) {
+                    assert_eq!(*id, i as u32);
+                    assert_eq!(
+                        format!("{inner:?}"),
+                        format!("{want:?}"),
+                        "round {round}: batch reply entry {i} diverged from the legacy codec"
+                    );
+                }
+            }
+            other => panic!("batch reply envelope decoded to {other:?}"),
         }
     }
 }
@@ -1389,7 +1463,15 @@ fn envelope_framing_decodes_every_frame_type_to_its_legacy_value() {
 fn envelope_frames_reject_truncation_corruption_and_hostile_counts() {
     let mut rng = rng_for("wireplane envelope fuzz");
     let frames = gen_frames(&mut rng);
-    let entries: Vec<(u32, Frame)> = frames
+    // Mixed trace contexts per entry: the fuzz sweep covers the marker
+    // byte and the 17-byte ctx body as well as the bare layout.
+    let entries: Vec<(u32, Option<TraceContext>, Frame)> = frames
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, f)| (i as u32, gen_trace_ctx(&mut rng), f))
+        .collect();
+    let rep_entries: Vec<(u32, Frame)> = frames
         .iter()
         .cloned()
         .enumerate()
@@ -1398,10 +1480,11 @@ fn envelope_frames_reject_truncation_corruption_and_hostile_counts() {
     let samples = vec![
         Frame::Tagged {
             req_id: 42,
+            ctx: gen_trace_ctx(&mut rng).or_else(|| gen_trace_ctx(&mut rng)),
             inner: Box::new(frames[0].clone()),
         },
-        Frame::Batch(entries.clone()),
-        Frame::BatchRep(entries),
+        Frame::Batch(entries),
+        Frame::BatchRep(rep_entries),
     ];
     for frame in &samples {
         let bytes = frame.to_frame_bytes().unwrap();
@@ -1514,7 +1597,7 @@ fn envelope_frames_reject_truncation_corruption_and_hostile_counts() {
     match Frame::decode(0x51, &honest_batch) {
         Ok(Frame::Batch(entries)) => {
             assert_eq!(entries.len(), 2);
-            for (_, f) in &entries {
+            for (_, _, f) in &entries {
                 match f {
                     Frame::UnionSliceRep(Some(b)) => {
                         assert_eq!(b.capacity() as u64, nbits);
@@ -1571,6 +1654,7 @@ fn reused_encode_scratch_is_byte_identical_to_fresh_encoding_across_waves() {
         for frame in &frames {
             let tagged = Frame::Tagged {
                 req_id: wave,
+                ctx: None,
                 inner: Box::new(frame.clone()),
             };
             tagged.encode_into(&mut scratch).unwrap();
@@ -1584,7 +1668,7 @@ fn reused_encode_scratch_is_byte_identical_to_fresh_encoding_across_waves() {
             frames
                 .into_iter()
                 .enumerate()
-                .map(|(i, f)| (i as u32, f))
+                .map(|(i, f)| (i as u32, None, f))
                 .collect(),
         );
         batch.encode_into(&mut scratch).unwrap();
@@ -1902,6 +1986,7 @@ fn mux_replication_scrapes_and_reads_share_the_link_with_seqgap_enforced() {
             shard: 0,
             seq: applied + 7,
             record,
+            ctx: None,
         })
         .unwrap()
     {
@@ -1980,4 +2065,409 @@ fn transport_errors_name_the_peer_through_retry_rotation() {
         msg.contains("transport error talking to 127.0.0.1:"),
         "rotated shard error lost its peer: {msg}"
     );
+}
+
+// ----------------------------------------------------------------------
+// (e) Causal tracing: envelope contexts, cross-process reassembly,
+//     verdict invariance under every sampling rate, slow-query exemplars
+// ----------------------------------------------------------------------
+
+/// Trace contexts embedded in envelopes round-trip exactly; a context
+/// cut anywhere inside its 17-byte body is a typed error; a hostile
+/// flags byte is refused; and — the interop pin — a `DeltaAppend` whose
+/// payload ends exactly at the record boundary (what a pre-context
+/// writer emits) decodes as the same frame with `ctx: None`.
+#[test]
+fn trace_context_envelopes_roundtrip_truncate_and_interop() {
+    let mut rng = rng_for("wireplane trace ctx roundtrip");
+    let frames = gen_frames(&mut rng);
+    let ctx = TraceContext {
+        trace_id: 0x0123_4567_89AB_CDEF,
+        span_id: 0xFEDC_BA98_7654_3210,
+        sampled: true,
+    };
+
+    // Round-trip with the context present, all three envelope kinds.
+    let record = gen_delta_record(&mut rng);
+    let samples = vec![
+        Frame::Tagged {
+            req_id: 7,
+            ctx: Some(ctx),
+            inner: Box::new(frames[0].clone()),
+        },
+        Frame::Batch(
+            frames
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, f)| {
+                    (
+                        i as u32,
+                        Some(TraceContext {
+                            span_id: i as u64,
+                            ..ctx
+                        }),
+                        f,
+                    )
+                })
+                .collect(),
+        ),
+        Frame::DeltaAppend {
+            shard: 3,
+            seq: 99,
+            record: record.clone(),
+            ctx: Some(ctx),
+        },
+    ];
+    for frame in &samples {
+        let bytes = frame.to_frame_bytes().unwrap();
+        let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+        let back = Frame::decode(tag, &payload).unwrap();
+        assert_eq!(
+            format!("{back:?}"),
+            format!("{frame:?}"),
+            "ctx-bearing envelope did not round-trip"
+        );
+    }
+
+    // Truncation inside the context body (marker onward) is an error for
+    // Tagged: the marker promises 17 bytes plus an inner frame.
+    let tagged = &samples[0];
+    let bytes = tagged.to_frame_bytes().unwrap();
+    let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+    for cut in 4..4 + 18 {
+        assert!(
+            Frame::decode(tag, &payload[..cut]).is_err(),
+            "Tagged cut mid-context at {cut} decoded successfully"
+        );
+    }
+
+    // A flags byte with any bit beyond bit0 set is a BadTag carrying the
+    // hostile byte — reserved bits stay reserved.
+    for flags in [0x02u8, 0x80, 0xFF] {
+        let mut corrupt = payload.clone();
+        // Layout: req_id(4) | 0xFF | trace(8) | span(8) | flags.
+        assert_eq!(corrupt[4], 0xFF, "marker not where the layout says");
+        corrupt[4 + 17] = flags;
+        assert!(
+            matches!(Frame::decode(tag, &corrupt), Err(WireError::BadTag(f)) if f == flags),
+            "hostile flags byte {flags:#04x} not refused as BadTag"
+        );
+    }
+
+    // Interop pin: cutting the traced DeltaAppend exactly at the record
+    // boundary yields a pre-context writer's byte image, and it decodes
+    // as the same append with no context — new readers accept old
+    // frames; anything shorter is truncation, anything longer that is
+    // not a context is TrailingBytes.
+    let traced = &samples[2];
+    let bytes = traced.to_frame_bytes().unwrap();
+    let (tag, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+    let legacy_len = payload.len() - 18; // marker + 17-byte body
+    match Frame::decode(tag, &payload[..legacy_len]).unwrap() {
+        Frame::DeltaAppend {
+            shard,
+            seq,
+            record: got,
+            ctx,
+        } => {
+            assert_eq!((shard, seq), (3, 99));
+            assert_eq!(format!("{got:?}"), format!("{record:?}"));
+            assert_eq!(ctx, None, "legacy byte image grew a context");
+        }
+        other => panic!("legacy DeltaAppend image decoded to {other:?}"),
+    }
+    for cut in legacy_len + 1..payload.len() {
+        assert!(
+            Frame::decode(tag, &payload[..cut]).is_err(),
+            "DeltaAppend cut mid-context at {cut} decoded successfully"
+        );
+    }
+}
+
+/// The byte-layout differential pin for the context extension: a
+/// context-free envelope encodes byte-for-byte what the pre-context
+/// codec wrote (hand-assembled here from the documented layout), and a
+/// context-bearing envelope is exactly that image with the 17-byte
+/// `0xFF | trace | span | flags` block spliced at the documented
+/// offset. Old and new endpoints interoperate because untraced frames
+/// are indistinguishable on the wire.
+#[test]
+fn context_free_envelope_bytes_match_pre_context_layout() {
+    fn leb(mut v: u64, out: &mut Vec<u8>) {
+        loop {
+            let b = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(b);
+                break;
+            }
+            out.push(b | 0x80);
+        }
+    }
+    fn payload_of(frame: &Frame) -> Vec<u8> {
+        let bytes = frame.to_frame_bytes().unwrap();
+        let (_, payload) = read_frame(&mut &bytes[..], MAX_FRAME).unwrap();
+        payload
+    }
+
+    // Tagged{req_id, HorizonReq}: `req_id u32 LE | inner tag`.
+    let bare = payload_of(&Frame::Tagged {
+        req_id: 0xA1B2_C3D4,
+        ctx: None,
+        inner: Box::new(Frame::HorizonReq),
+    });
+    let mut want = 0xA1B2_C3D4u32.to_le_bytes().to_vec();
+    want.push(0x19); // HorizonReq
+    assert_eq!(bare, want, "context-free Tagged layout drifted");
+
+    // The traced flavour is the same image with the context spliced
+    // after req_id.
+    let traced = payload_of(&Frame::Tagged {
+        req_id: 0xA1B2_C3D4,
+        ctx: Some(TraceContext {
+            trace_id: 0x1111_2222_3333_4444,
+            span_id: 0x5555_6666_7777_8888,
+            sampled: true,
+        }),
+        inner: Box::new(Frame::HorizonReq),
+    });
+    let mut spliced = bare[..4].to_vec();
+    spliced.push(0xFF);
+    spliced.extend_from_slice(&0x1111_2222_3333_4444u64.to_le_bytes());
+    spliced.extend_from_slice(&0x5555_6666_7777_8888u64.to_le_bytes());
+    spliced.push(1);
+    spliced.extend_from_slice(&bare[4..]);
+    assert_eq!(traced, spliced, "context splice offset drifted");
+
+    // Batch of two empty-payload requests: `count | id u32 LE | tag |
+    // len | payload` per entry.
+    let got = payload_of(&Frame::Batch(vec![
+        (1, None, Frame::HorizonReq),
+        (2, None, Frame::StatsScrapeReq),
+    ]));
+    let mut want = Vec::new();
+    leb(2, &mut want);
+    for (id, tag) in [(1u32, 0x19u8), (2, 0x1A)] {
+        want.extend_from_slice(&id.to_le_bytes());
+        want.push(tag);
+        leb(0, &mut want);
+    }
+    assert_eq!(got, want, "context-free Batch layout drifted");
+
+    // DeltaAppend: `shard u16 LE | seq u64 LE | record`, nothing after.
+    let mut rng = rng_for("wireplane layout pin record");
+    let record = gen_delta_record(&mut rng);
+    let got = payload_of(&Frame::DeltaAppend {
+        shard: 5,
+        seq: 77,
+        record: record.clone(),
+        ctx: None,
+    });
+    let mut want = 5u16.to_le_bytes().to_vec();
+    want.extend_from_slice(&77u64.to_le_bytes());
+    let mut e = telemetry::frame::Enc::new();
+    record.wire_enc(&mut e);
+    want.extend_from_slice(&e.into_bytes());
+    assert_eq!(got, want, "context-free DeltaAppend layout drifted");
+}
+
+/// The tentpole's end-to-end claim: one client query against a 4-shard
+/// cluster yields, via `scrape_traces`, a causally linked span tree
+/// that covers the front-end (query/enqueue/exec), the mux (wire) and
+/// the shard servers (serve), with per-stage durations that partition
+/// the root exactly and never exceed the latency the client measured
+/// from outside. Scraping is also pinned side-effect-free: a second
+/// scrape sees no spans born of the first.
+#[test]
+fn one_query_reassembles_into_a_cross_process_stage_tree() {
+    let (mut tb, victim, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    let cluster = WireCluster::launch(&analyzer, 4, WireConfig::default()).unwrap();
+    let mut client = cluster.client().unwrap();
+
+    let t0 = Instant::now();
+    client.query(&reqs[0]).unwrap();
+    let e2e = t0.elapsed().as_nanos() as u64;
+
+    let scrape = client.scrape_traces().unwrap();
+    assert_eq!(scrape.len(), 5, "front + 4 shards must answer the scrape");
+    assert_eq!(scrape[0].0, "front");
+    let trees = wireplane::assemble(&scrape);
+    let query_trees: Vec<_> = trees
+        .iter()
+        .filter(|t| t.root().is_some_and(|r| r.stage == "query"))
+        .collect();
+    assert_eq!(
+        query_trees.len(),
+        1,
+        "exactly one query ran, so exactly one query-rooted trace"
+    );
+    let tree = query_trees[0];
+    assert!(
+        tree.causally_linked(),
+        "spans from different processes did not link into one tree"
+    );
+    // The tree crosses processes: the front plus at least one shard.
+    let procs = tree.processes();
+    assert!(procs.contains("front"), "no front-side spans: {procs:?}");
+    assert!(
+        procs.iter().any(|p| p.starts_with("shard")),
+        "no shard-side spans: {procs:?}"
+    );
+    // Every stage of the path is present.
+    for stage in ["query", "enqueue", "exec", "wire", "serve"] {
+        assert!(
+            tree.stage_ns(stage) > 0 || stage == "enqueue",
+            "stage {stage} missing from the reassembled tree"
+        );
+    }
+    // enqueue + exec partition the root exactly (same three clock
+    // reads), and nothing in the tree outlives what the client saw.
+    assert_eq!(
+        tree.stage_ns("enqueue") + tree.stage_ns("exec"),
+        tree.e2e_ns(),
+        "front-side stages must partition the root span"
+    );
+    assert!(
+        tree.e2e_ns() <= e2e,
+        "the traced e2e ({}) exceeds the client-measured e2e ({e2e})",
+        tree.e2e_ns()
+    );
+    // serve happens inside wire's window, per RPC.
+    assert!(
+        tree.stage_ns("serve") <= tree.stage_ns("wire"),
+        "serve time exceeds the wire time that contains it"
+    );
+
+    // Scrape identity: scraping traces makes no traces anywhere.
+    let again = client.scrape_traces().unwrap();
+    assert_eq!(
+        format!("{scrape:?}"),
+        format!("{again:?}"),
+        "a trace scrape left spans behind"
+    );
+    cluster.shutdown();
+}
+
+/// Trace-context propagation is inert: the same storm of queries and
+/// the same standing-query stream produce bit-identical verdicts and
+/// incidents whether tracing is off (rate 0), sampling everything
+/// (rate 1) or sampling almost nothing (rate 1024).
+#[test]
+fn sampling_rate_never_changes_verdicts_or_incidents() {
+    let (mut tb, victim, da) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let reqs = storm_queries(&tb, victim);
+    let mut baseline: Option<(Vec<String>, Vec<String>)> = None;
+    for rate in [0u32, 1, 1024] {
+        let cluster = WireCluster::launch(
+            &analyzer,
+            2,
+            WireConfig {
+                trace_sample_rate: rate,
+                ..WireConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = cluster.client().unwrap();
+        let verdicts: Vec<String> = reqs
+            .iter()
+            .map(|r| format!("{:?}", client.query(r).unwrap()))
+            .collect();
+        let (_, available) = client
+            .subscribe(
+                StandingQuery::ContentionWatch {
+                    victim,
+                    victim_dst: da,
+                    trigger_window: tb.cfg.trigger.window,
+                },
+                0,
+            )
+            .unwrap();
+        let incidents: Vec<String> = (0..available)
+            .map(|_| format!("{:?}", client.next_incident().unwrap()))
+            .collect();
+        match &baseline {
+            None => baseline = Some((verdicts, incidents)),
+            Some((v0, i0)) => {
+                assert_eq!(&verdicts, v0, "verdicts changed at sample rate {rate}");
+                assert_eq!(&incidents, i0, "incidents changed at sample rate {rate}");
+            }
+        }
+        cluster.shutdown();
+    }
+}
+
+/// The flight recorder catches a rigged slow query: after warming the
+/// shard's rolling latency threshold with cheap queries, one query
+/// whose serve is stretched by an injected [`ServeDelay`] must surface
+/// as an exemplar trace whose serve-stage span covers the injected
+/// delay — even though nothing about the query itself was unusual.
+#[test]
+fn rigged_serve_delay_pins_a_slow_query_exemplar() {
+    let (mut tb, _, _) = watch_testbed();
+    tb.sim.run_until(SimTime::from_ms(40));
+    let analyzer = tb.analyzer();
+    let cluster = WireCluster::launch(&analyzer, 1, WireConfig::default()).unwrap();
+    let mut client = cluster.client().unwrap();
+    let cheap = QueryRequest::TopK {
+        switch: tb.node("edge0_0"),
+        k: 4,
+        range: EpochRange { lo: 10, hi: 20 },
+    };
+
+    // Warm the shard tracer past its exemplar warmup so the rolling
+    // threshold is live and far below the delay we are about to inject.
+    let delay = Duration::from_millis(25);
+    let shard_tracer_ready = || {
+        let t = cluster.server(0).metrics().tracer();
+        t.slow_threshold_ns() < delay.as_nanos() as u64 / 2
+    };
+    for _ in 0..200 {
+        client.query(&cheap).unwrap();
+        if shard_tracer_ready() {
+            break;
+        }
+    }
+    assert!(
+        shard_tracer_ready(),
+        "cheap queries never warmed the shard's slow threshold"
+    );
+
+    let rig: ServeDelay = Arc::new(move |req: &Frame| match req {
+        Frame::TopKWaveReq { .. } => Duration::from_millis(25),
+        _ => Duration::ZERO,
+    });
+    cluster.server(0).set_serve_delay(Some(rig));
+    client.query(&cheap).unwrap();
+    cluster.server(0).set_serve_delay(None);
+
+    let scrape = client.scrape_traces().unwrap();
+    let trees = wireplane::assemble(&scrape);
+    let slow: Vec<_> = trees
+        .iter()
+        .filter(|t| t.has_exemplar() && t.stage_ns("serve") >= delay.as_nanos() as u64)
+        .collect();
+    assert!(
+        !slow.is_empty(),
+        "the rigged slow query was not pinned as an exemplar"
+    );
+    // The exemplar's serve span itself covers the injected delay — the
+    // breakdown points at the right stage, not just the right trace.
+    let serve_dur = slow
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .filter(|(_, s)| s.stage == "serve")
+        .map(|(_, s)| s.dur_ns)
+        .max()
+        .unwrap();
+    assert!(
+        serve_dur >= delay.as_nanos() as u64,
+        "serve-stage span ({serve_dur}ns) does not cover the injected 25ms delay"
+    );
+    cluster.shutdown();
 }
